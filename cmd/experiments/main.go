@@ -1,0 +1,152 @@
+// Command experiments regenerates the paper's evaluation figures against
+// the simulated substrate.
+//
+// Usage:
+//
+//	experiments -all            # every figure, quick settings
+//	experiments -fig 18 -full   # one figure at the paper's full scale
+//	experiments -fig 15 -seed 7
+//
+// Figure numbers follow the paper: 1 (tracking), 2 (IRR model), 3 (trace,
+// includes Fig 4), 8 (GMM modes), 12 (ROC), 13 (sensitivity), 14 (learning
+// curve), 15/16 (schedule feasibility), 17 (schedule cost), 18 (IRR gain).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tagwatch/internal/experiments"
+)
+
+func main() {
+	var (
+		fig    = flag.Int("fig", 0, "figure number to run (0 with -all runs everything)")
+		all    = flag.Bool("all", false, "run every figure")
+		full   = flag.Bool("full", false, "paper-scale settings (slower)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		csvDir = flag.String("csv", "", "also write each figure's data as CSV under this directory")
+		svgDir = flag.String("svg", "", "also render each figure as SVG under this directory")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Seed: *seed, Quick: !*full}
+	for _, dir := range []string{*csvDir, *svgDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "output dir: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	emit := func(r interface {
+		fmt.Stringer
+		CSV() []experiments.CSVTable
+		Plots() []experiments.NamedPlot
+	}) error {
+		fmt.Println(r)
+		if *csvDir != "" {
+			for _, t := range r.CSV() {
+				if err := t.WriteCSV(*csvDir); err != nil {
+					return err
+				}
+			}
+		}
+		if *svgDir != "" {
+			for _, np := range r.Plots() {
+				if err := np.WriteSVG(*svgDir); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	run := func(n int) error {
+		switch n {
+		case 1:
+			r, err := experiments.Fig01(opt)
+			if err != nil {
+				return err
+			}
+			return emit(r)
+		case 2:
+			r, err := experiments.Fig02(opt)
+			if err != nil {
+				return err
+			}
+			return emit(r)
+		case 3, 4:
+			r, err := experiments.Fig03(opt)
+			if err != nil {
+				return err
+			}
+			return emit(r)
+		case 8:
+			r, err := experiments.Fig08(opt)
+			if err != nil {
+				return err
+			}
+			return emit(r)
+		case 12:
+			r, err := experiments.Fig12(opt)
+			if err != nil {
+				return err
+			}
+			return emit(r)
+		case 13:
+			r, err := experiments.Fig13(opt)
+			if err != nil {
+				return err
+			}
+			return emit(r)
+		case 14:
+			r, err := experiments.Fig14(opt)
+			if err != nil {
+				return err
+			}
+			return emit(r)
+		case 15:
+			r, err := experiments.Fig15(opt, 2)
+			if err != nil {
+				return err
+			}
+			return emit(r)
+		case 16:
+			r, err := experiments.Fig15(opt, 5)
+			if err != nil {
+				return err
+			}
+			return emit(r)
+		case 17:
+			r, err := experiments.Fig17(opt)
+			if err != nil {
+				return err
+			}
+			return emit(r)
+		case 18:
+			r, err := experiments.Fig18(opt)
+			if err != nil {
+				return err
+			}
+			return emit(r)
+		default:
+			return fmt.Errorf("unknown figure %d", n)
+		}
+	}
+
+	figs := []int{2, 3, 8, 12, 13, 14, 15, 16, 17, 18, 1}
+	if !*all {
+		if *fig == 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		figs = []int{*fig}
+	}
+	for _, n := range figs {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "fig %d: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+}

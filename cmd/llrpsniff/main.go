@@ -1,0 +1,41 @@
+// Command llrpsniff is a protocol-aware tcpdump for LLRP: a transparent
+// proxy that sits between an LLRP client and a reader, printing a decoded
+// one-line summary of every frame in both directions.
+//
+//	llrpsniff -listen 127.0.0.1:5085 -reader 127.0.0.1:5084
+//	tagwatchd -reader 127.0.0.1:5085   # now observed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"tagwatch/internal/llrp"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:5085", "address clients connect to")
+		reader = flag.String("reader", "127.0.0.1:5084", "upstream LLRP reader")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	proxy := llrp.NewProxy(*reader, func(direction string, m llrp.Message) {
+		fmt.Printf("%8.3fs %s %s\n", time.Since(start).Seconds(), direction, m.Summarize())
+	})
+	addr, err := proxy.Listen(*listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("llrpsniff: %s ⇄ %s\n", addr, *reader)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	proxy.Close()
+}

@@ -1,0 +1,74 @@
+// Command readersim runs the LLRP reader emulator as a standalone TCP
+// server: an ImpinJ-R420 stand-in with a configurable simulated tag
+// population. Point any LLRP client at it (tagwatchd, or your own LTK
+// code) and drive ROSpecs.
+//
+// Usage:
+//
+//	readersim -listen 127.0.0.1:5084 -tags 40 -movers 2 -timescale 1
+//
+// With -timescale 1 the emulator paces reports in real time; 0 free-runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+
+	"tagwatch/internal/epc"
+	"tagwatch/internal/llrp"
+	"tagwatch/internal/reader"
+	"tagwatch/internal/rf"
+	"tagwatch/internal/scene"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:5084", "address to listen on (5084 is the LLRP port)")
+		tags      = flag.Int("tags", 40, "stationary tags in the field")
+		movers    = flag.Int("movers", 2, "tags on the spinning turntable")
+		antennas  = flag.Int("antennas", 1, "reader antenna ports")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		timescale = flag.Float64("timescale", 1.0, "wall seconds per virtual second (0 = free-run)")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	scn := scene.New(rf.NewChannel(rf.DefaultParams(), rng), rng)
+	for a := 0; a < *antennas; a++ {
+		scn.AddAntenna(rf.Pt(float64(a)*1.5, 0, 2))
+	}
+	codes, err := epc.RandomPopulation(rng, *tags+*movers, 96)
+	if err != nil {
+		log.Fatalf("population: %v", err)
+	}
+	for i, c := range codes[:*movers] {
+		scn.AddTag(c, scene.Circle{
+			Center:     rf.Pt(1.5, 1.5, 0),
+			Radius:     0.2,
+			Speed:      0.7,
+			StartAngle: float64(i),
+		})
+	}
+	for i, c := range codes[*movers:] {
+		scn.AddTag(c, scene.Stationary{P: rf.Pt(0.4+float64(i%10)*0.3, 0.4+float64(i/10)*0.3, 0)})
+	}
+
+	eng := reader.New(reader.DefaultConfig(), scn)
+	srv := llrp.NewServer(eng, llrp.ServerConfig{TimeScale: *timescale})
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("readersim: LLRP reader emulator on %s (%d tags, %d movers, %d antennas, timescale %.1f)\n",
+		addr, *tags, *movers, *antennas, *timescale)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	srv.Close()
+	fmt.Println("readersim: shut down")
+}

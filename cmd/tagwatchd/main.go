@@ -1,0 +1,116 @@
+// Command tagwatchd runs the Tagwatch middleware against an LLRP reader
+// (real or emulated) and prints per-cycle summaries: who is present, who
+// is moving, which bitmasks Phase II scheduled, and the resulting per-tag
+// reading rates.
+//
+// Usage:
+//
+//	tagwatchd -reader 127.0.0.1:5084 -cycles 10 -dwell 5s
+//	tagwatchd -reader 127.0.0.1:5084 -pin 30f4ab12cd0045e100000001
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"tagwatch/internal/core"
+	"tagwatch/internal/epc"
+	"tagwatch/internal/llrp"
+)
+
+func main() {
+	var (
+		readerAddr = flag.String("reader", "127.0.0.1:5084", "LLRP reader address")
+		cycles     = flag.Int("cycles", 10, "reading cycles to run (0 = forever)")
+		dwell      = flag.Duration("dwell", 5*time.Second, "Phase II dwell")
+		pins       = flag.String("pin", "", "comma-separated EPCs to always schedule")
+		config     = flag.String("config", "", "JSON configuration file (see core.FileConfig)")
+		state      = flag.String("state", "", "state file: learned immobility models are loaded at start and saved at exit")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	conn, err := llrp.Dial(ctx, *readerAddr)
+	cancel()
+	if err != nil {
+		log.Fatalf("connect: %v", err)
+	}
+	defer conn.Close()
+	fmt.Printf("tagwatchd: connected to %s\n", *readerAddr)
+
+	cfg := core.DefaultConfig()
+	if *config != "" {
+		loaded, err := core.LoadConfigFile(*config)
+		if err != nil {
+			log.Fatalf("config: %v", err)
+		}
+		cfg = loaded
+	}
+	cfg.PhaseIIDwell = *dwell
+	if *pins != "" {
+		for _, s := range strings.Split(*pins, ",") {
+			code, err := epc.Parse(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatalf("bad -pin EPC %q: %v", s, err)
+			}
+			cfg.Pinned = append(cfg.Pinned, code)
+		}
+	}
+	dev := core.NewLLRPDevice(conn)
+	tw := core.New(cfg, dev)
+	if *state != "" {
+		if f, err := os.Open(*state); err == nil {
+			if err := tw.LoadState(f); err != nil {
+				log.Printf("state load: %v (starting cold)", err)
+			} else {
+				fmt.Println("tagwatchd: resumed learned models from", *state)
+			}
+			f.Close()
+		}
+		defer func() {
+			f, err := os.Create(*state)
+			if err != nil {
+				log.Printf("state save: %v", err)
+				return
+			}
+			defer f.Close()
+			if err := tw.SaveState(f); err != nil {
+				log.Printf("state save: %v", err)
+			}
+		}()
+	}
+
+	defer func() {
+		m := tw.Metrics()
+		if m.Cycles == 0 {
+			return
+		}
+		fmt.Printf("tagwatchd: %d cycles (%d fallbacks), %d+%d readings, %d targets scheduled, mean schedule cost %v\n",
+			m.Cycles, m.Fallbacks, m.PhaseIReadings, m.PhaseIIReadings,
+			m.TargetsScheduled, (m.ScheduleCostTotal / time.Duration(m.Cycles)).Round(time.Microsecond))
+	}()
+
+	for i := 0; *cycles == 0 || i < *cycles; i++ {
+		rep := tw.RunCycle()
+		mode := "selective"
+		if rep.FellBack {
+			mode = "read-all (fallback)"
+		}
+		fmt.Printf("cycle %d: %d present, %d mobile, %d targets → %s, %d masks, %d+%d readings (schedule cost %v)\n",
+			i, len(rep.Present), len(rep.Mobile), len(rep.Targets), mode,
+			len(rep.Plan.Masks), len(rep.PhaseIReads), len(rep.PhaseIIReads),
+			rep.ScheduleCost.Round(time.Microsecond))
+		for _, m := range rep.Plan.Masks {
+			fmt.Printf("    mask %s covering %d tag(s)\n", m.Bitmask, m.Covered)
+		}
+		for _, code := range rep.Targets {
+			fmt.Printf("    target %s IRR≈%.1f Hz (lifetime reads %d)\n",
+				code, tw.History().IRR(code), tw.History().Total(code))
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Package tagwatch is the root of the Tagwatch reproduction: a
+// rate-adaptive reading system for COTS RFID devices (Lin et al.,
+// CoNEXT 2017) together with every substrate its evaluation needs — an
+// EPC Gen2 air-protocol simulator, an RF phase/RSS channel model, an LLRP
+// client and reader emulator speaking the binary protocol over TCP, the
+// self-learning GMM motion assessment of Phase I, the set-cover bitmask
+// scheduler of Phase II, a differential-hologram tracker, and a
+// sorting-facility workload generator.
+//
+// The implementation lives under internal/; runnable entry points are
+// under cmd/ and examples/. See README.md for the architecture overview,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// paper-versus-measured record. The benchmarks in bench_test.go regenerate
+// every figure of the paper's evaluation.
+package tagwatch

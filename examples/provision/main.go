@@ -1,0 +1,128 @@
+// Provision: commissioning station. Blank tags pass a station antenna;
+// an LLRP AccessSpec bound to the inventory writes a facility word and a
+// sequence number into each tag's User memory and reads back its TID —
+// all in one singulation, with the results riding in the tag reports.
+//
+//	go run ./examples/provision
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"tagwatch/internal/epc"
+	"tagwatch/internal/llrp"
+	"tagwatch/internal/reader"
+	"tagwatch/internal/rf"
+	"tagwatch/internal/scene"
+)
+
+const facilityWord = 0xFA01 // facility 0xFA, line 01
+
+func main() {
+	// Six blank tags on the commissioning tray.
+	rng := rand.New(rand.NewSource(33))
+	scn := scene.New(rf.NewChannel(rf.DefaultParams(), rng), rng)
+	scn.AddAntenna(rf.Pt(0, 0, 1))
+	tags, err := epc.SGTINPopulation(703710, 500123, 5, 9000, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, c := range tags {
+		scn.AddTag(c, scene.Stationary{P: rf.Pt(0.2+float64(i)*0.15, 0.3, 0.2)})
+	}
+
+	srv := llrp.NewServer(reader.New(reader.DefaultConfig(), scn), llrp.ServerConfig{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	conn, err := llrp.Dial(ctx, addr.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	caps, err := conn.GetCapabilities(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("provision: reader model %d, %d antenna(s), phase reporting %v\n",
+		caps.Model, caps.MaxAntennas, caps.SupportsPhaseReporting)
+
+	// The commissioning AccessSpec: read 2 TID words, write the facility
+	// word into User[0].
+	access := llrp.AccessSpec{
+		ID: 1,
+		Ops: []llrp.OpSpec{
+			{OpSpecID: 1, Bank: epc.BankTID, WordPtr: 0, WordCount: 2},
+			{OpSpecID: 2, Write: true, Bank: epc.BankUser, WordPtr: 0, Data: []uint16{facilityWord}},
+		},
+	}
+	if err := conn.AddAccessSpec(ctx, access); err != nil {
+		log.Fatal(err)
+	}
+	if err := conn.EnableAccessSpec(ctx, 1); err != nil {
+		log.Fatal(err)
+	}
+
+	// One short inventory pass commissions the tray.
+	spec := llrp.ROSpec{
+		ID:       1,
+		Boundary: llrp.ROBoundarySpec{StopTrigger: llrp.StopTriggerDuration, DurationMS: 300},
+		AISpecs: []llrp.AISpec{{
+			AntennaIDs:  []uint16{1},
+			StopTrigger: llrp.AISpecStopTrigger{Type: llrp.AIStopDuration, DurationMS: 300},
+			Inventories: []llrp.InventoryParameterSpec{{ID: 1, Commands: []llrp.C1G2InventoryCommand{{Session: 1, InitialQ: 3}}}},
+		}},
+	}
+	if err := conn.AddROSpec(ctx, spec); err != nil {
+		log.Fatal(err)
+	}
+	conn.EnableROSpec(ctx, 1)
+	conn.StartROSpec(ctx, 1)
+
+	provisioned := map[string]bool{}
+	deadline := time.After(5 * time.Second)
+	for len(provisioned) < len(tags) {
+		select {
+		case batch, ok := <-conn.Reports():
+			if !ok {
+				log.Fatal("connection died")
+			}
+			for _, r := range batch {
+				if provisioned[r.EPC.String()] || len(r.OpResults) == 0 {
+					continue
+				}
+				var tid string
+				wrote := false
+				for _, op := range r.OpResults {
+					switch op.OpSpecID {
+					case 1:
+						if op.OK() {
+							tid = fmt.Sprintf("%04X%04X…", op.Data[0], op.Data[1])
+						}
+					case 2:
+						wrote = op.OK()
+					}
+				}
+				if wrote {
+					provisioned[r.EPC.String()] = true
+					s, _ := epc.DecodeSGTIN(r.EPC)
+					fmt.Printf("  commissioned %s (serial %d, TID %s) ← User[0]=%#04x\n",
+						r.EPC, s.Serial, tid, facilityWord)
+				}
+			}
+		case <-deadline:
+			log.Fatalf("only %d of %d tags commissioned", len(provisioned), len(tags))
+		}
+	}
+	fmt.Printf("provision: all %d tags commissioned\n", len(tags))
+}

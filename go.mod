@@ -1,0 +1,3 @@
+module tagwatch
+
+go 1.22

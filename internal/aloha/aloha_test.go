@@ -1,0 +1,232 @@
+package aloha
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestHarmonic(t *testing.T) {
+	if Harmonic(1) != 1 {
+		t.Fatal("H1")
+	}
+	if got := Harmonic(4); math.Abs(got-(1+0.5+1.0/3+0.25)) > 1e-12 {
+		t.Fatalf("H4 = %v", got)
+	}
+	// H_n ≈ ln n + γ for large n.
+	if got := Harmonic(10000); math.Abs(got-(math.Log(10000)+0.5772)) > 0.001 {
+		t.Fatalf("H10000 = %v", got)
+	}
+	if Harmonic(0) != 0 {
+		t.Fatal("H0 must be 0")
+	}
+}
+
+func TestExpectedSlots(t *testing.T) {
+	if ExpectedSlots(0) != 0 || ExpectedSlots(-1) != 0 {
+		t.Fatal("degenerate populations")
+	}
+	if ExpectedSlots(1) != 1 {
+		t.Fatal("one tag needs one slot")
+	}
+	// n·e·H_n grows super-linearly.
+	if ExpectedSlots(40) <= 40*ExpectedSlots(1) {
+		t.Fatal("E[F] must grow super-linearly")
+	}
+	want := 30 * math.E * Harmonic(30)
+	if got := ExpectedSlots(30); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("E[F](30) = %v, want %v", got, want)
+	}
+}
+
+func TestSingletonProbabilityMaximisedAtFEqualsN(t *testing.T) {
+	// Eqn. 1 peaks at f = n with value ≈ 1/e.
+	n := 50
+	best := SingletonProbability(n, float64(n))
+	if math.Abs(best-1/math.E) > 0.01 {
+		t.Fatalf("q(f=n) = %v, want ≈1/e", best)
+	}
+	for _, f := range []float64{10, 25, 75, 200} {
+		if SingletonProbability(n, f) > best+1e-9 {
+			t.Fatalf("q(f=%v) exceeds the f=n maximum", f)
+		}
+	}
+	if SingletonProbability(0, 10) != 0 || SingletonProbability(5, 0) != 0 {
+		t.Fatal("degenerate inputs must be 0")
+	}
+}
+
+func TestCostModelPaperNumbers(t *testing.T) {
+	m := PaperCostModel()
+	// IRR(1) = 1/(τ₀+τ̄) ≈ 52 Hz with the paper's constants; the paper
+	// measures ≈63 Hz at n=1 (its model slightly overshoots there, as its
+	// Fig. 2 shows).
+	if irr := m.IRR(1); irr < 45 || irr > 60 {
+		t.Fatalf("IRR(1) = %v Hz", irr)
+	}
+	// The headline: IRR collapses by ≈84%% from n=1 to n=40.
+	drop := 1 - m.IRR(40)/m.IRR(1)
+	if drop < 0.75 || drop > 0.92 {
+		t.Fatalf("IRR drop at n=40 = %.2f, want ≈0.84", drop)
+	}
+	// And lands near the measured 12 Hz.
+	if irr := m.IRR(40); irr < 8 || irr > 16 {
+		t.Fatalf("IRR(40) = %v Hz, want ≈12", irr)
+	}
+}
+
+func TestCostModelShape(t *testing.T) {
+	m := PaperCostModel()
+	if m.Cost(0) != m.Tau0 {
+		t.Fatal("C(0) must be the bare start-up cost")
+	}
+	if m.Cost(1) != m.Tau0+m.TauBar {
+		t.Fatal("C(1) = τ₀+τ̄")
+	}
+	for n := 2; n < 100; n++ {
+		if m.Cost(n) <= m.Cost(n-1) {
+			t.Fatalf("C must be strictly increasing at n=%d", n)
+		}
+	}
+	if m.String() == "" {
+		t.Fatal("String must render")
+	}
+	zero := CostModel{}
+	if !math.IsInf(zero.IRR(5), 1) {
+		t.Fatal("zero-cost model has infinite IRR")
+	}
+}
+
+func TestCostBasisMatchesCost(t *testing.T) {
+	m := PaperCostModel()
+	for _, n := range []int{1, 2, 10, 40, 400} {
+		want := float64(m.Tau0) + float64(m.TauBar)*CostBasis(n)
+		if got := float64(m.Cost(n)); math.Abs(got-want) > float64(time.Microsecond) {
+			t.Fatalf("Cost(%d) = %v, basis reconstruction %v", n, got, want)
+		}
+	}
+	if CostBasis(0) != 1 || CostBasis(1) != 1 {
+		t.Fatal("basis for n ≤ 1 is the unit regressor")
+	}
+}
+
+func TestFixedQ(t *testing.T) {
+	f := FixedQ{Q: 5}
+	if f.BeginRound(100) != 5 {
+		t.Fatal("fixed Q ignores the estimate")
+	}
+	if q, changed := f.OnSlot(Collision, 3); q != 5 || changed {
+		t.Fatal("fixed Q never changes")
+	}
+	big := FixedQ{Q: 31}
+	if big.BeginRound(0) != 15 {
+		t.Fatal("Q must clamp to 4 bits")
+	}
+}
+
+func TestQAdaptiveConverges(t *testing.T) {
+	qa := NewQAdaptive(4)
+	q := qa.BeginRound(0)
+	if q != 4 {
+		t.Fatalf("initial Q = %d", q)
+	}
+	// A run of collisions must raise Q.
+	for i := 0; i < 20; i++ {
+		q, _ = qa.OnSlot(Collision, 0)
+	}
+	if q <= 4 {
+		t.Fatalf("Q after 20 collisions = %d, want > 4", q)
+	}
+	// A long run of empties must drive Q to 0.
+	for i := 0; i < 200; i++ {
+		q, _ = qa.OnSlot(Empty, 0)
+	}
+	if q != 0 {
+		t.Fatalf("Q after many empties = %d, want 0", q)
+	}
+	// And it never leaves [0, 15].
+	for i := 0; i < 300; i++ {
+		q, _ = qa.OnSlot(Collision, 0)
+		if q > 15 {
+			t.Fatalf("Q escaped range: %d", q)
+		}
+	}
+	if q != 15 {
+		t.Fatalf("Q after many collisions = %d, want 15", q)
+	}
+}
+
+func TestQAdaptiveSingletonKeepsQ(t *testing.T) {
+	qa := NewQAdaptive(6)
+	qa.BeginRound(0)
+	q, changed := qa.OnSlot(Singleton, 0)
+	if q != 6 || changed {
+		t.Fatal("singleton slots must not move Q")
+	}
+}
+
+func TestQAdaptiveChangeSignalling(t *testing.T) {
+	qa := NewQAdaptive(4)
+	qa.BeginRound(0)
+	// C=0.3: one empty moves Qfp to 3.7 → rounds to 4 (no change); the
+	// second to 3.4 → rounds to 3 (change).
+	if _, changed := qa.OnSlot(Empty, 0); changed {
+		t.Fatal("first empty should not change rounded Q")
+	}
+	if q, changed := qa.OnSlot(Empty, 0); !changed || q != 3 {
+		t.Fatalf("second empty should change Q to 3, got %d", q)
+	}
+}
+
+func TestQAdaptiveRoundResetsQfp(t *testing.T) {
+	qa := NewQAdaptive(4)
+	qa.BeginRound(0)
+	for i := 0; i < 30; i++ {
+		qa.OnSlot(Collision, 0)
+	}
+	if q := qa.BeginRound(0); q != 4 {
+		t.Fatalf("BeginRound must reset to the initial Q, got %d", q)
+	}
+}
+
+func TestQAdaptiveDefaultC(t *testing.T) {
+	qa := &QAdaptive{InitialQ: 4} // C unset
+	qa.BeginRound(0)
+	if qa.C != 0.3 {
+		t.Fatalf("default C = %v, want 0.3", qa.C)
+	}
+}
+
+func TestOracleDFSA(t *testing.T) {
+	d := &OracleDFSA{}
+	if q := d.BeginRound(32); q != 5 {
+		t.Fatalf("Q for 32 tags = %d, want 5", q)
+	}
+	if q := d.BeginRound(1); q != 0 {
+		t.Fatalf("Q for 1 tag = %d, want 0", q)
+	}
+	if q := d.BeginRound(100000); q != 15 {
+		t.Fatalf("Q must clamp at 15, got %d", q)
+	}
+	d.BeginRound(32)
+	// Empties and collisions do not resize; successes track the remainder.
+	if _, changed := d.OnSlot(Empty, 31); changed {
+		t.Fatal("empty must not resize the oracle frame")
+	}
+	if _, changed := d.OnSlot(Collision, 31); changed {
+		t.Fatal("collision must not resize the oracle frame")
+	}
+	q, changed := d.OnSlot(Singleton, 16)
+	if q != 4 || !changed {
+		t.Fatalf("after dropping to 16 tags Q = %d (changed %v), want 4", q, changed)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Empty.String() != "empty" || Singleton.String() != "singleton" || Collision.String() != "collision" {
+		t.Fatal("outcome strings")
+	}
+	if Outcome(9).String() == "" {
+		t.Fatal("unknown outcome must render")
+	}
+}

@@ -1,0 +1,21 @@
+package aloha_test
+
+import (
+	"fmt"
+
+	"tagwatch/internal/aloha"
+)
+
+// Example evaluates the paper's inventory-cost model (Definition 1): the
+// time to read n co-located tags once, and the reading rate each gets.
+func Example() {
+	m := aloha.PaperCostModel() // τ₀ = 19 ms, τ̄ = 0.18 ms (measured on the R420)
+	for _, n := range []int{1, 5, 40} {
+		fmt.Printf("n=%2d  C(n)=%6s  IRR=%4.1f Hz\n",
+			n, m.Cost(n).Round(1000000), m.IRR(n))
+	}
+	// Output:
+	// n= 1  C(n)=  19ms  IRR=52.1 Hz
+	// n= 5  C(n)=  23ms  IRR=43.6 Hz
+	// n=40  C(n)=  91ms  IRR=11.0 Hz
+}

@@ -1,0 +1,142 @@
+package aloha
+
+import (
+	"fmt"
+	"math"
+)
+
+// Outcome classifies one inventory slot.
+type Outcome uint8
+
+// Slot outcomes.
+const (
+	Empty Outcome = iota
+	Singleton
+	Collision
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Empty:
+		return "empty"
+	case Singleton:
+		return "singleton"
+	case Collision:
+		return "collision"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// Strategy decides the frame-size parameter Q across an inventory round.
+// The reader engine calls BeginRound once per round and OnSlot after every
+// slot; when OnSlot reports a change the engine issues a QueryAdjust (or a
+// fresh Query) with the new Q.
+type Strategy interface {
+	// BeginRound returns the Q for the round's opening Query. estimate is
+	// the reader's belief about the contending population (0 = unknown).
+	BeginRound(estimate int) uint8
+	// OnSlot observes a slot outcome; remaining is the engine's count of
+	// not-yet-inventoried tags where known (oracle strategies use it, real
+	// ones must ignore it). It returns the Q to use next and whether it
+	// changed.
+	OnSlot(o Outcome, remaining int) (q uint8, changed bool)
+}
+
+// clampQ bounds Q to the Gen2 field range [0, 15].
+func clampQ(q float64) float64 {
+	if q < 0 {
+		return 0
+	}
+	if q > 15 {
+		return 15
+	}
+	return q
+}
+
+// FixedQ is plain framed-slotted ALOHA with a constant frame size — the
+// baseline "FSA" of §2.1.
+type FixedQ struct{ Q uint8 }
+
+// BeginRound implements Strategy.
+func (f FixedQ) BeginRound(int) uint8 { return f.Q & 0x0F }
+
+// OnSlot implements Strategy.
+func (f FixedQ) OnSlot(Outcome, int) (uint8, bool) { return f.Q & 0x0F, false }
+
+// QAdaptive is the Gen2 Annex-D slot-count algorithm implemented by COTS
+// readers: a floating-point Qfp is nudged up by C on collisions and down by
+// C on empties; the integer Q is round(Qfp). The paper's §2.3 finds this
+// algorithm already operates near the DFSA optimum.
+type QAdaptive struct {
+	InitialQ float64 // starting Qfp for each round (the "initial Q" of Fig. 2)
+	C        float64 // step size, 0.1 ≤ C ≤ 0.5 (default 0.3)
+
+	qfp  float64
+	last uint8
+}
+
+// NewQAdaptive builds a Q-adaptive strategy with the given initial Q and
+// the default step C = 0.3.
+func NewQAdaptive(initialQ uint8) *QAdaptive {
+	return &QAdaptive{InitialQ: float64(initialQ & 0x0F), C: 0.3}
+}
+
+// BeginRound implements Strategy.
+func (qa *QAdaptive) BeginRound(int) uint8 {
+	if qa.C == 0 {
+		qa.C = 0.3
+	}
+	qa.qfp = clampQ(qa.InitialQ)
+	qa.last = uint8(math.Round(qa.qfp))
+	return qa.last
+}
+
+// OnSlot implements Strategy.
+func (qa *QAdaptive) OnSlot(o Outcome, _ int) (uint8, bool) {
+	switch o {
+	case Empty:
+		qa.qfp = clampQ(qa.qfp - qa.C)
+	case Collision:
+		qa.qfp = clampQ(qa.qfp + qa.C)
+	}
+	q := uint8(math.Round(qa.qfp))
+	changed := q != qa.last
+	qa.last = q
+	return q, changed
+}
+
+// OracleDFSA sizes every frame to the exact number of remaining tags — the
+// idealised dynamic FSA of §2.1 ("f = n, and each time a tag is identified
+// the frame restarts with f = f − 1"). It is the upper bound the paper's
+// analytical model describes; real readers approximate it with QAdaptive.
+type OracleDFSA struct {
+	last uint8
+}
+
+// qForPopulation returns round(log2 n) clamped to [0, 15]; a frame of 2^Q
+// slots approximates f = n as closely as Gen2's power-of-two frames allow.
+func qForPopulation(n int) uint8 {
+	if n <= 1 {
+		return 0
+	}
+	return uint8(clampQ(math.Round(math.Log2(float64(n)))))
+}
+
+// BeginRound implements Strategy.
+func (d *OracleDFSA) BeginRound(estimate int) uint8 {
+	d.last = qForPopulation(estimate)
+	return d.last
+}
+
+// OnSlot implements Strategy.
+func (d *OracleDFSA) OnSlot(o Outcome, remaining int) (uint8, bool) {
+	if o != Singleton {
+		return d.last, false
+	}
+	q := qForPopulation(remaining)
+	changed := q != d.last
+	d.last = q
+	return q, changed
+}

@@ -1,0 +1,97 @@
+// Package aloha contains the link-layer anti-collision machinery of a Gen2
+// reader: the frame-sizing strategies (fixed FSA, oracle DFSA, and the
+// Q-adaptive algorithm COTS readers implement) plus the paper's analytical
+// reading-rate model (§2.2) built on the coupon-collector argument.
+package aloha
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Harmonic returns the n-th harmonic number H_n = Σ_{i=1..n} 1/i.
+func Harmonic(n int) float64 {
+	var h float64
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+// ExpectedSlots returns E[F], the expected number of slots an optimal DFSA
+// reader needs to collect all n tags once: n·e·H_n (Eqn. 3).
+func ExpectedSlots(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if n == 1 {
+		return 1
+	}
+	return float64(n) * math.E * Harmonic(n)
+}
+
+// SingletonProbability returns the probability that a slot holds exactly
+// one reply when n tags contend in a frame of f slots (Eqn. 1).
+func SingletonProbability(n int, f float64) float64 {
+	if n <= 0 || f < 1 {
+		return 0
+	}
+	return float64(n) / f * math.Pow(1-1/f, float64(n-1))
+}
+
+// CostModel is the paper's inventory-cost model (Definition 1):
+//
+//	C(n) = τ₀ + n·e·τ̄·ln(n)   for n > 1
+//	C(1) = τ₀ + τ̄
+//
+// τ₀ is the per-round start-up cost (Select, synchronisation, state
+// clearing); τ̄ the mean slot duration.
+type CostModel struct {
+	Tau0   time.Duration // start-up cost per inventory round
+	TauBar time.Duration // mean slot duration
+}
+
+// PaperCostModel returns the constants the paper measured on the ImpinJ
+// R420: τ₀ = 19 ms, τ̄ = 0.18 ms.
+func PaperCostModel() CostModel {
+	return CostModel{Tau0: 19 * time.Millisecond, TauBar: 180 * time.Microsecond}
+}
+
+// Cost returns C(n), the expected time to inventory n tags once.
+func (m CostModel) Cost(n int) time.Duration {
+	switch {
+	case n <= 0:
+		return m.Tau0
+	case n == 1:
+		return m.Tau0 + m.TauBar
+	default:
+		slots := float64(n) * math.E * math.Log(float64(n))
+		return m.Tau0 + time.Duration(slots*float64(m.TauBar))
+	}
+}
+
+// IRR returns Λ(n) = 1 / C(n), the individual reading rate in Hz that each
+// of n co-located tags attains under continuous inventory (Eqn. 6).
+func (m CostModel) IRR(n int) float64 {
+	c := m.Cost(n)
+	if c <= 0 {
+		return math.Inf(1)
+	}
+	return float64(time.Second) / float64(c)
+}
+
+// String renders the model constants.
+func (m CostModel) String() string {
+	return fmt.Sprintf("aloha.CostModel{τ₀=%v, τ̄=%v}", m.Tau0, m.TauBar)
+}
+
+// CostBasis returns the regressor value n·e·ln(n) (or 1 for n = 1) used
+// when fitting the model by least squares against measured inventory
+// times: C(n) = τ₀·1 + τ̄·CostBasis(n).
+func CostBasis(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return float64(n) * math.E * math.Log(float64(n))
+}

@@ -1,0 +1,111 @@
+package aloha
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func meanSlots(t *testing.T, sim func(*rand.Rand, int) SlotTally, n, reps int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	var total int
+	for i := 0; i < reps; i++ {
+		tally := sim(rng, n)
+		if tally.Singles != n {
+			t.Fatalf("resolution lost tags: %d singles for %d tags", tally.Singles, n)
+		}
+		if tally.Slots != tally.Empties+tally.Singles+tally.Collisions {
+			t.Fatalf("tally inconsistent: %+v", tally)
+		}
+		total += tally.Slots
+	}
+	return float64(total) / float64(reps)
+}
+
+func TestTreeSplittingAsymptote(t *testing.T) {
+	// Binary tree splitting needs ≈2.885·n slots for large n (classic
+	// result of the Capetanakis analysis).
+	m := meanSlots(t, SimulateTreeSlots, 200, 60)
+	perTag := m / 200
+	if perTag < 2.6 || perTag > 3.2 {
+		t.Fatalf("tree slots/tag = %.3f, want ≈2.885", perTag)
+	}
+}
+
+func TestDFSAAsymptote(t *testing.T) {
+	// Ideal DFSA needs ≈e·n ≈ 2.718·n slots.
+	m := meanSlots(t, SimulateDFSASlots, 200, 60)
+	perTag := m / 200
+	if perTag < 2.5 || perTag > 3.0 {
+		t.Fatalf("DFSA slots/tag = %.3f, want ≈e", perTag)
+	}
+}
+
+func TestDFSABeatsTreeSplitting(t *testing.T) {
+	// The §2.3 conclusion quantified: the achievable protocols cluster
+	// within ~10% of each other — "very limited room to improve the
+	// reading rate by designing better anti-collision protocols".
+	dfsa := meanSlots(t, SimulateDFSASlots, 150, 80)
+	tree := meanSlots(t, SimulateTreeSlots, 150, 80)
+	if dfsa >= tree {
+		t.Fatalf("ideal DFSA (%.0f slots) must edge tree splitting (%.0f)", dfsa, tree)
+	}
+	if tree > 1.25*dfsa {
+		t.Fatalf("protocols should be within ~10-25%%: DFSA %.0f vs tree %.0f", dfsa, tree)
+	}
+}
+
+func TestFixedFSAWastesSlots(t *testing.T) {
+	// A badly sized fixed frame is far worse than DFSA — the §2.1 baseline.
+	dfsa := meanSlots(t, SimulateDFSASlots, 100, 40)
+	tiny := meanSlots(t, func(r *rand.Rand, n int) SlotTally { return SimulateFSASlots(r, n, 8) }, 100, 40)
+	huge := meanSlots(t, func(r *rand.Rand, n int) SlotTally { return SimulateFSASlots(r, n, 1024) }, 100, 40)
+	if tiny < 1.5*dfsa {
+		t.Fatalf("undersized FSA (%.0f) must be much worse than DFSA (%.0f)", tiny, dfsa)
+	}
+	if huge < 1.5*dfsa {
+		t.Fatalf("oversized FSA (%.0f) must be much worse than DFSA (%.0f)", huge, dfsa)
+	}
+	// Fixed FSA sized to the initial population sits between: its frame
+	// stays at n while the population drains, so the tail is empty-heavy —
+	// the very inefficiency that makes the paper's coupon-collector model
+	// (frame never shrinks) yield n·ln n rather than e·n.
+	sized := meanSlots(t, func(r *rand.Rand, n int) SlotTally { return SimulateFSASlots(r, n, 100) }, 100, 40)
+	if sized <= dfsa {
+		t.Fatalf("fixed f=n FSA (%.0f) cannot beat DFSA (%.0f)", sized, dfsa)
+	}
+	if sized >= tiny || sized >= huge {
+		t.Fatalf("f=n FSA (%.0f) must beat badly sized frames (%.0f, %.0f)", sized, tiny, huge)
+	}
+}
+
+func TestSimulationEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if tally := SimulateTreeSlots(rng, 0); tally.Slots != 0 {
+		t.Fatal("zero tags, zero slots")
+	}
+	if tally := SimulateTreeSlots(rng, 1); tally.Slots != 1 || tally.Singles != 1 {
+		t.Fatalf("one tag: %+v", tally)
+	}
+	if tally := SimulateDFSASlots(rng, 1); tally.Singles != 1 {
+		t.Fatalf("one tag DFSA: %+v", tally)
+	}
+	if tally := SimulateFSASlots(rng, 1, 0); tally.Singles != 1 {
+		t.Fatalf("frame floor: %+v", tally)
+	}
+}
+
+func BenchmarkAntiCollisionComparison(b *testing.B) {
+	// Slots per tag across the protocol family at n=200 — reproduces the
+	// §2.3 finding that Q-adaptive (≈DFSA) leaves little room.
+	rng := rand.New(rand.NewSource(1))
+	const n = 200
+	for i := 0; i < b.N; i++ {
+		dfsa := SimulateDFSASlots(rng, n)
+		tree := SimulateTreeSlots(rng, n)
+		fsa := SimulateFSASlots(rng, n, n)
+		b.ReportMetric(float64(dfsa.Slots)/n, "dfsa-slots/tag")
+		b.ReportMetric(float64(tree.Slots)/n, "tree-slots/tag")
+		b.ReportMetric(float64(fsa.Slots)/n, "fsa-slots/tag")
+	}
+}

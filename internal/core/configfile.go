@@ -1,0 +1,79 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"tagwatch/internal/epc"
+)
+
+// FileConfig is the on-disk configuration of the middleware — the paper's
+// §5 "configuration file" in which operators pin tags of significant
+// concern, plus the tunables upper applications are allowed to adjust.
+// All fields are optional; absent fields keep the paper defaults.
+type FileConfig struct {
+	// PinnedEPCs are hex EPCs always scheduled in Phase II.
+	PinnedEPCs []string `json:"pinned_epcs"`
+	// PhaseIIDwellMS is the selective-reading dwell in milliseconds
+	// (paper default: 5000).
+	PhaseIIDwellMS int `json:"phase2_dwell_ms"`
+	// MobileCutoff is the mover fraction above which cycles fall back to
+	// read-all (paper default: 0.2).
+	MobileCutoff float64 `json:"mobile_cutoff"`
+	// StickyMS is the target hysteresis window in milliseconds.
+	StickyMS int `json:"sticky_ms"`
+	// DepartAfterMS forgets tags unseen for this long.
+	DepartAfterMS int `json:"depart_after_ms"`
+	// NaiveSchedule switches to the EPC-per-target baseline schedule.
+	NaiveSchedule bool `json:"naive_schedule"`
+}
+
+// LoadConfigFile reads a FileConfig from a JSON file and layers it over
+// the defaults.
+func LoadConfigFile(path string) (Config, error) {
+	cfg := DefaultConfig()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return cfg, fmt.Errorf("core: read config: %w", err)
+	}
+	return applyFileConfig(cfg, raw)
+}
+
+// applyFileConfig parses raw JSON over base.
+func applyFileConfig(base Config, raw []byte) (Config, error) {
+	var fc FileConfig
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fc); err != nil {
+		return base, fmt.Errorf("core: parse config: %w", err)
+	}
+	for _, s := range fc.PinnedEPCs {
+		code, err := epc.Parse(s)
+		if err != nil {
+			return base, fmt.Errorf("core: pinned EPC %q: %w", s, err)
+		}
+		base.Pinned = append(base.Pinned, code)
+	}
+	if fc.PhaseIIDwellMS > 0 {
+		base.PhaseIIDwell = time.Duration(fc.PhaseIIDwellMS) * time.Millisecond
+	}
+	if fc.MobileCutoff > 0 {
+		if fc.MobileCutoff > 1 {
+			return base, fmt.Errorf("core: mobile_cutoff %v out of (0, 1]", fc.MobileCutoff)
+		}
+		base.MobileCutoff = fc.MobileCutoff
+	}
+	if fc.StickyMS > 0 {
+		base.StickyFor = time.Duration(fc.StickyMS) * time.Millisecond
+	}
+	if fc.DepartAfterMS > 0 {
+		base.DepartAfter = time.Duration(fc.DepartAfterMS) * time.Millisecond
+	}
+	if fc.NaiveSchedule {
+		base.NaiveSchedule = true
+	}
+	return base, nil
+}

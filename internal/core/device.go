@@ -1,0 +1,120 @@
+// Package core implements the Tagwatch middleware itself: the two-phase
+// rate-adaptive reading controller of §3 that sits between a Gen2 reader
+// and upper applications.
+//
+// Each cycle runs Phase I (inventory everything briefly, assess motion
+// from RF phase via the motion package) and Phase II (cover the mobile and
+// pinned tags with Select bitmasks via the schedule package, then read
+// only them for the dwell window). All readings from both phases are
+// delivered upstream and feed the self-learning immobility models.
+//
+// The controller drives an abstract Device, with two implementations: a
+// direct binding to the reader simulator (SimDevice, used by experiments
+// and benchmarks) and an LLRP client binding (LLRPDevice, used by the
+// tagwatchd daemon against a real or emulated reader over TCP).
+package core
+
+import (
+	"time"
+
+	"tagwatch/internal/epc"
+	"tagwatch/internal/reader"
+	"tagwatch/internal/schedule"
+)
+
+// Reading is one tag observation as the middleware sees it, regardless of
+// transport.
+type Reading struct {
+	EPC      epc.EPC
+	Time     time.Duration // device-virtual timestamp
+	Antenna  int
+	Channel  int
+	PhaseRad float64
+	RSSdBm   float64
+}
+
+// Device is the reader abstraction Tagwatch drives.
+type Device interface {
+	// ReadAll performs one full inventory pass over every antenna — the
+	// Phase I read and the "reading all" baseline.
+	ReadAll() []Reading
+	// ReadSelective cycles selective inventory rounds over the given
+	// bitmasks for the dwell window, reading only covered tags.
+	ReadSelective(masks []schedule.Bitmask, dwell time.Duration) []Reading
+	// Now reports the device clock (virtual for the simulator).
+	Now() time.Duration
+}
+
+// SimDevice binds the middleware directly to the reader simulator.
+type SimDevice struct {
+	R *reader.Reader
+}
+
+// NewSimDevice wraps a simulator reader.
+func NewSimDevice(r *reader.Reader) *SimDevice { return &SimDevice{R: r} }
+
+// Now implements Device.
+func (d *SimDevice) Now() time.Duration { return d.R.Now() }
+
+func toReadings(in []reader.TagRead) []Reading {
+	out := make([]Reading, len(in))
+	for i, r := range in {
+		out[i] = Reading{
+			EPC: r.EPC, Time: r.Time, Antenna: r.Antenna,
+			Channel: r.Channel, PhaseRad: r.PhaseRad, RSSdBm: r.RSSdBm,
+		}
+	}
+	return out
+}
+
+// ReadAll implements Device.
+func (d *SimDevice) ReadAll() []Reading {
+	return toReadings(d.R.InventoryAll())
+}
+
+// ReadSelective implements Device: masks run round-robin, one selective
+// round per antenna each, until the dwell window is exhausted — the
+// "multiple AISpecs" execution of §6.
+func (d *SimDevice) ReadSelective(masks []schedule.Bitmask, dwell time.Duration) []Reading {
+	var out []Reading
+	if len(masks) == 0 || dwell <= 0 {
+		return out
+	}
+	deadline := d.R.Now() + dwell
+	for {
+		for _, m := range masks {
+			cmd := m.SelectCmd()
+			for _, ant := range d.R.Scene().Antennas {
+				remaining := deadline - d.R.Now()
+				if remaining <= 0 {
+					return out
+				}
+				reads, _ := d.R.RunRound(reader.RoundOpts{
+					Antenna: ant.ID,
+					Filter:  &cmd,
+					Budget:  remaining,
+				})
+				out = append(out, toReadings(reads)...)
+			}
+		}
+	}
+}
+
+// ReadAllFor keeps running full inventory passes until the dwell window is
+// exhausted — the read-all fallback of §3 ("switch back to the old
+// fashion") and the baseline arm of the experiments.
+func (d *SimDevice) ReadAllFor(dwell time.Duration) []Reading {
+	var out []Reading
+	deadline := d.R.Now() + dwell
+	for d.R.Now() < deadline {
+		for _, ant := range d.R.Scene().Antennas {
+			remaining := deadline - d.R.Now()
+			if remaining <= 0 {
+				break
+			}
+			reads, _ := d.R.RunRound(reader.RoundOpts{Antenna: ant.ID, Budget: remaining})
+			out = append(out, toReadings(reads)...)
+		}
+	}
+	return out
+}

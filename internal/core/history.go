@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"tagwatch/internal/epc"
+)
+
+// History is the reading database the middleware maintains for upper
+// applications: a bounded per-tag ring of recent readings plus lifetime
+// counters (the "history database" of Fig. 5).
+type History struct {
+	depth int
+	tags  map[epc.EPC]*tagHistory
+}
+
+type tagHistory struct {
+	ring     []Reading
+	start    int
+	count    int
+	total    uint64
+	lastSeen time.Duration
+}
+
+// NewHistory builds a history retaining up to depth readings per tag.
+func NewHistory(depth int) *History {
+	if depth <= 0 {
+		depth = 256
+	}
+	return &History{depth: depth, tags: make(map[epc.EPC]*tagHistory)}
+}
+
+// Add records one reading.
+func (h *History) Add(r Reading) {
+	th, ok := h.tags[r.EPC]
+	if !ok {
+		th = &tagHistory{ring: make([]Reading, h.depth)}
+		h.tags[r.EPC] = th
+	}
+	idx := (th.start + th.count) % h.depth
+	if th.count == h.depth {
+		th.start = (th.start + 1) % h.depth
+		idx = (th.start + th.count - 1) % h.depth
+	} else {
+		th.count++
+	}
+	th.ring[idx] = r
+	th.total++
+	if r.Time > th.lastSeen {
+		th.lastSeen = r.Time
+	}
+}
+
+// Recent returns up to n most-recent readings of a tag, oldest first.
+func (h *History) Recent(code epc.EPC, n int) []Reading {
+	th, ok := h.tags[code]
+	if !ok || n <= 0 {
+		return nil
+	}
+	if n > th.count {
+		n = th.count
+	}
+	out := make([]Reading, n)
+	for i := 0; i < n; i++ {
+		out[i] = th.ring[(th.start+th.count-n+i)%h.depth]
+	}
+	return out
+}
+
+// Total returns the lifetime reading count of a tag.
+func (h *History) Total(code epc.EPC) uint64 {
+	if th, ok := h.tags[code]; ok {
+		return th.total
+	}
+	return 0
+}
+
+// LastSeen returns the timestamp of a tag's most recent reading and
+// whether the tag is known.
+func (h *History) LastSeen(code epc.EPC) (time.Duration, bool) {
+	th, ok := h.tags[code]
+	if !ok {
+		return 0, false
+	}
+	return th.lastSeen, true
+}
+
+// Tags returns all known tags, sorted for determinism.
+func (h *History) Tags() []epc.EPC {
+	out := make([]epc.EPC, 0, len(h.tags))
+	for code := range h.tags {
+		out = append(out, code)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// IRR estimates a tag's individual reading rate in Hz over its retained
+// history window.
+func (h *History) IRR(code epc.EPC) float64 {
+	th, ok := h.tags[code]
+	if !ok || th.count < 2 {
+		return 0
+	}
+	first := th.ring[th.start]
+	last := th.ring[(th.start+th.count-1)%h.depth]
+	span := last.Time - first.Time
+	if span <= 0 {
+		return 0
+	}
+	return float64(th.count-1) / span.Seconds()
+}
+
+// Prune drops tags unseen since the cutoff, returning how many were
+// removed.
+func (h *History) Prune(cutoff time.Duration) int {
+	var n int
+	for code, th := range h.tags {
+		if th.lastSeen < cutoff {
+			delete(h.tags, code)
+			n++
+		}
+	}
+	return n
+}

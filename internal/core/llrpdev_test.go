@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tagwatch/internal/epc"
+	"tagwatch/internal/llrp"
+	"tagwatch/internal/reader"
+	"tagwatch/internal/rf"
+	"tagwatch/internal/scene"
+	"tagwatch/internal/schedule"
+)
+
+// startLLRPRig spins up a reader emulator over TCP plus a connected
+// LLRPDevice.
+func startLLRPRig(t *testing.T, seed int64, n int) (*LLRPDevice, []epc.EPC) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	scn := scene.New(rf.NewChannel(rf.DefaultParams(), rng), rng)
+	scn.AddAntenna(rf.Pt(0, 0, 2))
+	codes, err := epc.RandomPopulation(rng, n, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range codes {
+		scn.AddTag(c, scene.Stationary{P: rf.Pt(0.5+float64(i%8)*0.3, 0.5+float64(i/8)*0.3, 0)})
+	}
+	eng := reader.New(reader.DefaultConfig(), scn)
+	srv := llrp.NewServer(eng, llrp.ServerConfig{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	conn, err := llrp.Dial(ctx, addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return NewLLRPDevice(conn), codes
+}
+
+func TestLLRPDeviceReadAll(t *testing.T) {
+	dev, codes := startLLRPRig(t, 1, 6)
+	reads := dev.ReadAll()
+	seen := map[epc.EPC]int{}
+	for _, r := range reads {
+		seen[r.EPC]++
+		if r.Antenna != 1 {
+			t.Fatalf("antenna = %d", r.Antenna)
+		}
+		if r.Channel < 0 || r.Channel > 15 {
+			t.Fatalf("channel = %d", r.Channel)
+		}
+		if r.PhaseRad < 0 || r.PhaseRad >= 2*3.15 {
+			t.Fatalf("phase = %v", r.PhaseRad)
+		}
+	}
+	for _, c := range codes {
+		if seen[c] == 0 {
+			t.Fatalf("tag %s never read over LLRP", c)
+		}
+	}
+	if dev.Now() <= 0 {
+		t.Fatal("device clock must advance from report timestamps")
+	}
+}
+
+func TestLLRPDeviceReadSelective(t *testing.T) {
+	dev, codes := startLLRPRig(t, 2, 8)
+	target := codes[2]
+	masks := []schedule.Bitmask{{Mask: target, Pointer: 0}}
+	reads := dev.ReadSelective(masks, 400*time.Millisecond)
+	if len(reads) == 0 {
+		t.Fatal("selective reading returned nothing")
+	}
+	for _, r := range reads {
+		if r.EPC != target {
+			t.Fatalf("selective reading leaked %s", r.EPC)
+		}
+	}
+	// Degenerate inputs.
+	if dev.ReadSelective(nil, time.Second) != nil {
+		t.Fatal("no masks must read nothing")
+	}
+	if dev.ReadSelective(masks, 0) != nil {
+		t.Fatal("zero dwell must read nothing")
+	}
+}
+
+func TestTagwatchOverLLRP(t *testing.T) {
+	// The full middleware driving a reader over the wire: one complete
+	// cycle must produce Phase I readings, assessments and a Phase II.
+	dev, _ := startLLRPRig(t, 3, 6)
+	cfg := DefaultConfig()
+	cfg.PhaseIIDwell = 300 * time.Millisecond
+	tw := New(cfg, dev)
+	rep := tw.RunCycle()
+	if len(rep.PhaseIReads) == 0 {
+		t.Fatal("Phase I over LLRP read nothing")
+	}
+	if len(rep.Present) == 0 {
+		t.Fatal("no tags present")
+	}
+	if len(rep.PhaseIIReads) == 0 {
+		t.Fatal("Phase II over LLRP read nothing")
+	}
+	// Cold start: everything looks mobile, so the cycle must have either
+	// fallen back or scheduled every present tag.
+	if !rep.FellBack && len(rep.Targets) == 0 {
+		t.Fatal("cold-start cycle must target or fall back")
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+// The paper's §4.3 "Discussions" answers, encoded as behaviours.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tagwatch/internal/epc"
+	"tagwatch/internal/reader"
+	"tagwatch/internal/rf"
+	"tagwatch/internal/scene"
+)
+
+// "Why do we model immobility?" — when a tag moves from one place to
+// another and parks, the outdated models decay and the new position is
+// learned; the tag is targeted during the transition and released after.
+func TestStateTransitionTargetsThenReleases(t *testing.T) {
+	rng := newRigRand(1)
+	scn := scene.New(rf.NewChannel(rf.DefaultParams(), rng), rng)
+	scn.AddAntenna(rf.Pt(0, 0, 2))
+	// The tag parks at A for 20 s, relocates over 2 s, parks at B.
+	mover := epc.MustParse("30f4ab12cd0045e100000077")
+	scn.AddTag(mover, scene.Waypoints{
+		T: []time.Duration{0, 20 * time.Second, 22 * time.Second},
+		P: []rf.Point{rf.Pt(0.5, 0.5, 0), rf.Pt(0.5, 0.5, 0), rf.Pt(2.5, 1.5, 0)},
+	})
+	codes, err := epc.RandomPopulation(rng, 15, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range codes {
+		scn.AddTag(c, scene.Stationary{P: rf.Pt(0.4+float64(i%5)*0.3, 1.0+float64(i/5)*0.3, 0)})
+	}
+	rcfg := reader.DefaultConfig()
+	rcfg.HopEvery = 0
+	cfg := DefaultConfig()
+	cfg.PhaseIIDwell = 2 * time.Second
+	cfg.StickyFor = 5 * time.Second
+	dev := NewSimDevice(reader.New(rcfg, scn))
+	tw := New(cfg, dev)
+
+	var targetedDuringMove, targetedLongAfter bool
+	for i := 0; i < 24; i++ {
+		rep := tw.RunCycle()
+		now := dev.Now()
+		targeted := inSet(rep.Targets, mover)
+		switch {
+		case now > 20*time.Second && now < 28*time.Second:
+			targetedDuringMove = targetedDuringMove || targeted
+		case now > 42*time.Second:
+			targetedLongAfter = targetedLongAfter || (targeted && !rep.FellBack)
+		}
+	}
+	if !targetedDuringMove {
+		t.Fatal("the relocation must be targeted")
+	}
+	if targetedLongAfter {
+		t.Fatal("after parking at B, the tag must be released (new immobility learned)")
+	}
+}
+
+// "How to deal with reading exceptions?" — a tag that leaves briefly and
+// returns keeps its models (no cold start); one that leaves for good is
+// forgotten.
+func TestBriefAbsenceKeepsModels(t *testing.T) {
+	rng := newRigRand(2)
+	scn := scene.New(rf.NewChannel(rf.DefaultParams(), rng), rng)
+	scn.AddAntenna(rf.Pt(0, 0, 2))
+	// Out of range between t=15 s and t=23 s (briefly blocked), same spot
+	// before and after.
+	flicker := epc.MustParse("30f4ab12cd0045e100000088")
+	scn.AddTag(flicker, scene.Waypoints{
+		T: []time.Duration{0, 15 * time.Second, 15*time.Second + 1, 23 * time.Second, 23*time.Second + 1},
+		P: []rf.Point{
+			rf.Pt(1.0, 0.5, 0), rf.Pt(1.0, 0.5, 0),
+			rf.Pt(500, 0, 0), rf.Pt(500, 0, 0), // far out of range
+			rf.Pt(1.0, 0.5, 0),
+		},
+	})
+	codes, err := epc.RandomPopulation(rng, 10, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range codes {
+		scn.AddTag(c, scene.Stationary{P: rf.Pt(0.4+float64(i%5)*0.3, 1.2+float64(i/5)*0.3, 0)})
+	}
+	rcfg := reader.DefaultConfig()
+	rcfg.HopEvery = 0
+	cfg := DefaultConfig()
+	cfg.PhaseIIDwell = 2 * time.Second
+	cfg.StickyFor = 4 * time.Second
+	cfg.DepartAfter = 30 * time.Second // longer than the absence
+	dev := NewSimDevice(reader.New(rcfg, scn))
+	tw := New(cfg, dev)
+
+	for dev.Now() < 26*time.Second {
+		tw.RunCycle()
+	}
+	// The models survived the absence: the tag is immediately recognised
+	// (its stack exists and an on-mode reading scores low).
+	st := tw.Detector().Stack(flicker, 1, 0)
+	if st == nil {
+		t.Fatal("models must survive a brief absence")
+	}
+	// And the waypoint trick of §4.3's "extreme case" note: the tag was
+	// re-read in Phase I after returning (history advanced past the gap).
+	last, ok := tw.History().LastSeen(flicker)
+	if !ok || last < 23*time.Second {
+		t.Fatalf("returning tag not re-read: last seen %v", last)
+	}
+}
+
+// "The extreme case... we can add its EPC to the configuration file" — a
+// pinned tag is scheduled even when motion assessment never flags it.
+func TestPinnedExtremeCaseIsAlwaysScheduled(t *testing.T) {
+	// Covered in detail by TestPinnedTagAlwaysScheduled; here we assert
+	// the config-file path end to end with a stationary pin.
+	tw, _, _, static := paperRig(t, 70, 12, 1, 0)
+	tw.Pin(static[0])
+	var scheduledWhileParked bool
+	for i := 0; i < 6; i++ {
+		rep := tw.RunCycle()
+		if rep.FellBack {
+			continue
+		}
+		if inSet(rep.Targets, static[0]) && !inSet(rep.Mobile, static[0]) {
+			scheduledWhileParked = true
+		}
+	}
+	if !scheduledWhileParked {
+		t.Fatal("a pinned stationary tag must be scheduled without being 'mobile'")
+	}
+}
+
+// newRigRand is a tiny helper for the §4.3 behaviour rigs.
+func newRigRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"context"
+	"io"
+	"time"
+)
+
+// Run executes reading cycles continuously until the context is cancelled,
+// delivering each cycle's report on the returned channel (closed on exit).
+// This is the long-lived deployment shape of Fig. 6: cycles "occur
+// alternatively and periodically". A non-positive pause runs back-to-back
+// cycles; a positive pause idles the reader between cycles (duty cycling).
+//
+// Run owns the Tagwatch instance while active: RunCycle must not be called
+// concurrently (the middleware is single-threaded by design, like the
+// reader's medium access).
+func (tw *Tagwatch) Run(ctx context.Context, pause time.Duration) <-chan CycleReport {
+	out := make(chan CycleReport)
+	go func() {
+		defer close(out)
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			rep := tw.RunCycle()
+			select {
+			case out <- rep:
+			case <-ctx.Done():
+				return
+			}
+			if pause > 0 {
+				if sd, ok := tw.dev.(*SimDevice); ok {
+					// Virtual-time devices idle on the simulated clock.
+					sd.R.Advance(pause)
+				} else {
+					select {
+					case <-time.After(pause):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// SaveState persists the middleware's learned state (the motion detector's
+// immobility models) so a restart resumes without a cold start.
+func (tw *Tagwatch) SaveState(w io.Writer) error { return tw.det.Save(w) }
+
+// LoadState restores state written by SaveState.
+func (tw *Tagwatch) LoadState(r io.Reader) error { return tw.det.Load(r) }

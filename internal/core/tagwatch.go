@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tagwatch/internal/epc"
+	"tagwatch/internal/motion"
+	"tagwatch/internal/schedule"
+)
+
+// Config tunes the Tagwatch middleware.
+type Config struct {
+	// Motion configures the Phase I GMM detector.
+	Motion motion.Config
+	// Schedule configures Phase II bitmask selection.
+	Schedule schedule.Config
+	// PhaseIIDwell is the length of the selective-reading phase; the paper
+	// fixes 5 s ("the upper applications can adjust it").
+	PhaseIIDwell time.Duration
+	// MobileCutoff is the mobile-tag fraction above which the cycle falls
+	// back to plain read-all (§3 Scope: "> 20%").
+	MobileCutoff float64
+	// Pinned lists user-configured tags that are always scheduled in
+	// Phase II regardless of motion state (§5's configuration file).
+	Pinned []epc.EPC
+	// StickyFor keeps a tag in the target set for this long after its last
+	// restless reading. One Phase I reading per cycle is a thin sample of
+	// a mover's state; hysteresis turns a per-cycle detection probability
+	// of p into a miss probability of (1−p)^k over k covered cycles, at
+	// the cost of a false positive lingering a couple of cycles.
+	StickyFor time.Duration
+	// DepartAfter forgets a tag (models and history) when it has not been
+	// read for this long; zero disables forgetting.
+	DepartAfter time.Duration
+	// HistoryDepth bounds the per-tag reading history retained.
+	HistoryDepth int
+	// NaiveSchedule replaces the greedy set-cover with the naive plan
+	// (each target's full EPC as its own bitmask) — the baseline
+	// "rate-adaptive" arm the paper compares against throughout §7.
+	NaiveSchedule bool
+}
+
+// DefaultConfig returns the paper's system parameters.
+func DefaultConfig() Config {
+	return Config{
+		Motion:       motion.DefaultConfig(),
+		Schedule:     schedule.DefaultConfig(),
+		PhaseIIDwell: 5 * time.Second,
+		MobileCutoff: 0.2,
+		StickyFor:    12 * time.Second,
+		DepartAfter:  30 * time.Second,
+		HistoryDepth: 256,
+	}
+}
+
+// CycleReport summarises one two-phase reading cycle.
+type CycleReport struct {
+	// PhaseIReads and PhaseIIReads are the readings delivered by each
+	// phase (both also reach subscribers and the history).
+	PhaseIReads  []Reading
+	PhaseIIReads []Reading
+	// Present is the set of distinct tags seen in Phase I.
+	Present []epc.EPC
+	// Mobile is the set assessed as moving this cycle.
+	Mobile []epc.EPC
+	// Targets is Mobile plus the present pinned tags.
+	Targets []epc.EPC
+	// Plan is the bitmask plan executed in Phase II (zero when the cycle
+	// fell back to read-all).
+	Plan schedule.Plan
+	// FellBack reports the read-all fallback was taken (too many movers or
+	// nothing to schedule).
+	FellBack bool
+	// ScheduleCost is the wall-clock time spent between the end of Phase I
+	// and the start of Phase II on assessment bookkeeping and bitmask
+	// search — the Fig. 17 metric.
+	ScheduleCost time.Duration
+	// PhaseIDuration and PhaseIIDuration are in device-virtual time.
+	PhaseIDuration  time.Duration
+	PhaseIIDuration time.Duration
+}
+
+// Metrics accumulates operational counters across the middleware's
+// lifetime — what an operator dashboards.
+type Metrics struct {
+	Cycles           int
+	Fallbacks        int
+	PhaseIReadings   uint64
+	PhaseIIReadings  uint64
+	TargetsScheduled uint64
+	MasksSelected    uint64
+	// ScheduleCostTotal is the accumulated wall-clock planning time; the
+	// mean (divided by Cycles) is the Fig. 17 quantity.
+	ScheduleCostTotal time.Duration
+}
+
+// Tagwatch is the middleware controller.
+type Tagwatch struct {
+	cfg     Config
+	dev     Device
+	det     *motion.Detector
+	metrics Metrics
+
+	history   *History
+	listeners []func(Reading)
+
+	pinned map[epc.EPC]bool
+	// lastRestless is the hysteresis memory: device time of each tag's
+	// most recent restless reading.
+	lastRestless map[epc.EPC]time.Duration
+
+	// table caches the schedule index; rebuilt when the population
+	// changes.
+	table    *schedule.IndexTable
+	tableKey string
+}
+
+// New builds a Tagwatch instance over a device.
+func New(cfg Config, dev Device) *Tagwatch {
+	if cfg.PhaseIIDwell <= 0 {
+		cfg.PhaseIIDwell = 5 * time.Second
+	}
+	if cfg.MobileCutoff <= 0 {
+		cfg.MobileCutoff = 0.2
+	}
+	if cfg.HistoryDepth <= 0 {
+		cfg.HistoryDepth = 256
+	}
+	tw := &Tagwatch{
+		cfg:          cfg,
+		dev:          dev,
+		det:          motion.NewPhaseMoG(cfg.Motion),
+		history:      NewHistory(cfg.HistoryDepth),
+		pinned:       make(map[epc.EPC]bool, len(cfg.Pinned)),
+		lastRestless: make(map[epc.EPC]time.Duration),
+	}
+	for _, p := range cfg.Pinned {
+		tw.pinned[p] = true
+	}
+	return tw
+}
+
+// Subscribe registers a listener that receives every reading from both
+// phases — the upper-application delivery path of Fig. 5.
+func (tw *Tagwatch) Subscribe(fn func(Reading)) {
+	tw.listeners = append(tw.listeners, fn)
+}
+
+// History exposes the reading history database.
+func (tw *Tagwatch) History() *History { return tw.history }
+
+// Metrics returns a snapshot of the lifetime counters.
+func (tw *Tagwatch) Metrics() Metrics { return tw.metrics }
+
+// Detector exposes the Phase I motion detector (experiments probe it).
+func (tw *Tagwatch) Detector() *motion.Detector { return tw.det }
+
+// Pin adds a tag to the always-schedule set at runtime.
+func (tw *Tagwatch) Pin(code epc.EPC) { tw.pinned[code] = true }
+
+// Unpin removes a pinned tag.
+func (tw *Tagwatch) Unpin(code epc.EPC) { delete(tw.pinned, code) }
+
+// deliver records a reading in history and fans it out.
+func (tw *Tagwatch) deliver(r Reading) {
+	tw.history.Add(r)
+	for _, fn := range tw.listeners {
+		fn(r)
+	}
+}
+
+// assess feeds one reading through the motion detector and reports the
+// verdict.
+func (tw *Tagwatch) assess(r Reading) motion.Result {
+	return tw.det.Observe(r.EPC, r.Antenna, r.Channel, r.PhaseRad, r.Time)
+}
+
+// RunCycle executes one complete Phase I + Phase II cycle and returns its
+// report.
+func (tw *Tagwatch) RunCycle() CycleReport {
+	var rep CycleReport
+
+	// ---- Phase I: read everything once, assess motion. ----
+	p1Start := tw.dev.Now()
+	rep.PhaseIReads = tw.dev.ReadAll()
+	rep.PhaseIDuration = tw.dev.Now() - p1Start
+
+	planStart := time.Now() // wall clock: the Fig. 17 schedule cost
+	moving := make(map[epc.EPC]bool)
+	present := make(map[epc.EPC]bool)
+	now := tw.dev.Now()
+	for _, r := range rep.PhaseIReads {
+		tw.deliver(r)
+		present[r.EPC] = true
+		// Restless = fresh motion evidence OR mode churn: the latter is
+		// what keeps periodic movers (turntables, circular tracks) visible
+		// once their phase range has been fully absorbed into modes.
+		if tw.assess(r).Restless() {
+			moving[r.EPC] = true
+			tw.lastRestless[r.EPC] = r.Time
+		}
+	}
+	for code := range present {
+		rep.Present = append(rep.Present, code)
+		if moving[code] {
+			rep.Mobile = append(rep.Mobile, code)
+		}
+		sticky := false
+		if last, ok := tw.lastRestless[code]; ok && tw.cfg.StickyFor > 0 && now-last <= tw.cfg.StickyFor {
+			sticky = true
+		}
+		if moving[code] || sticky || tw.pinned[code] {
+			rep.Targets = append(rep.Targets, code)
+		}
+	}
+
+	// ---- Decide: schedule or fall back. ----
+	fallback := len(rep.Targets) == 0 ||
+		float64(len(rep.Targets)) > tw.cfg.MobileCutoff*float64(len(rep.Present))
+	var plan schedule.Plan
+	if !fallback {
+		tw.ensureTable(rep.Present)
+		if tw.table == nil {
+			fallback = true
+		} else if tw.cfg.NaiveSchedule {
+			plan = tw.table.NaivePlan(rep.Targets)
+		} else {
+			p, err := tw.table.Select(rep.Targets)
+			if err != nil {
+				fallback = true
+			} else {
+				plan = p
+			}
+		}
+	}
+	rep.Plan = plan
+	rep.FellBack = fallback
+	rep.ScheduleCost = time.Since(planStart)
+
+	// ---- Phase II: selective reading (or read-all fallback). ----
+	p2Start := tw.dev.Now()
+	var p2 []Reading
+	if fallback {
+		if sd, ok := tw.dev.(*SimDevice); ok {
+			p2 = sd.ReadAllFor(tw.cfg.PhaseIIDwell)
+		} else {
+			// Generic devices: repeated full passes until the dwell is
+			// consumed in device time.
+			deadline := tw.dev.Now() + tw.cfg.PhaseIIDwell
+			for tw.dev.Now() < deadline {
+				p2 = append(p2, tw.dev.ReadAll()...)
+			}
+		}
+	} else {
+		p2 = tw.dev.ReadSelective(plan.Bitmasks(), tw.cfg.PhaseIIDwell)
+	}
+	rep.PhaseIIDuration = tw.dev.Now() - p2Start
+	rep.PhaseIIReads = p2
+	restless2 := make(map[epc.EPC]int)
+	lastAt := make(map[epc.EPC]time.Duration)
+	for _, r := range p2 {
+		tw.deliver(r)
+		// Phase II readings also feed the immobility models — this is how
+		// a newly learned multipath mode stabilises within one cycle (§4.3
+		// "When do we learn Gaussian models?") — and refresh the
+		// hysteresis, so a mover being selectively read stays targeted
+		// without depending on its single Phase I sample each cycle. A
+		// single restless reading in a long flood is noise; demand two.
+		if tw.assess(r).Restless() {
+			restless2[r.EPC]++
+			lastAt[r.EPC] = r.Time
+		}
+	}
+	for code, n := range restless2 {
+		if n >= 2 {
+			tw.lastRestless[code] = lastAt[code]
+		}
+	}
+
+	// ---- Metrics. ----
+	tw.metrics.Cycles++
+	if rep.FellBack {
+		tw.metrics.Fallbacks++
+	}
+	tw.metrics.PhaseIReadings += uint64(len(rep.PhaseIReads))
+	tw.metrics.PhaseIIReadings += uint64(len(rep.PhaseIIReads))
+	tw.metrics.TargetsScheduled += uint64(len(rep.Targets))
+	tw.metrics.MasksSelected += uint64(len(rep.Plan.Masks))
+	tw.metrics.ScheduleCostTotal += rep.ScheduleCost
+
+	// ---- Housekeeping: forget departed tags. ----
+	if tw.cfg.DepartAfter > 0 {
+		cutoff := tw.dev.Now() - tw.cfg.DepartAfter
+		tw.det.Prune(cutoff)
+		tw.history.Prune(cutoff)
+		for code, last := range tw.lastRestless {
+			if last < cutoff {
+				delete(tw.lastRestless, code)
+			}
+		}
+	}
+	return rep
+}
+
+// ensureTable rebuilds the schedule index when the present population
+// changed — the incremental-update step of §5.3's preprocessing.
+func (tw *Tagwatch) ensureTable(population []epc.EPC) {
+	key := populationKey(population)
+	if tw.table != nil && key == tw.tableKey {
+		return
+	}
+	t, err := schedule.NewIndexTable(tw.cfg.Schedule, population)
+	if err != nil {
+		tw.table = nil
+		tw.tableKey = ""
+		return
+	}
+	tw.table = t
+	tw.tableKey = key
+}
+
+// populationKey builds an order-insensitive fingerprint of the population.
+func populationKey(pop []epc.EPC) string {
+	// XOR of per-EPC FNV hashes: order-insensitive, collision-unlikely for
+	// the population sizes at hand.
+	var acc [8]byte
+	for _, code := range pop {
+		var h uint64 = 1469598103934665603
+		for _, b := range []byte(code.String()) {
+			h ^= uint64(b)
+			h *= 1099511628211
+		}
+		for i := 0; i < 8; i++ {
+			acc[i] ^= byte(h >> (8 * i))
+		}
+	}
+	return fmt.Sprintf("%d:%x", len(pop), acc)
+}

@@ -1,0 +1,28 @@
+package epc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkCRC16(b *testing.B) {
+	data := make([]byte, 14) // PC + EPC-96
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		CRC16(data)
+	}
+}
+
+func BenchmarkMatchBits(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pop, _ := RandomPopulation(rng, 1, 96)
+	code := pop[0]
+	mask, _ := code.Slice(16, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !code.MatchBits(16, mask) {
+			b.Fatal("must match")
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package epc
+
+// CRC algorithms mandated by the EPC Gen2 air protocol (Annex F of the
+// EPCglobal Class-1 Generation-2 UHF RFID specification).
+//
+// CRC-16 protects the StoredPC+EPC words in EPC memory and every
+// backscattered PC/EPC reply; CRC-5 protects the Query command.
+
+// CRC-16/CCITT parameters used by Gen2: polynomial 0x1021, preset 0xFFFF,
+// final complement, MSB-first.
+const (
+	crc16Poly   = 0x1021
+	crc16Preset = 0xFFFF
+)
+
+var crc16Table = buildCRC16Table()
+
+func buildCRC16Table() [256]uint16 {
+	var t [256]uint16
+	for i := 0; i < 256; i++ {
+		c := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if c&0x8000 != 0 {
+				c = c<<1 ^ crc16Poly
+			} else {
+				c <<= 1
+			}
+		}
+		t[i] = c
+	}
+	return t
+}
+
+// CRC16 computes the Gen2 CRC-16 over data.
+func CRC16(data []byte) uint16 {
+	crc := uint16(crc16Preset)
+	for _, b := range data {
+		crc = crc<<8 ^ crc16Table[byte(crc>>8)^b]
+	}
+	return ^crc
+}
+
+// CheckCRC16 verifies that data followed by the 16-bit checksum sum is a
+// valid Gen2 CRC-16 codeword.
+func CheckCRC16(data []byte, sum uint16) bool {
+	return CRC16(data) == sum
+}
+
+// CRC5 computes the Gen2 CRC-5 (polynomial x^5+x^3+1 = 0b101001, preset
+// 0b01001) over the low `bits` bits of v, MSB first. The Query command
+// carries 17 payload bits protected by this checksum.
+func CRC5(v uint32, bits int) uint8 {
+	const poly = 0x09 // x^3 + 1 below the implicit x^5
+	crc := uint8(0x09)
+	for i := bits - 1; i >= 0; i-- {
+		bit := uint8(v>>uint(i)) & 1
+		top := crc >> 4 & 1
+		crc = crc << 1 & 0x1F
+		if bit^top == 1 {
+			crc ^= poly
+		}
+	}
+	return crc
+}
+
+// CheckCRC5 verifies a CRC-5 checksum over the low `bits` bits of v.
+func CheckCRC5(v uint32, bits int, sum uint8) bool {
+	return CRC5(v, bits) == sum
+}

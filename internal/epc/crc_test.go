@@ -1,0 +1,80 @@
+package epc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC16KnownVector(t *testing.T) {
+	// "123456789" is the canonical CRC check string. For the Gen2 CRC-16
+	// (CCITT-FALSE preset with final complement, a.k.a. CRC-16/GENIBUS),
+	// the expected value is 0xD64E.
+	got := CRC16([]byte("123456789"))
+	if got != 0xD64E {
+		t.Fatalf("CRC16(123456789) = %#04x, want 0xd64e", got)
+	}
+}
+
+func TestCRC16Empty(t *testing.T) {
+	// Preset 0xFFFF complemented with no data is 0x0000.
+	if got := CRC16(nil); got != 0x0000 {
+		t.Fatalf("CRC16(nil) = %#04x, want 0", got)
+	}
+}
+
+func TestCheckCRC16(t *testing.T) {
+	data := []byte{0x30, 0x00, 0xDE, 0xAD, 0xBE, 0xEF}
+	sum := CRC16(data)
+	if !CheckCRC16(data, sum) {
+		t.Fatal("valid codeword rejected")
+	}
+	if CheckCRC16(data, sum^1) {
+		t.Fatal("corrupt checksum accepted")
+	}
+}
+
+func TestCRC16DetectsSingleBitFlips(t *testing.T) {
+	f := func(b []byte, idx uint) bool {
+		if len(b) == 0 {
+			return true
+		}
+		i := int(idx % uint(len(b)*8))
+		sum := CRC16(b)
+		mut := append([]byte(nil), b...)
+		mut[i/8] ^= 1 << (7 - i%8)
+		return CRC16(mut) != sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC5FiveBitRange(t *testing.T) {
+	for v := uint32(0); v < 1<<17; v += 977 {
+		if c := CRC5(v, 17); c > 0x1F {
+			t.Fatalf("CRC5(%d) = %#x exceeds 5 bits", v, c)
+		}
+	}
+}
+
+func TestCheckCRC5(t *testing.T) {
+	const payload = 0b1_00_01_10_0100_0_10_11 // arbitrary 17-bit Query body
+	sum := CRC5(payload, 17)
+	if !CheckCRC5(payload, 17, sum) {
+		t.Fatal("valid CRC-5 codeword rejected")
+	}
+	if CheckCRC5(payload^0b100, 17, sum) {
+		t.Fatal("corrupt payload accepted")
+	}
+}
+
+func TestCRC5DetectsSingleBitFlips(t *testing.T) {
+	f := func(v uint32, idx uint8) bool {
+		v &= 1<<17 - 1
+		i := uint(idx) % 17
+		return CRC5(v, 17) != CRC5(v^1<<i, 17)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

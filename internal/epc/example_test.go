@@ -1,0 +1,28 @@
+package epc_test
+
+import (
+	"fmt"
+
+	"tagwatch/internal/epc"
+)
+
+// Example shows EPC parsing, bit-level mask matching (the primitive behind
+// Gen2 Select), and SGTIN-96 decoding.
+func Example() {
+	code := epc.MustParse("30f4ab12cd0045e100000001")
+
+	// Bit-level windows are the Select command's currency.
+	prefix, _ := code.Slice(0, 16)
+	fmt.Printf("bits [0,16) = %s, matches self: %v\n", prefix, code.MatchBits(0, prefix))
+
+	// Retail tags carry GS1 SGTIN-96 identities.
+	item, _ := epc.SGTIN{
+		Filter: 1, Partition: 5,
+		CompanyPrefix: 703710, ItemReference: 344865, Serial: 42,
+	}.Encode()
+	decoded, _ := epc.DecodeSGTIN(item)
+	fmt.Println(decoded)
+	// Output:
+	// bits [0,16) = 30f4, matches self: true
+	// urn:epc:id:sgtin:703710.344865.42
+}

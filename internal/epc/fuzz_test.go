@@ -1,0 +1,34 @@
+package epc
+
+import "testing"
+
+// FuzzParse exercises EPC parsing and the bit accessors with arbitrary
+// strings: no panics, and parsed EPCs must round-trip through String.
+func FuzzParse(f *testing.F) {
+	f.Add("30f4ab12cd0045e100000001")
+	f.Add("0x30F4")
+	f.Add("")
+	f.Add("zz")
+	f.Add("0")
+	f.Fuzz(func(t *testing.T, s string) {
+		e, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", e.String(), err)
+		}
+		if back != e {
+			t.Fatalf("round trip: %v vs %v", back, e)
+		}
+		if e.Bits() > 0 {
+			e.Bit(0)
+			e.Bit(e.Bits() - 1)
+			if s, err := e.Slice(0, e.Bits()); err != nil || s != e {
+				t.Fatalf("identity slice: %v %v", s, err)
+			}
+		}
+		NewMemory(e).EPC()
+	})
+}

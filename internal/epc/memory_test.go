@@ -1,0 +1,208 @@
+package epc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMemoryEPCRoundTrip(t *testing.T) {
+	code := MustParse("30f4ab12cd0045e100000001")
+	m := NewMemory(code)
+	if got := m.EPC(); got != code {
+		t.Fatalf("EPC round trip: got %s, want %s", got, code)
+	}
+}
+
+func TestMemoryEPCBankLayout(t *testing.T) {
+	code := MustParse("30f4ab12cd0045e100000001")
+	m := NewMemory(code)
+	bank := m.Bank(BankEPC)
+	// StoredCRC(16) + StoredPC(16) + EPC(96) = 128 bits.
+	if bank.Bits() != 128 {
+		t.Fatalf("EPC bank bits = %d, want 128", bank.Bits())
+	}
+	pcw, err := bank.Slice(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if words := pcw.Uint64() >> 11; words != 6 {
+		t.Fatalf("PC length field = %d words, want 6 for a 96-bit EPC", words)
+	}
+	// StoredCRC covers PC+EPC.
+	raw := bank.Bytes()
+	sum := uint16(raw[0])<<8 | uint16(raw[1])
+	if !CheckCRC16(raw[2:], sum) {
+		t.Fatal("StoredCRC does not validate PC+EPC")
+	}
+	// EPC code must appear at bit 0x20.
+	got, err := bank.Slice(EPCWordOffset, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != code {
+		t.Fatalf("EPC at 0x20 = %s, want %s", got, code)
+	}
+}
+
+func TestMemorySetEPCReplaces(t *testing.T) {
+	m := NewMemory(MustParse("000000000000000000000001"))
+	next := MustParse("deadbeefdeadbeefdeadbeef")
+	m.SetEPC(next)
+	if m.EPC() != next {
+		t.Fatalf("SetEPC: got %s, want %s", m.EPC(), next)
+	}
+}
+
+func TestMemoryTIDStableAndDistinct(t *testing.T) {
+	a := NewMemory(MustParse("30f4ab12cd0045e100000001"))
+	b := NewMemory(MustParse("30f4ab12cd0045e100000001"))
+	c := NewMemory(MustParse("30f4ab12cd0045e100000002"))
+	if a.Bank(BankTID) != b.Bank(BankTID) {
+		t.Fatal("TID must be a pure function of the EPC")
+	}
+	if a.Bank(BankTID) == c.Bank(BankTID) {
+		t.Fatal("different EPCs should yield different TIDs")
+	}
+	if a.Bank(BankTID).Bytes()[0] != 0xE2 {
+		t.Fatal("TID must start with the E2h class identifier")
+	}
+}
+
+func TestMemoryMatchEPCBank(t *testing.T) {
+	code := MustParse("30f4ab12cd0045e100000001")
+	m := NewMemory(code)
+	// Select pointing at the EPC code region: first byte of the EPC is
+	// 0x30, at bank bit offset 0x20.
+	mask := New([]byte{0x30})
+	if !m.Match(BankEPC, EPCWordOffset, mask) {
+		t.Fatal("mask 0x30 at 0x20 should match")
+	}
+	if m.Match(BankEPC, EPCWordOffset+4, mask) {
+		t.Fatal("shifted mask should not match")
+	}
+	// Overrunning window never matches.
+	long := New(make([]byte, 32))
+	if m.Match(BankEPC, EPCWordOffset, long) {
+		t.Fatal("overrunning mask must not match")
+	}
+}
+
+func TestMemoryMatchInvalidBank(t *testing.T) {
+	m := NewMemory(MustParse("01"))
+	if m.Match(MemoryBank(7), 0, New([]byte{0})) {
+		t.Fatal("invalid bank must not match")
+	}
+	if !m.Bank(MemoryBank(9)).IsZero() {
+		t.Fatal("invalid bank read must return zero EPC")
+	}
+}
+
+func TestMemorySetBank(t *testing.T) {
+	m := NewMemory(MustParse("01"))
+	user := MustParse("cafebabe")
+	if err := m.SetBank(BankUser, user); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Match(BankUser, 0, New([]byte{0xCA, 0xFE})) {
+		t.Fatal("user bank mask should match after SetBank")
+	}
+	if err := m.SetBank(MemoryBank(4), user); err == nil {
+		t.Fatal("SetBank must reject invalid banks")
+	}
+}
+
+func TestMemoryBankStrings(t *testing.T) {
+	cases := map[MemoryBank]string{
+		BankReserved:  "Reserved",
+		BankEPC:       "EPC",
+		BankTID:       "TID",
+		BankUser:      "User",
+		MemoryBank(9): "MemoryBank(9)",
+	}
+	for b, want := range cases {
+		if got := b.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", b, got, want)
+		}
+	}
+}
+
+func TestMemoryMatchAgainstPopulation(t *testing.T) {
+	// Property-style check: Memory.Match on the EPC bank agrees with
+	// EPC.MatchBits shifted by the 0x20 header for random populations.
+	rng := rand.New(rand.NewSource(3))
+	pop, err := RandomPopulation(rng, 64, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, code := range pop {
+		m := NewMemory(code)
+		off := rng.Intn(90)
+		n := 1 + rng.Intn(96-off)
+		mask, err := code.Slice(off, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Match(BankEPC, EPCWordOffset+off, mask) {
+			t.Fatalf("self-derived mask must match (epc %s off %d len %d)", code, off, n)
+		}
+	}
+}
+
+func TestReadWords(t *testing.T) {
+	m := NewMemory(MustParse("30f4ab12cd0045e100000001"))
+	// EPC bank word 2..7 hold the EPC code.
+	words, err := m.ReadWords(BankEPC, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if words[0] != 0x30f4 || words[5] != 0x0001 {
+		t.Fatalf("words = %04x", words)
+	}
+	if _, err := m.ReadWords(BankEPC, 7, 2); err == nil {
+		t.Fatal("overrun read must error")
+	}
+	if _, err := m.ReadWords(MemoryBank(9), 0, 1); err == nil {
+		t.Fatal("invalid bank must error")
+	}
+	if _, err := m.ReadWords(BankEPC, -1, 1); err == nil {
+		t.Fatal("negative pointer must error")
+	}
+	if _, err := m.ReadWords(BankEPC, 0, 0); err == nil {
+		t.Fatal("zero count must error")
+	}
+}
+
+func TestWriteWordsUserBankGrows(t *testing.T) {
+	m := NewMemory(MustParse("30f4ab12cd0045e100000001"))
+	if err := m.WriteWords(BankUser, 3, []uint16{0xCAFE, 0xBABE}); err != nil {
+		t.Fatal(err)
+	}
+	words, err := m.ReadWords(BankUser, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if words[0] != 0xCAFE || words[1] != 0xBABE {
+		t.Fatalf("read back %04x", words)
+	}
+	// Other banks must not grow.
+	if err := m.WriteWords(BankTID, 10, []uint16{1}); err == nil {
+		t.Fatal("TID overrun write must error")
+	}
+	if err := m.WriteWords(MemoryBank(7), 0, []uint16{1}); err == nil {
+		t.Fatal("invalid bank must error")
+	}
+	if err := m.WriteWords(BankUser, 0, nil); err == nil {
+		t.Fatal("empty write must error")
+	}
+}
+
+func TestWriteWordsEPCBankInPlace(t *testing.T) {
+	m := NewMemory(MustParse("30f4ab12cd0045e100000001"))
+	if err := m.WriteWords(BankEPC, 2, []uint16{0xDEAD}); err != nil {
+		t.Fatal(err)
+	}
+	code := m.EPC()
+	if code.Bytes()[0] != 0xDE || code.Bytes()[1] != 0xAD {
+		t.Fatalf("EPC after write = %s", code)
+	}
+}

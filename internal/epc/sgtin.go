@@ -1,0 +1,151 @@
+package epc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SGTIN-96 is the GS1 serialised trade-item number encoding that dominates
+// retail EPC deployments — the kind of identities a supermarket or
+// sorting-facility deployment of Tagwatch actually reads. Layout (MSB
+// first):
+//
+//	header(8) = 0x30 | filter(3) | partition(3) |
+//	companyPrefix(20..40) | itemReference(24..4) | serial(38)
+//
+// The partition value divides the 44 bits between company prefix and item
+// reference according to the GS1 partition table.
+
+// SGTINHeader is the EPC header byte identifying SGTIN-96.
+const SGTINHeader = 0x30
+
+// SGTIN is a decoded SGTIN-96 identity.
+type SGTIN struct {
+	// Filter is the 3-bit filter value (0 = all others, 1 = POS item, …).
+	Filter uint8
+	// Partition selects the company-prefix/item-reference split (0–6).
+	Partition uint8
+	// CompanyPrefix is the GS1 company prefix (decimal semantics).
+	CompanyPrefix uint64
+	// ItemReference is the item reference (with indicator digit).
+	ItemReference uint64
+	// Serial is the 38-bit serial number.
+	Serial uint64
+}
+
+// sgtinPartition holds the GS1 partition table: bits of company prefix and
+// item reference for each partition value.
+var sgtinPartition = [7]struct{ company, item uint }{
+	{40, 4}, {37, 7}, {34, 10}, {30, 14}, {27, 17}, {24, 20}, {20, 24},
+}
+
+// maxBits returns the largest value representable in n bits.
+func maxBits(n uint) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<n - 1
+}
+
+// Encode packs the SGTIN into a 96-bit EPC.
+func (s SGTIN) Encode() (EPC, error) {
+	if s.Filter > 7 {
+		return EPC{}, fmt.Errorf("epc: SGTIN filter %d out of range", s.Filter)
+	}
+	if int(s.Partition) >= len(sgtinPartition) {
+		return EPC{}, fmt.Errorf("epc: SGTIN partition %d out of range", s.Partition)
+	}
+	p := sgtinPartition[s.Partition]
+	if s.CompanyPrefix > maxBits(p.company) {
+		return EPC{}, fmt.Errorf("epc: company prefix %d exceeds %d bits", s.CompanyPrefix, p.company)
+	}
+	if s.ItemReference > maxBits(p.item) {
+		return EPC{}, fmt.Errorf("epc: item reference %d exceeds %d bits", s.ItemReference, p.item)
+	}
+	if s.Serial > maxBits(38) {
+		return EPC{}, fmt.Errorf("epc: serial %d exceeds 38 bits", s.Serial)
+	}
+	// Assemble MSB-first into a 96-bit big integer held as 12 bytes.
+	var bits [96]byte
+	pos := 0
+	put := func(v uint64, n uint) {
+		for i := int(n) - 1; i >= 0; i-- {
+			bits[pos] = byte(v >> uint(i) & 1)
+			pos++
+		}
+	}
+	put(uint64(SGTINHeader), 8)
+	put(uint64(s.Filter), 3)
+	put(uint64(s.Partition), 3)
+	put(s.CompanyPrefix, p.company)
+	put(s.ItemReference, p.item)
+	put(s.Serial, 38)
+	out := make([]byte, 12)
+	for i, b := range bits {
+		if b == 1 {
+			out[i/8] |= 1 << (7 - i%8)
+		}
+	}
+	return New(out), nil
+}
+
+// DecodeSGTIN unpacks an SGTIN-96 EPC. It returns an error when the EPC is
+// not a 96-bit SGTIN.
+func DecodeSGTIN(e EPC) (SGTIN, error) {
+	if e.Bits() != 96 {
+		return SGTIN{}, fmt.Errorf("epc: SGTIN-96 needs 96 bits, have %d", e.Bits())
+	}
+	if e.Bytes()[0] != SGTINHeader {
+		return SGTIN{}, fmt.Errorf("epc: header %#02x is not SGTIN-96 (0x30)", e.Bytes()[0])
+	}
+	pos := 8
+	get := func(n uint) uint64 {
+		var v uint64
+		for i := uint(0); i < n; i++ {
+			v = v<<1 | uint64(e.Bit(pos))
+			pos++
+		}
+		return v
+	}
+	var s SGTIN
+	s.Filter = uint8(get(3))
+	s.Partition = uint8(get(3))
+	if int(s.Partition) >= len(sgtinPartition) {
+		return SGTIN{}, fmt.Errorf("epc: SGTIN partition %d out of range", s.Partition)
+	}
+	p := sgtinPartition[s.Partition]
+	s.CompanyPrefix = get(p.company)
+	s.ItemReference = get(p.item)
+	s.Serial = get(38)
+	return s, nil
+}
+
+// String renders the identity as a GS1 EPC pure-identity URI,
+// urn:epc:id:sgtin:Company.Item.Serial.
+func (s SGTIN) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "urn:epc:id:sgtin:%d.%d.%d", s.CompanyPrefix, s.ItemReference, s.Serial)
+	return b.String()
+}
+
+// SGTINPopulation builds n SGTIN-96 EPCs sharing one company prefix and
+// item reference with sequential serials — the realistic population shape
+// for a retail shelf: tags of the same product differ only in the serial,
+// so the bitmask scheduler finds long shared prefixes.
+func SGTINPopulation(company, item uint64, partition uint8, startSerial uint64, n int) ([]EPC, error) {
+	out := make([]EPC, 0, n)
+	for i := 0; i < n; i++ {
+		e, err := SGTIN{
+			Filter:        1, // point-of-sale item
+			Partition:     partition,
+			CompanyPrefix: company,
+			ItemReference: item,
+			Serial:        startSerial + uint64(i),
+		}.Encode()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

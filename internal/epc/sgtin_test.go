@@ -1,0 +1,154 @@
+package epc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSGTINRoundTrip(t *testing.T) {
+	in := SGTIN{
+		Filter:        1,
+		Partition:     5, // 24-bit company, 20-bit item
+		CompanyPrefix: 0x0ABCDE,
+		ItemReference: 0x54321,
+		Serial:        123456789,
+	}
+	e, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bits() != 96 {
+		t.Fatalf("bits = %d", e.Bits())
+	}
+	if e.Bytes()[0] != SGTINHeader {
+		t.Fatalf("header = %#02x", e.Bytes()[0])
+	}
+	out, err := DecodeSGTIN(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v vs %+v", out, in)
+	}
+	if out.String() != "urn:epc:id:sgtin:703710.344865.123456789" {
+		t.Fatalf("URI = %s", out.String())
+	}
+}
+
+func TestSGTINAllPartitions(t *testing.T) {
+	for part := uint8(0); part <= 6; part++ {
+		p := sgtinPartition[part]
+		in := SGTIN{
+			Filter:        3,
+			Partition:     part,
+			CompanyPrefix: maxBits(p.company),
+			ItemReference: maxBits(p.item),
+			Serial:        maxBits(38),
+		}
+		e, err := in.Encode()
+		if err != nil {
+			t.Fatalf("partition %d: %v", part, err)
+		}
+		out, err := DecodeSGTIN(e)
+		if err != nil {
+			t.Fatalf("partition %d: %v", part, err)
+		}
+		if out != in {
+			t.Fatalf("partition %d round trip: %+v vs %+v", part, out, in)
+		}
+	}
+}
+
+func TestSGTINEncodeErrors(t *testing.T) {
+	cases := []SGTIN{
+		{Filter: 8},
+		{Partition: 7},
+		{Partition: 0, CompanyPrefix: 1 << 41},
+		{Partition: 6, ItemReference: 1 << 25},
+		{Serial: 1 << 39},
+	}
+	for i, s := range cases {
+		if _, err := s.Encode(); err == nil {
+			t.Errorf("case %d must error: %+v", i, s)
+		}
+	}
+}
+
+func TestDecodeSGTINErrors(t *testing.T) {
+	if _, err := DecodeSGTIN(MustParse("30f4")); err == nil {
+		t.Fatal("short EPC must error")
+	}
+	if _, err := DecodeSGTIN(MustParse("e0f4ab12cd0045e100000001")); err == nil {
+		t.Fatal("wrong header must error")
+	}
+	// Header right but partition 7 (invalid): craft bits 11-13 = 111.
+	raw := make([]byte, 12)
+	raw[0] = SGTINHeader
+	raw[1] = 0b000_111_00 // filter 0, partition 7
+	if _, err := DecodeSGTIN(New(raw)); err == nil {
+		t.Fatal("invalid partition must error")
+	}
+}
+
+func TestSGTINRoundTripProperty(t *testing.T) {
+	f := func(filter, part uint8, company, item, serial uint64) bool {
+		filter &= 7
+		part %= 7
+		p := sgtinPartition[part]
+		in := SGTIN{
+			Filter:        filter,
+			Partition:     part,
+			CompanyPrefix: company & maxBits(p.company),
+			ItemReference: item & maxBits(p.item),
+			Serial:        serial & maxBits(38),
+		}
+		e, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		out, err := DecodeSGTIN(e)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSGTINPopulation(t *testing.T) {
+	pop, err := SGTINPopulation(703710, 344865, 5, 1000, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop) != 20 {
+		t.Fatalf("len = %d", len(pop))
+	}
+	// Same product: the first 58 bits (header+filter+partition+company+
+	// item) are identical across the population.
+	prefix, err := pop[0].Slice(0, 58)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range pop {
+		if !e.MatchBits(0, prefix) {
+			t.Fatalf("tag %d does not share the product prefix", i)
+		}
+		s, err := DecodeSGTIN(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Serial != 1000+uint64(i) {
+			t.Fatalf("serial[%d] = %d", i, s.Serial)
+		}
+	}
+	// All distinct.
+	seen := map[EPC]bool{}
+	for _, e := range pop {
+		if seen[e] {
+			t.Fatal("duplicate EPC")
+		}
+		seen[e] = true
+	}
+	if _, err := SGTINPopulation(1<<41, 0, 0, 0, 1); err == nil {
+		t.Fatal("oversize company prefix must error")
+	}
+}

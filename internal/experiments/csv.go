@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// CSVTable is one figure's data as a named CSV table, ready for external
+// plotting.
+type CSVTable struct {
+	Name   string // file stem, e.g. "fig02_irr"
+	Header []string
+	Rows   [][]string
+}
+
+// WriteCSV writes the table under dir as <Name>.csv.
+func (t CSVTable) WriteCSV(dir string) error {
+	path := filepath.Join(dir, t.Name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(t.Header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+func itoa(v int) string     { return strconv.Itoa(v) }
+
+// CSV renders the Fig. 2 series.
+func (r Fig02Result) CSV() []CSVTable {
+	t := CSVTable{Name: "fig02_irr", Header: []string{"n", "q0", "measured_hz", "model_hz"}}
+	for _, row := range r.Rows {
+		for _, q := range r.InitialQs {
+			t.Rows = append(t.Rows, []string{
+				itoa(row.N), itoa(q), ftoa(row.MeasuredHz[q]), ftoa(row.ModelHz),
+			})
+		}
+	}
+	fit := CSVTable{
+		Name:   "fig02_fit",
+		Header: []string{"tau0_ms", "taubar_ms", "rmse_ms", "irr_drop"},
+		Rows: [][]string{{
+			ftoa(float64(r.FitTau0) / float64(time.Millisecond)),
+			ftoa(float64(r.FitTauBar) / float64(time.Millisecond)),
+			ftoa(r.RMSEms), ftoa(r.DropFrac),
+		}},
+	}
+	return []CSVTable{t, fit}
+}
+
+// CSV renders the Fig. 3 timeline and the Fig. 4 per-tag counts.
+func (r Fig03Result) CSV() []CSVTable {
+	tl := CSVTable{Name: "fig03_timeline", Header: []string{"minute", "readings"}}
+	for m, c := range r.Trace.Timeline {
+		tl.Rows = append(tl.Rows, []string{itoa(m), itoa(c)})
+	}
+	counts := CSVTable{Name: "fig04_readcounts", Header: []string{"epc", "crossing_reads", "parked_reads"}}
+	for _, tag := range r.Trace.Tags {
+		counts.Rows = append(counts.Rows, []string{
+			tag.EPC.String(), itoa(tag.CrossingReads), itoa(tag.ParkedReads),
+		})
+	}
+	return []CSVTable{tl, counts}
+}
+
+// CSV renders the Fig. 8 histogram and modes.
+func (r Fig08Result) CSV() []CSVTable {
+	h := CSVTable{Name: "fig08_histogram", Header: []string{"phase_rad", "count"}}
+	for i, e := range r.HistEdges {
+		h.Rows = append(h.Rows, []string{ftoa(e), itoa(r.HistCounts[i])})
+	}
+	m := CSVTable{Name: "fig08_modes", Header: []string{"weight", "mean", "std"}}
+	for i := range r.ModeW {
+		m.Rows = append(m.Rows, []string{ftoa(r.ModeW[i]), ftoa(r.ModeMu[i]), ftoa(r.ModeSigma[i])})
+	}
+	return []CSVTable{h, m}
+}
+
+// CSV renders the full ROC curves.
+func (r Fig12Result) CSV() []CSVTable {
+	t := CSVTable{Name: "fig12_roc", Header: []string{"detector", "fpr", "tpr"}}
+	for _, c := range r.Curves {
+		for _, p := range c.Curve {
+			t.Rows = append(t.Rows, []string{c.Name, ftoa(p.FPR), ftoa(p.TPR)})
+		}
+	}
+	return []CSVTable{t}
+}
+
+// CSV renders the sensitivity curves.
+func (r Fig13Result) CSV() []CSVTable {
+	t := CSVTable{Name: "fig13_sensitivity", Header: []string{"displacement_cm", "phase_rate", "rss_rate"}}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{ftoa(row.DisplacementCM), ftoa(row.PhaseRate), ftoa(row.RSSRate)})
+	}
+	return []CSVTable{t}
+}
+
+// CSV renders the learning curve.
+func (r Fig14Result) CSV() []CSVTable {
+	t := CSVTable{Name: "fig14_learning", Header: []string{"train_ms", "readings", "accuracy"}}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{itoa(row.TrainMS), itoa(row.Readings), ftoa(row.Accuracy)})
+	}
+	return []CSVTable{t}
+}
+
+// CSV renders the per-tag feasibility bars.
+func (r Fig15Result) CSV() []CSVTable {
+	t := CSVTable{
+		Name:   fmt.Sprintf("fig%s_feasibility_%dof%d", figNo(r.Targets), r.Targets, r.Total),
+		Header: []string{"tag", "target", "readall_hz", "tagwatch_hz", "naive_hz"},
+	}
+	for i, tag := range r.Tags {
+		t.Rows = append(t.Rows, []string{
+			itoa(i + 1), strconv.FormatBool(tag.Target),
+			ftoa(tag.ReadAllHz), ftoa(tag.Tagwatch), ftoa(tag.NaiveHz),
+		})
+	}
+	return []CSVTable{t}
+}
+
+// CSV renders the schedule-cost percentiles.
+func (r Fig17Result) CSV() []CSVTable {
+	return []CSVTable{{
+		Name:   "fig17_schedulecost",
+		Header: []string{"p50_us", "p90_us", "p99_us", "max_us"},
+		Rows: [][]string{{
+			itoa(int(r.P50 / time.Microsecond)), itoa(int(r.P90 / time.Microsecond)),
+			itoa(int(r.P99 / time.Microsecond)), itoa(int(r.Max / time.Microsecond)),
+		}},
+	}}
+}
+
+// CSV renders the IRR-gain sweep.
+func (r Fig18Result) CSV() []CSVTable {
+	t := CSVTable{
+		Name:   "fig18_irrgain",
+		Header: []string{"percent_mobile", "tagwatch_p50", "tagwatch_p90", "tagwatch_std", "naive_p50", "naive_p90"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			itoa(row.Percent), ftoa(row.TagwatchP50), ftoa(row.TagwatchP90),
+			ftoa(row.TagwatchStd), ftoa(row.NaiveP50), ftoa(row.NaiveP90),
+		})
+	}
+	return []CSVTable{t}
+}
+
+// CSV renders the tracking cases.
+func (r Fig01Result) CSV() []CSVTable {
+	t := CSVTable{Name: "fig01_tracking", Header: []string{"case", "mover_irr_hz", "mean_error_cm", "estimates"}}
+	for _, c := range r.Cases {
+		t.Rows = append(t.Rows, []string{c.Name, ftoa(c.MoverIRRHz), ftoa(c.MeanErrorCM), itoa(c.Estimates)})
+	}
+	return []CSVTable{t}
+}

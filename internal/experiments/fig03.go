@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tagwatch/internal/stats"
+	"tagwatch/internal/trace"
+)
+
+// Fig03Result is the TrackPoint case study (Figs. 3 and 4): the 4-hour
+// sorting-facility reading trace and its per-tag reading-count
+// distribution.
+type Fig03Result struct {
+	Trace       trace.Trace
+	HeroReads   int
+	MedianCross float64
+	Over205     float64 // fraction of tags read > 205 times (paper: 0.20)
+	Over655     float64 // fraction of tags read > 655 times (paper: 0.10)
+	// TimelinePerMinute summarises Fig. 3's series.
+	TimelineMean float64
+	TimelineMax  int
+	// MedianCrossAdaptive replays the facility under the rate-adaptive
+	// policy: the paper's "should be read about 50 times" expectation.
+	MedianCrossAdaptive float64
+}
+
+// Fig03 generates the sorting-facility trace and computes the paper's
+// headline statistics for Figs. 3 and 4.
+func Fig03(opt Options) (Fig03Result, error) {
+	cfg := trace.DefaultConfig()
+	if opt.Quick {
+		cfg.Duration = time.Hour
+		cfg.Arrivals = 527 / 4
+		// Keep the steady-state parked population (and thus the shared
+		// IRR) unchanged by shortening dwells with the trace.
+		cfg.MeanParkDwell /= 1 // dwell shortening would change shape; keep
+	}
+	tr := trace.Generate(cfg, rand.New(rand.NewSource(opt.Seed)))
+	acfg := cfg
+	acfg.RateAdaptive = true
+	adaptive := trace.Generate(acfg, rand.New(rand.NewSource(opt.Seed)))
+	counts := tr.ReadCounts()
+	var crossing []float64
+	for _, tag := range tr.Tags {
+		crossing = append(crossing, float64(tag.CrossingReads))
+	}
+	var tmSum int
+	tmMax := 0
+	for _, c := range tr.Timeline {
+		tmSum += c
+		if c > tmMax {
+			tmMax = c
+		}
+	}
+	var adaptiveCross []float64
+	for _, tag := range adaptive.Tags {
+		adaptiveCross = append(adaptiveCross, float64(tag.CrossingReads))
+	}
+	res := Fig03Result{
+		MedianCrossAdaptive: stats.Median(adaptiveCross),
+		Trace:               tr,
+		HeroReads:           tr.MaxTag().Reads(),
+		MedianCross:         stats.Median(crossing),
+		Over205:             1 - stats.CDFAt(counts, 205),
+		Over655:             1 - stats.CDFAt(counts, 655),
+		TimelineMean:        float64(tmSum) / float64(len(tr.Timeline)),
+		TimelineMax:         tmMax,
+	}
+	return res, nil
+}
+
+// String renders the Fig. 3/4 summary.
+func (r Fig03Result) String() string {
+	cdf := stats.CDF(r.Trace.ReadCounts())
+	t := &table{header: []string{"reads ≤", "fraction of tags"}}
+	for _, q := range []float64{5, 20, 50, 205, 655, 5000, 50000} {
+		t.add(fmt.Sprintf("%.0f", q), fmt.Sprintf("%.3f", stats.CDFAt(r.Trace.ReadCounts(), q)))
+	}
+	_ = cdf
+	return fmt.Sprintf(`Fig 3 — sorting-facility trace (%v, %d tags)
+total readings: %d (paper: 367,536 over 4 h)
+readings/minute: mean %.0f, max %d
+hottest parked tag: %d reads (paper's tag #271: ≈90,000)
+peak concurrent movers: %d (paper: ≈30, ≤5.7%%)
+median crossing reads: %.1f (paper: <5, expected ≈50 uncontended)
+…and with the rate-adaptive policy replayed on the same facility: %.1f
+
+Fig 4 — reading-count CDF
+%s
+fraction read >205: %.3f (paper: 0.20)   >655: %.3f (paper: 0.10)
+`, r.Trace.Config.Duration, len(r.Trace.Tags), r.Trace.Total,
+		r.TimelineMean, r.TimelineMax, r.HeroReads,
+		r.Trace.PeakConcurrentMovers, r.MedianCross, r.MedianCrossAdaptive, t, r.Over205, r.Over655)
+}

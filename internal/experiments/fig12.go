@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"tagwatch/internal/epc"
+	"tagwatch/internal/motion"
+	"tagwatch/internal/reader"
+	"tagwatch/internal/rf"
+	"tagwatch/internal/scene"
+	"tagwatch/internal/stats"
+)
+
+// Fig12Curve is one detector's ROC.
+type Fig12Curve struct {
+	Name      string
+	AUC       float64
+	TPRAtFPR1 float64 // TPR at FPR ≤ 0.1 (the paper's headline point)
+	TPRAtFPR2 float64 // TPR at FPR ≤ 0.2
+	Curve     []stats.ROCPoint
+}
+
+// Fig12Result compares the four motion detectors of the paper's ROC study:
+// Phase-MoG, Phase-differencing, RSS-MoG, RSS-differencing.
+type Fig12Result struct {
+	Curves []Fig12Curve
+	// Cycle-level Phase-MoG operating point: Tagwatch classifies a tag
+	// per assessment window (not per reading), taking the strongest
+	// evidence in the window. This is the figure of merit the system
+	// actually acts on.
+	CycleAUC, CycleTPRAtFPR1 float64
+}
+
+// restlessScore folds the binary mode-switch signal into the sweepable
+// deviation score: a switched reading carries maximal motion evidence.
+func restlessScore(res motion.Result) float64 {
+	if math.IsInf(res.Score, 1) {
+		return res.Score
+	}
+	if res.Switched {
+		return res.Score + 100
+	}
+	return res.Score
+}
+
+// Fig12 runs the detection-accuracy study: stationary tags in a dynamic
+// office for false positives, a tag on a moving track for true positives.
+//
+// The rig mirrors the paper's monitoring regime: the 48-hour office trace
+// collects ~2 million readings from 100 tags — about one reading per tag
+// every several seconds — so consecutive readings of a tag straddle
+// changes of the multipath environment. That sparsity is exactly what
+// breaks the differencing baseline (every environmental change looks like
+// motion) while the mixture model absorbs the recurring states. We
+// emulate it with a duty-cycled reader: one inventory round every few
+// seconds of virtual time.
+func Fig12(opt Options) (Fig12Result, error) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	p := rf.DefaultParams()
+	scn := scene.New(rf.NewChannel(p, rng), rng)
+	scn.AddAntenna(rf.Pt(0, 0, 2))
+
+	nStatic := opt.pick(30, 100)
+	codes, err := epc.RandomPopulation(rng, nStatic+1, 96)
+	if err != nil {
+		return Fig12Result{}, err
+	}
+	mobile := codes[0]
+	scn.AddTag(mobile, scene.Circle{Center: rf.Pt(2.2, 2.2, 0), Radius: 0.2, Speed: 0.7})
+	for i, c := range codes[1:] {
+		scn.AddTag(c, scene.Stationary{P: rf.Pt(0.4+float64(i%10)*0.3, 0.4+float64(i/10)*0.3, 0)})
+	}
+	// Office walkers perturbing the multipath (the paper: "approximately
+	// 10 individuals work in the room"). People sit most of the time and
+	// occasionally move to another spot; each relocation flips the
+	// affected tags' multipath into a new stable mode.
+	dur := time.Duration(opt.pick(2400, 9600)) * time.Second
+	for w := 0; w < 8; w++ {
+		spots := make([]rf.Point, 3+rng.Intn(2))
+		for i := range spots {
+			// Habitual spots sit among the tagged shelving, at body
+			// height — where a person meaningfully perturbs tag links.
+			spots[i] = rf.Pt(0.2+rng.Float64()*3.0, 0.2+rng.Float64()*1.6, 0.5)
+		}
+		scn.AddWalker(scene.OfficeWalker(rng, spots, dur+time.Minute), complex(0.9, 0))
+	}
+
+	rcfg := reader.DefaultConfig()
+	rcfg.HopEvery = 2 * time.Second
+	r := reader.New(rcfg, scn)
+
+	detectors := []struct {
+		name string
+		a    motion.Assessor
+		rss  bool
+	}{
+		{"Phase-MoG", motion.NewPhaseMoG(motion.Config{}), false},
+		{"Phase-differencing", motion.NewPhaseDiff(), false},
+		{"RSS-MoG", motion.NewRSSMoG(motion.Config{}), true},
+		{"RSS-differencing", motion.NewRSSDiff(), true},
+	}
+	type scored struct {
+		pos, neg []float64
+	}
+	scores := make([]scored, len(detectors))
+	// Cycle-level aggregation for Phase-MoG: max score per (tag, window).
+	const window = 20 * time.Second
+	type winKey struct {
+		tag epc.EPC
+		win int64
+	}
+	winMax := make(map[winKey]float64)
+
+	warm := dur / 3
+	const dutyPeriod = 4 * time.Second
+	for r.Now() < dur {
+		next := r.Now() + dutyPeriod
+		reads, _ := r.RunRound(reader.RoundOpts{Antenna: 1})
+		if gap := next - r.Now(); gap > 0 {
+			r.Advance(gap)
+		}
+		for _, rd := range reads {
+			for i, d := range detectors {
+				v := rd.PhaseRad
+				if d.rss {
+					v = rd.RSSdBm
+				}
+				res := d.a.Observe(rd.EPC, rd.Antenna, rd.Channel, v, rd.Time)
+				if rd.Time < warm {
+					continue // learning period: not scored
+				}
+				s := restlessScore(res)
+				if math.IsInf(s, 1) {
+					s = 1000
+				}
+				if rd.EPC == mobile {
+					scores[i].pos = append(scores[i].pos, s)
+				} else {
+					scores[i].neg = append(scores[i].neg, s)
+				}
+				if i == 0 {
+					k := winKey{tag: rd.EPC, win: int64(rd.Time / window)}
+					if s > winMax[k] {
+						winMax[k] = s
+					}
+				}
+			}
+		}
+	}
+	var winPos, winNeg []float64
+	for k, s := range winMax {
+		if k.tag == mobile {
+			winPos = append(winPos, s)
+		} else {
+			winNeg = append(winNeg, s)
+		}
+	}
+
+	var out Fig12Result
+	winCurve := stats.ROC(winPos, winNeg)
+	out.CycleAUC = stats.AUC(winCurve)
+	out.CycleTPRAtFPR1 = stats.TPRAtFPR(winCurve, 0.1)
+	for i, d := range detectors {
+		curve := stats.ROC(scores[i].pos, scores[i].neg)
+		out.Curves = append(out.Curves, Fig12Curve{
+			Name:      d.name,
+			AUC:       stats.AUC(curve),
+			TPRAtFPR1: stats.TPRAtFPR(curve, 0.1),
+			TPRAtFPR2: stats.TPRAtFPR(curve, 0.2),
+			Curve:     curve,
+		})
+	}
+	return out, nil
+}
+
+// String renders the ROC comparison.
+func (r Fig12Result) String() string {
+	t := &table{header: []string{"detector", "AUC", "TPR@FPR≤0.1", "TPR@FPR≤0.2"}}
+	for _, c := range r.Curves {
+		t.add(c.Name, fmt.Sprintf("%.3f", c.AUC),
+			fmt.Sprintf("%.3f", c.TPRAtFPR1), fmt.Sprintf("%.3f", c.TPRAtFPR2))
+	}
+	return fmt.Sprintf(`Fig 12 — motion-detection ROC (paper: Phase-MoG reaches ≥0.95 TPR at ≤0.1 FPR;
+RSS-MoG 0.53 and RSS-differencing 0.12 TPR at 0.2 FPR)
+%scycle-level Phase-MoG (per assessment window, what the scheduler acts on):
+AUC = %.3f, TPR@FPR≤0.1 = %.3f
+`, t, r.CycleAUC, r.CycleTPRAtFPR1)
+}

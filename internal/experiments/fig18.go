@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tagwatch/internal/core"
+	"tagwatch/internal/epc"
+	"tagwatch/internal/reader"
+	"tagwatch/internal/stats"
+)
+
+// Fig18Row is the IRR-gain distribution for one mobile fraction.
+type Fig18Row struct {
+	Percent                               int
+	TagwatchP50, TagwatchP90, TagwatchStd float64
+	NaiveP50, NaiveP90                    float64
+	Populations                           []int
+}
+
+// Fig18Result is the overall IRR-gain study: the ratio of mobile tags' IRR
+// under rate-adaptive reading to their IRR under reading-all, for 5%, 10%
+// and 20% movers across population sizes.
+type Fig18Result struct {
+	Rows   []Fig18Row
+	Cycles int
+}
+
+// moverIRRPerCycle runs the middleware and yields the movers' mean IRR for
+// each post-warmup cycle.
+func moverIRRPerCycle(seed int64, n, nMob, cycles, warm int, dwell time.Duration, naive bool) ([]float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	scn, movers, _, err := turntableScene(rng, n, nMob)
+	if err != nil {
+		return nil, err
+	}
+	isMover := map[epc.EPC]bool{}
+	for _, m := range movers {
+		isMover[m] = true
+	}
+	dev := core.NewSimDevice(reader.New(reader.DefaultConfig(), scn))
+	cfg := core.DefaultConfig()
+	cfg.PhaseIIDwell = dwell
+	cfg.StickyFor = 5 * dwell / 2
+	cfg.NaiveSchedule = naive
+	// The paper's Fig. 18 measures the scheduling economics all the way to
+	// 20% movers (falling back is its *recommendation* above that point,
+	// not part of the measurement), so the experiment raises the cutoff
+	// out of the way.
+	cfg.MobileCutoff = 0.5
+	tw := core.New(cfg, dev)
+	for i := 0; i < warm; i++ {
+		tw.RunCycle()
+	}
+	var out []float64
+	for i := 0; i < cycles; i++ {
+		start := dev.Now()
+		rep := tw.RunCycle()
+		span := dev.Now() - start
+		var reads int
+		for _, r := range append(rep.PhaseIReads, rep.PhaseIIReads...) {
+			if isMover[r.EPC] {
+				reads++
+			}
+		}
+		out = append(out, hz(reads, span)/float64(nMob))
+	}
+	return out, nil
+}
+
+// baselineMoverIRR measures the movers' IRR under plain reading-all on an
+// identical rig.
+func baselineMoverIRR(seed int64, n, nMob int, span time.Duration) (float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	scn, movers, _, err := turntableScene(rng, n, nMob)
+	if err != nil {
+		return 0, err
+	}
+	isMover := map[epc.EPC]bool{}
+	for _, m := range movers {
+		isMover[m] = true
+	}
+	dev := core.NewSimDevice(reader.New(reader.DefaultConfig(), scn))
+	start := dev.Now()
+	reads := dev.ReadAllFor(span)
+	total := dev.Now() - start
+	var count int
+	for _, r := range reads {
+		if isMover[r.EPC] {
+			count++
+		}
+	}
+	return hz(count, total) / float64(nMob), nil
+}
+
+// Fig18 sweeps the mobile fraction and population size, comparing Tagwatch
+// and the naive schedule against reading-all.
+func Fig18(opt Options) (Fig18Result, error) {
+	populations := []int{50, 100, 200}
+	if !opt.Quick {
+		populations = []int{50, 100, 200, 300, 400}
+	}
+	cycles := opt.pick(5, 30)
+	// Warm-up scales with population: establishing a channel's immobility
+	// mode takes ~WeightFloor/α matches, and each flood round contributes
+	// one match per tag, so larger populations (longer rounds, fewer per
+	// dwell) vouch later.
+	warmFor := func(n int) int { return 6 + n/25 }
+	dwell := 5 * time.Second
+	res := Fig18Result{Cycles: cycles}
+
+	for _, pct := range []int{5, 10, 20} {
+		row := Fig18Row{Percent: pct, Populations: populations}
+		var twGains, nvGains []float64
+		for _, n := range populations {
+			nMob := n * pct / 100
+			if nMob < 1 {
+				nMob = 1
+			}
+			seed := opt.Seed + int64(1000*pct+n)
+			base, err := baselineMoverIRR(seed, n, nMob, time.Duration(cycles)*(dwell+time.Second))
+			if err != nil {
+				return res, err
+			}
+			if base <= 0 {
+				return res, fmt.Errorf("fig18: zero baseline IRR at n=%d", n)
+			}
+			tw, err := moverIRRPerCycle(seed, n, nMob, cycles, warmFor(n), dwell, false)
+			if err != nil {
+				return res, err
+			}
+			nv, err := moverIRRPerCycle(seed, n, nMob, cycles, warmFor(n), dwell, true)
+			if err != nil {
+				return res, err
+			}
+			for _, v := range tw {
+				twGains = append(twGains, v/base)
+			}
+			for _, v := range nv {
+				nvGains = append(nvGains, v/base)
+			}
+		}
+		row.TagwatchP50 = stats.Median(twGains)
+		row.TagwatchP90 = stats.Percentile(twGains, 0.9)
+		row.TagwatchStd = stats.StdDev(twGains)
+		row.NaiveP50 = stats.Median(nvGains)
+		row.NaiveP90 = stats.Percentile(nvGains, 0.9)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the gain table.
+func (r Fig18Result) String() string {
+	t := &table{header: []string{"%mobile", "tagwatch p50", "p90", "std", "naive p50", "naive p90"}}
+	for _, row := range r.Rows {
+		t.add(fmt.Sprintf("%d%%", row.Percent),
+			fmt.Sprintf("%.2f×", row.TagwatchP50),
+			fmt.Sprintf("%.2f×", row.TagwatchP90),
+			fmt.Sprintf("%.2f", row.TagwatchStd),
+			fmt.Sprintf("%.2f×", row.NaiveP50),
+			fmt.Sprintf("%.2f×", row.NaiveP90))
+	}
+	return fmt.Sprintf(`Fig 18 — IRR gain of mobile tags vs reading-all (%d cycles per setting)
+(paper: 5%% → 3.2× median / 4× p90 Tagwatch, 2.6× naive; 10%% → 1.9× (σ 0.29);
+ 20%% → ≈1.5× Tagwatch while naive drops to 0.8× — below reading-all)
+%s`, r.Cycles, t)
+}

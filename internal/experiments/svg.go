@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"tagwatch/internal/plot"
+	"tagwatch/internal/stats"
+)
+
+// NamedPlot pairs a figure's chart with its file stem.
+type NamedPlot struct {
+	Name string
+	Plot *plot.Plot
+}
+
+// WriteSVG renders the plot under dir as <Name>.svg.
+func (n NamedPlot) WriteSVG(dir string) error {
+	return os.WriteFile(filepath.Join(dir, n.Name+".svg"), []byte(n.Plot.SVG()), 0o644)
+}
+
+// Plots renders the Fig. 2 IRR curves.
+func (r Fig02Result) Plots() []NamedPlot {
+	p := &plot.Plot{Title: "Fig 2 — IRR vs population", XLabel: "tags", YLabel: "IRR (Hz)"}
+	for _, q := range r.InitialQs {
+		s := plot.Series{Name: fmt.Sprintf("measured Q0=%d", q), Kind: plot.Line}
+		for _, row := range r.Rows {
+			s.X = append(s.X, float64(row.N))
+			s.Y = append(s.Y, row.MeasuredHz[q])
+		}
+		p.Series = append(p.Series, s)
+	}
+	model := plot.Series{Name: "fitted model", Kind: plot.Scatter}
+	for _, row := range r.Rows {
+		model.X = append(model.X, float64(row.N))
+		model.Y = append(model.Y, row.ModelHz)
+	}
+	p.Series = append(p.Series, model)
+	return []NamedPlot{{Name: "fig02_irr", Plot: p}}
+}
+
+// Plots renders the Fig. 3 timeline and Fig. 4 CDF.
+func (r Fig03Result) Plots() []NamedPlot {
+	tl := &plot.Plot{Title: "Fig 3 — readings per minute", XLabel: "minute", YLabel: "readings"}
+	s := plot.Series{Kind: plot.Line}
+	for m, c := range r.Trace.Timeline {
+		s.X = append(s.X, float64(m))
+		s.Y = append(s.Y, float64(c))
+	}
+	tl.Series = []plot.Series{s}
+
+	cdfPlot := &plot.Plot{Title: "Fig 4 — reading-count CDF", XLabel: "readings per tag", YLabel: "fraction of tags"}
+	cdf := stats.CDF(r.Trace.ReadCounts())
+	cs := plot.Series{Kind: plot.Steps}
+	for _, pt := range cdf {
+		// Log-compress the x axis by plotting against log10(1+x) ticks? We
+		// keep it linear but clip the hero tag so the body is visible.
+		if pt.X > 2000 {
+			continue
+		}
+		cs.X = append(cs.X, pt.X)
+		cs.Y = append(cs.Y, pt.P)
+	}
+	cdfPlot.Series = []plot.Series{cs}
+	cdfPlot.SetYRange(0, 1)
+	return []NamedPlot{{Name: "fig03_timeline", Plot: tl}, {Name: "fig04_cdf", Plot: cdfPlot}}
+}
+
+// Plots renders the Fig. 8 histogram.
+func (r Fig08Result) Plots() []NamedPlot {
+	p := &plot.Plot{Title: "Fig 8 — stationary tag phase distribution", XLabel: "phase (rad)", YLabel: "count"}
+	s := plot.Series{Kind: plot.Bars}
+	for i, e := range r.HistEdges {
+		s.X = append(s.X, e)
+		s.Y = append(s.Y, float64(r.HistCounts[i]))
+	}
+	p.Series = []plot.Series{s}
+	return []NamedPlot{{Name: "fig08_histogram", Plot: p}}
+}
+
+// Plots renders the Fig. 12 ROC curves.
+func (r Fig12Result) Plots() []NamedPlot {
+	p := &plot.Plot{Title: "Fig 12 — detection ROC", XLabel: "false positive rate", YLabel: "true positive rate"}
+	for _, c := range r.Curves {
+		s := plot.Series{Name: c.Name, Kind: plot.Line}
+		for _, pt := range c.Curve {
+			s.X = append(s.X, pt.FPR)
+			s.Y = append(s.Y, pt.TPR)
+		}
+		p.Series = append(p.Series, s)
+	}
+	p.SetYRange(0, 1)
+	return []NamedPlot{{Name: "fig12_roc", Plot: p}}
+}
+
+// Plots renders the Fig. 13 sensitivity curves.
+func (r Fig13Result) Plots() []NamedPlot {
+	p := &plot.Plot{Title: "Fig 13 — detection vs displacement", XLabel: "displacement (cm)", YLabel: "detection rate"}
+	phase := plot.Series{Name: "RF phase", Kind: plot.Line}
+	rss := plot.Series{Name: "RSS", Kind: plot.Line}
+	for _, row := range r.Rows {
+		phase.X = append(phase.X, row.DisplacementCM)
+		phase.Y = append(phase.Y, row.PhaseRate)
+		rss.X = append(rss.X, row.DisplacementCM)
+		rss.Y = append(rss.Y, row.RSSRate)
+	}
+	p.Series = []plot.Series{phase, rss}
+	p.SetYRange(0, 1.05)
+	return []NamedPlot{{Name: "fig13_sensitivity", Plot: p}}
+}
+
+// Plots renders the Fig. 14 learning curve.
+func (r Fig14Result) Plots() []NamedPlot {
+	p := &plot.Plot{Title: "Fig 14 — learning curve", XLabel: "training (ms)", YLabel: "accuracy"}
+	s := plot.Series{Kind: plot.Line}
+	for _, row := range r.Rows {
+		s.X = append(s.X, float64(row.TrainMS))
+		s.Y = append(s.Y, row.Accuracy)
+	}
+	p.Series = []plot.Series{s}
+	p.SetYRange(0, 1.05)
+	return []NamedPlot{{Name: "fig14_learning", Plot: p}}
+}
+
+// Plots renders the per-tag feasibility bars (targets and collateral
+// only, like the experiment's table).
+func (r Fig15Result) Plots() []NamedPlot {
+	p := &plot.Plot{
+		Title:  fmt.Sprintf("Fig %s — %d targets of %d tags", figNo(r.Targets), r.Targets, r.Total),
+		XLabel: "tag", YLabel: "IRR (Hz)",
+	}
+	all := plot.Series{Name: "read-all", Kind: plot.Bars}
+	tw := plot.Series{Name: "tagwatch", Kind: plot.Bars}
+	nv := plot.Series{Name: "naive", Kind: plot.Bars}
+	var shown []int
+	for i, tag := range r.Tags {
+		if tag.Target || tag.Tagwatch > 0 || tag.NaiveHz > 0 {
+			shown = append(shown, i)
+		}
+	}
+	sort.Ints(shown)
+	for xi, i := range shown {
+		tag := r.Tags[i]
+		x := float64(xi + 1)
+		all.X = append(all.X, x)
+		all.Y = append(all.Y, tag.ReadAllHz)
+		tw.X = append(tw.X, x)
+		tw.Y = append(tw.Y, tag.Tagwatch)
+		nv.X = append(nv.X, x)
+		nv.Y = append(nv.Y, tag.NaiveHz)
+	}
+	p.Series = []plot.Series{all, tw, nv}
+	return []NamedPlot{{Name: fmt.Sprintf("fig%s_feasibility", figNo(r.Targets)), Plot: p}}
+}
+
+// Plots renders the schedule-cost percentiles.
+func (r Fig17Result) Plots() []NamedPlot {
+	p := &plot.Plot{Title: "Fig 17 — schedule cost", XLabel: "percentile", YLabel: "ms"}
+	s := plot.Series{Kind: plot.Bars}
+	for i, v := range []float64{
+		float64(r.P50.Microseconds()) / 1000,
+		float64(r.P90.Microseconds()) / 1000,
+		float64(r.P99.Microseconds()) / 1000,
+		float64(r.Max.Microseconds()) / 1000,
+	} {
+		s.X = append(s.X, float64(i+1)) // p50, p90, p99, max
+		s.Y = append(s.Y, v)
+	}
+	p.Series = []plot.Series{s}
+	return []NamedPlot{{Name: "fig17_schedulecost", Plot: p}}
+}
+
+// Plots renders the IRR-gain sweep.
+func (r Fig18Result) Plots() []NamedPlot {
+	p := &plot.Plot{Title: "Fig 18 — IRR gain vs mobile fraction", XLabel: "% mobile", YLabel: "gain ×"}
+	tw := plot.Series{Name: "tagwatch p50", Kind: plot.Bars}
+	tw90 := plot.Series{Name: "tagwatch p90", Kind: plot.Bars}
+	nv := plot.Series{Name: "naive p50", Kind: plot.Bars}
+	for _, row := range r.Rows {
+		x := float64(row.Percent)
+		tw.X = append(tw.X, x)
+		tw.Y = append(tw.Y, row.TagwatchP50)
+		tw90.X = append(tw90.X, x)
+		tw90.Y = append(tw90.Y, row.TagwatchP90)
+		nv.X = append(nv.X, x)
+		nv.Y = append(nv.Y, row.NaiveP50)
+	}
+	p.Series = []plot.Series{tw, tw90, nv}
+	return []NamedPlot{{Name: "fig18_irrgain", Plot: p}}
+}
+
+// Plots renders the tracking comparison.
+func (r Fig01Result) Plots() []NamedPlot {
+	p := &plot.Plot{Title: "Fig 1 — tracking error by configuration", XLabel: "case", YLabel: "mean error (cm)"}
+	s := plot.Series{Kind: plot.Bars}
+	for i, c := range r.Cases {
+		s.X = append(s.X, float64(i+1))
+		s.Y = append(s.Y, c.MeanErrorCM)
+	}
+	p.Series = []plot.Series{s}
+	return []NamedPlot{{Name: "fig01_tracking", Plot: p}}
+}

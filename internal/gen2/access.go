@@ -1,0 +1,120 @@
+package gen2
+
+import (
+	"math/rand"
+	"time"
+
+	"tagwatch/internal/epc"
+)
+
+// Access-layer states (the Gen2 state diagram beyond inventory): a
+// singulated tag moves to Open (or Secured when its access password is
+// zero) on Req_RN and then accepts Read/Write/BlockWrite commands
+// addressed by its handle.
+const (
+	StateOpen    State = 4
+	StateSecured State = 5
+)
+
+// Handle returns the tag's access handle; only meaningful in Open/Secured.
+func (t *Tag) Handle() uint16 { return t.handle }
+
+// HandleReqRN processes a Req_RN carrying the RN16 from the singulation.
+// A tag in Acknowledged with a matching RN16 backscatters a fresh handle
+// and enters the access state: Secured directly when the access password
+// is zero (the factory default and the common deployment), Open
+// otherwise. A mismatched RN16 is ignored (the tag stays put).
+func (t *Tag) HandleReqRN(rn16 uint16, rng *rand.Rand) (uint16, bool) {
+	if t.state != StateAcknowledged || rn16 != t.rn16 {
+		return 0, false
+	}
+	t.handle = uint16(rng.Intn(1 << 16))
+	if t.accessPasswordZero() {
+		t.state = StateSecured
+	} else {
+		t.state = StateOpen
+	}
+	return t.handle, true
+}
+
+// accessPasswordZero reports whether the reserved bank's access password
+// (words 2–3) is zero or absent.
+func (t *Tag) accessPasswordZero() bool {
+	words, err := t.Mem.ReadWords(epc.BankReserved, 2, 2)
+	if err != nil {
+		return true
+	}
+	return words[0] == 0 && words[1] == 0
+}
+
+// inAccess reports whether the tag is in an access state with the given
+// handle.
+func (t *Tag) inAccess(handle uint16) bool {
+	return (t.state == StateOpen || t.state == StateSecured) && handle == t.handle
+}
+
+// HandleRead processes a Read command: words from a memory bank, addressed
+// by handle. It returns nil (and false) when the tag is not in access
+// state, the handle mismatches, or the window overruns the bank — the
+// cases where a real tag stays silent or answers with an error code.
+func (t *Tag) HandleRead(handle uint16, bank epc.MemoryBank, wordPtr, wordCount int) ([]uint16, bool) {
+	if !t.inAccess(handle) {
+		return nil, false
+	}
+	words, err := t.Mem.ReadWords(bank, wordPtr, wordCount)
+	if err != nil {
+		return nil, false
+	}
+	return words, true
+}
+
+// HandleWrite processes a single-word Write command (the Gen2 Write writes
+// one 16-bit word, cover-coded with a fresh RN16 on the air — the cover
+// coding is a transport detail the simulator does not need to model).
+func (t *Tag) HandleWrite(handle uint16, bank epc.MemoryBank, wordPtr int, word uint16) bool {
+	if !t.inAccess(handle) {
+		return false
+	}
+	return t.Mem.WriteWords(bank, wordPtr, []uint16{word}) == nil
+}
+
+// HandleBlockWrite processes a BlockWrite of several words.
+func (t *Tag) HandleBlockWrite(handle uint16, bank epc.MemoryBank, wordPtr int, words []uint16) bool {
+	if !t.inAccess(handle) || len(words) == 0 {
+		return false
+	}
+	return t.Mem.WriteWords(bank, wordPtr, words) == nil
+}
+
+// Access command payload lengths in bits (approximate over-the-air sizes
+// including CRC-16): Req_RN = 8+16+16, Read = 8+2+EBV+8+16+16,
+// Write = 8+2+EBV+16+16+16 per word.
+const (
+	ReqRNBits      = 40
+	HandleBits     = 32 // handle + CRC-16 backscatter
+	readCmdBase    = 50
+	writeCmdBits   = 66
+	readReplyBase  = 33 // header + handle + CRC
+	writeReplyBits = 33
+)
+
+// ReqRNDuration is the air time of Req_RN plus the handle backscatter.
+func (lt LinkTiming) ReqRNDuration() time.Duration {
+	return lt.CommandDuration(ReqRNBits, false) + lt.T1() + lt.ReplyDuration(HandleBits) + lt.T2()
+}
+
+// ReadDuration is the air time of a Read command and its wordCount-word
+// reply.
+func (lt LinkTiming) ReadDuration(wordCount int) time.Duration {
+	return lt.CommandDuration(readCmdBase, false) + lt.T1() +
+		lt.ReplyDuration(readReplyBase+16*wordCount) + lt.T2()
+}
+
+// WriteDuration is the air time of writing wordCount words (one Write
+// command each) including the tag's EEPROM commit time — the dominant
+// cost: real tags take up to 20 ms per word; we model a typical 1.5 ms.
+func (lt LinkTiming) WriteDuration(wordCount int) time.Duration {
+	perWord := lt.CommandDuration(writeCmdBits, false) + lt.T1() +
+		lt.ReplyDuration(writeReplyBits) + lt.T2() + 1500*time.Microsecond
+	return time.Duration(wordCount) * perWord
+}

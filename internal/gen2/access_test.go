@@ -1,0 +1,167 @@
+package gen2
+
+import (
+	"math/rand"
+	"testing"
+
+	"tagwatch/internal/epc"
+)
+
+// singulate drives a tag to Acknowledged and returns its RN16.
+func singulate(t *testing.T, tag *Tag, rng *rand.Rand) uint16 {
+	t.Helper()
+	rep := tag.HandleQuery(Query{Session: S1, Target: FlagA, Q: 0}, rng)
+	if rep == nil {
+		t.Fatal("Q=0 participant must reply")
+	}
+	if tag.HandleACK(ACK{RN16: rep.RN16}) == nil {
+		t.Fatal("ACK must elicit EPC")
+	}
+	return rep.RN16
+}
+
+func TestReqRNEntersSecured(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tag := newTag("30f4ab12cd0045e100000001")
+	rn := singulate(t, tag, rng)
+	handle, ok := tag.HandleReqRN(rn, rng)
+	if !ok {
+		t.Fatal("Req_RN with matching RN16 must succeed")
+	}
+	// Factory-default (zero) access password → Secured directly.
+	if tag.State() != StateSecured {
+		t.Fatalf("state = %v, want Secured", tag.State())
+	}
+	if tag.Handle() != handle {
+		t.Fatal("handle mismatch")
+	}
+}
+
+func TestReqRNNonZeroPasswordEntersOpen(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tag := newTag("30f4ab12cd0045e100000001")
+	if err := tag.Mem.WriteWords(epc.BankReserved, 2, []uint16{0xBEEF, 0x1234}); err != nil {
+		t.Fatal(err)
+	}
+	rn := singulate(t, tag, rng)
+	if _, ok := tag.HandleReqRN(rn, rng); !ok {
+		t.Fatal("Req_RN must succeed")
+	}
+	if tag.State() != StateOpen {
+		t.Fatalf("state = %v, want Open with a set access password", tag.State())
+	}
+}
+
+func TestReqRNWrongRN16Ignored(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tag := newTag("30f4ab12cd0045e100000001")
+	rn := singulate(t, tag, rng)
+	if _, ok := tag.HandleReqRN(rn^0xFFFF, rng); ok {
+		t.Fatal("wrong RN16 must be ignored")
+	}
+	if tag.State() != StateAcknowledged {
+		t.Fatalf("state = %v, want Acknowledged preserved", tag.State())
+	}
+	// Req_RN outside Acknowledged is also ignored.
+	fresh := newTag("30f4ab12cd0045e100000002")
+	if _, ok := fresh.HandleReqRN(0, rng); ok {
+		t.Fatal("Ready tag must ignore Req_RN")
+	}
+}
+
+func TestReadViaHandle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tag := newTag("30f4ab12cd0045e100000001")
+	rn := singulate(t, tag, rng)
+	handle, _ := tag.HandleReqRN(rn, rng)
+
+	// Read the EPC code words from the EPC bank.
+	words, ok := tag.HandleRead(handle, epc.BankEPC, 2, 6)
+	if !ok {
+		t.Fatal("read must succeed")
+	}
+	if words[0] != 0x30f4 {
+		t.Fatalf("words = %04x", words)
+	}
+	// Wrong handle stays silent.
+	if _, ok := tag.HandleRead(handle^1, epc.BankEPC, 2, 1); ok {
+		t.Fatal("wrong handle must be ignored")
+	}
+	// Overrun read fails.
+	if _, ok := tag.HandleRead(handle, epc.BankEPC, 7, 4); ok {
+		t.Fatal("overrun read must fail")
+	}
+}
+
+func TestWriteViaHandle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tag := newTag("30f4ab12cd0045e100000001")
+	rn := singulate(t, tag, rng)
+	handle, _ := tag.HandleReqRN(rn, rng)
+
+	if !tag.HandleWrite(handle, epc.BankUser, 0, 0xCAFE) {
+		t.Fatal("write must succeed")
+	}
+	if !tag.HandleBlockWrite(handle, epc.BankUser, 1, []uint16{0xBEEF, 0xF00D}) {
+		t.Fatal("block write must succeed")
+	}
+	words, ok := tag.HandleRead(handle, epc.BankUser, 0, 3)
+	if !ok || words[0] != 0xCAFE || words[1] != 0xBEEF || words[2] != 0xF00D {
+		t.Fatalf("read back %04x (%v)", words, ok)
+	}
+	if tag.HandleWrite(handle^1, epc.BankUser, 0, 1) {
+		t.Fatal("wrong handle write must fail")
+	}
+	if tag.HandleBlockWrite(handle, epc.BankUser, 0, nil) {
+		t.Fatal("empty block write must fail")
+	}
+}
+
+func TestAccessStateCompletesInventory(t *testing.T) {
+	// After access, the next QueryRep completes the singulation: the
+	// inventoried flag flips exactly as from Acknowledged.
+	rng := rand.New(rand.NewSource(6))
+	tag := newTag("30f4ab12cd0045e100000001")
+	rn := singulate(t, tag, rng)
+	tag.HandleReqRN(rn, rng)
+	if tag.HandleQueryRep(QueryRep{Session: S1}, rng) != nil {
+		t.Fatal("access-state tag must not reply to QueryRep")
+	}
+	if tag.Inventoried(S1) != FlagB || tag.State() != StateReady {
+		t.Fatalf("flag=%v state=%v", tag.Inventoried(S1), tag.State())
+	}
+}
+
+func TestNAKFromAccessState(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tag := newTag("30f4ab12cd0045e100000001")
+	rn := singulate(t, tag, rng)
+	tag.HandleReqRN(rn, rng)
+	tag.HandleNAK()
+	if tag.State() != StateArbitrate {
+		t.Fatalf("state after NAK = %v", tag.State())
+	}
+	if tag.Inventoried(S1) != FlagA {
+		t.Fatal("NAK must not flip the flag")
+	}
+}
+
+func TestAccessTimings(t *testing.T) {
+	lt := ImpinjAutosetProfile()
+	if lt.ReqRNDuration() <= 0 {
+		t.Fatal("ReqRN duration")
+	}
+	if lt.ReadDuration(4) <= lt.ReadDuration(1) {
+		t.Fatal("longer reads must take longer")
+	}
+	// Writes are dominated by the EEPROM commit: far slower than reads.
+	if lt.WriteDuration(1) < 2*lt.ReadDuration(1) {
+		t.Fatalf("write (%v) should dwarf read (%v)", lt.WriteDuration(1), lt.ReadDuration(1))
+	}
+	if lt.WriteDuration(3) != 3*lt.WriteDuration(1) {
+		t.Fatal("writes are per-word")
+	}
+	if StateOpen.String() != "Open" || StateSecured.String() != "Secured" {
+		t.Fatal("state strings")
+	}
+}

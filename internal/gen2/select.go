@@ -1,0 +1,64 @@
+package gen2
+
+import (
+	"fmt"
+
+	"tagwatch/internal/epc"
+)
+
+// SelectCmd is the Gen2 Select command. Its (MemBank, Pointer, Length,
+// Mask) quadruple forms the bitmask of the paper's §5: tags whose memory
+// bits [Pointer, Pointer+Length) in MemBank equal Mask are "matching".
+// Target and Action then steer the SL or inventoried flags of matching and
+// non-matching tags.
+//
+// The paper's scheduler always uses MemBank = EPC with Pointer addressed
+// past the StoredCRC+StoredPC header; see schedule.Bitmask.
+type SelectCmd struct {
+	Target  Target
+	Action  Action
+	MemBank epc.MemoryBank
+	Pointer int // bit address into the bank
+	Mask    epc.EPC
+}
+
+// Length returns the Select mask length in bits (the Length field is
+// implied by the mask).
+func (s SelectCmd) Length() int { return s.Mask.Bits() }
+
+// String renders the command in the paper's S(mask, pointer, length)
+// notation.
+func (s SelectCmd) String() string {
+	return fmt.Sprintf("Select{%s/%s %s(p=%d,l=%d,m=%s)}",
+		s.Target, actionName(s.Action), s.MemBank, s.Pointer, s.Length(), s.Mask)
+}
+
+func actionName(a Action) string {
+	names := [...]string{
+		"assert/deassert", "assert/-", "-/deassert", "negate/-",
+		"deassert/assert", "deassert/-", "-/assert", "-/negate",
+	}
+	if int(a) < len(names) {
+		return names[a]
+	}
+	return fmt.Sprintf("action%d", uint8(a))
+}
+
+// Matches reports whether the command's bitmask covers the given tag
+// memory.
+func (s SelectCmd) Matches(m *epc.Memory) bool {
+	return m.Match(s.MemBank, s.Pointer, s.Mask)
+}
+
+// CommandBits returns the approximate over-the-air length of the Select
+// command in reader bits: 4 (command code) + 3 (target) + 3 (action) +
+// 2 (membank) + EBV pointer + 8 (length) + mask + 1 (truncate) + 16 (CRC).
+// The pointer is an extensible bit vector of 8-bit blocks, each carrying 7
+// payload bits.
+func (s SelectCmd) CommandBits() int {
+	ebv := 8
+	for p := s.Pointer; p >= 128; p >>= 7 {
+		ebv += 8
+	}
+	return 4 + 3 + 3 + 2 + ebv + 8 + s.Mask.Bits() + 1 + 16
+}

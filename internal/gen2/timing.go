@@ -1,0 +1,187 @@
+package gen2
+
+import (
+	"fmt"
+	"time"
+)
+
+// LinkTiming models the physical-layer timing of a Gen2 link: how long
+// reader commands and tag replies occupy the air, and the mandated
+// turnaround gaps T1–T3. It is the source of the slot durations behind the
+// paper's τ̄ and of the per-round overhead contributing to τ₀.
+type LinkTiming struct {
+	// TariUS is the reader's Type-A reference interval (data-0 length) in
+	// microseconds: 6.25, 12.5 or 25.
+	TariUS float64
+	// RTcalUS is the reader→tag calibration symbol: data-0 + data-1
+	// lengths, between 2.5 and 3 Tari.
+	RTcalUS float64
+	// TRcalUS is the tag→reader calibration symbol; the backscatter link
+	// frequency is BLF = DR / TRcal.
+	TRcalUS float64
+	// DR is the divide ratio from the Query command: 8 or 64/3.
+	DR float64
+	// M is the tag-to-reader cycles per symbol: 1 (FM0), 2, 4, 8 (Miller).
+	M int
+	// TRext selects the extended tag preamble with pilot tone.
+	TRext bool
+}
+
+// ImpinjFastProfile returns timing approximating the ImpinJ "max
+// throughput" mode (Mode 0: Tari 6.25 µs, FM0 at 640 kHz BLF), the regime
+// in which the paper's measured mean slot time τ̄ ≈ 0.18 ms is attainable.
+func ImpinjFastProfile() LinkTiming {
+	return LinkTiming{TariUS: 6.25, RTcalUS: 15.625, TRcalUS: 33.3, DR: 64.0 / 3, M: 1, TRext: false}
+}
+
+// ImpinjAutosetProfile returns timing approximating the reader's default
+// autoset operating point (Miller-2 at ~427 kHz BLF, Tari 12.5 µs): the
+// middle ground a Speedway picks in a typical lab environment, and the
+// profile under which the simulated IRR curve lands closest to the paper's
+// measured 63→12 Hz collapse (Fig. 2).
+func ImpinjAutosetProfile() LinkTiming {
+	return LinkTiming{TariUS: 12.5, RTcalUS: 31.25, TRcalUS: 50, DR: 64.0 / 3, M: 2, TRext: false}
+}
+
+// ImpinjDenseProfile returns timing approximating a dense-reader Miller-4
+// mode (Mode 2/3 class): slower but more robust.
+func ImpinjDenseProfile() LinkTiming {
+	return LinkTiming{TariUS: 25, RTcalUS: 62.5, TRcalUS: 83.3, DR: 64.0 / 3, M: 4, TRext: true}
+}
+
+// BLFkHz returns the backscatter link frequency in kHz.
+func (lt LinkTiming) BLFkHz() float64 { return lt.DR / lt.TRcalUS * 1000 }
+
+// TpriUS returns the backscatter symbol period (one tag bit takes M·Tpri).
+func (lt LinkTiming) TpriUS() float64 { return lt.TRcalUS / lt.DR }
+
+// avgReaderBitUS is the mean reader PIE symbol length assuming equiprobable
+// bits: data-0 is Tari, data-1 between 1.5 and 2 Tari (we use 1.75).
+func (lt LinkTiming) avgReaderBitUS() float64 { return lt.TariUS * (1 + 1.75) / 2 }
+
+// frameSyncUS is the delimiter + data-0 + RTcal sequence preceding every
+// reader command.
+func (lt LinkTiming) frameSyncUS() float64 { return 12.5 + lt.TariUS + lt.RTcalUS }
+
+// preambleUS is frame-sync + TRcal, required before Query.
+func (lt LinkTiming) preambleUS() float64 { return lt.frameSyncUS() + lt.TRcalUS }
+
+func us(x float64) time.Duration { return time.Duration(x * float64(time.Microsecond)) }
+
+// CommandDuration returns the air time of a reader command of the given
+// bit count. Query carries the full preamble; every other command carries a
+// frame-sync.
+func (lt LinkTiming) CommandDuration(bits int, isQuery bool) time.Duration {
+	pre := lt.frameSyncUS()
+	if isQuery {
+		pre = lt.preambleUS()
+	}
+	return us(pre + float64(bits)*lt.avgReaderBitUS())
+}
+
+// tagPreambleBits is the length of the tag reply preamble in symbols.
+func (lt LinkTiming) tagPreambleBits() int {
+	if lt.M == 1 { // FM0
+		if lt.TRext {
+			return 18 // 12 pilot + 6 preamble
+		}
+		return 6
+	}
+	if lt.TRext {
+		return 22 // 16 pilot + 6
+	}
+	return 10
+}
+
+// ReplyDuration returns the air time of a tag reply of the given payload
+// bit count (plus preamble and the trailing dummy-1 bit).
+func (lt LinkTiming) ReplyDuration(bits int) time.Duration {
+	total := float64(lt.tagPreambleBits()+bits+1) * float64(lt.M) * lt.TpriUS()
+	return us(total)
+}
+
+// T1 is the reader-command to tag-response turnaround: max(RTcal, 10·Tpri).
+func (lt LinkTiming) T1() time.Duration {
+	t := lt.RTcalUS
+	if p := 10 * lt.TpriUS(); p > t {
+		t = p
+	}
+	return us(t)
+}
+
+// T2 is the tag-response to reader-command turnaround (3–20 Tpri; we use
+// the midpoint 10).
+func (lt LinkTiming) T2() time.Duration { return us(10 * lt.TpriUS()) }
+
+// T3 is the additional time a reader waits after T1 before declaring a
+// slot empty.
+func (lt LinkTiming) T3() time.Duration { return us(10 * lt.TpriUS()) }
+
+// Gen2 command payload lengths in bits.
+const (
+	QueryBits       = 22
+	QueryRepBits    = 4
+	QueryAdjustBits = 9
+	ACKBits         = 18
+	NAKBits         = 8
+	RN16Bits        = 16
+)
+
+// QueryDuration is the air time of a Query command.
+func (lt LinkTiming) QueryDuration() time.Duration {
+	return lt.CommandDuration(QueryBits, true)
+}
+
+// QueryRepDuration is the air time of a QueryRep command.
+func (lt LinkTiming) QueryRepDuration() time.Duration {
+	return lt.CommandDuration(QueryRepBits, false)
+}
+
+// QueryAdjustDuration is the air time of a QueryAdjust command.
+func (lt LinkTiming) QueryAdjustDuration() time.Duration {
+	return lt.CommandDuration(QueryAdjustBits, false)
+}
+
+// ACKDuration is the air time of an ACK command.
+func (lt LinkTiming) ACKDuration() time.Duration {
+	return lt.CommandDuration(ACKBits, false)
+}
+
+// SelectDuration is the air time of a Select command with the given mask
+// length (see SelectCmd.CommandBits).
+func (lt LinkTiming) SelectDuration(cmd SelectCmd) time.Duration {
+	return lt.CommandDuration(cmd.CommandBits(), false)
+}
+
+// RN16Duration is the air time of a tag's RN16 reply.
+func (lt LinkTiming) RN16Duration() time.Duration { return lt.ReplyDuration(RN16Bits) }
+
+// EPCReplyDuration is the air time of a PC+EPC+CRC16 reply for an EPC of
+// the given bit length.
+func (lt LinkTiming) EPCReplyDuration(epcBits int) time.Duration {
+	words := (epcBits + 15) / 16
+	return lt.ReplyDuration(16 + 16*words + 16)
+}
+
+// EmptySlotDuration is the cost of a slot in which no tag replies: the slot
+// command plus T1+T3 of listening.
+func (lt LinkTiming) EmptySlotDuration(slotCmd time.Duration) time.Duration {
+	return slotCmd + lt.T1() + lt.T3()
+}
+
+// CollisionSlotDuration is the cost of a slot with a collided RN16.
+func (lt LinkTiming) CollisionSlotDuration(slotCmd time.Duration) time.Duration {
+	return slotCmd + lt.T1() + lt.RN16Duration() + lt.T2()
+}
+
+// SingletonSlotDuration is the cost of a successful slot: RN16, ACK and the
+// PC+EPC reply.
+func (lt LinkTiming) SingletonSlotDuration(slotCmd time.Duration, epcBits int) time.Duration {
+	return slotCmd + lt.T1() + lt.RN16Duration() + lt.T2() +
+		lt.ACKDuration() + lt.T1() + lt.EPCReplyDuration(epcBits) + lt.T2()
+}
+
+// String summarises the profile.
+func (lt LinkTiming) String() string {
+	return fmt.Sprintf("gen2.LinkTiming{Tari=%.2fµs BLF=%.0fkHz M=%d}", lt.TariUS, lt.BLFkHz(), lt.M)
+}

@@ -1,0 +1,115 @@
+package gen2
+
+import (
+	"testing"
+	"time"
+
+	"tagwatch/internal/epc"
+)
+
+func TestFastProfileBasics(t *testing.T) {
+	lt := ImpinjFastProfile()
+	if blf := lt.BLFkHz(); blf < 600 || blf > 680 {
+		t.Fatalf("fast profile BLF = %.0f kHz, want ≈640", blf)
+	}
+	if lt.TpriUS() <= 0 {
+		t.Fatal("Tpri must be positive")
+	}
+	if lt.String() == "" {
+		t.Fatal("String must render")
+	}
+}
+
+func TestDenseProfileSlower(t *testing.T) {
+	fast, dense := ImpinjFastProfile(), ImpinjDenseProfile()
+	if dense.RN16Duration() <= fast.RN16Duration() {
+		t.Fatal("Miller-4 replies must be slower than FM0")
+	}
+	if dense.QueryDuration() <= fast.QueryDuration() {
+		t.Fatal("Tari-25 commands must be slower than Tari-6.25")
+	}
+}
+
+func TestSlotDurationOrdering(t *testing.T) {
+	for _, lt := range []LinkTiming{ImpinjFastProfile(), ImpinjDenseProfile()} {
+		qr := lt.QueryRepDuration()
+		empty := lt.EmptySlotDuration(qr)
+		coll := lt.CollisionSlotDuration(qr)
+		single := lt.SingletonSlotDuration(qr, 96)
+		if !(empty < coll && coll < single) {
+			t.Fatalf("%v: slot ordering empty=%v coll=%v single=%v", lt, empty, coll, single)
+		}
+		if empty <= 0 {
+			t.Fatal("durations must be positive")
+		}
+	}
+}
+
+func TestFastProfileSlotMagnitudes(t *testing.T) {
+	// The paper calibrates a mean slot time τ̄ ≈ 0.18 ms on the R420. Our
+	// fast profile should put the DFSA-weighted mean in the same regime
+	// (0.1–0.5 ms): empty ≈ 0.37, single ≈ 0.37, collision ≈ 0.26 at f=n.
+	lt := ImpinjFastProfile()
+	qr := lt.QueryRepDuration()
+	mean := 0.368*float64(lt.EmptySlotDuration(qr)) +
+		0.368*float64(lt.SingletonSlotDuration(qr, 96)) +
+		0.264*float64(lt.CollisionSlotDuration(qr))
+	meanMS := mean / float64(time.Millisecond)
+	if meanMS < 0.1 || meanMS > 0.5 {
+		t.Fatalf("weighted mean slot = %.3f ms, want 0.1–0.5 ms", meanMS)
+	}
+}
+
+func TestQueryCarriesLongerPreamble(t *testing.T) {
+	lt := ImpinjFastProfile()
+	// Query (22 bits, full preamble) vs a hypothetical 22-bit non-query.
+	if lt.CommandDuration(QueryBits, true) <= lt.CommandDuration(QueryBits, false) {
+		t.Fatal("Query preamble must include TRcal")
+	}
+}
+
+func TestTRextLengthensReplies(t *testing.T) {
+	lt := ImpinjFastProfile()
+	ext := lt
+	ext.TRext = true
+	if ext.RN16Duration() <= lt.RN16Duration() {
+		t.Fatal("TRext pilot must lengthen the reply")
+	}
+	m4 := lt
+	m4.M = 4
+	if m4.tagPreambleBits() != 10 {
+		t.Fatalf("Miller preamble bits = %d, want 10", m4.tagPreambleBits())
+	}
+	m4.TRext = true
+	if m4.tagPreambleBits() != 22 {
+		t.Fatalf("Miller TRext preamble bits = %d, want 22", m4.tagPreambleBits())
+	}
+}
+
+func TestEPCReplyScalesWithLength(t *testing.T) {
+	lt := ImpinjFastProfile()
+	if lt.EPCReplyDuration(128) <= lt.EPCReplyDuration(96) {
+		t.Fatal("longer EPC must take longer")
+	}
+}
+
+func TestSelectDurationScalesWithMask(t *testing.T) {
+	lt := ImpinjFastProfile()
+	short := SelectCmd{Mask: epc.New([]byte{0xFF})}
+	long := SelectCmd{Mask: epc.New(make([]byte, 12))}
+	if lt.SelectDuration(long) <= lt.SelectDuration(short) {
+		t.Fatal("longer mask must take longer on air")
+	}
+}
+
+func TestT1T2T3Positive(t *testing.T) {
+	lt := ImpinjFastProfile()
+	if lt.T1() <= 0 || lt.T2() <= 0 || lt.T3() <= 0 {
+		t.Fatal("turnaround times must be positive")
+	}
+	// T1 = max(RTcal, 10 Tpri): for the fast profile 10·Tpri = 15.6 µs ≈
+	// RTcal; check T1 is at least both.
+	if lt.T1() < us(lt.RTcalUS) {
+		t.Fatal("T1 must be at least RTcal")
+	}
+}

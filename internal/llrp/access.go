@@ -1,0 +1,282 @@
+package llrp
+
+import (
+	"context"
+	"fmt"
+
+	"tagwatch/internal/epc"
+)
+
+// Access-layer message types (LLRP 1.0.1 §14).
+const (
+	MsgAddAccessSpec             MessageType = 40
+	MsgDeleteAccessSpec          MessageType = 41
+	MsgEnableAccessSpec          MessageType = 42
+	MsgDisableAccessSpec         MessageType = 43
+	MsgAddAccessSpecResponse     MessageType = 50
+	MsgDeleteAccessSpecResponse  MessageType = 51
+	MsgEnableAccessSpecResponse  MessageType = 52
+	MsgDisableAccessSpecResponse MessageType = 53
+)
+
+// Access-layer parameter types.
+const (
+	ParamAccessSpec            ParamType = 207
+	ParamAccessSpecStopTrigger ParamType = 208
+	ParamAccessCommand         ParamType = 209
+	ParamC1G2TagSpec           ParamType = 338
+	ParamC1G2TargetTag         ParamType = 339
+	ParamC1G2Read              ParamType = 341
+	ParamC1G2Write             ParamType = 342
+	ParamC1G2ReadOpSpecResult  ParamType = 349
+	ParamC1G2WriteOpSpecResult ParamType = 350
+)
+
+// OpSpec is one access operation inside an AccessSpec: a C1G2 Read or
+// Write.
+type OpSpec struct {
+	OpSpecID uint16
+	// Write selects C1G2Write; otherwise C1G2Read.
+	Write   bool
+	Bank    epc.MemoryBank
+	WordPtr uint16
+	// WordCount is the read length.
+	WordCount uint16
+	// Data is the write payload.
+	Data []uint16
+}
+
+// TargetTag restricts an AccessSpec to tags whose memory matches the mask
+// (the C1G2TagSpec). A zero TargetTag matches every tag.
+type TargetTag struct {
+	Bank    epc.MemoryBank
+	Pointer uint16
+	Mask    epc.EPC
+}
+
+// IsZero reports whether the target matches everything.
+func (t TargetTag) IsZero() bool { return t.Mask.Bits() == 0 }
+
+// AccessSpec binds access operations to inventory: whenever the bound
+// ROSpec (0 = any) singulates a matching tag, the operations execute and
+// their results ride in the tag report.
+type AccessSpec struct {
+	ID       uint32
+	Antenna  uint16 // 0 = any antenna
+	ROSpecID uint32 // 0 = any ROSpec
+	Target   TargetTag
+	Ops      []OpSpec
+}
+
+func (s AccessSpec) encode(w *Writer) {
+	off := w.tlv(ParamAccessSpec)
+	w.U32(s.ID)
+	w.U16(s.Antenna)
+	w.U8(1) // protocol: C1G2
+	w.U8(0) // current state: disabled on add
+	w.U32(s.ROSpecID)
+	// Stop trigger: null (operate until deleted).
+	so := w.tlv(ParamAccessSpecStopTrigger)
+	w.U8(0)
+	w.U16(0)
+	w.closeTLV(so)
+	co := w.tlv(ParamAccessCommand)
+	// C1G2TagSpec with one target pattern.
+	ts := w.tlv(ParamC1G2TagSpec)
+	tt := w.tlv(ParamC1G2TargetTag)
+	w.U8(uint8(s.Target.Bank)<<6 | 1<<5) // MB + match bit
+	w.U16(s.Target.Pointer)
+	w.U16(uint16(s.Target.Mask.Bits()))
+	w.Raw(s.Target.Mask.Bytes())
+	w.closeTLV(tt)
+	w.closeTLV(ts)
+	for _, op := range s.Ops {
+		if op.Write {
+			wo := w.tlv(ParamC1G2Write)
+			w.U16(op.OpSpecID)
+			w.U32(0) // access password
+			w.U8(uint8(op.Bank) << 6)
+			w.U16(op.WordPtr)
+			w.U16(uint16(len(op.Data)))
+			for _, d := range op.Data {
+				w.U16(d)
+			}
+			w.closeTLV(wo)
+		} else {
+			ro := w.tlv(ParamC1G2Read)
+			w.U16(op.OpSpecID)
+			w.U32(0)
+			w.U8(uint8(op.Bank) << 6)
+			w.U16(op.WordPtr)
+			w.U16(op.WordCount)
+			w.closeTLV(ro)
+		}
+	}
+	w.closeTLV(co)
+	w.closeTLV(off)
+}
+
+// decodeAccessSpec parses an AccessSpec parameter body.
+func decodeAccessSpec(body []byte) (AccessSpec, error) {
+	r := NewReader(body)
+	var s AccessSpec
+	s.ID = r.U32()
+	s.Antenna = r.U16()
+	r.U8() // protocol
+	r.U8() // state
+	s.ROSpecID = r.U32()
+	if err := r.Err(); err != nil {
+		return s, err
+	}
+	for r.Remaining() > 0 {
+		h, ok := r.nextParam()
+		if !ok {
+			break
+		}
+		if h.typ != ParamAccessCommand {
+			continue
+		}
+		cr := NewReader(h.body)
+		for cr.Remaining() > 0 {
+			ch, ok := cr.nextParam()
+			if !ok {
+				break
+			}
+			pr := NewReader(ch.body)
+			switch ch.typ {
+			case ParamC1G2TagSpec:
+				for pr.Remaining() > 0 {
+					th, ok := pr.nextParam()
+					if !ok {
+						break
+					}
+					if th.typ != ParamC1G2TargetTag {
+						continue
+					}
+					tr := NewReader(th.body)
+					mb := tr.U8()
+					s.Target.Bank = epc.MemoryBank(mb >> 6)
+					s.Target.Pointer = tr.U16()
+					bits := int(tr.U16())
+					raw := tr.Raw((bits + 7) / 8)
+					if err := tr.Err(); err != nil {
+						return s, err
+					}
+					mask, err := epc.NewBits(raw, bits)
+					if err != nil {
+						return s, fmt.Errorf("llrp: target tag mask: %w", err)
+					}
+					s.Target.Mask = mask
+				}
+			case ParamC1G2Read:
+				var op OpSpec
+				op.OpSpecID = pr.U16()
+				pr.U32()
+				op.Bank = epc.MemoryBank(pr.U8() >> 6)
+				op.WordPtr = pr.U16()
+				op.WordCount = pr.U16()
+				if err := pr.Err(); err != nil {
+					return s, err
+				}
+				s.Ops = append(s.Ops, op)
+			case ParamC1G2Write:
+				var op OpSpec
+				op.Write = true
+				op.OpSpecID = pr.U16()
+				pr.U32()
+				op.Bank = epc.MemoryBank(pr.U8() >> 6)
+				op.WordPtr = pr.U16()
+				n := int(pr.U16())
+				for i := 0; i < n; i++ {
+					op.Data = append(op.Data, pr.U16())
+				}
+				if err := pr.Err(); err != nil {
+					return s, err
+				}
+				s.Ops = append(s.Ops, op)
+			}
+			if err := pr.Err(); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, r.Err()
+}
+
+// NewAddAccessSpec builds an ADD_ACCESSSPEC message.
+func NewAddAccessSpec(id uint32, spec AccessSpec) Message {
+	w := NewWriter(128)
+	spec.encode(w)
+	return Message{Type: MsgAddAccessSpec, ID: id, Body: w.Bytes()}
+}
+
+// DecodeAddAccessSpec extracts the AccessSpec of an ADD_ACCESSSPEC.
+func DecodeAddAccessSpec(m Message) (AccessSpec, error) {
+	r := NewReader(m.Body)
+	for r.Remaining() > 0 {
+		h, ok := r.nextParam()
+		if !ok {
+			break
+		}
+		if h.typ == ParamAccessSpec {
+			return decodeAccessSpec(h.body)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return AccessSpec{}, err
+	}
+	return AccessSpec{}, fmt.Errorf("llrp: ADD_ACCESSSPEC carries no AccessSpec parameter")
+}
+
+// OpResult is one access-operation outcome inside a tag report.
+type OpResult struct {
+	OpSpecID uint16
+	Write    bool
+	// Result is 0 for success (the C1G2 op-spec result codes).
+	Result       uint8
+	Data         []uint16
+	WordsWritten uint16
+}
+
+// OK reports success.
+func (o OpResult) OK() bool { return o.Result == 0 }
+
+// encodeOpResult appends the result parameter to a tag report body.
+func (o OpResult) encode(w *Writer) {
+	if o.Write {
+		off := w.tlv(ParamC1G2WriteOpSpecResult)
+		w.U8(o.Result)
+		w.U16(o.OpSpecID)
+		w.U16(o.WordsWritten)
+		w.closeTLV(off)
+		return
+	}
+	off := w.tlv(ParamC1G2ReadOpSpecResult)
+	w.U8(o.Result)
+	w.U16(o.OpSpecID)
+	w.U16(uint16(len(o.Data)))
+	for _, d := range o.Data {
+		w.U16(d)
+	}
+	w.closeTLV(off)
+}
+
+// AddAccessSpec installs an AccessSpec on the reader.
+func (c *Conn) AddAccessSpec(ctx context.Context, spec AccessSpec) error {
+	return c.statusOp(ctx, NewAddAccessSpec(0, spec))
+}
+
+// EnableAccessSpec enables an installed AccessSpec.
+func (c *Conn) EnableAccessSpec(ctx context.Context, id uint32) error {
+	return c.statusOp(ctx, NewROSpecOp(MsgEnableAccessSpec, 0, id))
+}
+
+// DisableAccessSpec disables an AccessSpec.
+func (c *Conn) DisableAccessSpec(ctx context.Context, id uint32) error {
+	return c.statusOp(ctx, NewROSpecOp(MsgDisableAccessSpec, 0, id))
+}
+
+// DeleteAccessSpec removes an AccessSpec (0 deletes all).
+func (c *Conn) DeleteAccessSpec(ctx context.Context, id uint32) error {
+	return c.statusOp(ctx, NewROSpecOp(MsgDeleteAccessSpec, 0, id))
+}

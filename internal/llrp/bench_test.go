@@ -1,0 +1,67 @@
+package llrp
+
+import (
+	"math/rand"
+	"testing"
+
+	"tagwatch/internal/epc"
+)
+
+func benchReports(n int) []TagReportData {
+	rng := rand.New(rand.NewSource(1))
+	codes, err := epc.RandomPopulation(rng, n, 96)
+	if err != nil {
+		panic(err)
+	}
+	out := make([]TagReportData, n)
+	for i, c := range codes {
+		out[i] = TagReportData{
+			EPC: c, ROSpecID: 1, AntennaID: uint16(i%4 + 1),
+			PeakRSSIdBm: -60, ChannelIndex: uint16(i%16 + 1),
+			FirstSeenUTC: 1_700_000_000_000_000 + uint64(i),
+			TagSeenCount: 1,
+		}
+		out[i].SetPhaseRadians(float64(i) * 0.1)
+	}
+	return out
+}
+
+func BenchmarkROAccessReportEncode(b *testing.B) {
+	reports := benchReports(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewROAccessReport(uint32(i), reports)
+		if len(m.Body) == 0 {
+			b.Fatal("empty body")
+		}
+	}
+}
+
+func BenchmarkROAccessReportDecode(b *testing.B) {
+	frame := NewROAccessReport(1, benchReports(64)).EncodeFrame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _, err := DecodeFrame(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reports, err := DecodeROAccessReport(m)
+		if err != nil || len(reports) != 64 {
+			b.Fatalf("decode: %v (%d)", err, len(reports))
+		}
+	}
+}
+
+func BenchmarkROSpecRoundTrip(b *testing.B) {
+	spec := makeROSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewAddROSpec(uint32(i), spec)
+		if _, err := DecodeAddROSpec(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package llrp implements the subset of the EPCglobal Low Level Reader
+// Protocol (LLRP 1.0.1) that Tagwatch uses to drive a reader: ROSpec
+// delivery (ADD/ENABLE/START/STOP/DELETE), AISpecs carrying C1G2Filter
+// bitmasks (the Select parameters of §5–6), RO_ACCESS_REPORT tag report
+// streaming with the ImpinJ custom RF-phase extension, reader event
+// notifications, and keepalives.
+//
+// The package provides both halves of the wire: a Client (what Tagwatch
+// runs) and a reader-emulator Server (the stand-in for the ImpinJ R420,
+// backed by the reader simulator). Both speak the real binary protocol
+// over TCP, so the middleware is exercised end-to-end exactly as it would
+// be against hardware.
+//
+// Encoding follows the LLRP binary framing: big-endian, 10-bit message
+// types with a 32-bit length, TLV parameters (6 reserved bits + 10-bit
+// type, 16-bit length) and TV parameters (1 set bit + 7-bit type, fixed
+// length). Decoding is allocation-light in the style of gopacket's
+// DecodingLayer: messages decode into caller-owned structs and report
+// precise errors.
+package llrp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Writer accumulates a big-endian LLRP byte stream. The zero value is
+// ready to use; Bytes returns the accumulated frame.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with capacity preallocated.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the accumulated bytes (not a copy).
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset clears the writer for reuse.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends a big-endian uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+
+// U32 appends a big-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a big-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+
+// Raw appends raw bytes.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// tlv opens a TLV parameter of the given type, returning the offset of the
+// length field; closeTLV backpatches the length.
+func (w *Writer) tlv(typ ParamType) int {
+	w.U16(uint16(typ) & 0x03FF)
+	off := len(w.buf)
+	w.U16(0) // patched by closeTLV
+	return off
+}
+
+// closeTLV backpatches a TLV length to cover [off-2, end).
+func (w *Writer) closeTLV(off int) {
+	binary.BigEndian.PutUint16(w.buf[off:], uint16(len(w.buf)-off+2))
+}
+
+// ErrTruncated is returned when a frame ends before a field completes.
+var ErrTruncated = errors.New("llrp: truncated frame")
+
+// Reader consumes a big-endian LLRP byte stream with sticky error
+// semantics: after the first failure every subsequent read returns zero
+// values, and Err reports the first failure. This keeps decode paths free
+// of per-field error plumbing.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a frame for decoding.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// fail records the first error.
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.buf) {
+		r.fail(fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrTruncated, n, r.off, len(r.buf)))
+		return false
+	}
+	return true
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// Raw reads n raw bytes (referencing the underlying frame, not copying).
+func (r *Reader) Raw(n int) []byte {
+	if n < 0 {
+		r.fail(fmt.Errorf("llrp: negative raw length %d", n))
+		return nil
+	}
+	if !r.need(n) {
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// Skip discards n bytes.
+func (r *Reader) Skip(n int) { r.Raw(n) }
+
+// paramHeader is the decoded header of one parameter.
+type paramHeader struct {
+	typ ParamType
+	// body is the parameter payload (excluding the header) for TLV
+	// parameters; for TV parameters it is the fixed-size value region.
+	body []byte
+	tv   bool
+}
+
+// peekParam decodes the parameter at the cursor without consuming it,
+// returning its header and total wire size.
+func (r *Reader) peekParam() (paramHeader, int, bool) {
+	if r.err != nil || r.Remaining() == 0 {
+		return paramHeader{}, 0, false
+	}
+	first := r.buf[r.off]
+	if first&0x80 != 0 {
+		// TV parameter: 7-bit type, fixed length from the registry.
+		typ := ParamType(first & 0x7F)
+		size, ok := tvSizes[typ]
+		if !ok {
+			r.fail(fmt.Errorf("llrp: unknown TV parameter type %d", typ))
+			return paramHeader{}, 0, false
+		}
+		if r.off+1+size > len(r.buf) {
+			r.fail(fmt.Errorf("%w: TV parameter %d", ErrTruncated, typ))
+			return paramHeader{}, 0, false
+		}
+		return paramHeader{typ: typ, body: r.buf[r.off+1 : r.off+1+size], tv: true}, 1 + size, true
+	}
+	if r.Remaining() < 4 {
+		r.fail(fmt.Errorf("%w: TLV header", ErrTruncated))
+		return paramHeader{}, 0, false
+	}
+	typ := ParamType(binary.BigEndian.Uint16(r.buf[r.off:]) & 0x03FF)
+	length := int(binary.BigEndian.Uint16(r.buf[r.off+2:]))
+	if length < 4 || r.off+length > len(r.buf) {
+		r.fail(fmt.Errorf("%w: TLV parameter %d claims %d bytes, %d remain", ErrTruncated, typ, length, r.Remaining()))
+		return paramHeader{}, 0, false
+	}
+	return paramHeader{typ: typ, body: r.buf[r.off+4 : r.off+length]}, length, true
+}
+
+// nextParam consumes and returns the parameter at the cursor.
+func (r *Reader) nextParam() (paramHeader, bool) {
+	h, size, ok := r.peekParam()
+	if !ok {
+		return paramHeader{}, false
+	}
+	r.off += size
+	return h, true
+}

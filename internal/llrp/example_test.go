@@ -1,0 +1,42 @@
+package llrp_test
+
+import (
+	"fmt"
+
+	"tagwatch/internal/epc"
+	"tagwatch/internal/llrp"
+)
+
+// Example shows the codec round-trip of a selective-reading ROSpec — the
+// message Tagwatch sends to schedule one Phase II bitmask.
+func Example() {
+	mask, _ := epc.MustParse("30f4ab12cd0045e100000001").Slice(0, 16)
+	spec := llrp.ROSpec{
+		ID: 7,
+		Boundary: llrp.ROBoundarySpec{
+			StopTrigger: llrp.StopTriggerDuration,
+			DurationMS:  5000,
+		},
+		AISpecs: []llrp.AISpec{{
+			AntennaIDs:  []uint16{0}, // all antennas
+			StopTrigger: llrp.AISpecStopTrigger{Type: llrp.AIStopDuration, DurationMS: 100},
+			Inventories: []llrp.InventoryParameterSpec{{
+				ID: 1,
+				Commands: []llrp.C1G2InventoryCommand{{
+					Session: 1,
+					Filters: []llrp.C1G2Filter{{Mask: llrp.C1G2TagInventoryMask{
+						MemBank: epc.BankEPC,
+						Pointer: epc.EPCWordOffset,
+						Mask:    mask,
+					}}},
+				}},
+			}},
+		}},
+	}
+	msg := llrp.NewAddROSpec(1, spec)
+	fmt.Println(msg.Summarize())
+	fmt.Printf("frame: %d bytes on the wire\n", len(msg.EncodeFrame()))
+	// Output:
+	// ADD_ROSPEC id=1 rospec=7 aispecs=1 filter=30f4@32/16b
+	// frame: 99 bytes on the wire
+}

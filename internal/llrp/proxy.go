@@ -1,0 +1,119 @@
+package llrp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is a transparent LLRP man-in-the-middle for wire debugging: it
+// accepts client connections, forwards every frame to the upstream reader
+// and back, and emits a decoded one-line summary per frame — the
+// equivalent of a protocol-aware tcpdump for LLRP. cmd/llrpsniff wraps it.
+type Proxy struct {
+	// Upstream is the real reader's address.
+	Upstream string
+	// Log receives one line per frame; defaults to discarding.
+	Log func(direction string, m Message)
+
+	lis    net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewProxy builds a proxy toward the upstream reader.
+func NewProxy(upstream string, logFn func(direction string, m Message)) *Proxy {
+	return &Proxy{Upstream: upstream, Log: logFn, closed: make(chan struct{})}
+}
+
+// Listen binds addr and starts accepting clients.
+func (p *Proxy) Listen(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("llrp: proxy listen %s: %w", addr, err)
+	}
+	p.lis = lis
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return lis.Addr(), nil
+}
+
+// Close stops the proxy and waits for its goroutines.
+func (p *Proxy) Close() error {
+	p.once.Do(func() { close(p.closed) })
+	if p.lis != nil {
+		p.lis.Close()
+	}
+	p.wg.Wait()
+	return nil
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.lis.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.serve(client)
+		}()
+	}
+}
+
+// serve bridges one client to a fresh upstream connection.
+func (p *Proxy) serve(client net.Conn) {
+	defer client.Close()
+	upstream, err := net.DialTimeout("tcp", p.Upstream, 10*time.Second)
+	if err != nil {
+		return
+	}
+	defer upstream.Close()
+
+	done := make(chan struct{}, 2)
+	go func() {
+		p.pump(client, upstream, "→reader")
+		done <- struct{}{}
+	}()
+	go func() {
+		p.pump(upstream, client, "←reader")
+		done <- struct{}{}
+	}()
+	select {
+	case <-done:
+	case <-p.closed:
+	}
+}
+
+// pump copies frames from src to dst, logging each.
+func (p *Proxy) pump(src, dst net.Conn, direction string) {
+	hdr := make([]byte, headerSize)
+	for {
+		if _, err := io.ReadFull(src, hdr); err != nil {
+			return
+		}
+		length := int(binary.BigEndian.Uint32(hdr[2:]))
+		if length < headerSize || length > 64<<20 {
+			return
+		}
+		frame := make([]byte, length)
+		copy(frame, hdr)
+		if _, err := io.ReadFull(src, frame[headerSize:]); err != nil {
+			return
+		}
+		if p.Log != nil {
+			if m, _, err := DecodeFrame(frame); err == nil {
+				p.Log(direction, m)
+			}
+		}
+		if _, err := dst.Write(frame); err != nil {
+			return
+		}
+	}
+}

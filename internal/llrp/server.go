@@ -1,0 +1,670 @@
+package llrp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"tagwatch/internal/epc"
+	"tagwatch/internal/gen2"
+	"tagwatch/internal/reader"
+)
+
+// ServerConfig tunes the reader emulator.
+type ServerConfig struct {
+	// TimeScale converts virtual reader time into wall-clock pacing: 1.0
+	// emulates real time, 0 free-runs as fast as the simulator can go
+	// (the default for experiments).
+	TimeScale float64
+	// KeepaliveEvery sends periodic KEEPALIVE messages when positive.
+	KeepaliveEvery time.Duration
+}
+
+// Server is the LLRP reader emulator: the stand-in for the ImpinJ R420.
+// It accepts one LLRP client at a time, executes ROSpecs against the
+// embedded reader-simulator engine, and streams RO_ACCESS_REPORTs with
+// ImpinJ-style phase reporting.
+type Server struct {
+	cfg    ServerConfig
+	engine *reader.Reader
+	lis    net.Listener
+
+	mu          sync.Mutex
+	rospecs     map[uint32]*rospecEntry
+	accessSpecs map[uint32]*accessEntry
+	baseUTC     time.Time
+
+	closed  chan struct{}
+	closeMu sync.Once
+	wg      sync.WaitGroup
+
+	// clientMu guards the single-controller rule: LLRP readers accept one
+	// controlling client; later connections are refused with
+	// ConnFailedReaderInUse.
+	clientMu  sync.Mutex
+	hasClient bool
+}
+
+type rospecEntry struct {
+	spec    ROSpec
+	enabled bool
+	stop    chan struct{} // non-nil while running
+	done    chan struct{}
+}
+
+type accessEntry struct {
+	spec    AccessSpec
+	enabled bool
+}
+
+// NewServer builds a reader emulator over a simulator engine.
+func NewServer(engine *reader.Reader, cfg ServerConfig) *Server {
+	return &Server{
+		cfg:         cfg,
+		engine:      engine,
+		rospecs:     make(map[uint32]*rospecEntry),
+		accessSpecs: make(map[uint32]*accessEntry),
+		baseUTC:     time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC),
+		closed:      make(chan struct{}),
+	}
+}
+
+// Engine exposes the embedded simulator (tests inspect its stats and
+// virtual clock).
+func (s *Server) Engine() *reader.Reader { return s.engine }
+
+// Listen binds the given address ("127.0.0.1:0" for an ephemeral port) and
+// starts accepting connections. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("llrp: listen %s: %w", addr, err)
+	}
+	s.lis = lis
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return lis.Addr(), nil
+}
+
+// Close shuts the server down and waits for its goroutines.
+func (s *Server) Close() error {
+	s.closeMu.Do(func() { close(s.closed) })
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	s.stopAll()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(nc)
+		}()
+	}
+}
+
+// serverConn serialises writes from the message handler and the ROSpec
+// runner, and carries the per-connection keepalive control.
+type serverConn struct {
+	nc   net.Conn
+	mu   sync.Mutex
+	kaCh chan time.Duration
+}
+
+func (c *serverConn) send(m Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.nc.Write(m.EncodeFrame())
+	return err
+}
+
+func (s *Server) nowUTC() uint64 {
+	return uint64(s.baseUTC.UnixMicro()) + uint64(s.engine.Now()/time.Microsecond)
+}
+
+func (s *Server) serve(nc net.Conn) {
+	defer nc.Close()
+	conn := &serverConn{nc: nc, kaCh: make(chan time.Duration, 1)}
+
+	s.clientMu.Lock()
+	if s.hasClient {
+		s.clientMu.Unlock()
+		st := ConnFailedReaderInUse
+		conn.send(NewReaderEventNotification(0, UTCTimestamp{Microseconds: s.nowUTC()}, &st))
+		return
+	}
+	s.hasClient = true
+	s.clientMu.Unlock()
+	defer func() {
+		s.clientMu.Lock()
+		s.hasClient = false
+		s.clientMu.Unlock()
+	}()
+	defer s.stopAll()
+
+	st := ConnSuccess
+	if err := conn.send(NewReaderEventNotification(0, UTCTimestamp{Microseconds: s.nowUTC()}, &st)); err != nil {
+		return
+	}
+
+	// Keepalive manager: the period starts from the server default and is
+	// reconfigurable at runtime via SET_READER_CONFIG's KeepaliveSpec.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		period := s.cfg.KeepaliveEvery
+		var tick <-chan time.Time
+		var ticker *time.Ticker
+		restart := func() {
+			if ticker != nil {
+				ticker.Stop()
+				ticker = nil
+				tick = nil
+			}
+			if period > 0 {
+				ticker = time.NewTicker(period)
+				tick = ticker.C
+			}
+		}
+		restart()
+		defer restart() // stops any live ticker on exit (period forced 0)
+		var id uint32 = 1 << 24
+		for {
+			select {
+			case p := <-conn.kaCh:
+				period = p
+				restart()
+			case <-tick:
+				id++
+				if conn.send(NewKeepalive(id)) != nil {
+					return
+				}
+			case <-stop:
+				period = 0
+				return
+			case <-s.closed:
+				period = 0
+				return
+			}
+		}
+	}()
+
+	hdr := make([]byte, headerSize)
+	for {
+		if _, err := io.ReadFull(nc, hdr); err != nil {
+			return
+		}
+		length := int(binary.BigEndian.Uint32(hdr[2:]))
+		if length < headerSize || length > 64<<20 {
+			return
+		}
+		frame := make([]byte, length)
+		copy(frame, hdr)
+		if _, err := io.ReadFull(nc, frame[headerSize:]); err != nil {
+			return
+		}
+		msg, _, err := DecodeFrame(frame)
+		if err != nil {
+			return
+		}
+		if closeAfter := s.handle(conn, msg); closeAfter {
+			return
+		}
+	}
+}
+
+// handle processes one client message; it returns true when the connection
+// should close.
+func (s *Server) handle(conn *serverConn, msg Message) bool {
+	ok := LLRPStatus{Code: StatusSuccess}
+	switch msg.Type {
+	case MsgAddROSpec:
+		spec, err := DecodeAddROSpec(msg)
+		status := ok
+		if err != nil {
+			status = LLRPStatus{Code: StatusParamError, Description: err.Error()}
+		} else {
+			s.mu.Lock()
+			if _, dup := s.rospecs[spec.ID]; dup {
+				status = LLRPStatus{Code: StatusFieldError, Description: fmt.Sprintf("ROSpec %d exists", spec.ID)}
+			} else {
+				s.rospecs[spec.ID] = &rospecEntry{spec: spec}
+			}
+			s.mu.Unlock()
+		}
+		conn.send(NewStatusResponse(MsgAddROSpecResponse, msg.ID, status))
+
+	case MsgEnableROSpec:
+		id, _ := ROSpecIDOf(msg)
+		status := ok
+		s.mu.Lock()
+		e, exists := s.rospecs[id]
+		if !exists {
+			status = LLRPStatus{Code: StatusFieldError, Description: fmt.Sprintf("no ROSpec %d", id)}
+		} else {
+			e.enabled = true
+		}
+		s.mu.Unlock()
+		conn.send(NewStatusResponse(MsgEnableROSpecResponse, msg.ID, status))
+		if exists && e.spec.Boundary.StartTrigger == StartTriggerImmediate {
+			s.startROSpec(conn, id)
+		}
+
+	case MsgStartROSpec:
+		id, _ := ROSpecIDOf(msg)
+		status := ok
+		if err := s.startROSpec(conn, id); err != nil {
+			status = LLRPStatus{Code: StatusFieldError, Description: err.Error()}
+		}
+		conn.send(NewStatusResponse(MsgStartROSpecResponse, msg.ID, status))
+
+	case MsgStopROSpec:
+		id, _ := ROSpecIDOf(msg)
+		s.stopROSpec(id)
+		conn.send(NewStatusResponse(MsgStopROSpecResponse, msg.ID, ok))
+
+	case MsgDisableROSpec:
+		id, _ := ROSpecIDOf(msg)
+		s.stopROSpec(id)
+		s.mu.Lock()
+		if e, exists := s.rospecs[id]; exists {
+			e.enabled = false
+		}
+		s.mu.Unlock()
+		conn.send(NewStatusResponse(MsgDisableROSpecResponse, msg.ID, ok))
+
+	case MsgDeleteROSpec:
+		id, _ := ROSpecIDOf(msg)
+		if id == 0 {
+			s.stopAll()
+			s.mu.Lock()
+			s.rospecs = make(map[uint32]*rospecEntry)
+			s.mu.Unlock()
+		} else {
+			s.stopROSpec(id)
+			s.mu.Lock()
+			delete(s.rospecs, id)
+			s.mu.Unlock()
+		}
+		conn.send(NewStatusResponse(MsgDeleteROSpecResponse, msg.ID, ok))
+
+	case MsgSetReaderConfig:
+		status := ok
+		if ka, err := DecodeSetReaderConfig(msg); err != nil {
+			status = LLRPStatus{Code: StatusParamError, Description: err.Error()}
+		} else if ka != nil {
+			period := time.Duration(0)
+			if ka.Periodic {
+				period = ka.Period
+			}
+			select {
+			case conn.kaCh <- period:
+			default:
+			}
+		}
+		conn.send(NewStatusResponse(MsgSetReaderConfigResponse, msg.ID, status))
+
+	case MsgGetReaderCapabilities:
+		caps := Capabilities{
+			MaxAntennas:              uint16(len(s.engine.Scene().Antennas)),
+			ManufacturerPEN:          ImpinjPEN,
+			Model:                    420, // Speedway R420 stand-in
+			MaxSelectFiltersPerQuery: 8,
+			SupportsPhaseReporting:   true,
+		}
+		conn.send(NewGetReaderCapabilitiesResponse(msg.ID, ok, caps))
+
+	case MsgAddAccessSpec:
+		spec, err := DecodeAddAccessSpec(msg)
+		status := ok
+		if err != nil {
+			status = LLRPStatus{Code: StatusParamError, Description: err.Error()}
+		} else {
+			s.mu.Lock()
+			if _, dup := s.accessSpecs[spec.ID]; dup {
+				status = LLRPStatus{Code: StatusFieldError, Description: fmt.Sprintf("AccessSpec %d exists", spec.ID)}
+			} else {
+				s.accessSpecs[spec.ID] = &accessEntry{spec: spec}
+			}
+			s.mu.Unlock()
+		}
+		conn.send(NewStatusResponse(MsgAddAccessSpecResponse, msg.ID, status))
+
+	case MsgEnableAccessSpec, MsgDisableAccessSpec:
+		id, _ := ROSpecIDOf(msg)
+		status := ok
+		respType := MsgEnableAccessSpecResponse
+		enable := msg.Type == MsgEnableAccessSpec
+		if !enable {
+			respType = MsgDisableAccessSpecResponse
+		}
+		s.mu.Lock()
+		if e, exists := s.accessSpecs[id]; exists {
+			e.enabled = enable
+		} else {
+			status = LLRPStatus{Code: StatusFieldError, Description: fmt.Sprintf("no AccessSpec %d", id)}
+		}
+		s.mu.Unlock()
+		conn.send(NewStatusResponse(respType, msg.ID, status))
+
+	case MsgDeleteAccessSpec:
+		id, _ := ROSpecIDOf(msg)
+		s.mu.Lock()
+		if id == 0 {
+			s.accessSpecs = make(map[uint32]*accessEntry)
+		} else {
+			delete(s.accessSpecs, id)
+		}
+		s.mu.Unlock()
+		conn.send(NewStatusResponse(MsgDeleteAccessSpecResponse, msg.ID, ok))
+
+	case MsgKeepaliveAck:
+		// nothing to do
+
+	case MsgCloseConnection:
+		conn.send(NewStatusResponse(MsgCloseConnectionResponse, msg.ID, ok))
+		return true
+
+	default:
+		conn.send(NewStatusResponse(MsgErrorMessage, msg.ID,
+			LLRPStatus{Code: StatusUnsupported, Description: fmt.Sprintf("message type %d", msg.Type)}))
+	}
+	return false
+}
+
+// startROSpec launches the runner goroutine for an enabled ROSpec.
+func (s *Server) startROSpec(conn *serverConn, id uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, exists := s.rospecs[id]
+	if !exists {
+		return fmt.Errorf("no ROSpec %d", id)
+	}
+	if !e.enabled {
+		return fmt.Errorf("ROSpec %d is disabled", id)
+	}
+	if e.stop != nil {
+		return nil // already running
+	}
+	for _, other := range s.rospecs {
+		if other != e && other.stop != nil {
+			return errors.New("another ROSpec is active")
+		}
+	}
+	e.stop = make(chan struct{})
+	e.done = make(chan struct{})
+	s.wg.Add(1)
+	go s.runROSpec(conn, e)
+	return nil
+}
+
+// stopROSpec signals a running ROSpec to stop and waits for it.
+func (s *Server) stopROSpec(id uint32) {
+	s.mu.Lock()
+	e, exists := s.rospecs[id]
+	var stop, done chan struct{}
+	if exists && e.stop != nil {
+		stop, done = e.stop, e.done
+		e.stop, e.done = nil, nil
+	}
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// stopAll stops every running ROSpec.
+func (s *Server) stopAll() {
+	s.mu.Lock()
+	ids := make([]uint32, 0, len(s.rospecs))
+	for id := range s.rospecs {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		s.stopROSpec(id)
+	}
+}
+
+// filterToSelect converts an LLRP C1G2Filter into the reader engine's
+// Select command.
+func filterToSelect(f C1G2Filter) gen2.SelectCmd {
+	return gen2.SelectCmd{
+		MemBank: f.Mask.MemBank,
+		Pointer: int(f.Mask.Pointer),
+		Mask:    f.Mask.Mask,
+	}
+}
+
+// runROSpec executes the ROSpec until its stop trigger fires or it is
+// stopped. AISpecs run in order and the list repeats (the LLRP execution
+// model); each round's reads stream out as one RO_ACCESS_REPORT.
+func (s *Server) runROSpec(conn *serverConn, e *rospecEntry) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		if e.done != nil {
+			close(e.done)
+			e.stop, e.done = nil, nil
+		}
+		s.mu.Unlock()
+	}()
+	stop := e.stop
+	spec := e.spec
+	var evID uint32 = 1 << 20
+	evID += spec.ID
+	conn.send(NewROSpecEventNotification(evID, UTCTimestamp{Microseconds: s.nowUTC()},
+		ROSpecEvent{Type: ROSpecStarted, ROSpecID: spec.ID}))
+	defer func() {
+		conn.send(NewROSpecEventNotification(evID+1, UTCTimestamp{Microseconds: s.nowUTC()},
+			ROSpecEvent{Type: ROSpecEnded, ROSpecID: spec.ID}))
+	}()
+
+	var specDeadline time.Duration
+	if spec.Boundary.StopTrigger == StopTriggerDuration {
+		specDeadline = s.engine.Now() + time.Duration(spec.Boundary.DurationMS)*time.Millisecond
+	}
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		case <-s.closed:
+			return true
+		default:
+			return false
+		}
+	}
+
+	var reportID uint32
+	var pending []TagReportData
+	batchN := 0
+	if spec.Report != nil && spec.Report.Trigger == ReportEveryN && spec.Report.N > 0 {
+		batchN = int(spec.Report.N)
+	}
+	flush := func() bool {
+		if len(pending) == 0 {
+			return true
+		}
+		reportID++
+		err := conn.send(NewROAccessReport(reportID, pending))
+		pending = pending[:0]
+		return err == nil
+	}
+	defer flush()
+	for {
+		if stopped() {
+			return
+		}
+		if specDeadline > 0 && s.engine.Now() >= specDeadline {
+			return
+		}
+		progressed := false
+		for _, ai := range spec.AISpecs {
+			if stopped() {
+				return
+			}
+			aiDeadline := s.engine.Now()
+			if ai.StopTrigger.Type == AIStopDuration {
+				aiDeadline += time.Duration(ai.StopTrigger.DurationMS) * time.Millisecond
+			}
+			var filters []gen2.SelectCmd
+			for _, inv := range ai.Inventories {
+				for _, cmd := range inv.Commands {
+					for _, f := range cmd.Filters {
+						filters = append(filters, filterToSelect(f))
+					}
+				}
+			}
+			antennas := ai.AntennaIDs
+			if len(antennas) == 0 || (len(antennas) == 1 && antennas[0] == 0) {
+				antennas = nil
+				for _, a := range s.engine.Scene().Antennas {
+					antennas = append(antennas, uint16(a.ID))
+				}
+			}
+			// Run at least one pass; with a duration trigger keep cycling
+			// rounds until the virtual deadline.
+			for pass := 0; ; pass++ {
+				if stopped() {
+					return
+				}
+				if specDeadline > 0 && s.engine.Now() >= specDeadline {
+					return
+				}
+				if ai.StopTrigger.Type == AIStopDuration && pass > 0 && s.engine.Now() >= aiDeadline {
+					break
+				}
+				for _, ant := range antennas {
+					budget := time.Duration(0)
+					if ai.StopTrigger.Type == AIStopDuration {
+						budget = aiDeadline - s.engine.Now()
+						if budget <= 0 {
+							break
+						}
+					}
+					accessOps, accessFilter := s.accessOpsFor(spec.ID, ant)
+					reads, d := s.engine.RunRound(reader.RoundOpts{
+						Antenna:      int(ant),
+						Filters:      filters,
+						Budget:       budget,
+						Access:       accessOps,
+						AccessFilter: accessFilter,
+					})
+					progressed = true
+					if len(reads) > 0 {
+						pending = append(pending, s.toReports(spec.ID, reads)...)
+						if batchN == 0 || len(pending) >= batchN {
+							if !flush() {
+								return
+							}
+						}
+					}
+					if s.cfg.TimeScale > 0 {
+						time.Sleep(time.Duration(float64(d) * s.cfg.TimeScale))
+					}
+				}
+				if ai.StopTrigger.Type != AIStopDuration {
+					break // null trigger: one pass, then next AISpec
+				}
+			}
+		}
+		if !progressed {
+			// A spec with no executable AISpecs would spin; bail out.
+			return
+		}
+	}
+}
+
+// accessOpsFor collects the enabled AccessSpecs bound to this ROSpec and
+// antenna, compiled into reader operations plus a tag filter. LLRP allows
+// several AccessSpecs; the emulator applies the first matching one per
+// round (the common deployment shape).
+func (s *Server) accessOpsFor(rospecID uint32, antenna uint16) ([]reader.AccessOp, func(*epc.Memory) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.accessSpecs {
+		if !e.enabled {
+			continue
+		}
+		if e.spec.ROSpecID != 0 && e.spec.ROSpecID != rospecID {
+			continue
+		}
+		if e.spec.Antenna != 0 && e.spec.Antenna != antenna {
+			continue
+		}
+		ops := make([]reader.AccessOp, 0, len(e.spec.Ops))
+		for _, op := range e.spec.Ops {
+			kind := reader.AccessRead
+			if op.Write {
+				kind = reader.AccessWrite
+			}
+			ops = append(ops, reader.AccessOp{
+				OpSpecID:  op.OpSpecID,
+				Kind:      kind,
+				Bank:      op.Bank,
+				WordPtr:   int(op.WordPtr),
+				WordCount: int(op.WordCount),
+				Data:      op.Data,
+			})
+		}
+		target := e.spec.Target
+		var filter func(*epc.Memory) bool
+		if !target.IsZero() {
+			filter = func(m *epc.Memory) bool {
+				return m.Match(target.Bank, int(target.Pointer), target.Mask)
+			}
+		}
+		return ops, filter
+	}
+	return nil, nil
+}
+
+// toReports converts simulator reads into wire tag reports.
+func (s *Server) toReports(rospecID uint32, reads []reader.TagRead) []TagReportData {
+	out := make([]TagReportData, len(reads))
+	base := uint64(s.baseUTC.UnixMicro())
+	for i, rd := range reads {
+		tr := TagReportData{
+			EPC:          rd.EPC,
+			ROSpecID:     rospecID,
+			AntennaID:    uint16(rd.Antenna),
+			ChannelIndex: uint16(rd.Channel + 1), // LLRP channel indices are 1-based
+			FirstSeenUTC: base + uint64(rd.Time/time.Microsecond),
+			TagSeenCount: 1,
+		}
+		rssi := rd.RSSdBm
+		if rssi < -128 {
+			rssi = -128
+		}
+		if rssi > 127 {
+			rssi = 127
+		}
+		tr.PeakRSSIdBm = int8(rssi)
+		tr.SetPhaseRadians(rd.PhaseRad)
+		for _, a := range rd.Access {
+			res := OpResult{OpSpecID: a.OpSpecID, Write: a.Write}
+			if !a.OK {
+				res.Result = 1 // non-specific error
+			}
+			res.Data = a.Data
+			res.WordsWritten = uint16(a.WordsWritten)
+			tr.OpResults = append(tr.OpResults, res)
+		}
+		out[i] = tr
+	}
+	return out
+}

@@ -1,0 +1,912 @@
+package llrp
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tagwatch/internal/epc"
+	"tagwatch/internal/reader"
+	"tagwatch/internal/rf"
+	"tagwatch/internal/scene"
+)
+
+// startTestServer spins up a reader emulator over a small scene and
+// returns a connected client.
+func startTestServer(t *testing.T, seed int64, n int) (*Conn, *Server, []epc.EPC) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	scn := scene.New(rf.NewChannel(rf.DefaultParams(), rng), rng)
+	scn.AddAntenna(rf.Pt(0, 0, 2))
+	codes, err := epc.RandomPopulation(rng, n, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range codes {
+		scn.AddTag(c, scene.Stationary{P: rf.Pt(0.5+float64(i%8)*0.3, 0.5+float64(i/8)*0.3, 0)})
+	}
+	eng := reader.New(reader.DefaultConfig(), scn)
+	srv := NewServer(eng, ServerConfig{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	conn, err := Dial(ctx, addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, srv, codes
+}
+
+// collectReports drains tag reports until idle for the given window or the
+// deadline passes.
+func collectReports(conn *Conn, idle, deadline time.Duration) []TagReportData {
+	var out []TagReportData
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	for {
+		select {
+		case batch, ok := <-conn.Reports():
+			if !ok {
+				return out
+			}
+			out = append(out, batch...)
+		case <-time.After(idle):
+			return out
+		case <-timer.C:
+			return out
+		}
+	}
+}
+
+func basicROSpec(id uint32, durMS uint32) ROSpec {
+	return ROSpec{
+		ID: id,
+		Boundary: ROBoundarySpec{
+			StartTrigger: StartTriggerNull,
+			StopTrigger:  StopTriggerDuration,
+			DurationMS:   durMS,
+		},
+		AISpecs: []AISpec{{
+			AntennaIDs:  []uint16{1},
+			StopTrigger: AISpecStopTrigger{Type: AIStopDuration, DurationMS: durMS},
+			Inventories: []InventoryParameterSpec{{ID: 1, Commands: []C1G2InventoryCommand{{Session: 1, InitialQ: 4}}}},
+		}},
+	}
+}
+
+func TestEndToEndInventoryOverTCP(t *testing.T) {
+	conn, _, codes := startTestServer(t, 1, 8)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	spec := basicROSpec(1, 500) // 500 ms of virtual inventory
+	if err := conn.AddROSpec(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.EnableROSpec(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.StartROSpec(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	reports := collectReports(conn, 300*time.Millisecond, 3*time.Second)
+	if err := conn.StopROSpec(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[epc.EPC]int{}
+	for _, r := range reports {
+		seen[r.EPC]++
+		if r.AntennaID != 1 {
+			t.Fatalf("report from antenna %d", r.AntennaID)
+		}
+		if !r.HasPhase {
+			t.Fatal("phase reporting must be on")
+		}
+		if r.ChannelIndex < 1 || r.ChannelIndex > 16 {
+			t.Fatalf("channel index %d out of 1..16", r.ChannelIndex)
+		}
+		if r.PeakRSSIdBm >= 0 || r.PeakRSSIdBm < -100 {
+			t.Fatalf("implausible RSSI %d", r.PeakRSSIdBm)
+		}
+	}
+	for _, c := range codes {
+		// 500 ms at ≈20+ rounds/s of 8 tags: every tag read several times.
+		if seen[c] < 3 {
+			t.Fatalf("tag %s read %d times over 500 virtual ms", c, seen[c])
+		}
+	}
+}
+
+func TestSelectiveReadingOverTCP(t *testing.T) {
+	conn, _, codes := startTestServer(t, 2, 10)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	target := codes[3]
+	spec := basicROSpec(2, 300)
+	spec.AISpecs[0].Inventories[0].Commands[0].Filters = []C1G2Filter{{
+		Mask: C1G2TagInventoryMask{
+			MemBank: epc.BankEPC,
+			Pointer: epc.EPCWordOffset,
+			Mask:    target,
+		},
+	}}
+	if err := conn.AddROSpec(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.EnableROSpec(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.StartROSpec(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	reports := collectReports(conn, 300*time.Millisecond, 3*time.Second)
+	if len(reports) == 0 {
+		t.Fatal("no reports for selective reading")
+	}
+	for _, r := range reports {
+		if r.EPC != target {
+			t.Fatalf("selective reading leaked tag %s", r.EPC)
+		}
+	}
+}
+
+func TestImmediateStartTrigger(t *testing.T) {
+	conn, _, _ := startTestServer(t, 3, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	spec := basicROSpec(3, 200)
+	spec.Boundary.StartTrigger = StartTriggerImmediate
+	if err := conn.AddROSpec(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	// Enable alone must start it.
+	if err := conn.EnableROSpec(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	reports := collectReports(conn, 300*time.Millisecond, 3*time.Second)
+	if len(reports) == 0 {
+		t.Fatal("immediate trigger did not start inventory")
+	}
+}
+
+func TestROSpecLifecycleErrors(t *testing.T) {
+	conn, _, _ := startTestServer(t, 4, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// Start before add.
+	if err := conn.StartROSpec(ctx, 9); err == nil {
+		t.Fatal("starting an unknown ROSpec must fail")
+	}
+	// Enable unknown.
+	if err := conn.EnableROSpec(ctx, 9); err == nil {
+		t.Fatal("enabling an unknown ROSpec must fail")
+	}
+	spec := basicROSpec(9, 100)
+	if err := conn.AddROSpec(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate add.
+	if err := conn.AddROSpec(ctx, spec); err == nil {
+		t.Fatal("duplicate ADD_ROSPEC must fail")
+	}
+	// Start while disabled.
+	if err := conn.StartROSpec(ctx, 9); err == nil {
+		t.Fatal("starting a disabled ROSpec must fail")
+	}
+	// Delete clears it; re-add succeeds.
+	if err := conn.DeleteROSpec(ctx, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.AddROSpec(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	// DeleteROSpec(0) wipes everything.
+	if err := conn.DeleteROSpec(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.EnableROSpec(ctx, 9); err == nil {
+		t.Fatal("ROSpec must be gone after delete-all")
+	}
+}
+
+func TestStopROSpecHaltsReports(t *testing.T) {
+	conn, _, _ := startTestServer(t, 5, 6)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	spec := basicROSpec(4, 60_000) // long-running
+	if err := conn.AddROSpec(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.EnableROSpec(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.StartROSpec(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Let it produce something, then stop.
+	collectReports(conn, 50*time.Millisecond, 500*time.Millisecond)
+	if err := conn.StopROSpec(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Drain anything in flight, then confirm silence.
+	collectReports(conn, 100*time.Millisecond, 500*time.Millisecond)
+	after := collectReports(conn, 150*time.Millisecond, 300*time.Millisecond)
+	if len(after) != 0 {
+		t.Fatalf("reports continued after STOP_ROSPEC: %d", len(after))
+	}
+}
+
+func TestKeepaliveAutoAck(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	scn := scene.New(rf.NewChannel(rf.DefaultParams(), rng), rng)
+	scn.AddAntenna(rf.Pt(0, 0, 2))
+	eng := reader.New(reader.DefaultConfig(), scn)
+	srv := NewServer(eng, ServerConfig{KeepaliveEvery: 30 * time.Millisecond})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	conn, err := Dial(ctx, addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Survive several keepalive cycles: the connection stays healthy only
+	// if the client acks (a real reader would disconnect otherwise; here we
+	// just verify no error surfaces and requests still work).
+	time.Sleep(150 * time.Millisecond)
+	if err := conn.AddROSpec(ctx, basicROSpec(1, 10)); err != nil {
+		t.Fatalf("connection unhealthy after keepalives: %v", err)
+	}
+}
+
+func TestCloseConnection(t *testing.T) {
+	conn, _, _ := startTestServer(t, 7, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := conn.CloseConnection(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !conn.WaitClosed(time.Second) {
+		t.Fatal("connection must close after CLOSE_CONNECTION")
+	}
+	// Post-close operations fail cleanly.
+	if err := conn.AddROSpec(ctx, basicROSpec(8, 10)); err == nil {
+		t.Fatal("operations on a closed connection must fail")
+	}
+}
+
+func TestUnsupportedMessage(t *testing.T) {
+	conn, _, _ := startTestServer(t, 8, 2)
+	// Hand-roll an unsupported message type and check the server answers
+	// with ERROR_MESSAGE rather than dying.
+	raw := Message{Type: MessageType(999), ID: 1234}
+	if err := conn.send(raw); err != nil {
+		t.Fatal(err)
+	}
+	// The connection must still be usable.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := conn.AddROSpec(ctx, basicROSpec(5, 10)); err != nil {
+		t.Fatalf("connection broken after unsupported message: %v", err)
+	}
+}
+
+func TestVirtualTimestampsAdvance(t *testing.T) {
+	conn, srv, _ := startTestServer(t, 9, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := conn.AddROSpec(ctx, basicROSpec(1, 400)); err != nil {
+		t.Fatal(err)
+	}
+	conn.EnableROSpec(ctx, 1)
+	conn.StartROSpec(ctx, 1)
+	reports := collectReports(conn, 300*time.Millisecond, 3*time.Second)
+	if len(reports) < 2 {
+		t.Fatalf("want several reports, got %d", len(reports))
+	}
+	var minTS, maxTS uint64
+	for i, r := range reports {
+		if i == 0 || r.FirstSeenUTC < minTS {
+			minTS = r.FirstSeenUTC
+		}
+		if r.FirstSeenUTC > maxTS {
+			maxTS = r.FirstSeenUTC
+		}
+	}
+	span := time.Duration(maxTS-minTS) * time.Microsecond
+	if span <= 0 || span > time.Second {
+		t.Fatalf("virtual span = %v, want within the 400 ms spec duration", span)
+	}
+	if srv.Engine().Now() < 300*time.Millisecond {
+		t.Fatalf("engine clock advanced only %v", srv.Engine().Now())
+	}
+}
+
+func TestGetCapabilitiesOverTCP(t *testing.T) {
+	conn, _, _ := startTestServer(t, 20, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	caps, err := conn.GetCapabilities(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps.MaxAntennas != 1 {
+		t.Fatalf("antennas = %d", caps.MaxAntennas)
+	}
+	if caps.ManufacturerPEN != ImpinjPEN || !caps.SupportsPhaseReporting {
+		t.Fatalf("capabilities: %+v", caps)
+	}
+	if caps.MaxSelectFiltersPerQuery < 1 {
+		t.Fatal("filter capability missing")
+	}
+}
+
+func TestROSpecEndEventDelivered(t *testing.T) {
+	conn, _, _ := startTestServer(t, 21, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	spec := basicROSpec(6, 100) // ends itself after 100 virtual ms
+	if err := conn.AddROSpec(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	conn.EnableROSpec(ctx, 6)
+	conn.StartROSpec(ctx, 6)
+	var started, ended bool
+	deadline := time.After(3 * time.Second)
+	for !ended {
+		select {
+		case ev, ok := <-conn.Events():
+			if !ok {
+				t.Fatal("event stream died")
+			}
+			if ev.ROSpec == nil || ev.ROSpec.ROSpecID != 6 {
+				continue
+			}
+			switch ev.ROSpec.Type {
+			case ROSpecStarted:
+				started = true
+			case ROSpecEnded:
+				ended = true
+			}
+		case <-conn.Reports():
+			// drain
+		case <-deadline:
+			t.Fatal("no ROSpec end event within 3 s")
+		}
+	}
+	if !started {
+		t.Fatal("start event missing")
+	}
+}
+
+func TestMultiFilterIntersectionOverTCP(t *testing.T) {
+	// Two filters in one inventory command intersect: only tags matching
+	// BOTH windows are read.
+	conn, srv, codes := startTestServer(t, 22, 12)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	target := codes[5]
+	maskA, err := target.Slice(0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maskB, err := target.Slice(40, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := basicROSpec(7, 300)
+	spec.AISpecs[0].Inventories[0].Commands[0].Filters = []C1G2Filter{
+		{Mask: C1G2TagInventoryMask{MemBank: epc.BankEPC, Pointer: epc.EPCWordOffset + 0, Mask: maskA}},
+		{Mask: C1G2TagInventoryMask{MemBank: epc.BankEPC, Pointer: epc.EPCWordOffset + 40, Mask: maskB}},
+	}
+	if err := conn.AddROSpec(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	conn.EnableROSpec(ctx, 7)
+	conn.StartROSpec(ctx, 7)
+	reports := collectReports(conn, 300*time.Millisecond, 3*time.Second)
+	if len(reports) == 0 {
+		t.Fatal("intersection read nothing")
+	}
+	for _, r := range reports {
+		if !r.EPC.MatchBits(0, maskA) || !r.EPC.MatchBits(40, maskB) {
+			t.Fatalf("tag %s fails the intersection", r.EPC)
+		}
+	}
+	_ = srv
+}
+
+func TestAccessSpecRoundTrip(t *testing.T) {
+	mask, _ := epc.NewBits([]byte{0x30}, 8)
+	spec := AccessSpec{
+		ID:       5,
+		Antenna:  2,
+		ROSpecID: 7,
+		Target:   TargetTag{Bank: epc.BankEPC, Pointer: 32, Mask: mask},
+		Ops: []OpSpec{
+			{OpSpecID: 1, Bank: epc.BankTID, WordPtr: 0, WordCount: 2},
+			{OpSpecID: 2, Write: true, Bank: epc.BankUser, WordPtr: 1, Data: []uint16{0xAA55, 0x1234}},
+		},
+	}
+	got, err := DecodeAddAccessSpec(NewAddAccessSpec(1, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 5 || got.Antenna != 2 || got.ROSpecID != 7 {
+		t.Fatalf("header: %+v", got)
+	}
+	if got.Target.Bank != epc.BankEPC || got.Target.Pointer != 32 || got.Target.Mask != mask {
+		t.Fatalf("target: %+v", got.Target)
+	}
+	if len(got.Ops) != 2 {
+		t.Fatalf("ops: %d", len(got.Ops))
+	}
+	if got.Ops[0].Write || got.Ops[0].WordCount != 2 || got.Ops[0].Bank != epc.BankTID {
+		t.Fatalf("read op: %+v", got.Ops[0])
+	}
+	w := got.Ops[1]
+	if !w.Write || w.WordPtr != 1 || len(w.Data) != 2 || w.Data[0] != 0xAA55 {
+		t.Fatalf("write op: %+v", w)
+	}
+	if _, err := DecodeAddAccessSpec(Message{Type: MsgAddAccessSpec}); err == nil {
+		t.Fatal("empty message must error")
+	}
+}
+
+func TestOpResultsInTagReport(t *testing.T) {
+	tr := TagReportData{EPC: epc.MustParse("30f4ab12cd0045e100000001"), AntennaID: 1}
+	tr.OpResults = []OpResult{
+		{OpSpecID: 1, Data: []uint16{0xE280, 0x1160}},
+		{OpSpecID: 2, Write: true, WordsWritten: 2},
+		{OpSpecID: 3, Result: 1},
+	}
+	got, err := DecodeROAccessReport(NewROAccessReport(1, []TagReportData{tr}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := got[0].OpResults
+	if len(ops) != 3 {
+		t.Fatalf("op results: %d", len(ops))
+	}
+	if !ops[0].OK() || ops[0].Data[0] != 0xE280 {
+		t.Fatalf("read result: %+v", ops[0])
+	}
+	if !ops[1].Write || ops[1].WordsWritten != 2 || !ops[1].OK() {
+		t.Fatalf("write result: %+v", ops[1])
+	}
+	if ops[2].OK() {
+		t.Fatal("failed op must not report OK")
+	}
+}
+
+func TestAccessSpecOverTCP(t *testing.T) {
+	conn, srv, codes := startTestServer(t, 30, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// Access: read 2 TID words and write a word into User memory, for
+	// every tag the inventory singulates.
+	access := AccessSpec{
+		ID: 1,
+		Ops: []OpSpec{
+			{OpSpecID: 11, Bank: epc.BankTID, WordPtr: 0, WordCount: 2},
+			{OpSpecID: 12, Write: true, Bank: epc.BankUser, WordPtr: 0, Data: []uint16{0xBEEF}},
+		},
+	}
+	if err := conn.AddAccessSpec(ctx, access); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.EnableAccessSpec(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.AddROSpec(ctx, basicROSpec(1, 200)); err != nil {
+		t.Fatal(err)
+	}
+	conn.EnableROSpec(ctx, 1)
+	conn.StartROSpec(ctx, 1)
+	reports := collectReports(conn, 300*time.Millisecond, 3*time.Second)
+	if len(reports) == 0 {
+		t.Fatal("no reports")
+	}
+	seenOps := 0
+	for _, r := range reports {
+		if len(r.OpResults) == 0 {
+			continue
+		}
+		seenOps++
+		if len(r.OpResults) != 2 {
+			t.Fatalf("op results: %+v", r.OpResults)
+		}
+		rd := r.OpResults[0]
+		if !rd.OK() || rd.OpSpecID != 11 || len(rd.Data) != 2 || rd.Data[0]>>8 != 0xE2 {
+			t.Fatalf("TID read over the wire: %+v", rd)
+		}
+		wr := r.OpResults[1]
+		if !wr.OK() || wr.OpSpecID != 12 || !wr.Write || wr.WordsWritten != 1 {
+			t.Fatalf("write over the wire: %+v", wr)
+		}
+	}
+	if seenOps == 0 {
+		t.Fatal("no reports carried op results")
+	}
+	// The write really landed in the simulated tags.
+	for _, c := range codes {
+		st := srv.Engine().Scene().FindTag(c)
+		words, err := st.Memory.ReadWords(epc.BankUser, 0, 1)
+		if err != nil || words[0] != 0xBEEF {
+			t.Fatalf("tag %s user bank: %04x %v", c, words, err)
+		}
+	}
+	// Disable stops execution.
+	if err := conn.DisableAccessSpec(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.DeleteAccessSpec(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessSpecTargetFilterOverTCP(t *testing.T) {
+	conn, srv, codes := startTestServer(t, 31, 6)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	target := codes[2]
+	mask, err := target.Slice(0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	access := AccessSpec{
+		ID:     2,
+		Target: TargetTag{Bank: epc.BankEPC, Pointer: epc.EPCWordOffset, Mask: mask},
+		Ops: []OpSpec{
+			{OpSpecID: 21, Write: true, Bank: epc.BankUser, WordPtr: 0, Data: []uint16{0x5151}},
+		},
+	}
+	if err := conn.AddAccessSpec(ctx, access); err != nil {
+		t.Fatal(err)
+	}
+	conn.EnableAccessSpec(ctx, 2)
+	if err := conn.AddROSpec(ctx, basicROSpec(2, 200)); err != nil {
+		t.Fatal(err)
+	}
+	conn.EnableROSpec(ctx, 2)
+	conn.StartROSpec(ctx, 2)
+	collectReports(conn, 300*time.Millisecond, 3*time.Second)
+
+	for _, c := range codes {
+		st := srv.Engine().Scene().FindTag(c)
+		words, _ := st.Memory.ReadWords(epc.BankUser, 0, 1)
+		wrote := len(words) == 1 && words[0] == 0x5151
+		want := c.MatchBits(0, mask)
+		if wrote != want {
+			t.Fatalf("tag %s written=%v want=%v", c, wrote, want)
+		}
+	}
+}
+
+func TestAccessSpecLifecycleErrors(t *testing.T) {
+	conn, _, _ := startTestServer(t, 32, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := conn.EnableAccessSpec(ctx, 9); err == nil {
+		t.Fatal("enabling unknown AccessSpec must fail")
+	}
+	spec := AccessSpec{ID: 9, Ops: []OpSpec{{OpSpecID: 1, Bank: epc.BankTID, WordCount: 1}}}
+	if err := conn.AddAccessSpec(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.AddAccessSpec(ctx, spec); err == nil {
+		t.Fatal("duplicate AccessSpec must fail")
+	}
+	if err := conn.DeleteAccessSpec(ctx, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.AddAccessSpec(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProxyForwardsAndLogs(t *testing.T) {
+	// reader emulator ← proxy ← client: the full chain must work and the
+	// proxy must observe decoded traffic in both directions.
+	rng := rand.New(rand.NewSource(40))
+	scn := scene.New(rf.NewChannel(rf.DefaultParams(), rng), rng)
+	scn.AddAntenna(rf.Pt(0, 0, 2))
+	codes, _ := epc.RandomPopulation(rng, 3, 96)
+	for i, c := range codes {
+		scn.AddTag(c, scene.Stationary{P: rf.Pt(0.5+float64(i)*0.3, 0.5, 0)})
+	}
+	srv := NewServer(reader.New(reader.DefaultConfig(), scn), ServerConfig{})
+	upstreamAddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var mu sync.Mutex
+	seen := map[string]int{}
+	proxy := NewProxy(upstreamAddr.String(), func(dir string, m Message) {
+		mu.Lock()
+		seen[dir+" "+m.Type.Name()]++
+		mu.Unlock()
+	})
+	proxyAddr, err := proxy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	conn, err := Dial(ctx, proxyAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.AddROSpec(ctx, basicROSpec(1, 150)); err != nil {
+		t.Fatal(err)
+	}
+	conn.EnableROSpec(ctx, 1)
+	conn.StartROSpec(ctx, 1)
+	reports := collectReports(conn, 300*time.Millisecond, 3*time.Second)
+	if len(reports) == 0 {
+		t.Fatal("no reports through the proxy")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, want := range []string{
+		"→reader ADD_ROSPEC",
+		"←reader ADD_ROSPEC_RESPONSE",
+		"←reader RO_ACCESS_REPORT",
+		"←reader READER_EVENT_NOTIFICATION",
+	} {
+		if seen[want] == 0 {
+			t.Fatalf("proxy never logged %q (saw %v)", want, seen)
+		}
+	}
+}
+
+func TestMessageSummaries(t *testing.T) {
+	tr := TagReportData{EPC: epc.MustParse("30f4ab12cd0045e100000001"), AntennaID: 1, PeakRSSIdBm: -60}
+	tr.SetPhaseRadians(1.0)
+	cases := []Message{
+		NewROAccessReport(1, []TagReportData{tr, tr, tr, tr, tr}),
+		NewAddROSpec(2, makeROSpec()),
+		NewROSpecOp(MsgStartROSpec, 3, 42),
+		NewStatusResponse(MsgAddROSpecResponse, 4, LLRPStatus{Code: StatusSuccess}),
+		NewStatusResponse(MsgAddROSpecResponse, 5, LLRPStatus{Code: StatusParamError, Description: "bad"}),
+		NewKeepalive(6),
+		NewROSpecEventNotification(7, UTCTimestamp{}, ROSpecEvent{Type: ROSpecEnded, ROSpecID: 9}),
+		NewAddAccessSpec(8, AccessSpec{ID: 1, Ops: []OpSpec{{OpSpecID: 1, WordCount: 1}}}),
+	}
+	for _, m := range cases {
+		s := m.Summarize()
+		if s == "" {
+			t.Fatalf("empty summary for %s", m.Type.Name())
+		}
+	}
+	if MessageType(999).Name() != "MESSAGE_TYPE_999" {
+		t.Fatal("unknown message name")
+	}
+	// The big report notes the overflow.
+	if s := cases[0].Summarize(); !strings.Contains(s, "…+2") {
+		t.Fatalf("truncation marker missing: %s", s)
+	}
+	if !strings.Contains(cases[6].Summarize(), "ended") {
+		t.Fatal("rospec event summary")
+	}
+}
+
+func TestROReportSpecRoundTrip(t *testing.T) {
+	spec := makeROSpec()
+	spec.Report = &ROReportSpec{Trigger: ReportEveryN, N: 32}
+	got, err := DecodeAddROSpec(NewAddROSpec(1, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Report == nil || got.Report.Trigger != ReportEveryN || got.Report.N != 32 {
+		t.Fatalf("report spec: %+v", got.Report)
+	}
+	// Absent by default.
+	plain, err := DecodeAddROSpec(NewAddROSpec(2, makeROSpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Report != nil {
+		t.Fatal("no report spec expected")
+	}
+}
+
+func TestReportBatchingOverTCP(t *testing.T) {
+	conn, _, _ := startTestServer(t, 41, 6)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	spec := basicROSpec(1, 400)
+	spec.Report = &ROReportSpec{Trigger: ReportEveryN, N: 24}
+	if err := conn.AddROSpec(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	conn.EnableROSpec(ctx, 1)
+	conn.StartROSpec(ctx, 1)
+
+	var batches []int
+	deadline := time.After(3 * time.Second)
+collect:
+	for {
+		select {
+		case batch, ok := <-conn.Reports():
+			if !ok {
+				break collect
+			}
+			batches = append(batches, len(batch))
+		case ev := <-conn.Events():
+			if ev.ROSpec != nil && ev.ROSpec.Type == ROSpecEnded {
+				// Drain everything in flight, then stop.
+				for {
+					select {
+					case batch := <-conn.Reports():
+						batches = append(batches, len(batch))
+						continue
+					case <-time.After(150 * time.Millisecond):
+					}
+					break
+				}
+				break collect
+			}
+		case <-deadline:
+			break collect
+		}
+	}
+	if len(batches) < 2 {
+		t.Fatalf("batches = %v", batches)
+	}
+	// All but the final flush must carry at least N reports (6 tags/round
+	// → 4 rounds per batch).
+	for _, n := range batches[:len(batches)-1] {
+		if n < 24 {
+			t.Fatalf("mid-stream batch of %d < N=24 (%v)", n, batches)
+		}
+	}
+}
+
+func TestSetKeepaliveOverTCP(t *testing.T) {
+	conn, _, _ := startTestServer(t, 42, 2) // server default: no keepalives
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// No keepalives yet.
+	time.Sleep(80 * time.Millisecond)
+	// Enable 25 ms keepalives; the connection must keep auto-acking and
+	// stay healthy through several periods.
+	if err := conn.SetKeepalive(ctx, 25*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if err := conn.AddROSpec(ctx, basicROSpec(1, 10)); err != nil {
+		t.Fatalf("connection unhealthy after keepalives: %v", err)
+	}
+	// Disable again.
+	if err := conn.SetKeepalive(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeepaliveSpecRoundTrip(t *testing.T) {
+	m := NewSetReaderConfig(1, &KeepaliveSpec{Periodic: true, Period: 1500 * time.Millisecond})
+	ka, err := DecodeSetReaderConfig(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka == nil || !ka.Periodic || ka.Period != 1500*time.Millisecond {
+		t.Fatalf("round trip: %+v", ka)
+	}
+	none, err := DecodeSetReaderConfig(NewSetReaderConfig(2, nil))
+	if err != nil || none != nil {
+		t.Fatalf("absent spec: %+v %v", none, err)
+	}
+}
+
+func TestSecondClientRefused(t *testing.T) {
+	conn, srv, _ := startTestServer(t, 43, 2)
+	_ = conn // first client holds the reader
+	addr := srv.lis.Addr().String()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if _, err := Dial(ctx, addr); err == nil {
+		t.Fatal("second controlling client must be refused")
+	}
+	// After the first client leaves, a new one succeeds.
+	conn.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+		c2, err := Dial(ctx2, addr)
+		cancel2()
+		if err == nil {
+			c2.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reconnect after release failed: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestDialFailures(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	// Nothing listening.
+	if _, err := Dial(ctx, "127.0.0.1:1"); err == nil {
+		t.Fatal("dial to a dead port must fail")
+	}
+	// A listener that never sends the connection event: Dial must respect
+	// the context deadline.
+	lis, err := netListen(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		c, err := lis.Accept()
+		if err == nil {
+			defer c.Close()
+			time.Sleep(2 * time.Second)
+		}
+	}()
+	shortCtx, cancel2 := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel2()
+	if _, err := Dial(shortCtx, lis.Addr().String()); err == nil {
+		t.Fatal("dial without a connection event must time out")
+	}
+}
+
+func TestProxyUpstreamUnreachable(t *testing.T) {
+	proxy := NewProxy("127.0.0.1:1", nil) // dead upstream
+	addr, err := proxy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := Dial(ctx, addr.String()); err == nil {
+		t.Fatal("proxy with dead upstream must not complete the LLRP handshake")
+	}
+}
+
+func TestWaitClosedTimesOut(t *testing.T) {
+	conn, _, _ := startTestServer(t, 44, 1)
+	if conn.WaitClosed(50 * time.Millisecond) {
+		t.Fatal("healthy connection must not report closed")
+	}
+	conn.Close()
+	if !conn.WaitClosed(time.Second) {
+		t.Fatal("closed connection must report closed")
+	}
+}
+
+// netListen opens an ephemeral TCP listener for handshake tests.
+func netListen(t *testing.T) (net.Listener, error) {
+	t.Helper()
+	return net.Listen("tcp", "127.0.0.1:0")
+}

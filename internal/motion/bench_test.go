@@ -1,0 +1,44 @@
+package motion
+
+import (
+	"math/rand"
+	"testing"
+
+	"tagwatch/internal/rf"
+)
+
+func BenchmarkObserveStationary(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewPhaseMoG(Config{})
+	for i := 0; i < 200; i++ {
+		d.Observe(tagA, 0, 0, rf.WrapPhase(1.5+rng.NormFloat64()*0.1), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Observe(tagA, 0, 0, rf.WrapPhase(1.5+rng.NormFloat64()*0.1), 0)
+	}
+}
+
+func BenchmarkObserveMoving(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewPhaseMoG(Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Observe(tagA, 0, 0, rng.Float64()*2*3.14159, 0)
+	}
+}
+
+func BenchmarkPeek(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewPhaseMoG(Config{})
+	for i := 0; i < 200; i++ {
+		d.Observe(tagA, 0, 0, rf.WrapPhase(1.5+rng.NormFloat64()*0.1), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Peek(tagA, 0, 0, 1.5)
+	}
+}

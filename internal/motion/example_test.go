@@ -1,0 +1,33 @@
+package motion_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tagwatch/internal/epc"
+	"tagwatch/internal/motion"
+	"tagwatch/internal/rf"
+)
+
+// Example shows the self-learning immobility model in action: a parked
+// tag's noisy phase readings settle into a Gaussian mode, a displacement
+// is flagged, and the new resting position is absorbed.
+func Example() {
+	rng := rand.New(rand.NewSource(1))
+	det := motion.NewPhaseMoG(motion.Config{})
+	tag := epc.MustParse("30f4ab12cd0045e100000001")
+
+	// A parked tag: readings scatter around 1.5 rad with reader noise.
+	for i := 0; i < 100; i++ {
+		det.Observe(tag, 1, 0, rf.WrapPhase(1.5+rng.NormFloat64()*0.1), 0)
+	}
+	parked := det.Observe(tag, 1, 0, 1.52, 0)
+	fmt.Printf("parked reading:   moving=%v\n", parked.Moving)
+
+	// The tag moves 2 cm → the round-trip phase shifts by ≈0.8 rad.
+	moved := det.Observe(tag, 1, 0, rf.WrapPhase(1.5+0.78), 0)
+	fmt.Printf("after a 2 cm move: moving=%v (score %.1f ≫ ξ=3)\n", moved.Moving, moved.Score)
+	// Output:
+	// parked reading:   moving=false
+	// after a 2 cm move: moving=true (score 7.7 ≫ ξ=3)
+}

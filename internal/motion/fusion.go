@@ -1,0 +1,68 @@
+package motion
+
+import (
+	"time"
+
+	"tagwatch/internal/epc"
+)
+
+// Fusion combines a phase detector and an RSS detector: a reading is
+// restless when either modality says so, and the ROC score is the maximum
+// of the two (each normalised in its own ξ units). The paper evaluates the
+// modalities separately (Fig. 12) and observes phase dominates; fusion is
+// the natural "regardless of which physical indicator" extension — RSS
+// contributes exactly in the regime where it is informative (multi-
+// centimetre displacements through standing-wave gradients, Fig. 13)
+// while phase covers the rest.
+type Fusion struct {
+	Phase *Detector
+	RSS   *Detector
+}
+
+// NewFusion builds a fusion detector from fresh phase and RSS detectors
+// with the given config (RSS scaling applied automatically).
+func NewFusion(cfg Config) *Fusion {
+	return &Fusion{
+		Phase: NewPhaseMoG(cfg),
+		RSS:   NewRSSMoG(Config{IgnoreChannel: cfg.IgnoreChannel}),
+	}
+}
+
+// Observe feeds one reading's phase and RSS through both detectors and
+// fuses the verdicts.
+func (f *Fusion) Observe(tag epc.EPC, antenna, channel int, phase, rss float64, at time.Duration) Result {
+	p := f.Phase.Observe(tag, antenna, channel, phase, at)
+	r := f.RSS.Observe(tag, antenna, channel, rss, at)
+	out := Result{
+		Moving:   p.Moving || r.Moving,
+		Switched: p.Switched || r.Switched,
+		Score:    p.Score,
+	}
+	if r.Score > out.Score {
+		out.Score = r.Score
+	}
+	return out
+}
+
+// Peek evaluates both modalities without mutating state.
+func (f *Fusion) Peek(tag epc.EPC, antenna, channel int, phase, rss float64) float64 {
+	p := f.Phase.Peek(tag, antenna, channel, phase)
+	r := f.RSS.Peek(tag, antenna, channel, rss)
+	if r > p {
+		return r
+	}
+	return p
+}
+
+// Forget drops both modalities' state for a tag.
+func (f *Fusion) Forget(tag epc.EPC) {
+	f.Phase.Forget(tag)
+	f.RSS.Forget(tag)
+}
+
+// Prune forgets tags not seen since the cutoff in both modalities.
+func (f *Fusion) Prune(cutoff time.Duration) int {
+	n := f.Phase.Prune(cutoff)
+	f.RSS.Prune(cutoff)
+	return n
+}

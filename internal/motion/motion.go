@@ -1,0 +1,635 @@
+// Package motion implements Phase I of Tagwatch: per-tag motion assessment
+// from backscatter measurements (§4).
+//
+// The core detector models each tag's *immobility* as a self-learning
+// Gaussian mixture over its RF phase: every stable multipath configuration
+// contributes one Gaussian mode (the Fresnel-zone argument of §4.1), a new
+// reading that matches a mode marks the tag stationary and refines the
+// mode (Eqn. 11), and a reading that matches nothing marks the tag moving
+// and pushes a fresh wide mode onto the stack, evicting the
+// lowest-priority (w/δ) mode when the stack is full.
+//
+// Baseline detectors used by the paper's Fig. 12 comparison — plain
+// differencing, and RSS variants of both — live here too, behind the
+// common Assessor interface.
+package motion
+
+import (
+	"math"
+	"time"
+
+	"tagwatch/internal/epc"
+	"tagwatch/internal/rf"
+)
+
+// Result is one motion verdict for one reading.
+type Result struct {
+	// Moving is the thresholded verdict at the configured ξ.
+	Moving bool
+	// Switched reports that the reading matched a *different* mode than
+	// the tag's previous reading on the same channel. A parked tag matches
+	// the same immobility mode reading after reading; a tag whose phase
+	// trajectory is periodic (a turntable, a circular track) eventually
+	// accumulates established modes covering its whole phase range, and
+	// then each reading lands on an essentially random one. Mode switching
+	// is therefore the cycle-scale mobility signal that survives even
+	// after a mover's stack saturates.
+	Switched bool
+	// Score is the normalised deviation min_k |x−µ_k|/δ_k used for the
+	// verdict; sweeping a threshold over Score yields the ROC curve. A
+	// first-contact reading has Score = +Inf.
+	Score float64
+}
+
+// Restless is the combined per-reading mobility signal used by the
+// middleware: fresh motion evidence or mode churn.
+func (r Result) Restless() bool { return r.Moving || r.Switched }
+
+// Assessor consumes per-tag readings and yields motion verdicts. The value
+// is whatever physical metric the detector models (RF phase in radians, or
+// RSS in dBm). Antenna and channel identify the physical link: phase is a
+// function of the reader-antenna-to-tag geometry AND the hop frequency, so
+// immobility models only cohere within one (antenna, channel) link.
+type Assessor interface {
+	Observe(tag epc.EPC, antenna, channel int, value float64, at time.Duration) Result
+}
+
+// Config tunes the GMM detector. Zero fields take the paper's defaults.
+type Config struct {
+	// K is the stack depth (number of Gaussian modes per tag); paper: 8.
+	K int
+	// Xi is the match threshold ξ in standard deviations; paper: 3.0.
+	Xi float64
+	// Alpha is the learning rate α; paper: 0.001.
+	Alpha float64
+	// InitStd is the δ of a freshly pushed mode. The paper quotes "a large
+	// δ (e.g., 2π)", but in a circular metric whose maximum distance is π
+	// a 2π-wide mode matches every subsequent reading and the stack
+	// degenerates to one all-absorbing mode; we default to 0.35 rad
+	// (≈3.5× the phase-noise floor), wide enough to capture a parked
+	// tag's first readings and narrow enough that a tag moving at the
+	// paper's 0.7 m/s (≥1 rad between readings) never settles.
+	InitStd float64
+	// InitWeight is the weight of a freshly pushed mode; paper: 1e-4.
+	InitWeight float64
+	// MinStd floors a learned δ so quantised or noiseless inputs cannot
+	// collapse a mode to zero width and flag every later reading. It
+	// should sit at the phase-noise floor (≈0.1 rad on COTS readers):
+	// the ξδ match window censors the samples a mode learns from, so the
+	// learned δ underestimates the true noise and the floor is what keeps
+	// the matching window honest.
+	MinStd float64
+	// MaxStd caps a learned δ. Without a cap, a moving tag's scattered
+	// readings inflate one mode's variance until its ξ·δ match window
+	// exceeds π and the mode absorbs every subsequent phase — a physical
+	// immobility mode can never be wider than a few times the noise
+	// floor. Default 0.25 rad (2.5× the floor): tight enough that a
+	// mover's phase range cannot hide inside a couple of stretched modes.
+	MaxStd float64
+	// WeightFloor is the minimum (raw, decayed) weight a matched mode must
+	// have accrued before it can vouch for immobility. Weights grow by α
+	// per match and decay by α per miss, so a parked tag's dominant mode
+	// crosses the floor within ~WeightFloor/α matches, while a moving
+	// tag's churning modes — each matched only in passing — never do.
+	// This is the mixture-model equivalent of Stauffer–Grimson's
+	// background-weight test.
+	WeightFloor float64
+	// Warmup is the per-mode sample count during which the mode uses exact
+	// running moments (Eqn. 8) before switching to the exponential updates
+	// of Eqn. 11; this gives the paper's "quick start" (§7.1, Fig. 14).
+	Warmup int
+	// IgnoreChannel collapses all hop channels into one stack per tag.
+	// The default (false) keeps an independent stack per channel, because
+	// COTS readers exhibit a distinct constant phase offset per hop
+	// frequency, so phase modes only cohere within a channel.
+	IgnoreChannel bool
+}
+
+// DefaultConfig returns the paper's Phase I parameters.
+func DefaultConfig() Config {
+	return Config{
+		K:           8,
+		Xi:          3.0,
+		Alpha:       0.001,
+		InitStd:     0.35,
+		InitWeight:  1e-4,
+		MinStd:      0.1,
+		MaxStd:      0.25,
+		WeightFloor: 0.01,
+		Warmup:      50,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.K <= 0 {
+		c.K = d.K
+	}
+	if c.Xi <= 0 {
+		c.Xi = d.Xi
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = d.Alpha
+	}
+	if c.InitStd <= 0 {
+		c.InitStd = d.InitStd
+	}
+	if c.InitWeight <= 0 {
+		c.InitWeight = d.InitWeight
+	}
+	if c.MinStd <= 0 {
+		c.MinStd = d.MinStd
+	}
+	if c.MaxStd <= 0 {
+		c.MaxStd = d.MaxStd
+	}
+	if c.WeightFloor <= 0 {
+		c.WeightFloor = d.WeightFloor
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = d.Warmup
+	}
+	return c
+}
+
+// DistFunc measures the deviation between a reading and a mode mean.
+type DistFunc func(a, b float64) float64
+
+// CircularDist is the minimum base-2π distance — the paper's fix for phase
+// wrap-around.
+func CircularDist(a, b float64) float64 { return rf.PhaseDist(a, b) }
+
+// AbsDist is plain absolute distance, used for RSS.
+func AbsDist(a, b float64) float64 { return math.Abs(a - b) }
+
+// gaussian is one immobility mode.
+type gaussian struct {
+	id           int64 // stable identity for switch detection
+	w, mu, sigma float64
+	n            int     // samples absorbed; drives the warmup schedule
+	m2           float64 // Welford sum of squared deviations (warmup only)
+}
+
+// established reports whether the mode can vouch for immobility: it must
+// have absorbed more than one sample AND accrued weight past the floor. A
+// mode seen once is a hypothesis; a mode matched only in passing (a moving
+// tag's phase sweeping through) never out-earns its decay. Weights are
+// kept raw — they grow by α per match and decay by α per miss — so weight
+// is an absolute measure of sustained support, not a share of the stack.
+func (g gaussian) established(floor float64) bool {
+	return g.n >= 2 && g.w >= floor
+}
+
+// priority is the paper's r_k = w_k / δ_k ordering key.
+func (g gaussian) priority() float64 {
+	if g.sigma <= 0 {
+		return math.Inf(1)
+	}
+	return g.w / g.sigma
+}
+
+// Stack is the per-(tag, channel) mixture. Exported so tests and the Fig. 8
+// experiment can inspect learned modes.
+type Stack struct {
+	cfg      Config
+	dist     DistFunc
+	circular bool
+	modes    []gaussian
+	nextID   int64
+	lastMode int64 // id of the mode the previous reading matched (0 = none)
+}
+
+// NewStack builds an empty immobility stack.
+func NewStack(cfg Config, dist DistFunc) *Stack {
+	return &Stack{
+		cfg:  cfg.withDefaults(),
+		dist: dist,
+		// Detect the circular metric by probing the wrap point.
+		circular: dist(0.01, 2*math.Pi-0.01) < 1,
+	}
+}
+
+// Modes returns the learned (weight, mean, std) triples ordered by
+// priority, highest first.
+func (s *Stack) Modes() (w, mu, sigma []float64) {
+	for _, g := range s.sorted() {
+		w = append(w, g.w)
+		mu = append(mu, g.mu)
+		sigma = append(sigma, g.sigma)
+	}
+	return
+}
+
+func (s *Stack) sorted() []gaussian {
+	out := append([]gaussian(nil), s.modes...)
+	for i := 1; i < len(out); i++ { // insertion sort: stacks hold ≤ K modes
+		for j := i; j > 0 && out[j].priority() > out[j-1].priority(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// eta is the Gaussian pdf η(x; µ, δ) of Eqn. 9.
+func eta(x, mu, sigma float64, dist DistFunc) float64 {
+	if sigma <= 0 {
+		return 0
+	}
+	d := dist(x, mu)
+	return math.Exp(-d*d/(2*sigma*sigma)) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// circMean advances a mean toward x by fraction rho along the shortest
+// circular arc when the metric is circular; for linear metrics it is plain
+// interpolation.
+func (s *Stack) advanceMean(mu, x, rho float64) float64 {
+	d := x - mu
+	if s.circular {
+		for d > math.Pi {
+			d -= 2 * math.Pi
+		}
+		for d < -math.Pi {
+			d += 2 * math.Pi
+		}
+		return rf.WrapPhase(mu + rho*d)
+	}
+	return mu + rho*d
+}
+
+// Observe runs one reading through the stack: match → stationary verdict
+// plus Eqn. 11 updates; no match → moving verdict plus a fresh mode.
+func (s *Stack) Observe(x float64) Result {
+	cfg := s.cfg
+	best := -1
+	bestScore := math.Inf(1)
+	// The ROC score is the minimum normalised deviation over *established*
+	// modes: single-observation hypotheses say nothing about immobility
+	// yet, so matching one must not look like evidence the tag parked.
+	for _, g := range s.modes {
+		if !g.established(cfg.WeightFloor) {
+			continue
+		}
+		score := s.dist(x, g.mu) / math.Max(g.sigma, cfg.MinStd)
+		if score < bestScore {
+			bestScore = score
+		}
+	}
+	for idx, g := range s.modes {
+		if s.dist(x, g.mu) < cfg.Xi*math.Max(g.sigma, cfg.MinStd) {
+			if best == -1 || g.priority() > s.modes[best].priority() {
+				best = idx
+			}
+		}
+	}
+
+	if best == -1 {
+		// Case 2: no match — the tag is (apparently) in motion. Push a new
+		// mode, evicting the lowest-priority one if full.
+		s.nextID++
+		g := gaussian{id: s.nextID, w: cfg.InitWeight, mu: x, sigma: cfg.InitStd, n: 1}
+		if len(s.modes) < cfg.K {
+			s.modes = append(s.modes, g)
+		} else {
+			worst := 0
+			for i := range s.modes {
+				if s.modes[i].priority() < s.modes[worst].priority() {
+					worst = i
+				}
+			}
+			s.modes[worst] = g
+		}
+		return Result{Moving: true, Score: bestScore}
+	}
+
+	// Matched. The verdict is "stationary" only when the matched mode is
+	// established — a mode born from the immediately preceding reading is
+	// still just a motion hypothesis.
+	moving := !s.modes[best].established(cfg.WeightFloor)
+	switched := false
+	if !moving {
+		// Switch detection tracks only established-mode matches: a noise
+		// outlier that spawns (or grazes) a hypothesis must not disturb
+		// the memory of which immobility mode the tag lives in.
+		switched = s.lastMode != 0 && s.lastMode != s.modes[best].id
+		s.lastMode = s.modes[best].id
+	}
+
+	// Update the matched mode; decay the others (Eqn. 11).
+	for i := range s.modes {
+		if i == best {
+			g := &s.modes[i]
+			g.n++
+			g.w = (1-cfg.Alpha)*g.w + cfg.Alpha
+			if g.n <= cfg.Warmup {
+				// Exact running moments while young (the Eqn. 8 estimator):
+				// Welford's algorithm converges in tens of readings, giving
+				// the paper's "quick start" (Fig. 14).
+				dev := s.deviation(x, g.mu)
+				g.mu = s.advanceMean(g.mu, x, 1/float64(g.n))
+				dev2 := s.deviation(x, g.mu)
+				g.m2 += dev * dev2
+				if g.m2 < 0 {
+					g.m2 = 0
+				}
+				g.sigma = math.Sqrt(g.m2 / float64(g.n))
+			} else {
+				rho := cfg.Alpha * eta(x, g.mu, g.sigma, s.dist)
+				g.mu = s.advanceMean(g.mu, x, rho)
+				d := s.dist(x, g.mu)
+				g.sigma = math.Sqrt((1-rho)*g.sigma*g.sigma + rho*d*d)
+			}
+			if g.sigma < cfg.MinStd {
+				g.sigma = cfg.MinStd
+			}
+			if g.sigma > cfg.MaxStd {
+				g.sigma = cfg.MaxStd
+			}
+		} else {
+			s.modes[i].w *= 1 - cfg.Alpha
+		}
+	}
+	s.mergeOverlapping()
+	return Result{Moving: moving, Switched: switched, Score: bestScore}
+}
+
+// mergeOverlapping folds modes whose means sit within one standard
+// deviation of each other into the higher-priority one. Overlapping
+// sibling modes are born when a tag's first readings arrive before either
+// mode has tightened; left unmerged, later readings falling in the overlap
+// alternate between them and masquerade as mode switches (phantom
+// mobility).
+func (s *Stack) mergeOverlapping() {
+	for i := 0; i < len(s.modes); i++ {
+		for j := i + 1; j < len(s.modes); j++ {
+			a, b := &s.modes[i], &s.modes[j]
+			if s.dist(a.mu, b.mu) >= math.Max(a.sigma, b.sigma) {
+				continue
+			}
+			hi, lo := a, b
+			if b.priority() > a.priority() {
+				hi, lo = b, a
+			}
+			wSum := hi.w + lo.w
+			if wSum > 0 {
+				hi.mu = s.advanceMean(hi.mu, lo.mu, lo.w/wSum)
+			}
+			d := s.dist(hi.mu, lo.mu)
+			pooled := (hi.w*hi.sigma*hi.sigma + lo.w*(lo.sigma*lo.sigma+d*d)) / math.Max(wSum, 1e-12)
+			hi.sigma = math.Min(math.Max(math.Sqrt(pooled), s.cfg.MinStd), s.cfg.MaxStd)
+			hi.w = wSum
+			hi.n += lo.n
+			hi.m2 += lo.m2
+			if s.lastMode == lo.id {
+				s.lastMode = hi.id
+			}
+			// Keep the survivor in slot i, drop slot j.
+			if hi == b {
+				s.modes[i] = *b
+			}
+			s.modes = append(s.modes[:j], s.modes[j+1:]...)
+			j--
+		}
+	}
+}
+
+// Score evaluates a reading against the stack without mutating it: the
+// minimum normalised deviation over established modes (+Inf when none
+// exist). Experiments use it to probe detection without teaching the
+// detector the probed value.
+func (s *Stack) Score(x float64) float64 {
+	best := math.Inf(1)
+	for _, g := range s.modes {
+		if !g.established(s.cfg.WeightFloor) {
+			continue
+		}
+		if sc := s.dist(x, g.mu) / math.Max(g.sigma, s.cfg.MinStd); sc < best {
+			best = sc
+		}
+	}
+	return best
+}
+
+// deviation is the signed deviation of x from mu under the stack's metric
+// (shortest arc for the circular case).
+func (s *Stack) deviation(x, mu float64) float64 {
+	d := x - mu
+	if s.circular {
+		for d > math.Pi {
+			d -= 2 * math.Pi
+		}
+		for d < -math.Pi {
+			d += 2 * math.Pi
+		}
+	}
+	return d
+}
+
+// key identifies one immobility stack: one tag seen over one physical
+// link.
+type key struct {
+	tag     epc.EPC
+	antenna int
+	channel int
+}
+
+// Detector is the production Assessor: a GMM stack per (tag, antenna[,
+// channel]).
+type Detector struct {
+	cfg       Config
+	dist      DistFunc
+	stacks    map[key]*Stack
+	tagStacks map[epc.EPC][]*Stack
+	lastSeen  map[epc.EPC]time.Duration
+}
+
+// NewDetector builds a GMM detector with the given metric.
+func NewDetector(cfg Config, dist DistFunc) *Detector {
+	return &Detector{
+		cfg:       cfg.withDefaults(),
+		dist:      dist,
+		stacks:    make(map[key]*Stack),
+		tagStacks: make(map[epc.EPC][]*Stack),
+		lastSeen:  make(map[epc.EPC]time.Duration),
+	}
+}
+
+// vouchedElsewhere reports whether the tag has settled immobility models
+// on at least two other links. A parked tag accumulates established modes
+// on every link it is read over; a moving tag's modes never out-earn the
+// weight floor anywhere. First contact on a yet-unseen link (a new hop
+// channel, a new antenna) is therefore only treated as motion evidence
+// when the tag has no such track record — otherwise every frequency hop
+// would masquerade as mobility.
+func (d *Detector) vouchedElsewhere(tag epc.EPC) bool {
+	var established, mature int
+	for _, st := range d.tagStacks[tag] {
+		var obs int
+		for _, g := range st.modes {
+			obs += g.n
+		}
+		if obs < 10 {
+			continue // too young to say anything either way
+		}
+		mature++
+		if st.anyEstablished() {
+			established++
+		}
+	}
+	// Vouching demands a MAJORITY of mature links, not just two: a mover
+	// can luck into a couple of established modes (pauses, tangential
+	// stretches) but never into immobility on most of its links.
+	return established >= 2 && 2*established > mature
+}
+
+// NewPhaseMoG is the paper's default detector: mixture-of-Gaussians over
+// RF phase with circular distance.
+func NewPhaseMoG(cfg Config) *Detector { return NewDetector(cfg, CircularDist) }
+
+// NewRSSMoG is the RSS-MoG baseline of Fig. 12.
+func NewRSSMoG(cfg Config) *Detector {
+	if cfg.MinStd <= 0 {
+		cfg.MinStd = 0.5 // half the ImpinJ RSS quantum
+	}
+	if cfg.InitStd <= 0 {
+		cfg.InitStd = 2 // dB: a parked tag's RSS wanders within ~±2 dB
+	}
+	if cfg.MaxStd <= 0 {
+		cfg.MaxStd = 6 // dB
+	}
+	return NewDetector(cfg.withDefaults(), AbsDist)
+}
+
+// Observe implements Assessor.
+func (d *Detector) Observe(tag epc.EPC, antenna, channel int, value float64, at time.Duration) Result {
+	if d.cfg.IgnoreChannel {
+		channel = 0
+	}
+	k := key{tag: tag, antenna: antenna, channel: channel}
+	st, ok := d.stacks[k]
+	if !ok {
+		st = NewStack(d.cfg, d.dist)
+		d.stacks[k] = st
+		d.tagStacks[tag] = append(d.tagStacks[tag], st)
+	}
+	d.lastSeen[tag] = at
+	// A stack still without any established mode is bootstrapping. While
+	// the tag is vouched for on other links, bootstrap verdicts are muted:
+	// otherwise every hop onto a fresh channel spends ~WeightFloor/α
+	// readings masquerading as motion. (A genuine mover is never vouched
+	// anywhere, so its verdicts are untouched.)
+	bootstrapping := !st.anyEstablished() && d.vouchedElsewhere(tag)
+	if len(st.modes) == 0 {
+		// First contact on this link: the paper initialises every tag as
+		// being in motion and immediately learns its immobility.
+		st.Observe(value)
+		if bootstrapping {
+			return Result{Moving: false, Score: 0}
+		}
+		return Result{Moving: true, Score: math.Inf(1)}
+	}
+	res := st.Observe(value)
+	if bootstrapping {
+		res.Moving = false
+		res.Switched = false
+		res.Score = 0
+	}
+	return res
+}
+
+// anyEstablished reports whether the stack holds at least one established
+// mode.
+func (s *Stack) anyEstablished() bool {
+	for _, g := range s.modes {
+		if g.established(s.cfg.WeightFloor) {
+			return true
+		}
+	}
+	return false
+}
+
+// Peek evaluates a reading against a tag's learned immobility without
+// mutating any state. It returns the ROC score (+Inf when the tag has no
+// established modes on that channel).
+func (d *Detector) Peek(tag epc.EPC, antenna, channel int, value float64) float64 {
+	if d.cfg.IgnoreChannel {
+		channel = 0
+	}
+	st, ok := d.stacks[key{tag: tag, antenna: antenna, channel: channel}]
+	if !ok {
+		return math.Inf(1)
+	}
+	return st.Score(value)
+}
+
+// Stack exposes a tag's stack for inspection (nil if never observed).
+func (d *Detector) Stack(tag epc.EPC, antenna, channel int) *Stack {
+	if d.cfg.IgnoreChannel {
+		channel = 0
+	}
+	return d.stacks[key{tag: tag, antenna: antenna, channel: channel}]
+}
+
+// Forget drops all state for a tag — the §4.3 answer to departed tags.
+func (d *Detector) Forget(tag epc.EPC) {
+	for k := range d.stacks {
+		if k.tag == tag {
+			delete(d.stacks, k)
+		}
+	}
+	delete(d.tagStacks, tag)
+	delete(d.lastSeen, tag)
+}
+
+// Prune forgets every tag not seen since the cutoff, returning how many
+// were dropped.
+func (d *Detector) Prune(cutoff time.Duration) int {
+	var dropped int
+	for tag, seen := range d.lastSeen {
+		if seen < cutoff {
+			d.Forget(tag)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// TrackedTags returns the number of tags with live state.
+func (d *Detector) TrackedTags() int { return len(d.lastSeen) }
+
+// Differencing is the naive baseline: compare each reading with the
+// previous one (§4.1 "Challenges"). Norm scales the raw deviation into the
+// same ξ-threshold units as the GMM detectors.
+type Differencing struct {
+	dist DistFunc
+	Norm float64
+	Xi   float64
+	last map[key]float64
+	has  map[key]bool
+	perC bool
+}
+
+// NewPhaseDiff builds the phase-differencing baseline.
+func NewPhaseDiff() *Differencing {
+	return &Differencing{dist: CircularDist, Norm: 0.1, Xi: 3, last: map[key]float64{}, has: map[key]bool{}, perC: true}
+}
+
+// NewRSSDiff builds the RSS-differencing baseline.
+func NewRSSDiff() *Differencing {
+	return &Differencing{dist: AbsDist, Norm: 0.5, Xi: 3, last: map[key]float64{}, has: map[key]bool{}, perC: true}
+}
+
+// Observe implements Assessor.
+func (d *Differencing) Observe(tag epc.EPC, antenna, channel int, value float64, _ time.Duration) Result {
+	if !d.perC {
+		channel = 0
+	}
+	k := key{tag: tag, antenna: antenna, channel: channel}
+	if !d.has[k] {
+		d.has[k] = true
+		d.last[k] = value
+		return Result{Moving: true, Score: math.Inf(1)}
+	}
+	score := d.dist(value, d.last[k]) / d.Norm
+	d.last[k] = value
+	return Result{Moving: score > d.Xi, Score: score}
+}

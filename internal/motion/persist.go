@@ -1,0 +1,101 @@
+package motion
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"tagwatch/internal/epc"
+)
+
+// Snapshot is the serialisable state of a Detector: every learned
+// immobility mode of every (tag, antenna, channel) link. Persisting it
+// across restarts removes the cold start entirely — the middleware resumes
+// with its Gaussian stacks intact (the paper's models take a cycle per
+// link to learn; a warehouse deployment has thousands of links).
+type Snapshot struct {
+	// Version guards the format.
+	Version int             `json:"version"`
+	Stacks  []stackSnapshot `json:"stacks"`
+}
+
+type stackSnapshot struct {
+	EPC      string         `json:"epc"`
+	Antenna  int            `json:"antenna"`
+	Channel  int            `json:"channel"`
+	LastSeen int64          `json:"last_seen_us"`
+	Modes    []modeSnapshot `json:"modes"`
+}
+
+type modeSnapshot struct {
+	W     float64 `json:"w"`
+	Mu    float64 `json:"mu"`
+	Sigma float64 `json:"sigma"`
+	N     int     `json:"n"`
+	M2    float64 `json:"m2"`
+}
+
+// snapshotVersion is the current format version.
+const snapshotVersion = 1
+
+// Save serialises the detector's learned state as JSON.
+func (d *Detector) Save(w io.Writer) error {
+	snap := Snapshot{Version: snapshotVersion}
+	for k, st := range d.stacks {
+		ss := stackSnapshot{
+			EPC:      k.tag.String(),
+			Antenna:  k.antenna,
+			Channel:  k.channel,
+			LastSeen: int64(d.lastSeen[k.tag] / time.Microsecond),
+		}
+		for _, g := range st.modes {
+			ss.Modes = append(ss.Modes, modeSnapshot{
+				W: g.w, Mu: g.mu, Sigma: g.sigma, N: g.n, M2: g.m2,
+			})
+		}
+		snap.Stacks = append(snap.Stacks, ss)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// Load restores learned state previously written by Save, replacing any
+// existing state. Mode identities are reassigned (switch detection resets,
+// which only costs one grace reading per link).
+func (d *Detector) Load(r io.Reader) error {
+	var snap Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return fmt.Errorf("motion: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("motion: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	d.stacks = make(map[key]*Stack)
+	d.tagStacks = make(map[epc.EPC][]*Stack)
+	d.lastSeen = make(map[epc.EPC]time.Duration)
+	for _, ss := range snap.Stacks {
+		code, err := epc.Parse(ss.EPC)
+		if err != nil {
+			return fmt.Errorf("motion: snapshot EPC %q: %w", ss.EPC, err)
+		}
+		st := NewStack(d.cfg, d.dist)
+		for _, m := range ss.Modes {
+			if m.Sigma <= 0 || m.N < 1 {
+				return fmt.Errorf("motion: snapshot mode for %s is corrupt", ss.EPC)
+			}
+			st.nextID++
+			st.modes = append(st.modes, gaussian{
+				id: st.nextID, w: m.W, mu: m.Mu, sigma: m.Sigma, n: m.N, m2: m.M2,
+			})
+		}
+		k := key{tag: code, antenna: ss.Antenna, channel: ss.Channel}
+		d.stacks[k] = st
+		d.tagStacks[code] = append(d.tagStacks[code], st)
+		if ls := time.Duration(ss.LastSeen) * time.Microsecond; ls > d.lastSeen[code] {
+			d.lastSeen[code] = ls
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package motion
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"tagwatch/internal/rf"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewPhaseMoG(Config{})
+	// Train two tags across two channels.
+	for i := 0; i < 200; i++ {
+		d.Observe(tagA, 1, 0, rf.WrapPhase(1.5+rng.NormFloat64()*0.08), time.Duration(i)*10*time.Millisecond)
+		d.Observe(tagA, 1, 5, rf.WrapPhase(4.0+rng.NormFloat64()*0.08), time.Duration(i)*10*time.Millisecond)
+		d.Observe(tagB, 2, 0, rf.WrapPhase(2.7+rng.NormFloat64()*0.08), time.Duration(i)*10*time.Millisecond)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewPhaseMoG(Config{})
+	if err := restored.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// The restored detector recognises the trained tags immediately — no
+	// cold start.
+	if restored.Observe(tagA, 1, 0, 1.5, 0).Moving {
+		t.Fatal("restored detector must recognise tagA on (1,0)")
+	}
+	if restored.Observe(tagA, 1, 5, 4.0, 0).Moving {
+		t.Fatal("restored detector must recognise tagA on (1,5)")
+	}
+	if restored.Observe(tagB, 2, 0, 2.7, 0).Moving {
+		t.Fatal("restored detector must recognise tagB")
+	}
+	// And still detects displacement.
+	if !restored.Observe(tagA, 1, 0, rf.WrapPhase(1.5+1.0), 0).Moving {
+		t.Fatal("restored detector must still flag jumps")
+	}
+	// lastSeen survived (prune semantics intact).
+	if restored.TrackedTags() != 2 {
+		t.Fatalf("tracked = %d", restored.TrackedTags())
+	}
+	if n := restored.Prune(time.Hour); n != 2 {
+		t.Fatalf("pruned %d", n)
+	}
+}
+
+func TestLoadReplacesExistingState(t *testing.T) {
+	d := NewPhaseMoG(Config{})
+	d.Observe(tagA, 0, 0, 1.0, 0)
+	empty := NewPhaseMoG(Config{})
+	var buf bytes.Buffer
+	if err := empty.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if d.TrackedTags() != 0 || d.Stack(tagA, 0, 0) != nil {
+		t.Fatal("Load must replace prior state")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	d := NewPhaseMoG(Config{})
+	cases := map[string]string{
+		"garbage":     "{not json",
+		"bad version": `{"version": 99}`,
+		"bad epc":     `{"version": 1, "stacks": [{"epc": "zz"}]}`,
+		"bad mode":    `{"version": 1, "stacks": [{"epc": "01", "modes": [{"w": 1, "sigma": 0, "n": 0}]}]}`,
+	}
+	for name, content := range cases {
+		if err := d.Load(strings.NewReader(content)); err == nil {
+			t.Errorf("%s must error", name)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package plot renders simple scientific plots as standalone SVG — enough
+// to draw every figure of the paper's evaluation (lines, scatter, bars,
+// step CDFs) without any dependency. The output is deterministic, making
+// rendered figures diffable artefacts.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind selects how a series is drawn.
+type Kind int
+
+// Series kinds.
+const (
+	Line Kind = iota
+	Scatter
+	Bars
+	Steps // staircase, for empirical CDFs
+)
+
+// Series is one named data series.
+type Series struct {
+	Name string
+	Kind Kind
+	X, Y []float64
+}
+
+// Plot is a single chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height are the SVG canvas size in pixels (defaults
+	// 640×420).
+	Width, Height int
+	// YMin/YMax force the y range when both are set (YMax > YMin).
+	YMin, YMax float64
+	forceY     bool
+}
+
+// SetYRange pins the y axis.
+func (p *Plot) SetYRange(min, max float64) {
+	p.YMin, p.YMax, p.forceY = min, max, true
+}
+
+// palette holds distinguishable series colours.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+const (
+	marginLeft   = 62.0
+	marginRight  = 16.0
+	marginTop    = 34.0
+	marginBottom = 46.0
+)
+
+// niceTicks picks ~n human-friendly tick positions covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	rawStep := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	for _, m := range []float64{1, 2, 5, 10} {
+		step = m * mag
+		if step >= rawStep {
+			break
+		}
+	}
+	start := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := start; v <= hi+step/1e6; v += step {
+		// Snap near-zero floating artefacts.
+		if math.Abs(v) < step/1e6 {
+			v = 0
+		}
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// formatTick renders a tick label compactly.
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+}
+
+// ranges computes the data extent across all series.
+func (p *Plot) ranges() (xlo, xhi, ylo, yhi float64) {
+	first := true
+	for _, s := range p.Series {
+		for i := range s.X {
+			if first {
+				xlo, xhi, ylo, yhi = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xlo = math.Min(xlo, s.X[i])
+			xhi = math.Max(xhi, s.X[i])
+			ylo = math.Min(ylo, s.Y[i])
+			yhi = math.Max(yhi, s.Y[i])
+		}
+	}
+	if first {
+		return 0, 1, 0, 1
+	}
+	if p.forceY {
+		ylo, yhi = p.YMin, p.YMax
+	} else {
+		if ylo > 0 && ylo < yhi/3 {
+			ylo = 0 // anchor at zero when the data lives near it
+		}
+		pad := (yhi - ylo) * 0.06
+		if pad == 0 {
+			pad = 1
+		}
+		yhi += pad
+		if ylo != 0 {
+			ylo -= pad
+		}
+	}
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	return
+}
+
+// SVG renders the plot.
+func (p *Plot) SVG() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 420
+	}
+	xlo, xhi, ylo, yhi := p.ranges()
+	plotW := float64(w) - marginLeft - marginRight
+	plotH := float64(h) - marginTop - marginBottom
+	px := func(x float64) float64 { return marginLeft + (x-xlo)/(xhi-xlo)*plotW }
+	py := func(y float64) float64 { return marginTop + plotH - (y-ylo)/(yhi-ylo)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	// Title and axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="18" text-anchor="middle" font-size="13">%s</text>`+"\n", w/2, escape(p.Title))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n", w/2, h-8, escape(p.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		int(marginTop+plotH/2), int(marginTop+plotH/2), escape(p.YLabel))
+
+	// Axes frame and grid.
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#333"/>`+"\n",
+		marginLeft, marginTop, plotW, plotH)
+	for _, t := range niceTicks(xlo, xhi, 6) {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			px(t), marginTop, px(t), marginTop+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+			px(t), marginTop+plotH+16, formatTick(t))
+	}
+	for _, t := range niceTicks(ylo, yhi, 6) {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, py(t), marginLeft+plotW, py(t))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, py(t)+4, formatTick(t))
+	}
+
+	// Series.
+	nBarSeries := 0
+	for _, s := range p.Series {
+		if s.Kind == Bars {
+			nBarSeries++
+		}
+	}
+	barIdx := 0
+	for si, s := range p.Series {
+		color := palette[si%len(palette)]
+		switch s.Kind {
+		case Line, Steps:
+			var pts []string
+			for i := range s.X {
+				if s.Kind == Steps && i > 0 {
+					pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i-1])))
+				}
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+				strings.Join(pts, " "), color)
+		case Scatter:
+			for i := range s.X {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+					px(s.X[i]), py(s.Y[i]), color)
+			}
+		case Bars:
+			slot := plotW / float64(maxPoints(p.Series)+1)
+			bw := slot / float64(nBarSeries+1)
+			for i := range s.X {
+				x := px(s.X[i]) - slot/2 + bw*float64(barIdx) + bw/2
+				y := py(s.Y[i])
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+					x, y, bw, py(ylo)-y, color)
+			}
+			barIdx++
+		}
+	}
+
+	// Legend.
+	lx, ly := marginLeft+8.0, marginTop+8.0
+	for si, s := range p.Series {
+		if s.Name == "" {
+			continue
+		}
+		color := palette[si%len(palette)]
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", lx, ly, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f">%s</text>`+"\n", lx+14, ly+9, escape(s.Name))
+		ly += 15
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func maxPoints(series []Series) int {
+	n := 0
+	for _, s := range series {
+		if len(s.X) > n {
+			n = len(s.X)
+		}
+	}
+	return n
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,108 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func samplePlot() *Plot {
+	return &Plot{
+		Title:  "IRR vs population",
+		XLabel: "tags",
+		YLabel: "Hz",
+		Series: []Series{
+			{Name: "measured", Kind: Line, X: []float64{1, 10, 20, 40}, Y: []float64{45, 22, 15, 9}},
+			{Name: "model", Kind: Scatter, X: []float64{1, 10, 20, 40}, Y: []float64{36, 23, 16, 9}},
+		},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg := samplePlot().SVG()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+	for _, want := range []string{"IRR vs population", "polyline", "circle", "measured", "model", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGDeterministic(t *testing.T) {
+	if samplePlot().SVG() != samplePlot().SVG() {
+		t.Fatal("SVG must be deterministic")
+	}
+}
+
+func TestBarsAndSteps(t *testing.T) {
+	p := &Plot{
+		Series: []Series{
+			{Name: "a", Kind: Bars, X: []float64{1, 2, 3}, Y: []float64{5, 2, 8}},
+			{Name: "b", Kind: Bars, X: []float64{1, 2, 3}, Y: []float64{3, 4, 1}},
+			{Name: "cdf", Kind: Steps, X: []float64{1, 2, 3}, Y: []float64{0.2, 0.7, 1.0}},
+		},
+	}
+	svg := p.SVG()
+	if strings.Count(svg, "<rect") < 7 { // canvas + frame + 6 bars
+		t.Fatalf("bar rectangles missing:\n%s", svg)
+	}
+	if !strings.Contains(svg, "polyline") {
+		t.Fatal("step polyline missing")
+	}
+}
+
+func TestEmptyPlotStillRenders(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	svg := p.SVG()
+	if !strings.Contains(svg, "</svg>") {
+		t.Fatal("empty plot must render a valid document")
+	}
+}
+
+func TestForcedYRange(t *testing.T) {
+	p := samplePlot()
+	p.SetYRange(0, 100)
+	svg := p.SVG()
+	if !strings.Contains(svg, ">100<") {
+		t.Fatalf("forced y max must appear as a tick:\n%s", svg)
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 40, 6)
+	if len(ticks) < 4 || ticks[0] != 0 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatal("ticks must ascend")
+		}
+	}
+	// Degenerate range.
+	if got := niceTicks(5, 5, 4); len(got) == 0 {
+		t.Fatal("degenerate range must still tick")
+	}
+	// Fractional steps format cleanly.
+	if formatTick(0.25) != "0.25" || formatTick(3) != "3" {
+		t.Fatalf("tick formats: %s %s", formatTick(0.25), formatTick(3))
+	}
+	if math.IsNaN(niceTicks(-1, 1, 5)[0]) {
+		t.Fatal("NaN tick")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if escape("a<b&c>") != "a&lt;b&amp;c&gt;" {
+		t.Fatalf("escape = %q", escape("a<b&c>"))
+	}
+}

@@ -1,0 +1,70 @@
+package reader
+
+import (
+	"tagwatch/internal/epc"
+	"tagwatch/internal/gen2"
+)
+
+// AccessKind distinguishes access operations.
+type AccessKind uint8
+
+// Access operation kinds.
+const (
+	AccessRead AccessKind = iota
+	AccessWrite
+)
+
+// AccessOp is one memory access performed on every tag singulated in the
+// round (the execution model of an LLRP AccessSpec attached to an ROSpec).
+type AccessOp struct {
+	// OpSpecID correlates results with the requesting OpSpec.
+	OpSpecID uint16
+	Kind     AccessKind
+	Bank     epc.MemoryBank
+	WordPtr  int
+	// WordCount is the read length (reads only).
+	WordCount int
+	// Data is the write payload (writes only).
+	Data []uint16
+}
+
+// AccessResult is the outcome of one AccessOp against one tag.
+type AccessResult struct {
+	OpSpecID     uint16
+	Write        bool
+	OK           bool
+	Data         []uint16 // read results
+	WordsWritten int
+}
+
+// performAccess runs the round's access operations against a freshly
+// acknowledged tag, charging the air time of Req_RN and each command, and
+// returns the results. A failed Req_RN (never expected in simulation, but
+// kept for fidelity) aborts all operations.
+func (r *Reader) performAccess(tag *gen2.Tag, rn16 uint16, ops []AccessOp) []AccessResult {
+	lt := r.cfg.Timing
+	r.now += lt.ReqRNDuration()
+	handle, ok := tag.HandleReqRN(rn16, r.scn.RNG())
+	out := make([]AccessResult, 0, len(ops))
+	for _, op := range ops {
+		res := AccessResult{OpSpecID: op.OpSpecID, Write: op.Kind == AccessWrite}
+		if ok {
+			switch op.Kind {
+			case AccessRead:
+				r.now += lt.ReadDuration(op.WordCount)
+				if words, rok := tag.HandleRead(handle, op.Bank, op.WordPtr, op.WordCount); rok {
+					res.OK = true
+					res.Data = words
+				}
+			case AccessWrite:
+				r.now += lt.WriteDuration(len(op.Data))
+				if tag.HandleBlockWrite(handle, op.Bank, op.WordPtr, op.Data) {
+					res.OK = true
+					res.WordsWritten = len(op.Data)
+				}
+			}
+		}
+		out = append(out, res)
+	}
+	return out
+}

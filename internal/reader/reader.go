@@ -1,0 +1,452 @@
+// Package reader implements a COTS-style Gen2 reader engine (modelled on
+// the ImpinJ Speedway R420 the paper uses) on top of the gen2 state
+// machines and the rf channel: inventory rounds with Q-adaptive frame
+// sizing, per-round start-up cost, Select-based selective reading,
+// frequency hopping, and multi-antenna time multiplexing — all in virtual
+// time, so hour-long traces simulate in milliseconds.
+//
+// The engine is the "device" the Tagwatch middleware drives. Everything
+// the middleware can observe — EPC, timestamp, antenna, channel, RF phase,
+// RSS — is surfaced through TagRead, exactly the tuple a real LLRP
+// RO_ACCESS_REPORT carries.
+package reader
+
+import (
+	"fmt"
+	"time"
+
+	"tagwatch/internal/aloha"
+	"tagwatch/internal/epc"
+	"tagwatch/internal/gen2"
+	"tagwatch/internal/scene"
+)
+
+// TagRead is one successful singulation: the reading the reader reports
+// upstream.
+type TagRead struct {
+	EPC      epc.EPC
+	Time     time.Duration // virtual time of the EPC backscatter
+	Antenna  int           // 1-based antenna port
+	Channel  int           // hop channel index
+	PhaseRad float64
+	RSSdBm   float64
+	// Access holds the results of the round's access operations against
+	// this tag (empty when the round carries none).
+	Access []AccessResult
+}
+
+// Stats aggregates link-layer counters across the reader's lifetime.
+type Stats struct {
+	Rounds     int
+	Slots      int
+	Empties    int
+	Collisions int
+	Singles    int
+	Reads      int
+}
+
+// Config tunes the reader engine.
+type Config struct {
+	// Timing is the Gen2 link profile.
+	Timing gen2.LinkTiming
+	// Session is the inventory session used for all rounds.
+	Session gen2.Session
+	// StartupCost is τ₀: the fixed per-round overhead a COTS reader spends
+	// on ROSpec processing, synchronisation and state clearing before the
+	// first slot (§2.2). The paper measures 19 ms on the R420.
+	StartupCost time.Duration
+	// HopEvery is the frequency-hop dwell; the Chinese band plan the paper
+	// operates under hops every 2 s. Zero disables hopping.
+	HopEvery time.Duration
+	// NewStrategy builds the frame-sizing strategy. Each reader owns one
+	// strategy instance for its lifetime (Gen2 readers carry Q across
+	// rounds only via the initial Q; our strategies reset in BeginRound).
+	Strategy aloha.Strategy
+	// MaxSlotsPerRound bounds runaway rounds (a safety net; optimal rounds
+	// need ≈ n·e·ln n slots).
+	MaxSlotsPerRound int
+	// CaptureMarginDB enables the capture effect: when the strongest
+	// replier in a collided slot exceeds every other replier by at least
+	// this margin, the receiver decodes it anyway (near–far capture).
+	// Zero disables capture (the default; the paper's model assumes
+	// destructive collisions).
+	CaptureMarginDB float64
+}
+
+// DefaultConfig returns a configuration matching the paper's testbed:
+// autoset link profile, S1, τ₀ = 19 ms, 2 s hop dwell, Q-adaptive with
+// initial Q = 4.
+func DefaultConfig() Config {
+	return Config{
+		Timing:           gen2.ImpinjAutosetProfile(),
+		Session:          gen2.S1,
+		StartupCost:      19 * time.Millisecond,
+		HopEvery:         2 * time.Second,
+		Strategy:         aloha.NewQAdaptive(4),
+		MaxSlotsPerRound: 1 << 17,
+	}
+}
+
+// Reader simulates one multi-antenna Gen2 reader attached to a scene.
+type Reader struct {
+	cfg   Config
+	scn   *scene.Scene
+	tags  map[epc.EPC]*gen2.Tag // link-layer state per scene tag
+	now   time.Duration
+	chIdx int
+	stats Stats
+	// repliers is the reusable per-slot reply buffer: the inventory loop
+	// runs millions of slots per experiment and must not allocate per
+	// slot.
+	repliers []replier
+}
+
+// replier pairs a tag with its in-flight RN16 reply for one slot.
+type replier struct {
+	tag *gen2.Tag
+	rep *gen2.Reply
+}
+
+// New builds a reader over a scene. The scene must already contain its
+// antennas; tags may be added to the scene later and are picked up
+// automatically.
+func New(cfg Config, scn *scene.Scene) *Reader {
+	if cfg.Strategy == nil {
+		cfg.Strategy = aloha.NewQAdaptive(4)
+	}
+	if cfg.MaxSlotsPerRound <= 0 {
+		cfg.MaxSlotsPerRound = 1 << 17
+	}
+	if cfg.Timing.TariUS == 0 {
+		cfg.Timing = gen2.ImpinjAutosetProfile()
+	}
+	return &Reader{cfg: cfg, scn: scn, tags: make(map[epc.EPC]*gen2.Tag)}
+}
+
+// Now returns the reader's virtual clock.
+func (r *Reader) Now() time.Duration { return r.now }
+
+// Advance moves the virtual clock forward without reading — idle time
+// between phases.
+func (r *Reader) Advance(d time.Duration) {
+	if d > 0 {
+		r.now += d
+	}
+}
+
+// Stats returns the accumulated link-layer counters.
+func (r *Reader) Stats() Stats { return r.stats }
+
+// Config returns the reader's configuration.
+func (r *Reader) Config() Config { return r.cfg }
+
+// Scene returns the scene the reader observes.
+func (r *Reader) Scene() *scene.Scene { return r.scn }
+
+// linkTag returns the gen2 state machine for a scene tag, creating it on
+// first contact.
+func (r *Reader) linkTag(st *scene.Tag) *gen2.Tag {
+	t, ok := r.tags[st.EPC]
+	if !ok {
+		t = gen2.NewTag(st.Memory)
+		r.tags[st.EPC] = t
+	}
+	return t
+}
+
+// hop advances the frequency-hop channel when the dwell expires.
+func (r *Reader) hop() {
+	if r.cfg.HopEvery <= 0 {
+		r.chIdx = 0
+		return
+	}
+	// Deterministic pseudo-random hop sequence: stride 7 is coprime with
+	// the 16-channel plan, visiting every channel each super-period.
+	slot := int(r.now / r.cfg.HopEvery)
+	n := r.scn.Channel.Params().Plan.NumChan
+	r.chIdx = (slot * 7) % n
+}
+
+// RoundOpts parameterises one inventory round.
+type RoundOpts struct {
+	// Antenna is the 1-based antenna port the round runs on.
+	Antenna int
+	// Filter, when non-nil, restricts the round to tags matching the
+	// bitmask: the reader issues SL-based Select commands and queries with
+	// Sel=SL, reproducing one AISpec with one C1G2Filter (§6).
+	Filter *gen2.SelectCmd
+	// Filters, when non-empty, restricts the round to tags matching ALL
+	// masks (Gen2 successive-Select intersection) — multiple C1G2Filters
+	// in one inventory command. Ignored when Filter is set.
+	Filters []gen2.SelectCmd
+	// Budget, when positive, aborts the round once the round has consumed
+	// this much virtual time (the dwell boundary of a phase).
+	Budget time.Duration
+	// Access lists memory operations performed on every singulated tag
+	// (an LLRP AccessSpec bound to the round).
+	Access []AccessOp
+	// AccessFilter, when non-nil, restricts Access to tags whose memory it
+	// accepts (the AccessSpec's C1G2TagSpec).
+	AccessFilter func(*epc.Memory) bool
+}
+
+type participant struct {
+	st *scene.Tag
+	lt *gen2.Tag
+}
+
+// RunRound executes one full inventory round and returns the successful
+// reads plus the round's total virtual duration. The round charges the
+// start-up cost τ₀, the Select air time, every slot, and the tail of empty
+// slots a real reader needs before it can conclude the population is
+// exhausted.
+func (r *Reader) RunRound(opts RoundOpts) ([]TagRead, time.Duration) {
+	start := r.now
+	lt := r.cfg.Timing
+	r.stats.Rounds++
+	r.hop()
+
+	// τ₀: ROSpec processing, synchronisation, state clearing, reporting.
+	r.now += r.cfg.StartupCost
+
+	ant, ok := r.antenna(opts.Antenna)
+	if !ok {
+		return nil, r.now - start
+	}
+
+	// Determine the tags the antenna can energise at round start.
+	parts := make([]participant, 0, len(r.scn.Tags))
+	for _, st := range r.scn.Tags {
+		m := r.scn.MeasureTag(st, ant, r.now, r.chIdx)
+		if !m.Readable {
+			continue
+		}
+		parts = append(parts, participant{st: st, lt: r.linkTag(st)})
+	}
+
+	// Select sequence. Every round begins by resetting the session flag of
+	// all tags in the field to A (part of the "clearing history states"
+	// the paper folds into τ₀ — but the air time is charged explicitly).
+	resetSel := gen2.SelectCmd{
+		Target:  gen2.Target(r.cfg.Session),
+		Action:  gen2.ActionAssertNothing, // zero-length mask matches all
+		MemBank: epc.BankEPC,
+		Pointer: 0,
+	}
+	r.applySelect(parts, resetSel)
+
+	filters := opts.Filters
+	if opts.Filter != nil {
+		filters = []gen2.SelectCmd{*opts.Filter}
+	}
+	sel := gen2.SelAll
+	if len(filters) > 0 {
+		sel = gen2.SelSL
+		// Deassert SL everywhere, assert it on the first mask's matches,
+		// then intersect: each further Select deasserts non-matching tags
+		// (the Gen2 successive-Select idiom).
+		clearSL := gen2.SelectCmd{Target: gen2.TargetSL, Action: gen2.ActionDeassertNothing, MemBank: epc.BankEPC, Pointer: 0}
+		r.applySelect(parts, clearSL)
+		for i, f := range filters {
+			f.Target = gen2.TargetSL
+			if i == 0 {
+				f.Action = gen2.ActionAssertNothing
+			} else {
+				f.Action = gen2.ActionNothingDeassert
+			}
+			r.applySelect(parts, f)
+		}
+	}
+
+	// Opening Query.
+	q := r.cfg.Strategy.BeginRound(len(parts))
+	r.now += lt.QueryDuration()
+	replies := r.repliers[:0]
+	pending := 0 // participants whose flag still matches the round target
+	query := gen2.Query{Sel: sel, Session: r.cfg.Session, Target: gen2.FlagA, Q: q}
+	for _, p := range parts {
+		if rep := p.lt.HandleQuery(query, r.scn.RNG()); rep != nil {
+			replies = append(replies, replier{tag: p.lt, rep: rep})
+		}
+	}
+	for _, p := range parts {
+		if r.participates(p.lt, sel) {
+			pending++
+		}
+	}
+
+	var reads []TagRead
+	slotCmd := lt.QueryRepDuration()
+	overBudget := func() bool {
+		return opts.Budget > 0 && r.now-start >= opts.Budget
+	}
+
+	emptyStreak := 0
+	for slots := 0; slots < r.cfg.MaxSlotsPerRound; slots++ {
+		if overBudget() {
+			break
+		}
+		r.stats.Slots++
+		// Capture effect: a dominant replier survives the collision.
+		if len(replies) > 1 && r.cfg.CaptureMarginDB > 0 {
+			// The drowned tags need no special handling: like any collided
+			// tag, their next QueryRep wraps them back to Arbitrate.
+			if w := r.captureWinner(replies, ant); w >= 0 {
+				replies[0] = replies[w]
+				replies = replies[:1]
+			}
+		}
+		var outcome aloha.Outcome
+		switch len(replies) {
+		case 0:
+			outcome = aloha.Empty
+			r.stats.Empties++
+			r.now += lt.EmptySlotDuration(slotCmd)
+			emptyStreak++
+		case 1:
+			outcome = aloha.Singleton
+			r.stats.Singles++
+			emptyStreak = 0
+			tag, rep := replies[0].tag, replies[0].rep
+			r.now += slotCmd + lt.T1() + lt.RN16Duration() + lt.T2() + lt.ACKDuration() + lt.T1()
+			er := tag.HandleACK(gen2.ACK{RN16: rep.RN16})
+			if er != nil {
+				r.now += lt.EPCReplyDuration(er.EPC.Bits()) + lt.T2()
+				var access []AccessResult
+				if len(opts.Access) > 0 &&
+					(opts.AccessFilter == nil || opts.AccessFilter(tag.Mem)) {
+					access = r.performAccess(tag, rep.RN16, opts.Access)
+				}
+				st := r.scn.FindTag(er.EPC)
+				if st != nil {
+					m := r.scn.MeasureTag(st, ant, r.now, r.chIdx)
+					reads = append(reads, TagRead{
+						EPC: er.EPC, Time: r.now, Antenna: ant.ID,
+						Channel: r.chIdx, PhaseRad: m.PhaseRad, RSSdBm: m.RSSdBm,
+						Access: access,
+					})
+					r.stats.Reads++
+					pending--
+				}
+			}
+		default:
+			outcome = aloha.Collision
+			r.stats.Collisions++
+			emptyStreak = 0
+			r.now += lt.CollisionSlotDuration(slotCmd)
+		}
+
+		newQ, changed := r.cfg.Strategy.OnSlot(outcome, pending)
+
+		// Round termination: population exhausted and the reader has seen
+		// enough empties to conclude so (Q decayed to zero plus one final
+		// empty slot at Q=0).
+		if pending <= 0 && outcome == aloha.Empty && newQ == 0 && emptyStreak > 1 {
+			break
+		}
+
+		if changed || outcome == aloha.Collision {
+			// QueryAdjust re-draws all arbitrating tags. After a collision
+			// the reader must adjust even when the rounded Q is unchanged:
+			// collided tags have wrapped their slot counters to 0x7FFF and
+			// only a redraw brings them back into the frame (otherwise an
+			// initial Q of 0 deadlocks, alternating collision and empty).
+			r.now += lt.QueryAdjustDuration()
+			qa := gen2.QueryAdjust{Session: r.cfg.Session}
+			replies = replies[:0]
+			for _, p := range parts {
+				if rep := p.lt.HandleQueryAdjust(qa, newQ, r.scn.RNG()); rep != nil {
+					replies = append(replies, replier{tag: p.lt, rep: rep})
+				}
+			}
+			continue
+		}
+
+		// Next slot via QueryRep.
+		replies = replies[:0]
+		qr := gen2.QueryRep{Session: r.cfg.Session}
+		for _, p := range parts {
+			if rep := p.lt.HandleQueryRep(qr, r.scn.RNG()); rep != nil {
+				replies = append(replies, replier{tag: p.lt, rep: rep})
+			}
+		}
+	}
+	r.repliers = replies[:0]
+	return reads, r.now - start
+}
+
+// captureWinner returns the index of the strongest replier when it clears
+// every other replier by the configured margin, -1 otherwise.
+func (r *Reader) captureWinner(replies []replier, ant scene.Antenna) int {
+	var best, second float64 = -1e9, -1e9
+	winner := -1
+	for i, rep := range replies {
+		st := r.scn.FindTag(rep.tag.EPC())
+		if st == nil {
+			return -1
+		}
+		m := r.scn.MeasureTag(st, ant, r.now, r.chIdx)
+		if m.RSSdBm > best {
+			second = best
+			best = m.RSSdBm
+			winner = i
+		} else if m.RSSdBm > second {
+			second = m.RSSdBm
+		}
+	}
+	if best-second >= r.cfg.CaptureMarginDB {
+		return winner
+	}
+	return -1
+}
+
+// applySelect charges the Select air time and applies the command to all
+// energised tags.
+func (r *Reader) applySelect(parts []participant, cmd gen2.SelectCmd) {
+	r.now += r.cfg.Timing.SelectDuration(cmd)
+	for _, p := range parts {
+		p.lt.ApplySelect(cmd)
+	}
+}
+
+// participates mirrors the tag-side Query participation test for the
+// reader's bookkeeping of how many tags remain un-inventoried.
+func (r *Reader) participates(t *gen2.Tag, sel gen2.Sel) bool {
+	switch sel {
+	case gen2.SelSL:
+		if !t.SL() {
+			return false
+		}
+	case gen2.SelNotSL:
+		if t.SL() {
+			return false
+		}
+	}
+	return t.Inventoried(r.cfg.Session) == gen2.FlagA
+}
+
+// antenna resolves a 1-based antenna port.
+func (r *Reader) antenna(id int) (scene.Antenna, bool) {
+	for _, a := range r.scn.Antennas {
+		if a.ID == id {
+			return a, true
+		}
+	}
+	return scene.Antenna{}, false
+}
+
+// InventoryAll runs one round on every antenna in port order — the
+// "reading all" baseline.
+func (r *Reader) InventoryAll() []TagRead {
+	var out []TagRead
+	for _, a := range r.scn.Antennas {
+		reads, _ := r.RunRound(RoundOpts{Antenna: a.ID})
+		out = append(out, reads...)
+	}
+	return out
+}
+
+// String renders the reader state for logs.
+func (r *Reader) String() string {
+	return fmt.Sprintf("reader.Reader{t=%v ch=%d rounds=%d reads=%d}", r.now, r.chIdx, r.stats.Rounds, r.stats.Reads)
+}

@@ -1,0 +1,71 @@
+// Package rf models the physical layer of a UHF RFID link: backscatter
+// phase, received signal strength, multipath from discrete reflectors,
+// measurement noise, and the frequency plan of a Gen2 reader.
+//
+// The model reproduces the signal structure the paper's motion assessment
+// (§4) depends on:
+//
+//   - θ = (4πd/λ + θ₀) mod 2π — phase proportional to twice the
+//     reader–tag distance, plus a per-tag/per-channel offset;
+//   - Gaussian measurement noise on phase and RSS;
+//   - the multipath effect: each surrounding object contributes one extra
+//     propagation whose superposition shifts the received phase into a new
+//     stable mode (the Gaussian-mixture structure of Fig. 8);
+//   - Fresnel-zone geometry (Eqn. 10) used to reason about which reflector
+//     displacements change the composite signal.
+package rf
+
+import (
+	"fmt"
+	"math"
+)
+
+// C is the speed of light in m/s.
+const C = 299_792_458.0
+
+// Point is a position in metres. The simulator is 3-D even though most of
+// the paper's rigs are planar; antennas are typically mounted above tags.
+type Point struct {
+	X, Y, Z float64
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y, z float64) Point { return Point{x, y, z} }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y, p.Z + q.Z} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y, p.Z - q.Z} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s, p.Z * s} }
+
+// Norm returns the Euclidean length of p.
+func (p Point) Norm() float64 { return math.Sqrt(p.X*p.X + p.Y*p.Y + p.Z*p.Z) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return p.Sub(q).Norm() }
+
+// String renders the point for logs.
+func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f, %.3f)", p.X, p.Y, p.Z) }
+
+// WrapPhase reduces a phase in radians to [0, 2π).
+func WrapPhase(theta float64) float64 {
+	theta = math.Mod(theta, 2*math.Pi)
+	if theta < 0 {
+		theta += 2 * math.Pi
+	}
+	return theta
+}
+
+// PhaseDist returns the minimum circular distance between two phases in
+// [0, 2π) — the paper's fix for base-2π wrap-around ("How to deal with
+// phase jumps?", §4.3).
+func PhaseDist(a, b float64) float64 {
+	d := math.Abs(WrapPhase(a) - WrapPhase(b))
+	if d > math.Pi {
+		d = 2*math.Pi - d
+	}
+	return d
+}

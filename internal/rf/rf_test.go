@@ -1,0 +1,314 @@
+package rf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(1, 2, 3), Pt(4, 6, 8)
+	if got := p.Add(q); got != Pt(5, 8, 11) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := q.Sub(p); got != Pt(3, 4, 5) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4, 6) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if d := p.Dist(q); math.Abs(d-math.Sqrt(50)) > 1e-12 {
+		t.Fatalf("Dist = %v", d)
+	}
+	if p.String() == "" {
+		t.Fatal("String must render")
+	}
+}
+
+func TestWrapPhase(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{2 * math.Pi, 0},
+		{-0.5, 2*math.Pi - 0.5},
+		{7, 7 - 2*math.Pi},
+	}
+	for _, c := range cases {
+		if got := WrapPhase(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("WrapPhase(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPhaseDistPaperExample(t *testing.T) {
+	// §4.3: expected 0.02, measured 2π−0.01 → minimum distance 0.03.
+	d := PhaseDist(2*math.Pi-0.01, 0.02)
+	if math.Abs(d-0.03) > 1e-9 {
+		t.Fatalf("PhaseDist = %v, want 0.03", d)
+	}
+}
+
+func TestPhaseDistProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		d := PhaseDist(a, b)
+		return d >= 0 && d <= math.Pi+1e-9 && math.Abs(d-PhaseDist(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrequencyPlan(t *testing.T) {
+	fp := DefaultFrequencyPlan()
+	if fp.NumChan != 16 {
+		t.Fatalf("NumChan = %d, want 16", fp.NumChan)
+	}
+	if f0 := fp.Freq(0); f0 != 920.625e6 {
+		t.Fatalf("Freq(0) = %v", f0)
+	}
+	if f15 := fp.Freq(15); math.Abs(f15-924.375e6) > 1 {
+		t.Fatalf("Freq(15) = %v", f15)
+	}
+	// Band check: paper quotes 920–926 MHz.
+	for i := 0; i < 16; i++ {
+		if f := fp.Freq(i); f < 920e6 || f > 926e6 {
+			t.Fatalf("channel %d at %v Hz outside 920–926 MHz", i, f)
+		}
+	}
+	// Wrap-around indexing.
+	if fp.Freq(16) != fp.Freq(0) || fp.Freq(-1) != fp.Freq(15) {
+		t.Fatal("channel index must wrap")
+	}
+	if l := fp.Wavelength(0); math.Abs(l-0.3256) > 0.001 {
+		t.Fatalf("λ(0) = %v, want ≈0.3256 m", l)
+	}
+}
+
+func newTestChannel(seed int64) (*Channel, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	p := DefaultParams()
+	p.PhaseNoiseStd = 0 // deterministic unless a test wants noise
+	p.RSSNoiseStd = 0
+	p.RSSQuantum = 0
+	return NewChannel(p, rng), rng
+}
+
+func TestMeasureMatchesExpectedPhaseLOS(t *testing.T) {
+	ch, rng := newTestChannel(1)
+	ant, tag := Pt(0, 0, 2), Pt(1.3, 0.4, 0)
+	for ci := 0; ci < 16; ci++ {
+		m := ch.Measure(rng, ant, tag, 0.7, ci, nil)
+		want := ch.ExpectedPhase(ant, tag, 0.7, ci)
+		if PhaseDist(m.PhaseRad, want) > 1e-9 {
+			t.Fatalf("chan %d: measured %v, expected %v", ci, m.PhaseRad, want)
+		}
+		if !m.Readable {
+			t.Fatalf("chan %d: short LOS link must be readable (RSS %v)", ci, m.RSSdBm)
+		}
+	}
+}
+
+func TestPhaseProportionalToDistance(t *testing.T) {
+	// Moving the tag by λ/2 along the LOS advances the phase by a full 2π
+	// (round trip), i.e. the measured phase is unchanged; λ/4 flips it by π.
+	ch, rng := newTestChannel(2)
+	ant := Pt(0, 0, 0)
+	lambda := ch.Params().Plan.Wavelength(3)
+	base := ch.Measure(rng, ant, Pt(2, 0, 0), 0, 3, nil).PhaseRad
+	half := ch.Measure(rng, ant, Pt(2+lambda/2, 0, 0), 0, 3, nil).PhaseRad
+	quarter := ch.Measure(rng, ant, Pt(2+lambda/4, 0, 0), 0, 3, nil).PhaseRad
+	if PhaseDist(base, half) > 1e-6 {
+		t.Fatalf("λ/2 displacement must preserve phase: %v vs %v", base, half)
+	}
+	if math.Abs(PhaseDist(base, quarter)-math.Pi) > 1e-6 {
+		t.Fatalf("λ/4 displacement must flip phase by π: %v vs %v", base, quarter)
+	}
+}
+
+func TestSmallDisplacementDetectablePhase(t *testing.T) {
+	// A 1 cm move produces a 2 cm round-trip change ≈ 0.39 rad at 920 MHz —
+	// the "natural amplifier" the paper cites in Fig. 13's discussion.
+	ch, rng := newTestChannel(3)
+	ant := Pt(0, 0, 0)
+	a := ch.Measure(rng, ant, Pt(2, 0, 0), 0, 0, nil).PhaseRad
+	b := ch.Measure(rng, ant, Pt(2.01, 0, 0), 0, 0, nil).PhaseRad
+	lambda := ch.Params().Plan.Wavelength(0)
+	want := 4 * math.Pi * 0.01 / lambda
+	if math.Abs(PhaseDist(a, b)-want) > 1e-6 {
+		t.Fatalf("1 cm phase delta = %v, want %v", PhaseDist(a, b), want)
+	}
+	if want < 0.3 {
+		t.Fatalf("sanity: expected ≈0.39 rad, got %v", want)
+	}
+}
+
+func TestRSSFallsWithDistance(t *testing.T) {
+	ch, rng := newTestChannel(4)
+	ant := Pt(0, 0, 0)
+	near := ch.Measure(rng, ant, Pt(1, 0, 0), 0, 0, nil).RSSdBm
+	far := ch.Measure(rng, ant, Pt(4, 0, 0), 0, 0, nil).RSSdBm
+	// 4x distance, 1/d² round-trip amplitude → 40·log10(4) ≈ 24 dB drop.
+	if d := near - far; math.Abs(d-24.08) > 0.5 {
+		t.Fatalf("RSS drop over 1→4 m = %v dB, want ≈24", d)
+	}
+}
+
+func TestSensitivityGatesReadability(t *testing.T) {
+	ch, rng := newTestChannel(5)
+	ant := Pt(0, 0, 0)
+	if m := ch.Measure(rng, ant, Pt(2, 0, 0), 0, 0, nil); !m.Readable {
+		t.Fatalf("2 m link must be readable, RSS %v", m.RSSdBm)
+	}
+	if m := ch.Measure(rng, ant, Pt(500, 0, 0), 0, 0, nil); m.Readable {
+		t.Fatalf("500 m link must not be readable, RSS %v", m.RSSdBm)
+	}
+}
+
+func TestRSSQuantisation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := DefaultParams()
+	p.PhaseNoiseStd = 0
+	p.RSSNoiseStd = 0
+	p.RSSQuantum = 0.5
+	ch := NewChannel(p, rng)
+	m := ch.Measure(rng, Pt(0, 0, 0), Pt(1.234, 0.5, 0), 0, 2, nil)
+	q := m.RSSdBm / 0.5
+	if math.Abs(q-math.Round(q)) > 1e-9 {
+		t.Fatalf("RSS %v not on a 0.5 dB grid", m.RSSdBm)
+	}
+}
+
+func TestReflectorShiftsPhaseMode(t *testing.T) {
+	// A reflector creates a distinct, stable phase mode — the mechanism
+	// behind the GMM (Fig. 7): same tag position, different composite phase.
+	ch, rng := newTestChannel(7)
+	ant, tag := Pt(0, 0, 0), Pt(3, 0, 0)
+	base := ch.Measure(rng, ant, tag, 0, 0, nil).PhaseRad
+	refl := []Reflector{{Pos: Pt(1.5, 1.2, 0), Coeff: complex(0.5, 0)}}
+	with := ch.Measure(rng, ant, tag, 0, 0, refl).PhaseRad
+	if PhaseDist(base, with) < 0.02 {
+		t.Fatalf("reflector must shift composite phase: %v vs %v", base, with)
+	}
+	// And the shifted mode is stable across repeated measurements.
+	again := ch.Measure(rng, ant, tag, 0, 0, refl).PhaseRad
+	if PhaseDist(with, again) > 1e-9 {
+		t.Fatal("noiseless composite phase must be deterministic")
+	}
+}
+
+func TestDistantReflectorNegligible(t *testing.T) {
+	ch, rng := newTestChannel(8)
+	ant, tag := Pt(0, 0, 0), Pt(2, 0, 0)
+	base := ch.Measure(rng, ant, tag, 0, 0, nil).PhaseRad
+	far := []Reflector{{Pos: Pt(200, 200, 0), Coeff: complex(0.5, 0)}}
+	with := ch.Measure(rng, ant, tag, 0, 0, far).PhaseRad
+	if PhaseDist(base, with) > 0.01 {
+		t.Fatalf("distant reflector shifted phase by %v", PhaseDist(base, with))
+	}
+}
+
+func TestPhaseNoiseStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := DefaultParams()
+	p.PhaseNoiseStd = 0.1
+	p.RSSQuantum = 0
+	ch := NewChannel(p, rng)
+	ant, tag := Pt(0, 0, 0), Pt(2, 0, 0)
+	want := ch.ExpectedPhase(ant, tag, 0, 0)
+	var devs []float64
+	for i := 0; i < 4000; i++ {
+		m := ch.Measure(rng, ant, tag, 0, 0, nil)
+		d := m.PhaseRad - want
+		for d > math.Pi {
+			d -= 2 * math.Pi
+		}
+		for d < -math.Pi {
+			d += 2 * math.Pi
+		}
+		devs = append(devs, d)
+	}
+	var mean, varr float64
+	for _, d := range devs {
+		mean += d
+	}
+	mean /= float64(len(devs))
+	for _, d := range devs {
+		varr += (d - mean) * (d - mean)
+	}
+	std := math.Sqrt(varr / float64(len(devs)))
+	if math.Abs(mean) > 0.01 || math.Abs(std-0.1) > 0.01 {
+		t.Fatalf("phase noise mean %v std %v, want ≈(0, 0.1)", mean, std)
+	}
+}
+
+func TestZeroDistanceDoesNotBlowUp(t *testing.T) {
+	ch, rng := newTestChannel(10)
+	m := ch.Measure(rng, Pt(0, 0, 0), Pt(0, 0, 0), 0, 0, nil)
+	if math.IsNaN(m.PhaseRad) || math.IsNaN(m.RSSdBm) {
+		t.Fatalf("degenerate geometry produced NaN: %+v", m)
+	}
+}
+
+func TestChannelString(t *testing.T) {
+	ch, _ := newTestChannel(11)
+	if ch.String() == "" {
+		t.Fatal("String must render")
+	}
+}
+
+func TestFresnelZone(t *testing.T) {
+	r, tag := Pt(0, 0, 0), Pt(4, 0, 0)
+	lambda := 0.3256
+	// A point on the LOS segment: zone 1.
+	if z := FresnelZone(r, tag, Pt(2, 0, 0), lambda); z != 1 {
+		t.Fatalf("LOS point zone = %d, want 1", z)
+	}
+	// First-zone radius at midpoint.
+	r1 := FirstZoneRadius(4, lambda)
+	if z := FresnelZone(r, tag, Pt(2, r1*0.9, 0), lambda); z != 1 {
+		t.Fatalf("inside first zone: %d", z)
+	}
+	if z := FresnelZone(r, tag, Pt(2, r1*1.3, 0), lambda); z < 2 {
+		t.Fatalf("outside first zone should be ≥2: %d", z)
+	}
+	// Zones grow monotonically with lateral offset.
+	prev := 0
+	for y := 0.0; y < 2; y += 0.05 {
+		z := FresnelZone(r, tag, Pt(2, y, 0), lambda)
+		if z < prev {
+			t.Fatalf("zone decreased at y=%v: %d < %d", y, z, prev)
+		}
+		prev = z
+	}
+}
+
+func TestInPhaseReflection(t *testing.T) {
+	r, tag := Pt(0, 0, 0), Pt(4, 0, 0)
+	lambda := 0.3256
+	if !InPhaseReflection(r, tag, Pt(2, 0.1, 0), lambda) {
+		t.Fatal("first-zone reflection must be in phase")
+	}
+	// Find a point in zone 2.
+	for y := 0.1; y < 3; y += 0.01 {
+		if FresnelZone(r, tag, Pt(2, y, 0), lambda) == 2 {
+			if InPhaseReflection(r, tag, Pt(2, y, 0), lambda) {
+				t.Fatal("second-zone reflection must be out of phase")
+			}
+			return
+		}
+	}
+	t.Fatal("never found a zone-2 point")
+}
+
+func TestPathExcess(t *testing.T) {
+	r, tag := Pt(0, 0, 0), Pt(4, 0, 0)
+	if e := PathExcess(r, tag, Pt(2, 0, 0)); e != 0 {
+		t.Fatalf("on-segment excess = %v, want 0", e)
+	}
+	if e := PathExcess(r, tag, Pt(2, 3, 0)); math.Abs(e-(2*math.Sqrt(13)-4)) > 1e-12 {
+		t.Fatalf("excess = %v", e)
+	}
+	if FirstZoneRadius(0, 0.3) != 0 {
+		t.Fatal("degenerate link radius must be 0")
+	}
+}

@@ -1,0 +1,399 @@
+// Package schedule implements Phase II of Tagwatch: choosing the group of
+// Gen2 Select bitmasks that covers all target (mobile or pinned) tags at
+// minimum inventory cost (§5).
+//
+// The problem is the weighted set-cover reduction of §5.2: every candidate
+// bitmask S(m, p, l) — a substring of some target's EPC — covers the set
+// of tags whose EPC matches m at bit offset p, and costs C(|covered|)
+// under the inventory-cost model of §2.2 (each bitmask runs as its own
+// AISpec, paying the start-up cost τ₀). The greedy algorithm of §5.3
+// repeatedly picks the bitmask with the highest relative gain
+// R(S) = |V_S ∧ V| / C(|V_S|).
+//
+// The index table is precomputed over the current tag population with
+// indicator bitmaps packed into uint64 words, so one greedy run over
+// hundreds of tags and tens of thousands of candidates costs milliseconds
+// (the paper's Fig. 17 budget).
+package schedule
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"time"
+
+	"tagwatch/internal/aloha"
+	"tagwatch/internal/epc"
+	"tagwatch/internal/gen2"
+)
+
+// Bitmask is the paper's S(m, p, l): a mask compared against the EPC code
+// at bit offset Pointer. (The Gen2 Select pointer additionally skips the
+// StoredCRC+StoredPC header; SelectCmd adds that.)
+type Bitmask struct {
+	Mask    epc.EPC
+	Pointer int
+}
+
+// Covers reports whether the bitmask covers the given EPC code.
+func (b Bitmask) Covers(code epc.EPC) bool {
+	return code.MatchBits(b.Pointer, b.Mask)
+}
+
+// SelectCmd converts the bitmask into the Gen2 Select command that
+// implements it on the air protocol.
+func (b Bitmask) SelectCmd() gen2.SelectCmd {
+	return gen2.SelectCmd{
+		Target:  gen2.TargetSL,
+		Action:  gen2.ActionAssertNothing,
+		MemBank: epc.BankEPC,
+		Pointer: epc.EPCWordOffset + b.Pointer,
+		Mask:    b.Mask,
+	}
+}
+
+// String renders the paper's S(mask, pointer, length) notation.
+func (b Bitmask) String() string {
+	return fmt.Sprintf("S(%s, %d, %d)", b.Mask, b.Pointer, b.Mask.Bits())
+}
+
+// Config tunes candidate enumeration.
+type Config struct {
+	// Cost is the inventory-cost model used to price bitmasks.
+	Cost aloha.CostModel
+	// MaxLen caps candidate mask lengths; 0 means the full EPC length.
+	// The full space is n'·L(L+1)/2 candidates (§5.2); trimming lengths
+	// trades optimality for preprocessing time on very large populations.
+	MaxLen int
+	// PointerStride enumerates candidate pointers in steps (1 = every bit
+	// offset, the paper's full space).
+	PointerStride int
+	// Rand resolves gain ties ("a draw can be resolved by random
+	// selection", §5.3); nil picks the first maximum deterministically.
+	Rand *rand.Rand
+}
+
+// DefaultConfig prices with the paper's measured cost model and searches
+// the full candidate space.
+func DefaultConfig() Config {
+	return Config{Cost: aloha.PaperCostModel(), PointerStride: 1}
+}
+
+// words packs an EPC code into 64-bit words, MSB first, zero-padded.
+type words [2]uint64
+
+func packEPC(code epc.EPC) (words, bool) {
+	if code.Bits() > 128 {
+		return words{}, false
+	}
+	var w words
+	for i, b := range code.Bytes() {
+		w[i/8] |= uint64(b) << (56 - 8*(i%8))
+	}
+	return w, true
+}
+
+// windowMask returns words with ones at bit positions [p, p+l).
+func windowMask(p, l int) words {
+	var m words
+	for i := p; i < p+l; i++ {
+		m[i/64] |= 1 << (63 - i%64)
+	}
+	return m
+}
+
+// bitmap is an indicator over the population, packed 64 tags per word.
+type bitmap []uint64
+
+func newBitmap(n int) bitmap { return make(bitmap, (n+63)/64) }
+
+func (b bitmap) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitmap) get(i int) bool { return b[i/64]>>(i%64)&1 == 1 }
+
+func (b bitmap) popcount() int {
+	var c int
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// andCount returns |b ∧ o|.
+func (b bitmap) andCount(o bitmap) int {
+	var c int
+	for i := range b {
+		c += bits.OnesCount64(b[i] & o[i])
+	}
+	return c
+}
+
+// clear removes o's bits from b.
+func (b bitmap) clear(o bitmap) {
+	for i := range b {
+		b[i] &^= o[i]
+	}
+}
+
+func (b bitmap) key() string {
+	buf := make([]byte, 8*len(b))
+	for i, w := range b {
+		for j := 0; j < 8; j++ {
+			buf[8*i+j] = byte(w >> (8 * j))
+		}
+	}
+	return string(buf)
+}
+
+// row is one candidate bitmask with its population indicator.
+type row struct {
+	mask    Bitmask
+	covered bitmap
+	count   int // |covered|, cached
+}
+
+// IndexTable is the §5.3 pre-built table: the current population plus fast
+// coverage evaluation. Build one per population snapshot; it answers any
+// number of Select calls (target sets) against that snapshot.
+type IndexTable struct {
+	cfg    Config
+	tags   []epc.EPC
+	index  map[epc.EPC]int
+	packed []words
+	bits   int // common EPC bit length
+}
+
+// NewIndexTable builds the table over the current tag population. All tags
+// must share one EPC bit length (mixed populations are not meaningfully
+// maskable with a common pointer space).
+func NewIndexTable(cfg Config, population []epc.EPC) (*IndexTable, error) {
+	if len(population) == 0 {
+		return nil, fmt.Errorf("schedule: empty population")
+	}
+	if cfg.Cost == (aloha.CostModel{}) {
+		cfg.Cost = aloha.PaperCostModel()
+	}
+	if cfg.PointerStride <= 0 {
+		cfg.PointerStride = 1
+	}
+	t := &IndexTable{
+		cfg:    cfg,
+		tags:   append([]epc.EPC(nil), population...),
+		index:  make(map[epc.EPC]int, len(population)),
+		packed: make([]words, len(population)),
+		bits:   population[0].Bits(),
+	}
+	sort.Slice(t.tags, func(i, j int) bool { return t.tags[i].String() < t.tags[j].String() })
+	for i, code := range t.tags {
+		if code.Bits() != t.bits {
+			return nil, fmt.Errorf("schedule: mixed EPC lengths %d and %d", t.bits, code.Bits())
+		}
+		if _, dup := t.index[code]; dup {
+			return nil, fmt.Errorf("schedule: duplicate EPC %s", code)
+		}
+		w, ok := packEPC(code)
+		if !ok {
+			return nil, fmt.Errorf("schedule: EPC %s exceeds 128 bits", code)
+		}
+		t.index[code] = i
+		t.packed[i] = w
+	}
+	return t, nil
+}
+
+// Size returns the population size.
+func (t *IndexTable) Size() int { return len(t.tags) }
+
+// Population returns the (sorted) population snapshot.
+func (t *IndexTable) Population() []epc.EPC { return t.tags }
+
+// buildRows enumerates the candidate bitmasks derived from the targets:
+// every substring S(m, p, l) of a target EPC, deduplicated by coverage.
+func (t *IndexTable) buildRows(targets []int) []row {
+	maxLen := t.cfg.MaxLen
+	if maxLen <= 0 || maxLen > t.bits {
+		maxLen = t.bits
+	}
+	seen := make(map[string]struct{})
+	var rows []row
+	for _, ti := range targets {
+		tw := t.packed[ti]
+		for l := 1; l <= maxLen; l++ {
+			for p := 0; p+l <= t.bits; p += t.cfg.PointerStride {
+				wm := windowMask(p, l)
+				cov := newBitmap(len(t.tags))
+				count := 0
+				for i, pw := range t.packed {
+					if (pw[0]^tw[0])&wm[0] == 0 && (pw[1]^tw[1])&wm[1] == 0 {
+						cov.set(i)
+						count++
+					}
+				}
+				k := cov.key()
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				mask, err := t.tags[ti].Slice(p, l)
+				if err != nil {
+					continue
+				}
+				rows = append(rows, row{
+					mask:    Bitmask{Mask: mask, Pointer: p},
+					covered: cov,
+					count:   count,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// PlanMask is one selected bitmask with its coverage accounting.
+type PlanMask struct {
+	Bitmask Bitmask
+	// Covered is how many tags (targets and collateral) the mask's
+	// selective round will read.
+	Covered int
+	// TargetGain is how many then-uncovered targets the mask contributed.
+	TargetGain int
+	// Cost is C(Covered).
+	Cost time.Duration
+}
+
+// Plan is the outcome of bitmask selection.
+type Plan struct {
+	Masks []PlanMask
+	// TotalCost is Σ C(|S_i|) over the chosen masks.
+	TotalCost time.Duration
+	// NaiveCost is the §5.2 worst case: one exact-EPC round per target.
+	NaiveCost time.Duration
+	// UsedNaive reports that the greedy result was more expensive than the
+	// worst case and the naive plan was adopted instead.
+	UsedNaive bool
+	// Collateral is the number of distinct non-target tags covered.
+	Collateral int
+}
+
+// Bitmasks returns just the masks, in selection order.
+func (p Plan) Bitmasks() []Bitmask {
+	out := make([]Bitmask, len(p.Masks))
+	for i, m := range p.Masks {
+		out[i] = m.Bitmask
+	}
+	return out
+}
+
+// ErrUnknownTarget is wrapped when a target is not in the population.
+var ErrUnknownTarget = fmt.Errorf("schedule: target not in population")
+
+// Select runs the greedy set-cover search of §5.3 for the given targets
+// and returns the chosen plan. Targets must be members of the population.
+func (t *IndexTable) Select(targets []epc.EPC) (Plan, error) {
+	if len(targets) == 0 {
+		return Plan{}, fmt.Errorf("schedule: no targets")
+	}
+	idxs := make([]int, 0, len(targets))
+	seen := make(map[int]struct{}, len(targets))
+	for _, code := range targets {
+		i, ok := t.index[code]
+		if !ok {
+			return Plan{}, fmt.Errorf("%w: %s", ErrUnknownTarget, code)
+		}
+		if _, dup := seen[i]; dup {
+			continue
+		}
+		seen[i] = struct{}{}
+		idxs = append(idxs, i)
+	}
+
+	rows := t.buildRows(idxs)
+	targetSet := newBitmap(len(t.tags))
+	for _, i := range idxs {
+		targetSet.set(i)
+	}
+
+	// Greedy iterations over the input indicator V.
+	v := append(bitmap(nil), targetSet...)
+	var plan Plan
+	coveredAll := newBitmap(len(t.tags))
+	for v.popcount() > 0 {
+		bestR := -1.0
+		var best []int
+		for ri := range rows {
+			gain := rows[ri].covered.andCount(v)
+			if gain == 0 {
+				continue
+			}
+			r := float64(gain) / float64(t.cfg.Cost.Cost(rows[ri].count))
+			switch {
+			case r > bestR:
+				bestR = r
+				best = best[:0]
+				best = append(best, ri)
+			case r == bestR:
+				best = append(best, ri)
+			}
+		}
+		if len(best) == 0 {
+			return Plan{}, fmt.Errorf("schedule: uncoverable targets remain (internal invariant violated)")
+		}
+		pick := best[0]
+		if t.cfg.Rand != nil && len(best) > 1 {
+			pick = best[t.cfg.Rand.Intn(len(best))]
+		}
+		r := rows[pick]
+		plan.Masks = append(plan.Masks, PlanMask{
+			Bitmask:    r.mask,
+			Covered:    r.count,
+			TargetGain: r.covered.andCount(v),
+			Cost:       t.cfg.Cost.Cost(r.count),
+		})
+		plan.TotalCost += t.cfg.Cost.Cost(r.count)
+		for i := range coveredAll {
+			coveredAll[i] |= r.covered[i]
+		}
+		v.clear(r.covered)
+	}
+	plan.Collateral = coveredAll.popcount() - func() int {
+		var c int
+		for i := range coveredAll {
+			c += bits.OnesCount64(coveredAll[i] & targetSet[i])
+		}
+		return c
+	}()
+
+	// Worst-case fallback (§5.2): n' exact-EPC rounds.
+	plan.NaiveCost = time.Duration(len(idxs)) * t.cfg.Cost.Cost(1)
+	if plan.TotalCost > plan.NaiveCost {
+		naive := t.NaivePlan(targets)
+		naive.NaiveCost = plan.NaiveCost
+		naive.UsedNaive = true
+		return naive, nil
+	}
+	return plan, nil
+}
+
+// NaivePlan builds the baseline plan that uses each target's full EPC as
+// its own bitmask — the "naive rate-adaptive solution" compared throughout
+// §7.
+func (t *IndexTable) NaivePlan(targets []epc.EPC) Plan {
+	var plan Plan
+	seen := make(map[epc.EPC]struct{}, len(targets))
+	for _, code := range targets {
+		if _, dup := seen[code]; dup {
+			continue
+		}
+		seen[code] = struct{}{}
+		cost := t.cfg.Cost.Cost(1)
+		plan.Masks = append(plan.Masks, PlanMask{
+			Bitmask:    Bitmask{Mask: code, Pointer: 0},
+			Covered:    1,
+			TargetGain: 1,
+			Cost:       cost,
+		})
+		plan.TotalCost += cost
+	}
+	plan.NaiveCost = plan.TotalCost
+	return plan
+}

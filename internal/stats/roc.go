@@ -1,0 +1,82 @@
+package stats
+
+import "sort"
+
+// ROCPoint is one operating point of a detector: the false-positive and
+// true-positive rates achieved at some threshold.
+type ROCPoint struct {
+	Threshold float64
+	FPR, TPR  float64
+}
+
+// ROC computes a receiver operating characteristic from detector scores.
+// Higher score means "more likely moving" (positive). posScores are scores
+// of truly-moving samples; negScores of truly-stationary ones. The returned
+// curve is ordered by ascending FPR and always includes the (0,0) and (1,1)
+// endpoints.
+func ROC(posScores, negScores []float64) []ROCPoint {
+	if len(posScores) == 0 || len(negScores) == 0 {
+		return nil
+	}
+	// Candidate thresholds: every distinct score.
+	th := make([]float64, 0, len(posScores)+len(negScores))
+	th = append(th, posScores...)
+	th = append(th, negScores...)
+	sort.Float64s(th)
+	uniq := th[:0]
+	for i, v := range th {
+		if i == 0 || v != th[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	ps := append([]float64(nil), posScores...)
+	ns := append([]float64(nil), negScores...)
+	sort.Float64s(ps)
+	sort.Float64s(ns)
+	countAbove := func(sorted []float64, t float64) int {
+		// samples with score >= t are classified positive
+		i := sort.SearchFloat64s(sorted, t)
+		return len(sorted) - i
+	}
+	curve := make([]ROCPoint, 0, len(uniq)+2)
+	curve = append(curve, ROCPoint{Threshold: uniq[len(uniq)-1] + 1, FPR: 0, TPR: 0})
+	for i := len(uniq) - 1; i >= 0; i-- {
+		t := uniq[i]
+		curve = append(curve, ROCPoint{
+			Threshold: t,
+			FPR:       float64(countAbove(ns, t)) / float64(len(ns)),
+			TPR:       float64(countAbove(ps, t)) / float64(len(ps)),
+		})
+	}
+	if last := curve[len(curve)-1]; last.FPR != 1 || last.TPR != 1 {
+		curve = append(curve, ROCPoint{Threshold: uniq[0] - 1, FPR: 1, TPR: 1})
+	}
+	return curve
+}
+
+// AUC integrates a ROC curve (ordered by ascending FPR) with the trapezoid
+// rule. A perfect detector scores 1.0; a random one 0.5.
+func AUC(curve []ROCPoint) float64 {
+	if len(curve) < 2 {
+		return 0
+	}
+	var area float64
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}
+
+// TPRAtFPR returns the best true-positive rate achievable at or below the
+// given false-positive rate — how the paper quotes Fig. 12 ("≥0.95 TPR
+// while ≤0.1 FPR").
+func TPRAtFPR(curve []ROCPoint, maxFPR float64) float64 {
+	best := 0.0
+	for _, p := range curve {
+		if p.FPR <= maxFPR && p.TPR > best {
+			best = p.TPR
+		}
+	}
+	return best
+}

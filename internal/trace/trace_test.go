@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tagwatch/internal/stats"
+)
+
+func genDefault(seed int64) Trace {
+	return Generate(DefaultConfig(), rand.New(rand.NewSource(seed)))
+}
+
+func TestTraceBasicShape(t *testing.T) {
+	tr := genDefault(1)
+	if len(tr.Tags) != 527 {
+		t.Fatalf("tags = %d, want 527", len(tr.Tags))
+	}
+	// Total readings in the paper's order of magnitude (367,536 measured).
+	if tr.Total < 100_000 || tr.Total > 900_000 {
+		t.Fatalf("total readings = %d, want paper order (~367k)", tr.Total)
+	}
+	// Unique EPCs.
+	seen := map[string]bool{}
+	for _, tag := range tr.Tags {
+		if seen[tag.EPC.String()] {
+			t.Fatalf("duplicate EPC %s", tag.EPC)
+		}
+		seen[tag.EPC.String()] = true
+	}
+}
+
+func TestHeroTagDominates(t *testing.T) {
+	// The paper's tag #271: parked beside the gate, read ~90,000 times.
+	tr := genDefault(2)
+	hero := tr.MaxTag()
+	if hero.Reads() < 40_000 {
+		t.Fatalf("hottest parked tag read %d times, want tens of thousands", hero.Reads())
+	}
+	if !hero.Parked || hero.Gamma < 0.9 {
+		t.Fatalf("hero must be a strongly-coupled parked tag: %+v", hero)
+	}
+	// It utterly dominates the median.
+	med := stats.Median(tr.ReadCounts())
+	if float64(hero.Reads()) < 100*med {
+		t.Fatalf("hero (%d) should dwarf the median (%.0f)", hero.Reads(), med)
+	}
+}
+
+func TestMoversReadLittle(t *testing.T) {
+	// §2.4: "the real moving tags are typically read less than 5 times
+	// when being moved across the gate" (expected ≈50 uncontended).
+	tr := genDefault(3)
+	var crossing []float64
+	for _, tag := range tr.Tags {
+		crossing = append(crossing, float64(tag.CrossingReads))
+	}
+	med := stats.Median(crossing)
+	if med > 20 {
+		t.Fatalf("median crossing reads = %.1f, want contention-starved (<20)", med)
+	}
+	if med < 1 {
+		t.Fatalf("median crossing reads = %.1f — movers must still be read", med)
+	}
+}
+
+func TestConcurrentMoversMinority(t *testing.T) {
+	// Paper: at most ≈30 of 527 tags (≈5.7%) simultaneously conveyed.
+	tr := genDefault(4)
+	if tr.PeakConcurrentMovers > 30 {
+		t.Fatalf("peak concurrent movers = %d, want ≤30", tr.PeakConcurrentMovers)
+	}
+	if tr.PeakConcurrentMovers < 1 {
+		t.Fatal("no movers at all")
+	}
+}
+
+func TestReadCountDistributionHeavyTail(t *testing.T) {
+	// Fig. 4: 20% of tags read >205 times, 10% >655. Assert the shape
+	// with slack: the top decile is far hotter than the median, and the
+	// paper's two quantile anchors hold within loose bands.
+	tr := genDefault(5)
+	counts := tr.ReadCounts()
+	over205 := 1 - stats.CDFAt(counts, 205)
+	over655 := 1 - stats.CDFAt(counts, 655)
+	if over205 < 0.08 || over205 > 0.45 {
+		t.Fatalf("fraction read >205 = %.3f, want ≈0.20 band", over205)
+	}
+	if over655 < 0.04 || over655 > 0.30 {
+		t.Fatalf("fraction read >655 = %.3f, want ≈0.10 band", over655)
+	}
+	if over655 >= over205 {
+		t.Fatal("CDF must be monotone")
+	}
+	p90 := stats.Percentile(counts, 0.9)
+	med := stats.Median(counts)
+	if p90 < 5*med {
+		t.Fatalf("p90 (%.0f) must dwarf the median (%.0f): heavy tail", p90, med)
+	}
+}
+
+func TestTimelineCoversTrace(t *testing.T) {
+	tr := genDefault(6)
+	var sum int
+	active := 0
+	for _, c := range tr.Timeline {
+		sum += c
+		if c > 0 {
+			active++
+		}
+	}
+	if sum != tr.Total {
+		t.Fatalf("timeline sums to %d, total %d", sum, tr.Total)
+	}
+	// The gate is busy most of the time (parked tags are always read).
+	if active < len(tr.Timeline)*3/4 {
+		t.Fatalf("only %d of %d minutes active", active, len(tr.Timeline))
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a := genDefault(7)
+	b := genDefault(7)
+	if a.Total != b.Total || len(a.Tags) != len(b.Tags) {
+		t.Fatal("same seed must reproduce the trace")
+	}
+	c := genDefault(8)
+	if a.Total == c.Total {
+		t.Fatal("different seeds should differ (astronomically unlikely collision)")
+	}
+}
+
+func TestShortCustomTrace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 10 * time.Minute
+	cfg.Arrivals = 40
+	cfg.MeanParkDwell = 3 * time.Minute
+	tr := Generate(cfg, rand.New(rand.NewSource(9)))
+	if len(tr.Tags) == 0 || len(tr.Tags) > 40 {
+		t.Fatalf("tags = %d", len(tr.Tags))
+	}
+	for _, tag := range tr.Tags {
+		if tag.Depart < tag.Arrive {
+			t.Fatalf("tag departs before arriving: %+v", tag)
+		}
+		if tag.Depart > cfg.Duration {
+			t.Fatalf("tag departs after the trace ends: %+v", tag)
+		}
+		if tag.Parked && (tag.Gamma <= 0 || tag.Gamma > 1) {
+			t.Fatalf("gamma out of range: %+v", tag)
+		}
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	tr := Generate(Config{Duration: 5 * time.Minute, Arrivals: 10}, rand.New(rand.NewSource(10)))
+	if len(tr.Tags) == 0 {
+		t.Fatal("defaults must fill in and generate")
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, mean := range []float64{0.3, 3, 80} {
+		var sum, sq float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			k := float64(poisson(rng, mean))
+			sum += k
+			sq += k * k
+		}
+		m := sum / n
+		v := sq/n - m*m
+		if m < mean*0.93 || m > mean*1.07 {
+			t.Fatalf("poisson(%v) mean = %v", mean, m)
+		}
+		if v < mean*0.85 || v > mean*1.15 {
+			t.Fatalf("poisson(%v) variance = %v", mean, v)
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Fatal("non-positive mean must yield 0")
+	}
+}
+
+func TestRateAdaptiveRestoresCrossingReads(t *testing.T) {
+	// The paper's motivating claim, closed end-to-end: each parcel should
+	// be read ≈50 times while crossing (≈1 s at the uncontended ~48 Hz);
+	// under reading-all the parked population starves crossings to single
+	// digits; under the rate-adaptive policy the expectation is restored.
+	base := Generate(DefaultConfig(), rand.New(rand.NewSource(42)))
+	cfg := DefaultConfig()
+	cfg.RateAdaptive = true
+	adaptive := Generate(cfg, rand.New(rand.NewSource(42)))
+
+	med := func(tr Trace) float64 {
+		var xs []float64
+		for _, tag := range tr.Tags {
+			xs = append(xs, float64(tag.CrossingReads))
+		}
+		return stats.Median(xs)
+	}
+	mb, ma := med(base), med(adaptive)
+	if ma < 3*mb {
+		t.Fatalf("rate-adaptive median crossing reads %.0f must dwarf read-all %.0f", ma, mb)
+	}
+	if ma < 25 || ma > 90 {
+		t.Fatalf("rate-adaptive crossing reads = %.0f, want ≈50 (the paper's expectation)", ma)
+	}
+	// And the parked flood is gone: total readings collapse.
+	if adaptive.Total > base.Total/3 {
+		t.Fatalf("adaptive total %d should be far below read-all %d", adaptive.Total, base.Total)
+	}
+}

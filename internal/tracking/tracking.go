@@ -1,0 +1,330 @@
+// Package tracking reimplements the Differential Augmented Hologram (DAH)
+// localizer of Tagoram (the paper's reference [30]), which the evaluation
+// uses to turn tag readings into trajectories (Fig. 1).
+//
+// DAH is a sequential grid search: starting from a known initial position,
+// each step collects the phase *differences* of consecutive readings on
+// the same (antenna, channel) link — differencing cancels the unknown tag
+// and reader phase offsets — and scores candidate positions p around the
+// previous estimate by how well the expected round-trip phase advances
+// 4π(d_a(p) − d_a(p_prev))/λ explain the measured differences:
+//
+//	L(p) = Σ_links cos(Δθ_meas − Δθ_expected(p))
+//
+// The dependence on reading rate is physical and is exactly Fig. 1's
+// phenomenon: between consecutive readings the tag must move less than
+// ~λ/4 per link or the differential phase aliases, so a mobile tag whose
+// IRR collapses under channel contention yields a corrupted trajectory.
+package tracking
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tagwatch/internal/rf"
+	"tagwatch/internal/scene"
+)
+
+// Observation is one phase reading of the tracked tag.
+type Observation struct {
+	Time    time.Duration
+	Antenna int // 1-based antenna port
+	Channel int
+	Phase   float64 // rad
+}
+
+// Estimate is one recovered trajectory point.
+type Estimate struct {
+	Time  time.Duration
+	Pos   rf.Point
+	Score float64 // mean cosine agreement in [-1, 1]
+	Links int     // differential links that contributed
+}
+
+// Config tunes the tracker.
+type Config struct {
+	// StepEvery is the estimation cadence; each step consumes the phase
+	// differences accumulated since the last one.
+	StepEvery time.Duration
+	// SearchRadius bounds the per-step displacement hypothesis (metres).
+	SearchRadius float64
+	// GridStep is the search resolution (metres).
+	GridStep float64
+	// MinLinks is the minimum number of differential links required to
+	// attempt a fix; with fewer the step is deferred.
+	MinLinks int
+	// Z fixes the tag plane height (the rigs move tags in a plane).
+	Z float64
+	// MaxLinkGap drops a link's remembered phase when its two readings
+	// are further apart than this (the tag has moved too far for the
+	// difference to carry usable information).
+	MaxLinkGap time.Duration
+	// MaxSpeed, when positive, caps the per-step search radius at
+	// MaxSpeed × window-span: the solver never considers displacements
+	// faster than the tag could physically move, which removes distant
+	// alias maxima outright and keeps a borderline-aliased track from
+	// escaping.
+	MaxSpeed float64
+	// MotionPrior penalises large per-step displacements. Differential
+	// phase constraints alias every λ/2 of path difference, and symmetric
+	// antenna rigs (the paper's ±5 m square) make the alias maxima exact;
+	// the prior selects the physically smallest displacement among them.
+	// The penalty is MotionPrior · displacement / (λ/2) subtracted from
+	// the cosine score.
+	MotionPrior float64
+}
+
+// DefaultConfig returns parameters suited to the paper's toy-train rig.
+func DefaultConfig() Config {
+	return Config{
+		StepEvery:    50 * time.Millisecond,
+		SearchRadius: 0.30,
+		GridStep:     0.005,
+		MinLinks:     3,
+		Z:            0,
+		MaxLinkGap:   time.Second,
+		MotionPrior:  0.1,
+	}
+}
+
+type linkKey struct {
+	antenna int
+	channel int
+}
+
+type linkState struct {
+	phase float64
+	at    time.Duration
+}
+
+type delta struct {
+	key    linkKey
+	dPhase float64 // measured phase advance, wrapped
+	t1, t2 time.Duration
+}
+
+// Tracker is a sequential DAH estimator for one tag.
+type Tracker struct {
+	cfg      Config
+	plan     rf.FrequencyPlan
+	antennas map[int]rf.Point
+
+	pos     rf.Point
+	havePos bool
+	last    map[linkKey]linkState
+	pending []delta
+	stepAt  time.Duration
+	started bool
+	// history holds recent (time, position) estimates so each delta can be
+	// anchored at its actual reading times.
+	history []Estimate
+}
+
+// New builds a tracker over the given antenna placement and frequency
+// plan.
+func New(cfg Config, plan rf.FrequencyPlan, antennas []scene.Antenna) *Tracker {
+	if cfg.StepEvery <= 0 {
+		cfg.StepEvery = 50 * time.Millisecond
+	}
+	if cfg.SearchRadius <= 0 {
+		cfg.SearchRadius = 0.30
+	}
+	if cfg.GridStep <= 0 {
+		cfg.GridStep = 0.005
+	}
+	if cfg.MinLinks <= 0 {
+		cfg.MinLinks = 3
+	}
+	if cfg.MaxLinkGap <= 0 {
+		cfg.MaxLinkGap = time.Second
+	}
+	if cfg.MotionPrior <= 0 {
+		cfg.MotionPrior = 0.1
+	}
+	t := &Tracker{
+		cfg:      cfg,
+		plan:     plan,
+		antennas: make(map[int]rf.Point, len(antennas)),
+		last:     make(map[linkKey]linkState),
+	}
+	for _, a := range antennas {
+		t.antennas[a.ID] = a.Pos
+	}
+	return t
+}
+
+// SetInitial seeds the tracker with a known starting position (the paper
+// fixes the initial position at a known point).
+func (t *Tracker) SetInitial(p rf.Point) {
+	t.pos = p
+	t.pos.Z = t.cfg.Z
+	t.havePos = true
+	t.history = append(t.history[:0], Estimate{Time: 0, Pos: t.pos})
+}
+
+// Position returns the current estimate.
+func (t *Tracker) Position() (rf.Point, bool) { return t.pos, t.havePos }
+
+// wrapSigned wraps a phase difference to (−π, π].
+func wrapSigned(d float64) float64 {
+	for d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	for d <= -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+// Feed consumes one observation; when a step boundary passes and enough
+// links have accumulated it returns a new estimate, otherwise nil.
+func (t *Tracker) Feed(o Observation) *Estimate {
+	if _, ok := t.antennas[o.Antenna]; !ok {
+		return nil
+	}
+	k := linkKey{antenna: o.Antenna, channel: o.Channel}
+	if prev, ok := t.last[k]; ok && o.Time-prev.at <= t.cfg.MaxLinkGap {
+		t.pending = append(t.pending, delta{
+			key:    k,
+			dPhase: wrapSigned(o.Phase - prev.phase),
+			t1:     prev.at,
+			t2:     o.Time,
+		})
+	}
+	t.last[k] = linkState{phase: o.Phase, at: o.Time}
+	if !t.started {
+		t.started = true
+		t.stepAt = o.Time + t.cfg.StepEvery
+		return nil
+	}
+	if o.Time < t.stepAt || !t.havePos {
+		return nil
+	}
+	links := make(map[linkKey]struct{})
+	for _, d := range t.pending {
+		links[d.key] = struct{}{}
+	}
+	if len(links) < t.cfg.MinLinks {
+		// Not enough geometry yet; extend the window.
+		t.stepAt = o.Time + t.cfg.StepEvery
+		return nil
+	}
+	est := t.solve(t.pending, len(links), o.Time)
+	t.pending = t.pending[:0]
+	t.stepAt = o.Time + t.cfg.StepEvery
+	return est
+}
+
+// posAt interpolates the tag position at time ts under the hypothesis that
+// the tag moves linearly from the last estimate to cand at time t1. Times
+// before the recorded history clamp to its start.
+func (t *Tracker) posAt(ts time.Duration, cand rf.Point, t1 time.Duration) rf.Point {
+	h := t.history
+	if ts >= t1 {
+		return cand
+	}
+	// Walk history backwards: segments [h[i], h[i+1]], final segment
+	// [h[last], cand@t1].
+	if len(h) == 0 {
+		return cand
+	}
+	lastKnown := h[len(h)-1]
+	if ts >= lastKnown.Time {
+		span := t1 - lastKnown.Time
+		if span <= 0 {
+			return cand
+		}
+		frac := float64(ts-lastKnown.Time) / float64(span)
+		return lastKnown.Pos.Add(cand.Sub(lastKnown.Pos).Scale(frac))
+	}
+	for i := len(h) - 1; i > 0; i-- {
+		if ts >= h[i-1].Time {
+			span := h[i].Time - h[i-1].Time
+			if span <= 0 {
+				return h[i].Pos
+			}
+			frac := float64(ts-h[i-1].Time) / float64(span)
+			return h[i-1].Pos.Add(h[i].Pos.Sub(h[i-1].Pos).Scale(frac))
+		}
+	}
+	return h[0].Pos
+}
+
+// solve grid-searches the position at time `at` around the previous
+// estimate, scoring each candidate by how well a linear move to it
+// explains every pending differential constraint at its own pair of
+// reading times.
+func (t *Tracker) solve(deltas []delta, links int, at time.Duration) *Estimate {
+	best := t.pos
+	bestScore := math.Inf(-1)
+	bestRaw := 0.0
+	r := t.cfg.SearchRadius
+	if t.cfg.MaxSpeed > 0 && len(t.history) > 0 {
+		span := at - t.history[len(t.history)-1].Time
+		if cap := t.cfg.MaxSpeed * span.Seconds(); cap < r {
+			r = math.Max(cap, 2*t.cfg.GridStep)
+		}
+	}
+	step := t.cfg.GridStep
+	halfLambda := t.plan.Wavelength(0) / 2
+	for dx := -r; dx <= r; dx += step {
+		for dy := -r; dy <= r; dy += step {
+			cand := rf.Pt(t.pos.X+dx, t.pos.Y+dy, t.cfg.Z)
+			var raw float64
+			for _, d := range deltas {
+				ant := t.antennas[d.key.antenna]
+				lambda := t.plan.Wavelength(d.key.channel)
+				p1 := t.posAt(d.t1, cand, at)
+				p2 := t.posAt(d.t2, cand, at)
+				exp := 4 * math.Pi * (ant.Dist(p2) - ant.Dist(p1)) / lambda
+				raw += math.Cos(d.dPhase - exp)
+			}
+			score := raw/float64(len(deltas)) - t.cfg.MotionPrior*math.Hypot(dx, dy)/halfLambda
+			if score > bestScore {
+				bestScore = score
+				bestRaw = raw / float64(len(deltas))
+				best = cand
+			}
+		}
+	}
+	t.pos = best
+	est := Estimate{Time: at, Pos: best, Score: bestRaw, Links: links}
+	t.history = append(t.history, est)
+	if len(t.history) > 32 {
+		t.history = t.history[len(t.history)-32:]
+	}
+	return &est
+}
+
+// Track runs a whole observation sequence (time-ordered) through a fresh
+// window state and collects the estimates.
+func (t *Tracker) Track(obs []Observation) []Estimate {
+	var out []Estimate
+	for _, o := range obs {
+		if e := t.Feed(o); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// MeanError computes the mean Euclidean distance between estimates and a
+// ground-truth trajectory evaluated at the estimate times, in metres.
+func MeanError(ests []Estimate, truth scene.Trajectory) float64 {
+	if len(ests) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, e := range ests {
+		p := truth.Pos(e.Time)
+		p.Z = e.Pos.Z // planar comparison
+		sum += e.Pos.Dist(p)
+	}
+	return sum / float64(len(ests))
+}
+
+// String renders the tracker state.
+func (t *Tracker) String() string {
+	return fmt.Sprintf("tracking.Tracker{pos=%v links=%d}", t.pos, len(t.last))
+}

@@ -1,0 +1,222 @@
+package tracking
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tagwatch/internal/rf"
+	"tagwatch/internal/scene"
+)
+
+// fourAntennas places the paper's (±5, ±5) m rig.
+func fourAntennas() []scene.Antenna {
+	return []scene.Antenna{
+		{ID: 1, Pos: rf.Pt(5, 5, 0)},
+		{ID: 2, Pos: rf.Pt(-5, 5, 0)},
+		{ID: 3, Pos: rf.Pt(-5, -5, 0)},
+		{ID: 4, Pos: rf.Pt(5, -5, 0)},
+	}
+}
+
+// synthObs generates phase observations of a trajectory at the given IRR
+// (readings per second, spread round-robin over the four antennas) with
+// the given phase noise, pinned to one hop channel.
+func synthObs(rng *rand.Rand, traj scene.Trajectory, plan rf.FrequencyPlan, irrHz float64, noise float64, dur time.Duration) []Observation {
+	ants := fourAntennas()
+	var obs []Observation
+	period := time.Duration(float64(time.Second) / irrHz)
+	i := 0
+	tagOffset := 1.234 // constant θ0: must cancel in the differential
+	for ts := time.Duration(0); ts < dur; ts += period {
+		a := ants[i%len(ants)]
+		i++
+		d := a.Pos.Dist(traj.Pos(ts))
+		phase := rf.WrapPhase(4*math.Pi*d/plan.Wavelength(0) + tagOffset + rng.NormFloat64()*noise)
+		obs = append(obs, Observation{Time: ts, Antenna: a.ID, Channel: 0, Phase: phase})
+	}
+	return obs
+}
+
+func trainTrack() scene.Trajectory {
+	return scene.Circle{Center: rf.Pt(0, 0, 0), Radius: 0.2, Speed: 0.7}
+}
+
+func TestHighRateTrackingAccurate(t *testing.T) {
+	// 68 Hz (the paper's uncontended rate): mean error ~1–3 cm.
+	rng := rand.New(rand.NewSource(1))
+	plan := rf.DefaultFrequencyPlan()
+	traj := trainTrack()
+	obs := synthObs(rng, traj, plan, 68, 0.1, 10*time.Second)
+	tr := New(DefaultConfig(), plan, fourAntennas())
+	tr.SetInitial(traj.Pos(0))
+	ests := tr.Track(obs)
+	if len(ests) < 50 {
+		t.Fatalf("only %d estimates from 10 s at 68 Hz", len(ests))
+	}
+	err := MeanError(ests, traj)
+	if err > 0.05 {
+		t.Fatalf("mean error at 68 Hz = %.3f m, want < 0.05", err)
+	}
+}
+
+func TestLowRateTrackingDegrades(t *testing.T) {
+	// The Fig. 1 phenomenon: reading-rate collapse corrupts the recovered
+	// trajectory. At 12 Hz over 4 antennas the per-link sampling is ≈3 Hz:
+	// the train moves ≈23 cm ≫ λ/4 between readings, so the differential
+	// phase aliases.
+	plan := rf.DefaultFrequencyPlan()
+	traj := trainTrack()
+	run := func(irr float64, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		obs := synthObs(rng, traj, plan, irr, 0.1, 10*time.Second)
+		tr := New(DefaultConfig(), plan, fourAntennas())
+		tr.SetInitial(traj.Pos(0))
+		return MeanError(tr.Track(obs), traj)
+	}
+	var hi, lo float64
+	for s := int64(0); s < 3; s++ {
+		hi += run(68, s)
+		lo += run(12, 100+s)
+	}
+	hi /= 3
+	lo /= 3
+	if lo < 2*hi {
+		t.Fatalf("low-rate error (%.3f m) must be well above high-rate (%.3f m)", lo, hi)
+	}
+	if lo < 0.05 {
+		t.Fatalf("12 Hz tracking error = %.3f m — aliasing should corrupt it", lo)
+	}
+}
+
+func TestDifferentialCancelsOffsets(t *testing.T) {
+	// Two synthetic runs differing only in tag/channel constant offsets
+	// must produce identical estimates (differencing removes them).
+	plan := rf.DefaultFrequencyPlan()
+	traj := trainTrack()
+	gen := func(offset float64) []Observation {
+		ants := fourAntennas()
+		var obs []Observation
+		i := 0
+		for ts := time.Duration(0); ts < 5*time.Second; ts += 15 * time.Millisecond {
+			a := ants[i%len(ants)]
+			i++
+			d := a.Pos.Dist(traj.Pos(ts))
+			obs = append(obs, Observation{
+				Time: ts, Antenna: a.ID, Channel: 0,
+				Phase: rf.WrapPhase(4*math.Pi*d/plan.Wavelength(0) + offset),
+			})
+		}
+		return obs
+	}
+	track := func(obs []Observation) []Estimate {
+		tr := New(DefaultConfig(), plan, fourAntennas())
+		tr.SetInitial(traj.Pos(0))
+		return tr.Track(obs)
+	}
+	a := track(gen(0.1))
+	b := track(gen(5.9))
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("estimate counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Pos.Dist(b[i].Pos) > 1e-9 {
+			t.Fatalf("offset changed estimate %d: %v vs %v", i, a[i].Pos, b[i].Pos)
+		}
+	}
+}
+
+func TestStationaryTagStaysPut(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	plan := rf.DefaultFrequencyPlan()
+	traj := scene.Stationary{P: rf.Pt(0.3, -0.2, 0)}
+	obs := synthObs(rng, traj, plan, 40, 0.1, 5*time.Second)
+	tr := New(DefaultConfig(), plan, fourAntennas())
+	tr.SetInitial(rf.Pt(0.3, -0.2, 0))
+	ests := tr.Track(obs)
+	if len(ests) == 0 {
+		t.Fatal("no estimates")
+	}
+	if err := MeanError(ests, traj); err > 0.04 {
+		t.Fatalf("stationary drift = %.3f m", err)
+	}
+}
+
+func TestMinLinksDefersEstimate(t *testing.T) {
+	plan := rf.DefaultFrequencyPlan()
+	tr := New(DefaultConfig(), plan, fourAntennas())
+	tr.SetInitial(rf.Pt(0, 0, 0))
+	// Readings from a single antenna only: never ≥3 links, never a fix.
+	for i := 0; i < 100; i++ {
+		e := tr.Feed(Observation{
+			Time:    time.Duration(i) * 20 * time.Millisecond,
+			Antenna: 1, Channel: 0, Phase: 1.0,
+		})
+		if e != nil {
+			t.Fatal("single-antenna data must not produce a fix")
+		}
+	}
+}
+
+func TestUnknownAntennaIgnored(t *testing.T) {
+	plan := rf.DefaultFrequencyPlan()
+	tr := New(DefaultConfig(), plan, fourAntennas())
+	tr.SetInitial(rf.Pt(0, 0, 0))
+	if tr.Feed(Observation{Antenna: 99, Phase: 1}) != nil {
+		t.Fatal("unknown antenna must be ignored")
+	}
+}
+
+func TestNoInitialNoFix(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	plan := rf.DefaultFrequencyPlan()
+	obs := synthObs(rng, trainTrack(), plan, 60, 0.05, 2*time.Second)
+	tr := New(DefaultConfig(), plan, fourAntennas())
+	if ests := tr.Track(obs); len(ests) != 0 {
+		t.Fatal("tracker without an initial position must not emit estimates")
+	}
+	if _, ok := tr.Position(); ok {
+		t.Fatal("Position must report unseeded state")
+	}
+}
+
+func TestMaxLinkGapDropsStaleLinks(t *testing.T) {
+	plan := rf.DefaultFrequencyPlan()
+	cfg := DefaultConfig()
+	cfg.MaxLinkGap = 100 * time.Millisecond
+	tr := New(cfg, plan, fourAntennas())
+	tr.SetInitial(rf.Pt(0, 0, 0))
+	tr.Feed(Observation{Time: 0, Antenna: 1, Channel: 0, Phase: 1})
+	// 10 s later: the stale phase must not form a delta.
+	tr.Feed(Observation{Time: 10 * time.Second, Antenna: 1, Channel: 0, Phase: 2})
+	if len(tr.pending) != 0 {
+		t.Fatal("stale link produced a delta")
+	}
+}
+
+func TestMeanErrorEmpty(t *testing.T) {
+	if !math.IsNaN(MeanError(nil, trainTrack())) {
+		t.Fatal("empty estimate list must be NaN")
+	}
+}
+
+func TestEstimateScoreInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	plan := rf.DefaultFrequencyPlan()
+	traj := trainTrack()
+	obs := synthObs(rng, traj, plan, 60, 0.05, 3*time.Second)
+	tr := New(DefaultConfig(), plan, fourAntennas())
+	tr.SetInitial(traj.Pos(0))
+	for _, e := range tr.Track(obs) {
+		if e.Score < -1-1e-9 || e.Score > 1+1e-9 {
+			t.Fatalf("score %v out of [-1,1]", e.Score)
+		}
+		if e.Links < 3 {
+			t.Fatalf("estimate with %d links", e.Links)
+		}
+	}
+	if tr.String() == "" {
+		t.Fatal("String must render")
+	}
+}
