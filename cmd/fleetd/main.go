@@ -1,0 +1,121 @@
+// Command fleetd supervises a fleet of LLRP readers and serves the merged
+// result over HTTP: per-reader Tagwatch cycles with automatic reconnects,
+// one registry keyed by EPC, an SSE event stream, health, and Prometheus
+// metrics.
+//
+// Usage:
+//
+//	fleetd -readers 10.0.0.11:5084,10.0.0.12:5084 -http :8080
+//	fleetd -readers aisle1=10.0.0.11:5084,aisle2=10.0.0.12:5084 -dwell 2s
+//
+// Then:
+//
+//	curl localhost:8080/api/readers
+//	curl localhost:8080/api/tags?mobile=1
+//	curl -N localhost:8080/api/events
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tagwatch/internal/core"
+	"tagwatch/internal/fleet"
+)
+
+func main() {
+	var (
+		readers     = flag.String("readers", "", "comma-separated LLRP readers, each ADDR or NAME=ADDR")
+		httpAddr    = flag.String("http", ":8080", "HTTP listen address")
+		dwell       = flag.Duration("dwell", 5*time.Second, "Phase II dwell per cycle")
+		cyclePause  = flag.Duration("cycle-pause", 0, "idle time between cycles on each reader")
+		dialTimeout = flag.Duration("dial-timeout", 5*time.Second, "per-attempt LLRP connect timeout")
+		backoffBase = flag.Duration("backoff-base", 500*time.Millisecond, "initial reconnect backoff")
+		backoffMax  = flag.Duration("backoff-max", 30*time.Second, "reconnect backoff ceiling")
+		maxFailures = flag.Int("max-failures", 0, "consecutive failures before a reader goes down for good (0 = retry forever)")
+		config      = flag.String("config", "", "JSON Tagwatch configuration file (see core.FileConfig)")
+		quiet       = flag.Bool("quiet", false, "suppress per-event logging")
+	)
+	flag.Parse()
+
+	if *readers == "" {
+		log.Fatal("fleetd: -readers is required (e.g. -readers 10.0.0.11:5084,10.0.0.12:5084)")
+	}
+
+	cfg := fleet.DefaultConfig()
+	if *config != "" {
+		loaded, err := core.LoadConfigFile(*config)
+		if err != nil {
+			log.Fatalf("config: %v", err)
+		}
+		cfg.Tagwatch = loaded
+	}
+	cfg.Tagwatch.PhaseIIDwell = *dwell
+	cfg.DialTimeout = *dialTimeout
+	cfg.BackoffBase = *backoffBase
+	cfg.BackoffMax = *backoffMax
+	cfg.MaxFailures = *maxFailures
+	cfg.CyclePause = *cyclePause
+	for _, part := range strings.Split(*readers, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rc := fleet.ReaderConfig{Addr: part}
+		if name, addr, ok := strings.Cut(part, "="); ok {
+			rc = fleet.ReaderConfig{Name: strings.TrimSpace(name), Addr: strings.TrimSpace(addr)}
+		}
+		cfg.Readers = append(cfg.Readers, rc)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	m := fleet.New(cfg)
+
+	// Log fleet events (state changes and handoffs; cycles are too chatty).
+	if !*quiet {
+		sub := m.Bus().Subscribe(256)
+		go func() {
+			for ev := range sub.C() {
+				switch ev.Type {
+				case fleet.EventReaderState:
+					if ev.Error != "" {
+						log.Printf("reader %s: %s (attempt %d): %s", ev.Reader, ev.State, ev.Attempt, ev.Error)
+					} else {
+						log.Printf("reader %s: %s (attempt %d)", ev.Reader, ev.State, ev.Attempt)
+					}
+				case fleet.EventHandoff:
+					log.Printf("handoff %s: %s -> %s", ev.EPC, ev.From, ev.To)
+				}
+			}
+		}()
+	}
+
+	m.Start(ctx)
+	defer m.Stop()
+
+	lis, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *httpAddr, err)
+	}
+	fmt.Printf("fleetd: %d readers supervised, HTTP on %s\n", len(cfg.Readers), lis.Addr())
+
+	if err := m.Serve(ctx, lis); err != nil && err != http.ErrServerClosed {
+		log.Printf("http: %v", err)
+	}
+
+	m.Stop()
+	obs, handoffs := m.Registry().Stats()
+	fmt.Printf("fleetd: %d tags, %d observations, %d handoffs\n", m.Registry().Len(), obs, handoffs)
+}

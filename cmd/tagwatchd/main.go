@@ -7,6 +7,9 @@
 //
 //	tagwatchd -reader 127.0.0.1:5084 -cycles 10 -dwell 5s
 //	tagwatchd -reader 127.0.0.1:5084 -pin 30f4ab12cd0045e100000001
+//
+// SIGINT/SIGTERM stop the cycle loop cleanly: the -state file is still
+// saved and the lifetime metrics still print.
 package main
 
 import (
@@ -15,7 +18,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"tagwatch/internal/core"
@@ -25,23 +30,34 @@ import (
 
 func main() {
 	var (
-		readerAddr = flag.String("reader", "127.0.0.1:5084", "LLRP reader address")
-		cycles     = flag.Int("cycles", 10, "reading cycles to run (0 = forever)")
-		dwell      = flag.Duration("dwell", 5*time.Second, "Phase II dwell")
-		pins       = flag.String("pin", "", "comma-separated EPCs to always schedule")
-		config     = flag.String("config", "", "JSON configuration file (see core.FileConfig)")
-		state      = flag.String("state", "", "state file: learned immobility models are loaded at start and saved at exit")
+		readerAddr  = flag.String("reader", "127.0.0.1:5084", "LLRP reader address")
+		cycles      = flag.Int("cycles", 10, "reading cycles to run (0 = forever)")
+		dwell       = flag.Duration("dwell", 5*time.Second, "Phase II dwell")
+		dialTimeout = flag.Duration("dial-timeout", 10*time.Second, "LLRP connect timeout")
+		pins        = flag.String("pin", "", "comma-separated EPCs to always schedule")
+		config      = flag.String("config", "", "JSON configuration file (see core.FileConfig)")
+		state       = flag.String("state", "", "state file: learned immobility models are loaded at start and saved at exit")
 	)
 	flag.Parse()
 
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	conn, err := llrp.Dial(ctx, *readerAddr)
+	// The signal-aware context makes interruption graceful: the cycle loop
+	// stops at the next cycle boundary and every deferred save still runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	dctx, cancel := context.WithTimeout(ctx, *dialTimeout)
+	conn, err := llrp.Dial(dctx, *readerAddr)
 	cancel()
 	if err != nil {
 		log.Fatalf("connect: %v", err)
 	}
 	defer conn.Close()
 	fmt.Printf("tagwatchd: connected to %s\n", *readerAddr)
+
+	// A signal mid-cycle closes the connection, which aborts the in-flight
+	// ROSpec wait instead of riding out the dwell.
+	unblock := context.AfterFunc(ctx, func() { conn.Close() })
+	defer unblock()
 
 	cfg := core.DefaultConfig()
 	if *config != "" {
@@ -96,6 +112,10 @@ func main() {
 	}()
 
 	for i := 0; *cycles == 0 || i < *cycles; i++ {
+		if ctx.Err() != nil {
+			fmt.Println("tagwatchd: interrupted, saving state")
+			return
+		}
 		rep := tw.RunCycle()
 		mode := "selective"
 		if rep.FellBack {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"tagwatch/internal/epc"
@@ -9,8 +10,10 @@ import (
 
 // History is the reading database the middleware maintains for upper
 // applications: a bounded per-tag ring of recent readings plus lifetime
-// counters (the "history database" of Fig. 5).
+// counters (the "history database" of Fig. 5). It is safe for concurrent
+// use: cycle loops write while serving layers read.
 type History struct {
+	mu    sync.RWMutex
 	depth int
 	tags  map[epc.EPC]*tagHistory
 }
@@ -33,6 +36,8 @@ func NewHistory(depth int) *History {
 
 // Add records one reading.
 func (h *History) Add(r Reading) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	th, ok := h.tags[r.EPC]
 	if !ok {
 		th = &tagHistory{ring: make([]Reading, h.depth)}
@@ -54,6 +59,8 @@ func (h *History) Add(r Reading) {
 
 // Recent returns up to n most-recent readings of a tag, oldest first.
 func (h *History) Recent(code epc.EPC, n int) []Reading {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	th, ok := h.tags[code]
 	if !ok || n <= 0 {
 		return nil
@@ -70,6 +77,8 @@ func (h *History) Recent(code epc.EPC, n int) []Reading {
 
 // Total returns the lifetime reading count of a tag.
 func (h *History) Total(code epc.EPC) uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	if th, ok := h.tags[code]; ok {
 		return th.total
 	}
@@ -79,6 +88,8 @@ func (h *History) Total(code epc.EPC) uint64 {
 // LastSeen returns the timestamp of a tag's most recent reading and
 // whether the tag is known.
 func (h *History) LastSeen(code epc.EPC) (time.Duration, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	th, ok := h.tags[code]
 	if !ok {
 		return 0, false
@@ -88,6 +99,8 @@ func (h *History) LastSeen(code epc.EPC) (time.Duration, bool) {
 
 // Tags returns all known tags, sorted for determinism.
 func (h *History) Tags() []epc.EPC {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	out := make([]epc.EPC, 0, len(h.tags))
 	for code := range h.tags {
 		out = append(out, code)
@@ -99,6 +112,8 @@ func (h *History) Tags() []epc.EPC {
 // IRR estimates a tag's individual reading rate in Hz over its retained
 // history window.
 func (h *History) IRR(code epc.EPC) float64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	th, ok := h.tags[code]
 	if !ok || th.count < 2 {
 		return 0
@@ -115,6 +130,8 @@ func (h *History) IRR(code epc.EPC) float64 {
 // Prune drops tags unseen since the cutoff, returning how many were
 // removed.
 func (h *History) Prune(cutoff time.Duration) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	var n int
 	for code, th := range h.tags {
 		if th.lastSeen < cutoff {

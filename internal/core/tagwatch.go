@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"tagwatch/internal/epc"
@@ -97,10 +98,14 @@ type Metrics struct {
 
 // Tagwatch is the middleware controller.
 type Tagwatch struct {
-	cfg     Config
-	dev     Device
-	det     *motion.Detector
-	metrics Metrics
+	cfg Config
+	dev Device
+	det *motion.Detector
+
+	// metricsMu guards the lifetime counters: serving layers snapshot them
+	// while the cycle loop accumulates.
+	metricsMu sync.Mutex
+	metrics   Metrics
 
 	history   *History
 	listeners []func(Reading)
@@ -150,8 +155,13 @@ func (tw *Tagwatch) Subscribe(fn func(Reading)) {
 // History exposes the reading history database.
 func (tw *Tagwatch) History() *History { return tw.history }
 
-// Metrics returns a snapshot of the lifetime counters.
-func (tw *Tagwatch) Metrics() Metrics { return tw.metrics }
+// Metrics returns a snapshot of the lifetime counters. Safe to call while
+// a cycle runs.
+func (tw *Tagwatch) Metrics() Metrics {
+	tw.metricsMu.Lock()
+	defer tw.metricsMu.Unlock()
+	return tw.metrics
+}
 
 // Detector exposes the Phase I motion detector (experiments probe it).
 func (tw *Tagwatch) Detector() *motion.Detector { return tw.det }
@@ -246,10 +256,16 @@ func (tw *Tagwatch) RunCycle() CycleReport {
 			p2 = sd.ReadAllFor(tw.cfg.PhaseIIDwell)
 		} else {
 			// Generic devices: repeated full passes until the dwell is
-			// consumed in device time.
+			// consumed in device time. A dead transport returns nothing and
+			// never advances the clock — bail rather than spin.
 			deadline := tw.dev.Now() + tw.cfg.PhaseIIDwell
 			for tw.dev.Now() < deadline {
-				p2 = append(p2, tw.dev.ReadAll()...)
+				before := tw.dev.Now()
+				batch := tw.dev.ReadAll()
+				p2 = append(p2, batch...)
+				if len(batch) == 0 && tw.dev.Now() == before {
+					break
+				}
 			}
 		}
 	} else {
@@ -279,6 +295,7 @@ func (tw *Tagwatch) RunCycle() CycleReport {
 	}
 
 	// ---- Metrics. ----
+	tw.metricsMu.Lock()
 	tw.metrics.Cycles++
 	if rep.FellBack {
 		tw.metrics.Fallbacks++
@@ -288,6 +305,7 @@ func (tw *Tagwatch) RunCycle() CycleReport {
 	tw.metrics.TargetsScheduled += uint64(len(rep.Targets))
 	tw.metrics.MasksSelected += uint64(len(rep.Plan.Masks))
 	tw.metrics.ScheduleCostTotal += rep.ScheduleCost
+	tw.metricsMu.Unlock()
 
 	// ---- Housekeeping: forget departed tags. ----
 	if tw.cfg.DepartAfter > 0 {

@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventType labels the kinds of events the fleet publishes.
+type EventType string
+
+const (
+	// EventReaderState marks a supervisor state transition
+	// (connecting/up/backoff/down).
+	EventReaderState EventType = "reader_state"
+	// EventCycle summarises one completed Tagwatch cycle on a reader.
+	EventCycle EventType = "cycle"
+	// EventHandoff marks a tag whose last-seen reader changed.
+	EventHandoff EventType = "handoff"
+)
+
+// Event is one fleet occurrence, shaped for direct JSON/SSE serialisation.
+type Event struct {
+	Type   EventType `json:"type"`
+	Reader string    `json:"reader,omitempty"`
+	At     time.Time `json:"at"`
+
+	// reader_state fields.
+	State   string `json:"state,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+
+	// handoff fields.
+	EPC  string `json:"epc,omitempty"`
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+
+	// cycle payload.
+	Cycle *CycleSummary `json:"cycle,omitempty"`
+}
+
+// CycleSummary is the per-cycle digest published on the bus.
+type CycleSummary struct {
+	Present       int   `json:"present"`
+	Mobile        int   `json:"mobile"`
+	Targets       int   `json:"targets"`
+	Masks         int   `json:"masks"`
+	FellBack      bool  `json:"fell_back"`
+	PhaseIReads   int   `json:"phase1_reads"`
+	PhaseIIReads  int   `json:"phase2_reads"`
+	ScheduleCostU int64 `json:"schedule_cost_us"`
+}
+
+// Bus fans events out to subscribers over per-subscriber buffered
+// channels. Publish never blocks: a subscriber whose buffer is full loses
+// the event and its drop counter increments, so one slow consumer cannot
+// stall ingest.
+type Bus struct {
+	mu     sync.Mutex
+	nextID int
+	subs   map[int]*Subscriber
+
+	published atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// Subscriber is one registered event consumer.
+type Subscriber struct {
+	bus     *Bus
+	id      int
+	ch      chan Event
+	dropped atomic.Uint64
+	closed  bool
+}
+
+// NewBus builds an empty event bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[int]*Subscriber)}
+}
+
+// Subscribe registers a consumer with the given channel buffer (minimum 1).
+func (b *Bus) Subscribe(buffer int) *Subscriber {
+	if buffer < 1 {
+		buffer = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	s := &Subscriber{bus: b, id: b.nextID, ch: make(chan Event, buffer)}
+	b.subs[s.id] = s
+	return s
+}
+
+// Publish delivers an event to every subscriber without blocking.
+func (b *Bus) Publish(ev Event) {
+	b.published.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, s := range b.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped.Add(1)
+			b.dropped.Add(1)
+		}
+	}
+}
+
+// Stats reports lifetime publish/drop counts and the live subscriber count.
+func (b *Bus) Stats() (published, dropped uint64, subscribers int) {
+	b.mu.Lock()
+	n := len(b.subs)
+	b.mu.Unlock()
+	return b.published.Load(), b.dropped.Load(), n
+}
+
+// C returns the subscriber's event channel. It is closed by Close.
+func (s *Subscriber) C() <-chan Event { return s.ch }
+
+// Dropped reports how many events this subscriber has lost to a full
+// buffer.
+func (s *Subscriber) Dropped() uint64 { return s.dropped.Load() }
+
+// Close unregisters the subscriber and closes its channel. Safe to call
+// once per subscriber; pending buffered events are still readable.
+func (s *Subscriber) Close() {
+	s.bus.mu.Lock()
+	defer s.bus.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	delete(s.bus.subs, s.id)
+	close(s.ch)
+}

@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBusFanOut(t *testing.T) {
+	b := NewBus()
+	a := b.Subscribe(8)
+	c := b.Subscribe(8)
+	defer a.Close()
+	defer c.Close()
+
+	for i := 0; i < 3; i++ {
+		b.Publish(Event{Type: EventCycle, Reader: "r0", At: time.Unix(int64(i), 0)})
+	}
+	for _, sub := range []*Subscriber{a, c} {
+		for i := 0; i < 3; i++ {
+			select {
+			case ev := <-sub.C():
+				if ev.Reader != "r0" {
+					t.Fatalf("event %d: %+v", i, ev)
+				}
+			default:
+				t.Fatalf("subscriber missing event %d", i)
+			}
+		}
+	}
+	if pub, drop, n := statsOf(b); pub != 3 || drop != 0 || n != 2 {
+		t.Fatalf("stats: published=%d dropped=%d subs=%d", pub, drop, n)
+	}
+}
+
+func statsOf(b *Bus) (uint64, uint64, int) { return b.Stats() }
+
+func TestBusSlowSubscriberDropsWithoutBlocking(t *testing.T) {
+	b := NewBus()
+	slow := b.Subscribe(1)
+	fast := b.Subscribe(16)
+	defer slow.Close()
+	defer fast.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			b.Publish(Event{Type: EventHandoff})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Publish blocked on a slow subscriber")
+	}
+
+	if got := slow.Dropped(); got != 9 {
+		t.Fatalf("slow subscriber dropped %d events, want 9", got)
+	}
+	if fast.Dropped() != 0 {
+		t.Fatalf("fast subscriber dropped %d events, want 0", fast.Dropped())
+	}
+	if n := len(fast.C()); n != 10 {
+		t.Fatalf("fast subscriber buffered %d events, want 10", n)
+	}
+	if _, dropped, _ := b.Stats(); dropped != 9 {
+		t.Fatalf("bus-wide drop counter %d, want 9", dropped)
+	}
+}
+
+func TestBusCloseIsIdempotentAndPublishSafe(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe(1)
+	s.Close()
+	s.Close() // second close must not panic
+	b.Publish(Event{Type: EventCycle})
+	if _, ok := <-s.C(); ok {
+		t.Fatal("closed subscriber channel still delivering")
+	}
+	if _, _, n := b.Stats(); n != 0 {
+		t.Fatalf("subscriber count %d after close, want 0", n)
+	}
+}

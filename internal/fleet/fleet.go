@@ -1,0 +1,187 @@
+// Package fleet scales Tagwatch from one reader to many: a manager
+// supervises N concurrent LLRP reader connections (dial, cycle, reconnect
+// with exponential backoff and jitter), merges every reader's readings
+// into one sharded registry keyed by EPC, fans fleet events out over a
+// non-blocking bus, and serves the whole thing over HTTP — JSON APIs, an
+// SSE event stream, a health probe, and Prometheus metrics.
+//
+// The paper's prototype drives a single ImpinJ R420; a deployment has
+// aisles of them. The fleet layer is what turns the per-reader middleware
+// into a service: no human restarts connections, no client talks LLRP,
+// and a tag wandering between readers shows up as a handoff in a single
+// merged view instead of two disagreeing ones.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"tagwatch/internal/core"
+)
+
+// ReaderConfig names one reader to supervise. An empty Name defaults to
+// the address.
+type ReaderConfig struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+}
+
+// Config tunes the fleet manager.
+type Config struct {
+	// Readers lists the LLRP readers to supervise.
+	Readers []ReaderConfig
+	// Tagwatch configures the per-reader middleware; every reader runs its
+	// own instance over its own connection.
+	Tagwatch core.Config
+	// DialTimeout bounds each connect attempt.
+	DialTimeout time.Duration
+	// BackoffBase and BackoffMax bound the reconnect delay: the delay
+	// doubles from the base on every consecutive failure, saturating at the
+	// max, with ±20% jitter.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxFailures is the retry budget: a supervisor that fails this many
+	// consecutive dials/sessions goes down for good. Zero retries forever.
+	MaxFailures int
+	// CyclePause idles each reader between cycles (duty cycling).
+	CyclePause time.Duration
+	// EventBuffer sizes per-subscriber bus buffers (SSE clients and the
+	// like); a full buffer drops rather than blocks.
+	EventBuffer int
+}
+
+// DefaultConfig returns production-shaped fleet defaults (no readers).
+func DefaultConfig() Config {
+	return Config{
+		Tagwatch:    core.DefaultConfig(),
+		DialTimeout: 5 * time.Second,
+		BackoffBase: 500 * time.Millisecond,
+		BackoffMax:  30 * time.Second,
+		MaxFailures: 0,
+		EventBuffer: 256,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = d.DialTimeout
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = d.BackoffBase
+	}
+	if c.BackoffMax < c.BackoffBase {
+		c.BackoffMax = d.BackoffMax
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = d.EventBuffer
+	}
+	return c
+}
+
+// Manager supervises the fleet: one supervisor goroutine per reader, a
+// shared registry, and a shared event bus.
+type Manager struct {
+	cfg Config
+	reg *Registry
+	bus *Bus
+
+	mu      sync.Mutex
+	sups    []*supervisor
+	cancel  context.CancelFunc
+	started time.Time
+	wg      sync.WaitGroup
+}
+
+// New builds a manager. Call Start to begin supervising.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg: cfg,
+		reg: NewRegistry(),
+		bus: NewBus(),
+	}
+	for i, rc := range cfg.Readers {
+		name := rc.Name
+		if name == "" {
+			name = rc.Addr
+		}
+		// Derive a stable per-supervisor jitter seed from the identity so
+		// two supervisors never share a backoff schedule.
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s|%s|%d", name, rc.Addr, i)
+		m.sups = append(m.sups, newSupervisor(name, rc.Addr, cfg, m.reg, m.bus, int64(h.Sum64())))
+	}
+	return m
+}
+
+// Start launches every supervisor. The fleet runs until ctx is cancelled
+// or Stop is called.
+func (m *Manager) Start(ctx context.Context) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cancel != nil {
+		return // already started
+	}
+	ctx, m.cancel = context.WithCancel(ctx)
+	m.started = time.Now()
+	for _, s := range m.sups {
+		s := s
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			s.run(ctx)
+		}()
+	}
+}
+
+// Stop cancels every supervisor and waits for them to exit.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	cancel := m.cancel
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	m.wg.Wait()
+}
+
+// Registry exposes the merged tag view.
+func (m *Manager) Registry() *Registry { return m.reg }
+
+// Bus exposes the fleet event bus.
+func (m *Manager) Bus() *Bus { return m.bus }
+
+// Readers snapshots the status of every supervised reader, in
+// configuration order.
+func (m *Manager) Readers() []ReaderStatus {
+	out := make([]ReaderStatus, len(m.sups))
+	for i, s := range m.sups {
+		out[i] = s.status()
+	}
+	return out
+}
+
+// Healthy reports whether at least one reader is up (the /healthz
+// predicate). A fleet with no readers configured is trivially healthy.
+func (m *Manager) Healthy() bool {
+	if len(m.sups) == 0 {
+		return true
+	}
+	for _, s := range m.sups {
+		if s.status().State == StateUp.String() {
+			return true
+		}
+	}
+	return false
+}
+
+// Started reports when Start was called (zero before then).
+func (m *Manager) Started() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.started
+}

@@ -1,0 +1,184 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tagwatch/internal/epc"
+)
+
+// Handler builds the fleet's HTTP API:
+//
+//	GET /api/tags        merged tag registry (?mobile=1, ?reader=NAME, ?limit=N)
+//	GET /api/tags/{epc}  one tag's merged state
+//	GET /api/readers     per-reader supervisor status
+//	GET /api/events      fleet event stream as server-sent events
+//	GET /healthz         200 while at least one reader is up, else 503
+//	GET /metrics         Prometheus text exposition
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/tags", m.handleTags)
+	mux.HandleFunc("GET /api/tags/{epc}", m.handleTag)
+	mux.HandleFunc("GET /api/readers", m.handleReaders)
+	mux.HandleFunc("GET /api/events", m.handleEvents)
+	mux.HandleFunc("GET /healthz", m.handleHealthz)
+	mux.HandleFunc("GET /metrics", m.handleMetrics)
+	return mux
+}
+
+// Serve runs the HTTP API on lis until ctx is cancelled, then shuts down
+// gracefully with a 5 s drain. Request contexts derive from ctx, so
+// long-lived SSE streams end promptly at shutdown instead of pinning the
+// drain.
+func (m *Manager) Serve(ctx context.Context, lis net.Listener) error {
+	srv := &http.Server{
+		Handler:     m.Handler(),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(lis) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := srv.Shutdown(sctx)
+		srv.Close()
+		return err
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (m *Manager) handleTags(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	onlyMobile := q.Get("mobile") == "1" || q.Get("mobile") == "true"
+	reader := q.Get("reader")
+	limit := 0
+	if s := q.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	tags := m.reg.Snapshot()
+	out := tags[:0]
+	for _, t := range tags {
+		if onlyMobile && !t.Mobile {
+			continue
+		}
+		if reader != "" && t.Reader != reader {
+			continue
+		}
+		out = append(out, t)
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Count int        `json:"count"`
+		Tags  []TagState `json:"tags"`
+	}{len(out), out})
+}
+
+func (m *Manager) handleTag(w http.ResponseWriter, r *http.Request) {
+	code, err := epc.Parse(r.PathValue("epc"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, ok := m.reg.Get(code)
+	if !ok {
+		http.Error(w, "unknown tag", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (m *Manager) handleReaders(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Readers []ReaderStatus `json:"readers"`
+	}{m.Readers()})
+}
+
+// handleEvents streams the fleet bus over SSE. Each subscriber gets its
+// own buffered channel; if this client cannot keep up, events drop here
+// rather than backing pressure into the cycle loops, and the drop total
+// rides along on every frame.
+func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sub := m.bus.Subscribe(m.cfg.EventBuffer)
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": tagwatch fleet event stream\n\n")
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	var id uint64
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			fmt.Fprintf(w, ": heartbeat dropped=%d\n\n", sub.Dropped())
+			flusher.Flush()
+		case ev, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			id++
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, ev.Type, data)
+			flusher.Flush()
+		}
+	}
+}
+
+func (m *Manager) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	up := 0
+	readers := m.Readers()
+	for _, rs := range readers {
+		if rs.State == StateUp.String() {
+			up++
+		}
+	}
+	status := http.StatusOK
+	state := "ok"
+	if !m.Healthy() {
+		status = http.StatusServiceUnavailable
+		state = "degraded"
+	}
+	writeJSON(w, status, struct {
+		Status     string `json:"status"`
+		ReadersUp  int    `json:"readers_up"`
+		Readers    int    `json:"readers"`
+		Tags       int    `json:"tags"`
+		UptimeSecs int64  `json:"uptime_secs"`
+	}{state, up, len(readers), m.reg.Len(), int64(time.Since(m.Started()).Seconds())})
+}

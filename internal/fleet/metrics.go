@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// handleMetrics renders the fleet's operational counters in the
+// Prometheus text exposition format (version 0.0.4) — hand-rolled so the
+// repo stays standard-library only.
+func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+
+	gauge := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	counter := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+
+	readers := m.Readers()
+
+	gauge("tagwatch_fleet_reader_up", "Whether the reader's LLRP session is established.")
+	for _, rs := range readers {
+		up := 0
+		if rs.State == StateUp.String() {
+			up = 1
+		}
+		fmt.Fprintf(&b, "tagwatch_fleet_reader_up{reader=%q} %d\n", rs.Name, up)
+	}
+
+	gauge("tagwatch_fleet_reader_state", "Supervisor state as a labelled 0/1 gauge.")
+	states := []ReaderState{StateConnecting, StateUp, StateBackoff, StateDown}
+	for _, rs := range readers {
+		for _, st := range states {
+			v := 0
+			if rs.State == st.String() {
+				v = 1
+			}
+			fmt.Fprintf(&b, "tagwatch_fleet_reader_state{reader=%q,state=%q} %d\n", rs.Name, st.String(), v)
+		}
+	}
+
+	counter("tagwatch_fleet_reader_dial_attempts_total", "Connect attempts per reader.")
+	for _, rs := range readers {
+		fmt.Fprintf(&b, "tagwatch_fleet_reader_dial_attempts_total{reader=%q} %d\n", rs.Name, rs.Attempts)
+	}
+	counter("tagwatch_fleet_reader_reconnects_total", "Successful re-established sessions per reader.")
+	for _, rs := range readers {
+		fmt.Fprintf(&b, "tagwatch_fleet_reader_reconnects_total{reader=%q} %d\n", rs.Name, rs.Reconnects)
+	}
+	counter("tagwatch_fleet_reader_cycles_total", "Tagwatch cycles completed per reader.")
+	for _, rs := range readers {
+		fmt.Fprintf(&b, "tagwatch_fleet_reader_cycles_total{reader=%q} %d\n", rs.Name, rs.Cycles)
+	}
+	counter("tagwatch_fleet_reader_readings_total", "Tag readings delivered per reader.")
+	for _, rs := range readers {
+		fmt.Fprintf(&b, "tagwatch_fleet_reader_readings_total{reader=%q} %d\n", rs.Name, rs.Readings)
+	}
+
+	tags := m.reg.Snapshot()
+	mobile := 0
+	perReader := make(map[string]int)
+	for _, t := range tags {
+		if t.Mobile {
+			mobile++
+		}
+		perReader[t.Reader]++
+	}
+	gauge("tagwatch_fleet_registry_tags", "Distinct tags in the merged registry.")
+	fmt.Fprintf(&b, "tagwatch_fleet_registry_tags %d\n", len(tags))
+	gauge("tagwatch_fleet_registry_mobile_tags", "Tags currently assessed as mobile.")
+	fmt.Fprintf(&b, "tagwatch_fleet_registry_mobile_tags %d\n", mobile)
+	gauge("tagwatch_fleet_registry_owned_tags", "Tags last seen by each reader.")
+	owners := make([]string, 0, len(perReader))
+	for name := range perReader {
+		owners = append(owners, name)
+	}
+	sort.Strings(owners)
+	for _, name := range owners {
+		fmt.Fprintf(&b, "tagwatch_fleet_registry_owned_tags{reader=%q} %d\n", name, perReader[name])
+	}
+
+	obs, handoffs := m.reg.Stats()
+	counter("tagwatch_fleet_registry_observations_total", "Readings merged into the registry.")
+	fmt.Fprintf(&b, "tagwatch_fleet_registry_observations_total %d\n", obs)
+	counter("tagwatch_fleet_registry_handoffs_total", "Reader-to-reader tag transitions.")
+	fmt.Fprintf(&b, "tagwatch_fleet_registry_handoffs_total %d\n", handoffs)
+
+	published, dropped, subscribers := m.bus.Stats()
+	counter("tagwatch_fleet_bus_events_total", "Events published on the fleet bus.")
+	fmt.Fprintf(&b, "tagwatch_fleet_bus_events_total %d\n", published)
+	counter("tagwatch_fleet_bus_dropped_total", "Events dropped across all slow subscribers.")
+	fmt.Fprintf(&b, "tagwatch_fleet_bus_dropped_total %d\n", dropped)
+	gauge("tagwatch_fleet_bus_subscribers", "Live bus subscribers.")
+	fmt.Fprintf(&b, "tagwatch_fleet_bus_subscribers %d\n", subscribers)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(b.String()))
+}

@@ -1,0 +1,216 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tagwatch/internal/core"
+	"tagwatch/internal/epc"
+)
+
+// numShards spreads registry contention; readings from N cycle loops hash
+// by EPC so unrelated tags rarely share a lock.
+const numShards = 16
+
+// maxTransitions bounds the per-tag handoff trail retained.
+const maxTransitions = 8
+
+// Handoff records a tag's last-seen reader changing — the physical
+// interpretation is the tag moving between antenna fields.
+type Handoff struct {
+	EPC  string    `json:"epc"`
+	From string    `json:"from"`
+	To   string    `json:"to"`
+	At   time.Time `json:"at"`
+}
+
+// TagState is the merged, fleet-wide view of one tag.
+type TagState struct {
+	EPC     string    `json:"epc"`
+	Reader  string    `json:"reader"`
+	Antenna int       `json:"antenna"`
+	// LastSeen is the wall-clock time of the most recent observation from
+	// any reader; DeviceTime is that reader's virtual timestamp.
+	LastSeen   time.Time     `json:"last_seen"`
+	DeviceTime time.Duration `json:"device_time_ns"`
+	Reads      uint64        `json:"reads"`
+	// Mobile and IRR carry the owning reader's most recent cycle
+	// assessment: the Phase I mobility verdict and the individual reading
+	// rate over the retained history.
+	Mobile bool    `json:"mobile"`
+	IRR    float64 `json:"irr_hz"`
+	// Readers counts lifetime reads per reader; Handoffs counts
+	// reader-to-reader transitions, with the most recent trail kept.
+	Readers     map[string]uint64 `json:"readers"`
+	Handoffs    uint64            `json:"handoffs"`
+	Transitions []Handoff         `json:"transitions,omitempty"`
+}
+
+type tagEntry struct {
+	code  epc.EPC
+	state TagState
+}
+
+type regShard struct {
+	mu   sync.RWMutex
+	tags map[epc.EPC]*tagEntry
+}
+
+// Registry merges observations from every reader in the fleet into one
+// view keyed by EPC. It is sharded for write concurrency: each cycle loop
+// pushes readings as they arrive while the HTTP layer snapshots.
+type Registry struct {
+	shards [numShards]regShard
+
+	observations atomic.Uint64
+	handoffs     atomic.Uint64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	for i := range r.shards {
+		r.shards[i].tags = make(map[epc.EPC]*tagEntry)
+	}
+	return r
+}
+
+func (g *Registry) shard(code epc.EPC) *regShard {
+	// FNV-1a over the raw EPC bytes.
+	var h uint64 = 1469598103934665603
+	for _, b := range code.Bytes() {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return &g.shards[h%numShards]
+}
+
+// Observe merges one reading from a reader. It returns the handoff record
+// and true when the tag's last-seen reader changed.
+func (g *Registry) Observe(reader string, r core.Reading, at time.Time) (Handoff, bool) {
+	sh := g.shard(r.EPC)
+	var ho Handoff
+	moved := false
+	sh.mu.Lock()
+	e, ok := sh.tags[r.EPC]
+	if !ok {
+		e = &tagEntry{code: r.EPC, state: TagState{
+			EPC:     r.EPC.String(),
+			Readers: make(map[string]uint64, 2),
+		}}
+		sh.tags[r.EPC] = e
+	} else if e.state.Reader != reader {
+		moved = true
+		ho = Handoff{EPC: e.state.EPC, From: e.state.Reader, To: reader, At: at}
+		e.state.Handoffs++
+		e.state.Transitions = append(e.state.Transitions, ho)
+		if len(e.state.Transitions) > maxTransitions {
+			e.state.Transitions = e.state.Transitions[len(e.state.Transitions)-maxTransitions:]
+		}
+	}
+	st := &e.state
+	st.Reader = reader
+	st.Antenna = r.Antenna
+	st.LastSeen = at
+	st.DeviceTime = r.Time
+	st.Reads++
+	st.Readers[reader]++
+	sh.mu.Unlock()
+
+	g.observations.Add(1)
+	if moved {
+		g.handoffs.Add(1)
+	}
+	return ho, moved
+}
+
+// UpdateAssessment records a reader's per-cycle verdict for a tag: the
+// mobility classification and the reading-rate estimate. Only the reader
+// that currently owns the tag (saw it last) may overwrite the verdict, so
+// a stale reader cannot clobber a fresher assessment.
+func (g *Registry) UpdateAssessment(reader string, code epc.EPC, mobile bool, irr float64) {
+	sh := g.shard(code)
+	sh.mu.Lock()
+	if e, ok := sh.tags[code]; ok && e.state.Reader == reader {
+		e.state.Mobile = mobile
+		e.state.IRR = irr
+	}
+	sh.mu.Unlock()
+}
+
+// Get returns a copy of one tag's merged state.
+func (g *Registry) Get(code epc.EPC) (TagState, bool) {
+	sh := g.shard(code)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.tags[code]
+	if !ok {
+		return TagState{}, false
+	}
+	return copyState(&e.state), true
+}
+
+// Len reports how many tags the registry holds.
+func (g *Registry) Len() int {
+	n := 0
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		n += len(sh.tags)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Snapshot returns copies of every tag state, sorted by EPC for
+// determinism.
+func (g *Registry) Snapshot() []TagState {
+	out := make([]TagState, 0, g.Len())
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.tags {
+			out = append(out, copyState(&e.state))
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EPC < out[j].EPC })
+	return out
+}
+
+// Prune drops tags not seen since the cutoff, returning how many were
+// removed.
+func (g *Registry) Prune(cutoff time.Time) int {
+	n := 0
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		for code, e := range sh.tags {
+			if e.state.LastSeen.Before(cutoff) {
+				delete(sh.tags, code)
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats reports lifetime observation and handoff counts.
+func (g *Registry) Stats() (observations, handoffs uint64) {
+	return g.observations.Load(), g.handoffs.Load()
+}
+
+// copyState deep-copies the mutable maps/slices so callers can hold the
+// result without racing the registry.
+func copyState(st *TagState) TagState {
+	out := *st
+	out.Readers = make(map[string]uint64, len(st.Readers))
+	for k, v := range st.Readers {
+		out.Readers[k] = v
+	}
+	out.Transitions = append([]Handoff(nil), st.Transitions...)
+	return out
+}

@@ -1,0 +1,271 @@
+package fleet
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tagwatch/internal/core"
+	"tagwatch/internal/llrp"
+)
+
+// ReaderState is the supervisor's connection state machine.
+type ReaderState int32
+
+const (
+	// StateConnecting means a dial is in flight.
+	StateConnecting ReaderState = iota
+	// StateUp means the LLRP session is established and cycles are running.
+	StateUp
+	// StateBackoff means the last attempt or session failed and the
+	// supervisor is waiting out a backoff delay before redialing.
+	StateBackoff
+	// StateDown means the retry budget is exhausted (or the fleet stopped)
+	// and the supervisor has given up.
+	StateDown
+)
+
+// String renders the state for APIs and logs.
+func (s ReaderState) String() string {
+	switch s {
+	case StateConnecting:
+		return "connecting"
+	case StateUp:
+		return "up"
+	case StateBackoff:
+		return "backoff"
+	default:
+		return "down"
+	}
+}
+
+// ReaderStatus is the externally visible snapshot of one supervised
+// reader.
+type ReaderStatus struct {
+	Name  string `json:"name"`
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	// Attempts counts every dial ever made; ConsecutiveFailures resets on a
+	// successful session and drives the backoff exponent and retry budget.
+	Attempts            int    `json:"attempts"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Reconnects          int    `json:"reconnects"`
+	LastError           string `json:"last_error,omitempty"`
+	// ConnectedAt is zero unless the reader is up.
+	ConnectedAt time.Time `json:"connected_at,omitempty"`
+	Cycles      int       `json:"cycles"`
+	Readings    uint64    `json:"readings"`
+}
+
+// supervisor owns one reader connection for its whole lifetime: dial,
+// run Tagwatch cycles, and on any failure reconnect with exponential
+// backoff plus jitter under a capped retry budget.
+type supervisor struct {
+	name string
+	addr string
+	cfg  Config
+	reg  *Registry
+	bus  *Bus
+	rng  *rand.Rand
+
+	mu          sync.Mutex
+	state       ReaderState
+	attempts    int
+	consecFails int
+	sessions    int // successful connects; reconnects = sessions - 1
+	lastErr     error
+	connectedAt time.Time
+	cycles      int
+
+	readings atomic.Uint64
+}
+
+func newSupervisor(name, addr string, cfg Config, reg *Registry, bus *Bus, seed int64) *supervisor {
+	return &supervisor{
+		name: name,
+		addr: addr,
+		cfg:  cfg,
+		reg:  reg,
+		bus:  bus,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// status snapshots the supervisor state for the API layer.
+func (s *supervisor) status() ReaderStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ReaderStatus{
+		Name:                s.name,
+		Addr:                s.addr,
+		State:               s.state.String(),
+		Attempts:            s.attempts,
+		ConsecutiveFailures: s.consecFails,
+		Cycles:              s.cycles,
+		Readings:            s.readings.Load(),
+	}
+	if s.sessions > 1 {
+		st.Reconnects = s.sessions - 1
+	}
+	if s.lastErr != nil {
+		st.LastError = s.lastErr.Error()
+	}
+	if s.state == StateUp {
+		st.ConnectedAt = s.connectedAt
+	}
+	return st
+}
+
+// setState transitions the state machine and publishes the change.
+func (s *supervisor) setState(state ReaderState, err error) {
+	s.mu.Lock()
+	s.state = state
+	if err != nil {
+		s.lastErr = err
+	}
+	attempt := s.attempts
+	s.mu.Unlock()
+	ev := Event{Type: EventReaderState, Reader: s.name, At: time.Now(), State: state.String(), Attempt: attempt}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	s.bus.Publish(ev)
+}
+
+// backoffDelay computes the next reconnect delay: exponential from the
+// base, capped at the max, with ±20% jitter so a fleet of supervisors
+// losing one switch does not redial in lockstep.
+func (s *supervisor) backoffDelay() time.Duration {
+	s.mu.Lock()
+	n := s.consecFails
+	s.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	d := s.cfg.BackoffBase << uint(n-1)
+	if d > s.cfg.BackoffMax || d <= 0 {
+		d = s.cfg.BackoffMax
+	}
+	jitter := 0.8 + 0.4*s.rng.Float64()
+	return time.Duration(float64(d) * jitter)
+}
+
+// run is the supervisor main loop; it returns when ctx is cancelled or the
+// retry budget is spent.
+func (s *supervisor) run(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			s.setState(StateDown, nil)
+			return
+		}
+		s.mu.Lock()
+		s.attempts++
+		s.mu.Unlock()
+		s.setState(StateConnecting, nil)
+
+		dctx, cancel := context.WithTimeout(ctx, s.cfg.DialTimeout)
+		conn, err := llrp.Dial(dctx, s.addr)
+		cancel()
+		if err == nil {
+			s.mu.Lock()
+			s.sessions++
+			s.consecFails = 0
+			s.connectedAt = time.Now()
+			s.mu.Unlock()
+			s.setState(StateUp, nil)
+
+			s.serve(ctx, conn)
+			conn.Close()
+			err = conn.Err()
+		}
+
+		if ctx.Err() != nil {
+			s.setState(StateDown, nil)
+			return
+		}
+		s.mu.Lock()
+		s.consecFails++
+		fails := s.consecFails
+		s.mu.Unlock()
+		if s.cfg.MaxFailures > 0 && fails >= s.cfg.MaxFailures {
+			s.setState(StateDown, err)
+			return
+		}
+		s.setState(StateBackoff, err)
+		select {
+		case <-time.After(s.backoffDelay()):
+		case <-ctx.Done():
+			s.setState(StateDown, nil)
+			return
+		}
+	}
+}
+
+// serve runs Tagwatch cycles over an established connection until the
+// session dies or the fleet stops. Every reading is merged into the fleet
+// registry as it is delivered; after each cycle the per-tag assessments
+// (mobility verdict, IRR) are refreshed and a cycle summary is published.
+func (s *supervisor) serve(ctx context.Context, conn *llrp.Conn) {
+	// Closing the connection on cancel unblocks an in-flight RunCycle.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	tw := core.New(s.cfg.Tagwatch, core.NewLLRPDevice(conn))
+	tw.Subscribe(func(r core.Reading) {
+		s.readings.Add(1)
+		if ho, moved := s.reg.Observe(s.name, r, time.Now()); moved {
+			s.bus.Publish(Event{
+				Type: EventHandoff, Reader: s.name, At: ho.At,
+				EPC: ho.EPC, From: ho.From, To: ho.To,
+			})
+		}
+	})
+
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-conn.Done():
+			return
+		default:
+		}
+
+		rep := tw.RunCycle()
+		s.mu.Lock()
+		s.cycles++
+		s.mu.Unlock()
+
+		mobile := make(map[string]bool, len(rep.Mobile))
+		for _, code := range rep.Mobile {
+			mobile[code.String()] = true
+		}
+		for _, code := range rep.Present {
+			s.reg.UpdateAssessment(s.name, code, mobile[code.String()], tw.History().IRR(code))
+		}
+		s.bus.Publish(Event{
+			Type: EventCycle, Reader: s.name, At: time.Now(),
+			Cycle: &CycleSummary{
+				Present:       len(rep.Present),
+				Mobile:        len(rep.Mobile),
+				Targets:       len(rep.Targets),
+				Masks:         len(rep.Plan.Masks),
+				FellBack:      rep.FellBack,
+				PhaseIReads:   len(rep.PhaseIReads),
+				PhaseIIReads:  len(rep.PhaseIIReads),
+				ScheduleCostU: rep.ScheduleCost.Microseconds(),
+			},
+		})
+
+		if s.cfg.CyclePause > 0 {
+			select {
+			case <-time.After(s.cfg.CyclePause):
+			case <-ctx.Done():
+				return
+			case <-conn.Done():
+				return
+			}
+		}
+	}
+}

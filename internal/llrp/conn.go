@@ -82,6 +82,23 @@ func (c *Conn) Reports() <-chan []TagReportData { return c.reports }
 // event consumed by Dial).
 func (c *Conn) Events() <-chan ReaderEvent { return c.events }
 
+// Done returns a channel that is closed when the connection dies, whether
+// by Close, a read error, or the peer going away. Supervisors select on it
+// to trigger reconnects.
+func (c *Conn) Done() <-chan struct{} { return c.closed }
+
+// Err reports why the connection died: nil while it is still alive, the
+// terminating read/decode error after a failure, or ErrClosed after a
+// clean local Close.
+func (c *Conn) Err() error {
+	select {
+	case <-c.closed:
+		return c.readError()
+	default:
+		return nil
+	}
+}
+
 // Close tears the connection down. It is safe to call multiple times.
 func (c *Conn) Close() error {
 	c.once.Do(func() {

@@ -1,0 +1,223 @@
+package llrp
+
+// Failure-path coverage for the LLRP client connection: dialing dead
+// readers, readers dying mid-session, and the contract that the report and
+// event channels close cleanly — what fleet supervisors depend on for
+// reconnect decisions.
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"tagwatch/internal/epc"
+	"tagwatch/internal/reader"
+	"tagwatch/internal/rf"
+	"tagwatch/internal/scene"
+)
+
+// deadAddr returns an address that was listening a moment ago and is not
+// any more, so dialing it fails fast with a refusal.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+	return addr
+}
+
+func TestDialClosedPort(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	conn, err := Dial(ctx, deadAddr(t))
+	if err == nil {
+		conn.Close()
+		t.Fatal("Dial against a closed port must fail")
+	}
+}
+
+func TestDialContextCancelled(t *testing.T) {
+	// A listener that accepts but never speaks LLRP: Dial must give up
+	// when its context does, not hang waiting for the connection event.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			nc, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			defer nc.Close()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	conn, err := Dial(ctx, lis.Addr().String())
+	if err == nil {
+		conn.Close()
+		t.Fatal("Dial must fail when the reader never sends its connection event")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatalf("Dial took %v to honor its context", time.Since(start))
+	}
+}
+
+func TestMidSessionReaderShutdown(t *testing.T) {
+	conn, srv, _ := startTestServer(t, 51, 4)
+
+	// The session works before the kill.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := conn.GetCapabilities(ctx); err != nil {
+		t.Fatalf("pre-kill capabilities: %v", err)
+	}
+	if conn.Err() != nil {
+		t.Fatalf("live connection reports Err %v", conn.Err())
+	}
+	select {
+	case <-conn.Done():
+		t.Fatal("live connection reports Done")
+	default:
+	}
+
+	// Kill the reader mid-session.
+	srv.Close()
+
+	if !conn.WaitClosed(5 * time.Second) {
+		t.Fatal("connection did not observe the reader dying")
+	}
+	select {
+	case <-conn.Done():
+	default:
+		t.Fatal("Done channel not closed after reader shutdown")
+	}
+	if conn.Err() == nil {
+		t.Fatal("Err must be non-nil after the reader dies")
+	}
+
+	// Both fan-out channels must close cleanly so consumers don't leak.
+	assertClosed := func(name string, closed func() bool) {
+		deadline := time.After(5 * time.Second)
+		for {
+			if closed() {
+				return
+			}
+			select {
+			case <-deadline:
+				t.Fatalf("%s channel did not close", name)
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}
+	assertClosed("reports", func() bool {
+		select {
+		case _, ok := <-conn.Reports():
+			return !ok
+		default:
+			return false
+		}
+	})
+	assertClosed("events", func() bool {
+		select {
+		case _, ok := <-conn.Events():
+			return !ok
+		default:
+			return false
+		}
+	})
+
+	// Requests on the dead session fail instead of hanging.
+	rctx, rcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer rcancel()
+	if err := conn.EnableROSpec(rctx, 1); err == nil {
+		t.Fatal("request on a dead connection must error")
+	}
+}
+
+func TestClientDisconnectMidROSpecFreesReader(t *testing.T) {
+	// A client that vanishes mid-ROSpec (a crashed daemon, a fleet
+	// supervisor cutting a stuck session) must not wedge the reader: the
+	// serve loop's stopAll has to win against the running ROSpec so the
+	// next client isn't refused with ConnFailedReaderInUse forever.
+	rng := rand.New(rand.NewSource(60))
+	scn := scene.New(rf.NewChannel(rf.DefaultParams(), rng), rng)
+	scn.AddAntenna(rf.Pt(0, 0, 2))
+	codes, err := epc.RandomPopulation(rng, 4, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range codes {
+		scn.AddTag(c, scene.Stationary{P: rf.Pt(0.5+float64(i)*0.3, 0.5, 0)})
+	}
+	// Real-time pacing keeps the long ROSpec genuinely running when the
+	// client disappears; free-run would finish it before the disconnect.
+	srv := NewServer(reader.New(reader.DefaultConfig(), scn), ServerConfig{TimeScale: 1.0})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	conn, err := Dial(ctx, addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := basicROSpec(9, 30000)
+	if err := conn.AddROSpec(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.EnableROSpec(ctx, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.StartROSpec(ctx, 9); err != nil {
+		t.Fatal(err)
+	}
+	// Hard disconnect while the 30 s spec is mid-flight. The server needs
+	// a moment to notice the EOF and reap the runner, so poll the dial.
+	conn.Close()
+
+	var conn2 *Conn
+	deadline := time.Now().Add(8 * time.Second)
+	for {
+		conn2, err = Dial(ctx, addr.String())
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reader still busy after client disconnect: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if _, err := conn2.GetCapabilities(ctx); err != nil {
+		t.Fatalf("post-reconnect capabilities: %v", err)
+	}
+	conn2.Close()
+}
+
+func TestLocalCloseReportsErrClosed(t *testing.T) {
+	conn, _, _ := startTestServer(t, 52, 2)
+	conn.Close()
+	if !conn.WaitClosed(5 * time.Second) {
+		t.Fatal("closed connection did not settle")
+	}
+	// Drain until closed: the read loop shuts both channels on exit.
+	for range conn.Reports() {
+	}
+	for range conn.Events() {
+	}
+	if err := conn.Err(); err == nil {
+		t.Fatal("Err after Close must be non-nil")
+	}
+}

@@ -42,18 +42,29 @@ type Server struct {
 	closeMu sync.Once
 	wg      sync.WaitGroup
 
+	// connMu/conns track live client sockets so Close can sever them; a
+	// client mid-session would otherwise keep serve() alive forever and
+	// deadlock Close's wg.Wait.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
 	// clientMu guards the single-controller rule: LLRP readers accept one
 	// controlling client; later connections are refused with
 	// ConnFailedReaderInUse.
 	clientMu  sync.Mutex
 	hasClient bool
+
+	// engineMu serialises touches of the single-threaded simulator engine:
+	// the ROSpec runner advances the virtual clock while serve goroutines
+	// (including refused second clients) stamp event timestamps from it.
+	engineMu sync.Mutex
 }
 
 type rospecEntry struct {
 	spec    ROSpec
 	enabled bool
-	stop    chan struct{} // non-nil while running
-	done    chan struct{}
+	stop    chan struct{} // nilled when a stopper claims the close
+	done    chan struct{} // non-nil while the runner is alive; runner closes it
 }
 
 type accessEntry struct {
@@ -68,6 +79,7 @@ func NewServer(engine *reader.Reader, cfg ServerConfig) *Server {
 		engine:      engine,
 		rospecs:     make(map[uint32]*rospecEntry),
 		accessSpecs: make(map[uint32]*accessEntry),
+		conns:       make(map[net.Conn]struct{}),
 		baseUTC:     time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC),
 		closed:      make(chan struct{}),
 	}
@@ -90,12 +102,18 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	return lis.Addr(), nil
 }
 
-// Close shuts the server down and waits for its goroutines.
+// Close shuts the server down — severing any live client session, the
+// way a reader losing power would — and waits for its goroutines.
 func (s *Server) Close() error {
 	s.closeMu.Do(func() { close(s.closed) })
 	if s.lis != nil {
 		s.lis.Close()
 	}
+	s.connMu.Lock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.connMu.Unlock()
 	s.stopAll()
 	s.wg.Wait()
 	return nil
@@ -132,11 +150,26 @@ func (c *serverConn) send(m Message) error {
 }
 
 func (s *Server) nowUTC() uint64 {
-	return uint64(s.baseUTC.UnixMicro()) + uint64(s.engine.Now()/time.Microsecond)
+	return uint64(s.baseUTC.UnixMicro()) + uint64(s.engineNow()/time.Microsecond)
+}
+
+// engineNow reads the engine's virtual clock under engineMu.
+func (s *Server) engineNow() time.Duration {
+	s.engineMu.Lock()
+	defer s.engineMu.Unlock()
+	return s.engine.Now()
 }
 
 func (s *Server) serve(nc net.Conn) {
 	defer nc.Close()
+	s.connMu.Lock()
+	s.conns[nc] = struct{}{}
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, nc)
+		s.connMu.Unlock()
+	}()
 	conn := &serverConn{nc: nc, kaCh: make(chan time.Duration, 1)}
 
 	s.clientMu.Lock()
@@ -396,18 +429,18 @@ func (s *Server) startROSpec(conn *serverConn, id uint32) error {
 	if !e.enabled {
 		return fmt.Errorf("ROSpec %d is disabled", id)
 	}
-	if e.stop != nil {
+	if e.done != nil {
 		return nil // already running
 	}
 	for _, other := range s.rospecs {
-		if other != e && other.stop != nil {
+		if other != e && other.done != nil {
 			return errors.New("another ROSpec is active")
 		}
 	}
 	e.stop = make(chan struct{})
 	e.done = make(chan struct{})
 	s.wg.Add(1)
-	go s.runROSpec(conn, e)
+	go s.runROSpec(conn, e, e.stop, e.done)
 	return nil
 }
 
@@ -416,13 +449,18 @@ func (s *Server) stopROSpec(id uint32) {
 	s.mu.Lock()
 	e, exists := s.rospecs[id]
 	var stop, done chan struct{}
-	if exists && e.stop != nil {
-		stop, done = e.stop, e.done
-		e.stop, e.done = nil, nil
+	if exists && e.done != nil {
+		done = e.done
+		if e.stop != nil {
+			stop = e.stop
+			e.stop = nil // claim the close; the runner owns closing done
+		}
 	}
 	s.mu.Unlock()
 	if stop != nil {
 		close(stop)
+	}
+	if done != nil {
 		<-done
 	}
 }
@@ -453,17 +491,18 @@ func filterToSelect(f C1G2Filter) gen2.SelectCmd {
 // runROSpec executes the ROSpec until its stop trigger fires or it is
 // stopped. AISpecs run in order and the list repeats (the LLRP execution
 // model); each round's reads stream out as one RO_ACCESS_REPORT.
-func (s *Server) runROSpec(conn *serverConn, e *rospecEntry) {
+func (s *Server) runROSpec(conn *serverConn, e *rospecEntry, stop, done chan struct{}) {
 	defer s.wg.Done()
+	// The runner is the sole closer of done, whether it exits on its own
+	// (duration trigger, dead socket) or because a stopper claimed and
+	// closed e.stop. Stoppers wait on done; closing it last means they
+	// observe the entry fully reset.
 	defer func() {
 		s.mu.Lock()
-		if e.done != nil {
-			close(e.done)
-			e.stop, e.done = nil, nil
-		}
+		e.stop, e.done = nil, nil
 		s.mu.Unlock()
+		close(done)
 	}()
-	stop := e.stop
 	spec := e.spec
 	var evID uint32 = 1 << 20
 	evID += spec.ID
@@ -476,7 +515,7 @@ func (s *Server) runROSpec(conn *serverConn, e *rospecEntry) {
 
 	var specDeadline time.Duration
 	if spec.Boundary.StopTrigger == StopTriggerDuration {
-		specDeadline = s.engine.Now() + time.Duration(spec.Boundary.DurationMS)*time.Millisecond
+		specDeadline = s.engineNow() + time.Duration(spec.Boundary.DurationMS)*time.Millisecond
 	}
 	stopped := func() bool {
 		select {
@@ -509,7 +548,7 @@ func (s *Server) runROSpec(conn *serverConn, e *rospecEntry) {
 		if stopped() {
 			return
 		}
-		if specDeadline > 0 && s.engine.Now() >= specDeadline {
+		if specDeadline > 0 && s.engineNow() >= specDeadline {
 			return
 		}
 		progressed := false
@@ -517,7 +556,7 @@ func (s *Server) runROSpec(conn *serverConn, e *rospecEntry) {
 			if stopped() {
 				return
 			}
-			aiDeadline := s.engine.Now()
+			aiDeadline := s.engineNow()
 			if ai.StopTrigger.Type == AIStopDuration {
 				aiDeadline += time.Duration(ai.StopTrigger.DurationMS) * time.Millisecond
 			}
@@ -542,21 +581,22 @@ func (s *Server) runROSpec(conn *serverConn, e *rospecEntry) {
 				if stopped() {
 					return
 				}
-				if specDeadline > 0 && s.engine.Now() >= specDeadline {
+				if specDeadline > 0 && s.engineNow() >= specDeadline {
 					return
 				}
-				if ai.StopTrigger.Type == AIStopDuration && pass > 0 && s.engine.Now() >= aiDeadline {
+				if ai.StopTrigger.Type == AIStopDuration && pass > 0 && s.engineNow() >= aiDeadline {
 					break
 				}
 				for _, ant := range antennas {
 					budget := time.Duration(0)
 					if ai.StopTrigger.Type == AIStopDuration {
-						budget = aiDeadline - s.engine.Now()
+						budget = aiDeadline - s.engineNow()
 						if budget <= 0 {
 							break
 						}
 					}
 					accessOps, accessFilter := s.accessOpsFor(spec.ID, ant)
+					s.engineMu.Lock()
 					reads, d := s.engine.RunRound(reader.RoundOpts{
 						Antenna:      int(ant),
 						Filters:      filters,
@@ -564,6 +604,7 @@ func (s *Server) runROSpec(conn *serverConn, e *rospecEntry) {
 						Access:       accessOps,
 						AccessFilter: accessFilter,
 					})
+					s.engineMu.Unlock()
 					progressed = true
 					if len(reads) > 0 {
 						pending = append(pending, s.toReports(spec.ID, reads)...)
