@@ -43,6 +43,10 @@ func main() {
 		backoffBase = flag.Duration("backoff-base", 500*time.Millisecond, "initial reconnect backoff")
 		backoffMax  = flag.Duration("backoff-max", 30*time.Second, "reconnect backoff ceiling")
 		maxFailures = flag.Int("max-failures", 0, "consecutive failures before a reader goes down for good (0 = retry forever)")
+		keepalive   = flag.Duration("keepalive", 5*time.Second, "reader keepalive period; the watchdog kills a session silent for keepalive-misses periods (0 = no watchdog)")
+		kaMisses    = flag.Int("keepalive-misses", 3, "missed keepalive periods before a session is declared dead")
+		opTimeout   = flag.Duration("op-timeout", 10*time.Second, "per-operation LLRP request/response deadline")
+		cycleErrs   = flag.Int("cycle-error-limit", 3, "consecutive failing cycles before forcing a reconnect")
 		config      = flag.String("config", "", "JSON Tagwatch configuration file (see core.FileConfig)")
 		quiet       = flag.Bool("quiet", false, "suppress per-event logging")
 	)
@@ -66,6 +70,10 @@ func main() {
 	cfg.BackoffMax = *backoffMax
 	cfg.MaxFailures = *maxFailures
 	cfg.CyclePause = *cyclePause
+	cfg.KeepalivePeriod = *keepalive
+	cfg.KeepaliveMisses = *kaMisses
+	cfg.OpTimeout = *opTimeout
+	cfg.CycleErrorLimit = *cycleErrs
 	for _, part := range strings.Split(*readers, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {

@@ -4,6 +4,13 @@
 //
 //	llrpsniff -listen 127.0.0.1:5085 -reader 127.0.0.1:5084
 //	tagwatchd -reader 127.0.0.1:5085   # now observed
+//
+// The -chaos flag turns the observer into a saboteur: client-side
+// connections are wrapped in the seeded fault injector, so a healthy
+// real reader can be made to look latent, corrupt, or half-open without
+// touching it:
+//
+//	llrpsniff -chaos 'seed=7,latency=10ms,reset=0.005'
 package main
 
 import (
@@ -14,13 +21,15 @@ import (
 	"os/signal"
 	"time"
 
+	"tagwatch/internal/chaos"
 	"tagwatch/internal/llrp"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:5085", "address clients connect to")
-		reader = flag.String("reader", "127.0.0.1:5084", "upstream LLRP reader")
+		listen    = flag.String("listen", "127.0.0.1:5085", "address clients connect to")
+		reader    = flag.String("reader", "127.0.0.1:5084", "upstream LLRP reader")
+		chaosSpec = flag.String("chaos", "", "fault injection spec applied to client connections, e.g. 'seed=42,latency=5ms,corrupt=0.01' (empty = pure observer)")
 	)
 	flag.Parse()
 
@@ -28,11 +37,21 @@ func main() {
 	proxy := llrp.NewProxy(*reader, func(direction string, m llrp.Message) {
 		fmt.Printf("%8.3fs %s %s\n", time.Since(start).Seconds(), direction, m.Summarize())
 	})
+	if *chaosSpec != "" {
+		ccfg, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			log.Fatalf("-chaos: %v", err)
+		}
+		proxy.Wrap = chaos.New(ccfg).Conn
+	}
 	addr, err := proxy.Listen(*listen)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
 	fmt.Printf("llrpsniff: %s ⇄ %s\n", addr, *reader)
+	if *chaosSpec != "" {
+		fmt.Printf("llrpsniff: chaos enabled: %s\n", *chaosSpec)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)

@@ -8,6 +8,11 @@
 //	readersim -listen 127.0.0.1:5084 -tags 40 -movers 2 -timescale 1
 //
 // With -timescale 1 the emulator paces reports in real time; 0 free-runs.
+//
+// The -chaos flag interposes the seeded fault injector between clients
+// and the emulator — a misbehaving reader on demand:
+//
+//	readersim -chaos 'seed=42,latency=5ms,corrupt=0.01,blackhole-after=65536'
 package main
 
 import (
@@ -15,9 +20,11 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"os"
 	"os/signal"
 
+	"tagwatch/internal/chaos"
 	"tagwatch/internal/epc"
 	"tagwatch/internal/llrp"
 	"tagwatch/internal/reader"
@@ -33,6 +40,7 @@ func main() {
 		antennas  = flag.Int("antennas", 1, "reader antenna ports")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		timescale = flag.Float64("timescale", 1.0, "wall seconds per virtual second (0 = free-run)")
+		chaosSpec = flag.String("chaos", "", "fault injection spec, e.g. 'seed=42,latency=5ms,stall=0.01,truncate=0.01,corrupt=0.01,reset=0.01,blackhole-after=65536,refuse=0.1' (empty = none)")
 	)
 	flag.Parse()
 
@@ -59,12 +67,25 @@ func main() {
 
 	eng := reader.New(reader.DefaultConfig(), scn)
 	srv := llrp.NewServer(eng, llrp.ServerConfig{TimeScale: *timescale})
-	addr, err := srv.Listen(*listen)
+	ccfg, err := chaos.ParseSpec(*chaosSpec)
+	if err != nil {
+		log.Fatalf("-chaos: %v", err)
+	}
+	lis, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
+	var addr net.Addr
+	if *chaosSpec != "" {
+		addr = srv.Serve(chaos.New(ccfg).Listener(lis))
+	} else {
+		addr = srv.Serve(lis)
+	}
 	fmt.Printf("readersim: LLRP reader emulator on %s (%d tags, %d movers, %d antennas, timescale %.1f)\n",
 		addr, *tags, *movers, *antennas, *timescale)
+	if *chaosSpec != "" {
+		fmt.Printf("readersim: chaos enabled: %s\n", *chaosSpec)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)

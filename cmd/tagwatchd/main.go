@@ -34,6 +34,8 @@ func main() {
 		cycles      = flag.Int("cycles", 10, "reading cycles to run (0 = forever)")
 		dwell       = flag.Duration("dwell", 5*time.Second, "Phase II dwell")
 		dialTimeout = flag.Duration("dial-timeout", 10*time.Second, "LLRP connect timeout")
+		keepalive   = flag.Duration("keepalive", 5*time.Second, "reader keepalive period; a session silent for 3 periods dies with a watchdog error (0 = no watchdog)")
+		opTimeout   = flag.Duration("op-timeout", 10*time.Second, "per-operation LLRP request/response deadline")
 		pins        = flag.String("pin", "", "comma-separated EPCs to always schedule")
 		config      = flag.String("config", "", "JSON configuration file (see core.FileConfig)")
 		state       = flag.String("state", "", "state file: learned immobility models are loaded at start and saved at exit")
@@ -53,6 +55,15 @@ func main() {
 	}
 	defer conn.Close()
 	fmt.Printf("tagwatchd: connected to %s\n", *readerAddr)
+	conn.SetOpTimeout(*opTimeout)
+	if *keepalive > 0 {
+		kctx, kcancel := context.WithTimeout(ctx, *dialTimeout)
+		err := conn.StartKeepalive(kctx, *keepalive, 3)
+		kcancel()
+		if err != nil {
+			log.Fatalf("keepalive setup: %v", err)
+		}
+	}
 
 	// A signal mid-cycle closes the connection, which aborts the in-flight
 	// ROSpec wait instead of riding out the dwell.
@@ -125,6 +136,12 @@ func main() {
 			i, len(rep.Present), len(rep.Mobile), len(rep.Targets), mode,
 			len(rep.Plan.Masks), len(rep.PhaseIReads), len(rep.PhaseIIReads),
 			rep.ScheduleCost.Round(time.Microsecond))
+		if rep.Err != nil {
+			log.Printf("cycle %d DEGRADED: %v", i, rep.Err)
+			if conn.Err() != nil && ctx.Err() == nil {
+				log.Fatalf("connection lost: %v", conn.Err())
+			}
+		}
 		for _, m := range rep.Plan.Masks {
 			fmt.Printf("    mask %s covering %d tag(s)\n", m.Bitmask, m.Covered)
 		}

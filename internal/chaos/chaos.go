@@ -1,0 +1,321 @@
+// Package chaos is a seeded, deterministic fault injector for TCP
+// transports: a net.Conn / net.Listener wrapper that interposes between
+// an LLRP client and reader (real, emulated, or proxied) and misbehaves
+// on purpose — added latency and jitter, stalled reads, truncated
+// frames, corrupted bytes, mid-message connection resets, half-open
+// "keepalive blackhole" links, and refused accepts.
+//
+// Every probabilistic decision draws from per-connection RNGs seeded
+// from the injector's master seed, with separate streams for the read
+// and write sides, so a failure found under chaos reproduces from the
+// same seed regardless of goroutine interleaving between directions.
+//
+// The zero Config injects nothing; each fault is enabled independently.
+// cmd/readersim and cmd/llrpsniff expose the injector via a -chaos flag
+// (see ParseSpec), and the fleet chaos regression suite drives it
+// directly.
+package chaos
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config selects which faults to inject and how hard. Probabilities are
+// per-operation (one Read or one Write) in [0,1]; zero disables the
+// fault.
+type Config struct {
+	// Seed makes every injection decision reproducible. Zero is a valid
+	// seed (not "random").
+	Seed int64
+
+	// Latency delays every read delivery; Jitter adds a uniform extra
+	// in [0, Jitter) on top, drawn from the seeded stream.
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// StallProb stalls a read: the call blocks until the connection is
+	// closed instead of returning data — a link that went quiet without
+	// dying.
+	StallProb float64
+	// TruncateProb delivers only a prefix of a read and then severs the
+	// connection — a frame cut off mid-flight.
+	TruncateProb float64
+	// CorruptProb flips one byte of a read — wire corruption that the
+	// protocol layer must reject rather than misparse.
+	CorruptProb float64
+	// ResetProb severs the connection just before a write — a
+	// mid-message TCP reset.
+	ResetProb float64
+
+	// BlackholeAfter trips the blackhole once this many bytes (both
+	// directions combined) have crossed the connection: after that,
+	// reads block forever and writes are silently discarded while the
+	// socket stays open — the half-open link whose keepalives vanish.
+	// Zero never trips by byte count (SetBlackhole still works).
+	BlackholeAfter int64
+
+	// RefuseProb makes the listener accept and then immediately close a
+	// connection — a reader that answers the SYN and slams the door.
+	RefuseProb float64
+}
+
+// Stats counts the faults actually injected, for tests asserting that a
+// run exercised what it claims to.
+type Stats struct {
+	Stalls      uint64
+	Truncations uint64
+	Corruptions uint64
+	Resets      uint64
+	Blackholes  uint64
+	Refusals    uint64
+	Conns       uint64
+}
+
+// Injector wraps listeners and connections with the configured faults.
+// One injector owns one deterministic decision stream; wrap every
+// connection of a scenario with the same injector to replay it.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand // master stream: hands per-conn seeds out in accept order
+
+	forced atomic.Bool // SetBlackhole: trips every current and future conn
+
+	stalls      atomic.Uint64
+	truncations atomic.Uint64
+	corruptions atomic.Uint64
+	resets      atomic.Uint64
+	blackholes  atomic.Uint64
+	refusals    atomic.Uint64
+	conns       atomic.Uint64
+}
+
+// New builds an injector from the config.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats snapshots the injected-fault counters.
+func (inj *Injector) Stats() Stats {
+	return Stats{
+		Stalls:      inj.stalls.Load(),
+		Truncations: inj.truncations.Load(),
+		Corruptions: inj.corruptions.Load(),
+		Resets:      inj.resets.Load(),
+		Blackholes:  inj.blackholes.Load(),
+		Refusals:    inj.refusals.Load(),
+		Conns:       inj.conns.Load(),
+	}
+}
+
+// SetBlackhole force-trips (or clears) the blackhole on every current
+// and future connection — the runtime switch the chaos suite flips to
+// simulate a link going half-open at a chosen moment. Clearing it does
+// not revive connections that already tripped by byte count.
+func (inj *Injector) SetBlackhole(on bool) { inj.forced.Store(on) }
+
+// Listener wraps lis so every accepted connection carries the faults
+// (and RefuseProb applies at accept time).
+func (inj *Injector) Listener(lis net.Listener) net.Listener {
+	return &faultListener{Listener: lis, inj: inj}
+}
+
+// Conn wraps an established connection with the faults.
+func (inj *Injector) Conn(nc net.Conn) net.Conn {
+	inj.conns.Add(1)
+	inj.mu.Lock()
+	rseed, wseed := inj.rng.Int63(), inj.rng.Int63()
+	inj.mu.Unlock()
+	return &faultConn{
+		Conn:   nc,
+		inj:    inj,
+		rrng:   rand.New(rand.NewSource(rseed)),
+		wrng:   rand.New(rand.NewSource(wseed)),
+		closed: make(chan struct{}),
+	}
+}
+
+type faultListener struct {
+	net.Listener
+	inj *Injector
+}
+
+// Accept applies RefuseProb, then wraps survivors. Refused connections
+// are closed immediately and the accept loop continues — the caller
+// only ever sees healthy-looking accepts.
+func (l *faultListener) Accept() (net.Conn, error) {
+	for {
+		nc, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.inj.mu.Lock()
+		refuse := l.inj.cfg.RefuseProb > 0 && l.inj.rng.Float64() < l.inj.cfg.RefuseProb
+		l.inj.mu.Unlock()
+		if refuse {
+			l.inj.refusals.Add(1)
+			nc.Close()
+			continue
+		}
+		return l.inj.Conn(nc), nil
+	}
+}
+
+// faultConn injects per-operation faults. The read and write sides hold
+// separate RNGs so concurrent use keeps each direction's decision
+// sequence deterministic.
+type faultConn struct {
+	net.Conn
+	inj *Injector
+
+	rmu  sync.Mutex
+	rrng *rand.Rand
+	wmu  sync.Mutex
+	wrng *rand.Rand
+
+	bytes   atomic.Int64 // both directions, for BlackholeAfter
+	tripped atomic.Bool  // per-conn blackhole latch
+
+	closed chan struct{}
+	once   sync.Once
+}
+
+// Close releases any stalled or blackholed operations along with the
+// socket.
+func (c *faultConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// blackholed reports whether this connection is half-open.
+func (c *faultConn) blackholed() bool {
+	if c.inj.forced.Load() {
+		return true
+	}
+	if c.tripped.Load() {
+		return true
+	}
+	if after := c.inj.cfg.BlackholeAfter; after > 0 && c.bytes.Load() >= after {
+		if c.tripped.CompareAndSwap(false, true) {
+			c.inj.blackholes.Add(1)
+		}
+		return true
+	}
+	return false
+}
+
+// block parks the calling operation until the connection closes, then
+// reports the usual closed-socket error by touching the dead conn.
+func (c *faultConn) block() (int, error) {
+	<-c.closed
+	// The socket is closed (or closing); surface its error shape.
+	var b [1]byte
+	_, err := c.Conn.Read(b[:])
+	if err == nil {
+		err = net.ErrClosed
+	}
+	return 0, err
+}
+
+// awaitBlackhole parks a read while the connection is half-open. Unlike a
+// stall (which holds until the socket dies), a blackhole can heal: when
+// SetBlackhole clears the forced trip, parked reads resume against the
+// real socket — whatever queued in the kernel during the outage (including
+// a peer's FIN) is then observed. Returns false when the socket closed
+// while parked.
+func (c *faultConn) awaitBlackhole() bool {
+	t := time.NewTicker(10 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return false
+		case <-t.C:
+			if !c.blackholed() {
+				return true
+			}
+		}
+	}
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if c.blackholed() {
+		c.inj.stalls.Add(1)
+		if !c.awaitBlackhole() {
+			return c.block()
+		}
+	}
+	c.rmu.Lock()
+	stall := c.inj.cfg.StallProb > 0 && c.rrng.Float64() < c.inj.cfg.StallProb
+	var delay time.Duration
+	if c.inj.cfg.Latency > 0 || c.inj.cfg.Jitter > 0 {
+		delay = c.inj.cfg.Latency
+		if c.inj.cfg.Jitter > 0 {
+			delay += time.Duration(c.rrng.Int63n(int64(c.inj.cfg.Jitter)))
+		}
+	}
+	c.rmu.Unlock()
+	if stall {
+		c.inj.stalls.Add(1)
+		return c.block()
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-c.closed:
+			return c.block()
+		}
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.bytes.Add(int64(n))
+		// A read that raced the blackhole trip point still delivers; the
+		// next operation sees the half-open link.
+		c.rmu.Lock()
+		truncate := c.inj.cfg.TruncateProb > 0 && c.rrng.Float64() < c.inj.cfg.TruncateProb
+		corrupt := c.inj.cfg.CorruptProb > 0 && c.rrng.Float64() < c.inj.cfg.CorruptProb
+		var cut, flipAt int
+		if truncate && n > 1 {
+			cut = 1 + c.rrng.Intn(n-1)
+		}
+		if corrupt {
+			flipAt = c.rrng.Intn(n)
+		}
+		c.rmu.Unlock()
+		if truncate && cut > 0 {
+			c.inj.truncations.Add(1)
+			c.Close()
+			return cut, nil
+		}
+		if corrupt {
+			c.inj.corruptions.Add(1)
+			p[flipAt] ^= 0xFF
+		}
+	}
+	return n, err
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.blackholed() {
+		// Accept and discard: the peer believes the write succeeded.
+		return len(p), nil
+	}
+	c.wmu.Lock()
+	reset := c.inj.cfg.ResetProb > 0 && c.wrng.Float64() < c.inj.cfg.ResetProb
+	c.wmu.Unlock()
+	if reset {
+		c.inj.resets.Add(1)
+		c.Close()
+		return 0, net.ErrClosed
+	}
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.bytes.Add(int64(n))
+	}
+	return n, err
+}

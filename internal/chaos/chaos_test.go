@@ -1,0 +1,264 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections on a fresh listener and echoes bytes
+// back until either side dies.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			nc, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer nc.Close()
+				io.Copy(nc, nc)
+			}()
+		}
+	}()
+	t.Cleanup(func() { lis.Close() })
+	return lis
+}
+
+// runScript pushes the same fixed byte script through a fault-wrapped
+// loopback echo connection and records what came back, so two runs with
+// the same seed can be compared byte for byte.
+func runScript(t *testing.T, cfg Config, rounds int) ([]byte, Stats) {
+	t.Helper()
+	inj := New(cfg)
+	lis := echoServer(t)
+	raw, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := inj.Conn(raw)
+	defer nc.Close()
+
+	var got bytes.Buffer
+	buf := make([]byte, 64)
+	for i := 0; i < rounds; i++ {
+		msg := []byte{byte(i), byte(i >> 8), 0xAB, 0xCD}
+		if _, err := nc.Write(msg); err != nil {
+			break
+		}
+		nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+		n, err := nc.Read(buf)
+		got.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return got.Bytes(), inj.Stats()
+}
+
+func TestDeterministicFromSeed(t *testing.T) {
+	cfg := Config{Seed: 7, CorruptProb: 0.3, TruncateProb: 0.05, ResetProb: 0.05}
+	a, sa := runScript(t, cfg, 200)
+	b, sb := runScript(t, cfg, 200)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed diverged:\n%x\n%x", a, b)
+	}
+	if sa != sb {
+		t.Fatalf("same seed, different fault counts: %+v vs %+v", sa, sb)
+	}
+	if sa.Corruptions == 0 {
+		t.Fatalf("corruption never injected over 200 rounds: %+v", sa)
+	}
+
+	cfg.Seed = 8
+	c, _ := runScript(t, cfg, 200)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical fault streams")
+	}
+}
+
+func TestBlackholeAfterByteBudget(t *testing.T) {
+	inj := New(Config{Seed: 1, BlackholeAfter: 8})
+	lis := echoServer(t)
+	raw, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := inj.Conn(raw)
+	defer nc.Close()
+
+	// First exchange fits inside the budget.
+	if _, err := nc.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := nc.Read(buf); err != nil {
+		t.Fatalf("pre-blackhole read: %v", err)
+	}
+
+	// The budget is spent: writes must be swallowed (report success) and
+	// reads must hang until the connection closes.
+	if n, err := nc.Write([]byte("lost")); err != nil || n != 4 {
+		t.Fatalf("blackholed write: n=%d err=%v, want silent success", n, err)
+	}
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := nc.Read(buf)
+		readDone <- err
+	}()
+	select {
+	case err := <-readDone:
+		t.Fatalf("blackholed read returned (%v); must block", err)
+	case <-time.After(200 * time.Millisecond):
+	}
+	nc.Close()
+	select {
+	case err := <-readDone:
+		if err == nil {
+			t.Fatal("read after close must error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blackholed read did not release on Close")
+	}
+	if inj.Stats().Blackholes != 1 {
+		t.Fatalf("stats: %+v, want exactly 1 blackhole trip", inj.Stats())
+	}
+}
+
+func TestSetBlackholeTripsLiveConn(t *testing.T) {
+	inj := New(Config{Seed: 3})
+	lis := echoServer(t)
+	raw, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := inj.Conn(raw)
+	defer nc.Close()
+
+	if _, err := nc.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := nc.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.SetBlackhole(true)
+	if n, err := nc.Write([]byte("gone")); err != nil || n != 4 {
+		t.Fatalf("forced blackhole write: n=%d err=%v", n, err)
+	}
+	done := make(chan struct{})
+	go func() {
+		nc.Read(buf)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("read completed through a forced blackhole")
+	case <-time.After(150 * time.Millisecond):
+	}
+	nc.Close()
+	<-done
+}
+
+func TestRefuseProbAtAccept(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	inj := New(Config{Seed: 11, RefuseProb: 1.0})
+	lis := inj.Listener(inner)
+
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		nc, err := lis.Accept()
+		if err == nil {
+			accepted <- nc
+		}
+	}()
+	// Every dial is answered at the TCP level and then slammed shut; the
+	// wrapped Accept never hands a refused conn to the server.
+	for i := 0; i < 3; i++ {
+		nc, err := net.Dial("tcp", inner.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := nc.Read(make([]byte, 1)); err == nil {
+			t.Fatal("refused conn delivered data")
+		}
+		nc.Close()
+	}
+	select {
+	case nc := <-accepted:
+		nc.Close()
+		t.Fatal("Accept returned despite refuse=1.0")
+	case <-time.After(100 * time.Millisecond):
+	}
+	if got := inj.Stats().Refusals; got < 3 {
+		t.Fatalf("refusals = %d, want >= 3", got)
+	}
+}
+
+func TestTruncateSeversConn(t *testing.T) {
+	inj := New(Config{Seed: 5, TruncateProb: 1.0})
+	lis := echoServer(t)
+	raw, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := inj.Conn(raw)
+	defer nc.Close()
+
+	if _, err := nc.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := nc.Read(buf)
+	if err != nil {
+		t.Fatalf("truncated read should deliver the prefix first: %v", err)
+	}
+	if n >= 10 || n < 1 {
+		t.Fatalf("truncated read delivered %d bytes of 10", n)
+	}
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("connection must be severed after a truncation")
+	}
+	if inj.Stats().Truncations == 0 {
+		t.Fatal("truncation not counted")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=42, latency=5ms,jitter=2ms,corrupt=0.01,reset=0.02,blackhole-after=65536,refuse=0.2,stall=0.001,truncate=0.03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed: 42, Latency: 5 * time.Millisecond, Jitter: 2 * time.Millisecond,
+		CorruptProb: 0.01, ResetProb: 0.02, BlackholeAfter: 65536,
+		RefuseProb: 0.2, StallProb: 0.001, TruncateProb: 0.03,
+	}
+	if cfg != want {
+		t.Fatalf("got %+v, want %+v", cfg, want)
+	}
+	if cfg, err := ParseSpec(""); err != nil || cfg != (Config{}) {
+		t.Fatalf("empty spec: %+v, %v", cfg, err)
+	}
+	for _, bad := range []string{"latency", "bogus=1", "corrupt=1.5", "latency=fast"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("spec %q must error", bad)
+		}
+	}
+}

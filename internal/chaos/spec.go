@@ -1,0 +1,73 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec parses the compact key=value fault spec used by the -chaos
+// command-line flags, e.g.
+//
+//	seed=42,latency=5ms,jitter=2ms,corrupt=0.01,reset=0.02,blackhole-after=65536,refuse=0.2
+//
+// Keys: seed, latency, jitter, stall, truncate, corrupt, reset,
+// blackhole-after (bytes), refuse. Unknown keys error rather than
+// silently injecting nothing. An empty spec returns the zero Config.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("chaos: %q is not key=value", part)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "latency":
+			cfg.Latency, err = time.ParseDuration(val)
+		case "jitter":
+			cfg.Jitter, err = time.ParseDuration(val)
+		case "stall":
+			cfg.StallProb, err = parseProb(val)
+		case "truncate":
+			cfg.TruncateProb, err = parseProb(val)
+		case "corrupt":
+			cfg.CorruptProb, err = parseProb(val)
+		case "reset":
+			cfg.ResetProb, err = parseProb(val)
+		case "blackhole-after":
+			cfg.BlackholeAfter, err = strconv.ParseInt(val, 10, 64)
+		case "refuse":
+			cfg.RefuseProb, err = parseProb(val)
+		default:
+			return Config{}, fmt.Errorf("chaos: unknown fault %q", key)
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("chaos: %s=%s: %w", key, val, err)
+		}
+	}
+	return cfg, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", p)
+	}
+	return p, nil
+}

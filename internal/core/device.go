@@ -34,13 +34,20 @@ type Reading struct {
 }
 
 // Device is the reader abstraction Tagwatch drives.
+//
+// Failures are first-class: a dying transport must be distinguishable
+// from an empty RF field, so both read methods return an error alongside
+// whatever readings arrived before the failure. Partial readings with a
+// non-nil error are real observations and are still delivered upstream;
+// the error tells the cycle pipeline to degrade instead of concluding
+// "0 tags present".
 type Device interface {
 	// ReadAll performs one full inventory pass over every antenna — the
 	// Phase I read and the "reading all" baseline.
-	ReadAll() []Reading
+	ReadAll() ([]Reading, error)
 	// ReadSelective cycles selective inventory rounds over the given
 	// bitmasks for the dwell window, reading only covered tags.
-	ReadSelective(masks []schedule.Bitmask, dwell time.Duration) []Reading
+	ReadSelective(masks []schedule.Bitmask, dwell time.Duration) ([]Reading, error)
 	// Now reports the device clock (virtual for the simulator).
 	Now() time.Duration
 }
@@ -67,18 +74,19 @@ func toReadings(in []reader.TagRead) []Reading {
 	return out
 }
 
-// ReadAll implements Device.
-func (d *SimDevice) ReadAll() []Reading {
-	return toReadings(d.R.InventoryAll())
+// ReadAll implements Device. The in-process simulator cannot fail, so
+// the error is always nil.
+func (d *SimDevice) ReadAll() ([]Reading, error) {
+	return toReadings(d.R.InventoryAll()), nil
 }
 
 // ReadSelective implements Device: masks run round-robin, one selective
 // round per antenna each, until the dwell window is exhausted — the
 // "multiple AISpecs" execution of §6.
-func (d *SimDevice) ReadSelective(masks []schedule.Bitmask, dwell time.Duration) []Reading {
+func (d *SimDevice) ReadSelective(masks []schedule.Bitmask, dwell time.Duration) ([]Reading, error) {
 	var out []Reading
 	if len(masks) == 0 || dwell <= 0 {
-		return out
+		return out, nil
 	}
 	deadline := d.R.Now() + dwell
 	for {
@@ -87,7 +95,7 @@ func (d *SimDevice) ReadSelective(masks []schedule.Bitmask, dwell time.Duration)
 			for _, ant := range d.R.Scene().Antennas {
 				remaining := deadline - d.R.Now()
 				if remaining <= 0 {
-					return out
+					return out, nil
 				}
 				reads, _ := d.R.RunRound(reader.RoundOpts{
 					Antenna: ant.ID,

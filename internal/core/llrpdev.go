@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"tagwatch/internal/aloha"
@@ -57,9 +58,9 @@ func NewLLRPDevice(conn *llrp.Conn) *LLRPDevice {
 func (d *LLRPDevice) Now() time.Duration { return d.latest }
 
 // ReadAll implements Device.
-func (d *LLRPDevice) ReadAll() []Reading {
+func (d *LLRPDevice) ReadAll() ([]Reading, error) {
 	spec := d.buildSpec(nil, d.PhaseIDwell, d.PhaseIDwell)
-	reads := d.runSpec(spec)
+	reads, err := d.runSpec(spec)
 	if d.AdaptPhaseI {
 		distinct := make(map[epc.EPC]struct{}, len(reads))
 		for _, r := range reads {
@@ -76,13 +77,13 @@ func (d *LLRPDevice) ReadAll() []Reading {
 			d.PhaseIDwell = dwell
 		}
 	}
-	return reads
+	return reads, err
 }
 
 // ReadSelective implements Device.
-func (d *LLRPDevice) ReadSelective(masks []schedule.Bitmask, dwell time.Duration) []Reading {
+func (d *LLRPDevice) ReadSelective(masks []schedule.Bitmask, dwell time.Duration) ([]Reading, error) {
 	if len(masks) == 0 || dwell <= 0 {
-		return nil
+		return nil, nil
 	}
 	spec := d.buildSpec(masks, d.MaskSlice, dwell)
 	return d.runSpec(spec)
@@ -131,24 +132,35 @@ func (d *LLRPDevice) buildSpec(masks []schedule.Bitmask, slice, total time.Durat
 	return spec
 }
 
-// runSpec installs, runs and drains one ROSpec, then deletes it.
-func (d *LLRPDevice) runSpec(spec llrp.ROSpec) []Reading {
+// runSpec installs, runs and drains one ROSpec, then deletes it. The
+// error reports transport failure — control operations rejected or timed
+// out, or the connection dying mid-spec — alongside whatever readings
+// arrived first. A clean drain (end event or idle gap) is not an error.
+func (d *LLRPDevice) runSpec(spec llrp.ROSpec) ([]Reading, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := d.Conn.AddROSpec(ctx, spec); err != nil {
-		return nil
+		return nil, fmt.Errorf("add ROSpec %d: %w", spec.ID, err)
 	}
 	defer d.Conn.DeleteROSpec(ctx, spec.ID)
 	if err := d.Conn.EnableROSpec(ctx, spec.ID); err != nil {
-		return nil
+		return nil, fmt.Errorf("enable ROSpec %d: %w", spec.ID, err)
 	}
 	if err := d.Conn.StartROSpec(ctx, spec.ID); err != nil {
-		return nil
+		return nil, fmt.Errorf("start ROSpec %d: %w", spec.ID, err)
 	}
 	var out []Reading
 	idle := d.IdleGap
 	if idle <= 0 {
 		idle = 150 * time.Millisecond
+	}
+	// connErr shapes the connection's terminal error once the report
+	// stream closes under us.
+	connErr := func() error {
+		if err := d.Conn.Err(); err != nil {
+			return fmt.Errorf("connection died mid-ROSpec: %w", err)
+		}
+		return fmt.Errorf("report stream closed mid-ROSpec")
 	}
 	deadline := time.After(30 * time.Second)
 	drain := func(gap time.Duration) {
@@ -170,29 +182,32 @@ func (d *LLRPDevice) runSpec(spec llrp.ROSpec) []Reading {
 		select {
 		case batch, ok := <-d.Conn.Reports():
 			if !ok {
-				return out
+				return out, connErr()
 			}
 			for _, tr := range batch {
 				out = append(out, d.toReading(tr))
 			}
 		case ev, ok := <-d.Conn.Events():
 			if !ok {
-				return out
+				return out, connErr()
 			}
 			// The reader notifies when a duration-triggered ROSpec ends:
 			// drain in-flight reports briefly and return without waiting
 			// out the idle gap.
 			if ev.ROSpec != nil && ev.ROSpec.Type == llrp.ROSpecEnded && ev.ROSpec.ROSpecID == spec.ID {
 				drain(20 * time.Millisecond)
-				return out
+				return out, nil
 			}
 		case <-time.After(idle):
-			// Fallback for readers that do not send end events.
-			d.Conn.StopROSpec(ctx, spec.ID)
-			return out
+			// Fallback for readers that do not send end events. A stop
+			// failure here means the link is gone, not merely quiet.
+			if err := d.Conn.StopROSpec(ctx, spec.ID); err != nil {
+				return out, fmt.Errorf("stop ROSpec %d after idle gap: %w", spec.ID, err)
+			}
+			return out, nil
 		case <-deadline:
 			d.Conn.StopROSpec(ctx, spec.ID)
-			return out
+			return out, fmt.Errorf("ROSpec %d overran the 30s guard", spec.ID)
 		}
 	}
 }

@@ -48,7 +48,10 @@ func startLLRPRig(t *testing.T, seed int64, n int) (*LLRPDevice, []epc.EPC) {
 
 func TestLLRPDeviceReadAll(t *testing.T) {
 	dev, codes := startLLRPRig(t, 1, 6)
-	reads := dev.ReadAll()
+	reads, err := dev.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll over a healthy link: %v", err)
+	}
 	seen := map[epc.EPC]int{}
 	for _, r := range reads {
 		seen[r.EPC]++
@@ -76,7 +79,10 @@ func TestLLRPDeviceReadSelective(t *testing.T) {
 	dev, codes := startLLRPRig(t, 2, 8)
 	target := codes[2]
 	masks := []schedule.Bitmask{{Mask: target, Pointer: 0}}
-	reads := dev.ReadSelective(masks, 400*time.Millisecond)
+	reads, err := dev.ReadSelective(masks, 400*time.Millisecond)
+	if err != nil {
+		t.Fatalf("ReadSelective over a healthy link: %v", err)
+	}
 	if len(reads) == 0 {
 		t.Fatal("selective reading returned nothing")
 	}
@@ -86,10 +92,10 @@ func TestLLRPDeviceReadSelective(t *testing.T) {
 		}
 	}
 	// Degenerate inputs.
-	if dev.ReadSelective(nil, time.Second) != nil {
+	if reads, err := dev.ReadSelective(nil, time.Second); reads != nil || err != nil {
 		t.Fatal("no masks must read nothing")
 	}
-	if dev.ReadSelective(masks, 0) != nil {
+	if reads, err := dev.ReadSelective(masks, 0); reads != nil || err != nil {
 		t.Fatal("zero dwell must read nothing")
 	}
 }

@@ -80,13 +80,24 @@ type CycleReport struct {
 	// PhaseIDuration and PhaseIIDuration are in device-virtual time.
 	PhaseIDuration  time.Duration
 	PhaseIIDuration time.Duration
+	// Err is non-nil when the transport failed during the cycle: the
+	// cycle's readings (possibly partial, possibly none) must not be
+	// interpreted as an empty RF field. A Phase I failure skips Phase II
+	// entirely — there is no point selectively reading over a dead link.
+	Err error
 }
+
+// Healthy reports whether the cycle completed without transport failure.
+func (r *CycleReport) Healthy() bool { return r.Err == nil }
 
 // Metrics accumulates operational counters across the middleware's
 // lifetime — what an operator dashboards.
 type Metrics struct {
 	Cycles           int
 	Fallbacks        int
+	// CycleErrors counts cycles that ended with a transport error —
+	// the degraded-operation signal an operator alerts on.
+	CycleErrors      int
 	PhaseIReadings   uint64
 	PhaseIIReadings  uint64
 	TargetsScheduled uint64
@@ -193,7 +204,8 @@ func (tw *Tagwatch) RunCycle() CycleReport {
 
 	// ---- Phase I: read everything once, assess motion. ----
 	p1Start := tw.dev.Now()
-	rep.PhaseIReads = tw.dev.ReadAll()
+	p1, p1Err := tw.dev.ReadAll()
+	rep.PhaseIReads = p1
 	rep.PhaseIDuration = tw.dev.Now() - p1Start
 
 	planStart := time.Now() // wall clock: the Fig. 17 schedule cost
@@ -225,6 +237,18 @@ func (tw *Tagwatch) RunCycle() CycleReport {
 		}
 	}
 
+	// ---- Degrade: a failed Phase I skips Phase II entirely. ----
+	// The partial readings above were still delivered and assessed (they
+	// are real observations), but scheduling a selective dwell over a
+	// dead link would just spin; surface the error and let the caller's
+	// backoff take over.
+	if p1Err != nil {
+		rep.Err = fmt.Errorf("phase I: %w", p1Err)
+		rep.ScheduleCost = time.Since(planStart)
+		tw.finishCycle(&rep)
+		return rep
+	}
+
 	// ---- Decide: schedule or fall back. ----
 	fallback := len(rep.Targets) == 0 ||
 		float64(len(rep.Targets)) > tw.cfg.MobileCutoff*float64(len(rep.Present))
@@ -251,6 +275,7 @@ func (tw *Tagwatch) RunCycle() CycleReport {
 	// ---- Phase II: selective reading (or read-all fallback). ----
 	p2Start := tw.dev.Now()
 	var p2 []Reading
+	var p2Err error
 	if fallback {
 		if sd, ok := tw.dev.(*SimDevice); ok {
 			p2 = sd.ReadAllFor(tw.cfg.PhaseIIDwell)
@@ -261,15 +286,22 @@ func (tw *Tagwatch) RunCycle() CycleReport {
 			deadline := tw.dev.Now() + tw.cfg.PhaseIIDwell
 			for tw.dev.Now() < deadline {
 				before := tw.dev.Now()
-				batch := tw.dev.ReadAll()
+				batch, err := tw.dev.ReadAll()
 				p2 = append(p2, batch...)
+				if err != nil {
+					p2Err = err
+					break
+				}
 				if len(batch) == 0 && tw.dev.Now() == before {
 					break
 				}
 			}
 		}
 	} else {
-		p2 = tw.dev.ReadSelective(plan.Bitmasks(), tw.cfg.PhaseIIDwell)
+		p2, p2Err = tw.dev.ReadSelective(plan.Bitmasks(), tw.cfg.PhaseIIDwell)
+	}
+	if p2Err != nil {
+		rep.Err = fmt.Errorf("phase II: %w", p2Err)
 	}
 	rep.PhaseIIDuration = tw.dev.Now() - p2Start
 	rep.PhaseIIReads = p2
@@ -294,11 +326,20 @@ func (tw *Tagwatch) RunCycle() CycleReport {
 		}
 	}
 
-	// ---- Metrics. ----
+	tw.finishCycle(&rep)
+	return rep
+}
+
+// finishCycle accumulates metrics and prunes departed tags — shared by
+// the healthy path and the degraded early return.
+func (tw *Tagwatch) finishCycle(rep *CycleReport) {
 	tw.metricsMu.Lock()
 	tw.metrics.Cycles++
 	if rep.FellBack {
 		tw.metrics.Fallbacks++
+	}
+	if rep.Err != nil {
+		tw.metrics.CycleErrors++
 	}
 	tw.metrics.PhaseIReadings += uint64(len(rep.PhaseIReads))
 	tw.metrics.PhaseIIReadings += uint64(len(rep.PhaseIIReads))
@@ -307,8 +348,10 @@ func (tw *Tagwatch) RunCycle() CycleReport {
 	tw.metrics.ScheduleCostTotal += rep.ScheduleCost
 	tw.metricsMu.Unlock()
 
-	// ---- Housekeeping: forget departed tags. ----
-	if tw.cfg.DepartAfter > 0 {
+	// Housekeeping: forget departed tags. Skipped while the transport is
+	// failing — a dead link is not evidence of departure, and pruning on
+	// it would erase learned immobility models the reconnect still needs.
+	if tw.cfg.DepartAfter > 0 && rep.Err == nil {
 		cutoff := tw.dev.Now() - tw.cfg.DepartAfter
 		tw.det.Prune(cutoff)
 		tw.history.Prune(cutoff)
@@ -318,7 +361,6 @@ func (tw *Tagwatch) RunCycle() CycleReport {
 			}
 		}
 	}
-	return rep
 }
 
 // ensureTable rebuilds the schedule index when the present population

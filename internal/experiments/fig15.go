@@ -84,7 +84,7 @@ func Fig15(opt Options, targets int) (Fig15Result, error) {
 	runSelective := func(p schedule.Plan) (map[epc.EPC]int, time.Duration) {
 		dev, _ := build()
 		start := dev.Now()
-		reads := dev.ReadSelective(p.Bitmasks(), dwell)
+		reads, _ := dev.ReadSelective(p.Bitmasks(), dwell) // SimDevice cannot fail
 		span := dev.Now() - start
 		count := map[epc.EPC]int{}
 		for _, r := range reads {

@@ -49,6 +49,9 @@ type CycleSummary struct {
 	PhaseIReads   int   `json:"phase1_reads"`
 	PhaseIIReads  int   `json:"phase2_reads"`
 	ScheduleCostU int64 `json:"schedule_cost_us"`
+	// Err is set when the cycle's transport failed: its counts above are
+	// partial (possibly zero) evidence, not an empty RF field.
+	Err string `json:"err,omitempty"`
 }
 
 // Bus fans events out to subscribers over per-subscriber buffered

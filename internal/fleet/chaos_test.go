@@ -1,0 +1,251 @@
+package fleet
+
+// The chaos regression suite: fleet + Tagwatch driven against an
+// emulated LLRP reader behind the chaos fault injector, under the race
+// detector. The scenarios pin the full degradation story end to end —
+// a link going half-open is detected by the keepalive watchdog, cycles
+// surface errors instead of empty fields, the supervisor reconnects,
+// and the fleet recovers — plus sustained progress through a storm of
+// probabilistic corruption and resets.
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tagwatch/internal/chaos"
+	"tagwatch/internal/epc"
+	"tagwatch/internal/llrp"
+	"tagwatch/internal/reader"
+	"tagwatch/internal/rf"
+	"tagwatch/internal/scene"
+)
+
+// startChaosEmulator boots a reader emulator served through the given
+// injector's listener.
+func startChaosEmulator(t *testing.T, inj *chaos.Injector, seed int64, codes []epc.EPC) (*llrp.Server, string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	scn := scene.New(rf.NewChannel(rf.DefaultParams(), rng), rng)
+	scn.AddAntenna(rf.Pt(0, 0, 2))
+	for i, c := range codes {
+		scn.AddTag(c, scene.Stationary{P: rf.Pt(0.5+float64(i%8)*0.3, 0.5+float64(i/8)*0.3, 0)})
+	}
+	rcfg := reader.DefaultConfig()
+	rcfg.HopEvery = 0
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := llrp.NewServer(reader.New(rcfg, scn), llrp.ServerConfig{})
+	srv.Serve(inj.Listener(lis))
+	t.Cleanup(func() { srv.Close() })
+	return srv, lis.Addr().String()
+}
+
+// eventLog collects bus events in the background for later assertions.
+type eventLog struct {
+	mu  sync.Mutex
+	evs []Event
+}
+
+func collectEvents(sub *Subscriber) *eventLog {
+	log := &eventLog{}
+	go func() {
+		for ev := range sub.C() {
+			log.mu.Lock()
+			log.evs = append(log.evs, ev)
+			log.mu.Unlock()
+		}
+	}()
+	return log
+}
+
+// scan runs fn over a snapshot of the collected events.
+func (l *eventLog) scan(fn func(Event)) {
+	l.mu.Lock()
+	evs := append([]Event(nil), l.evs...)
+	l.mu.Unlock()
+	for _, ev := range evs {
+		fn(ev)
+	}
+}
+
+// TestFleetRecoversFromBlackhole is the headline chaos scenario: a
+// healthy session whose link goes half-open mid-run — the socket stays
+// open, writes vanish, reads never return. Before the watchdog existed
+// this looked like an empty RF field forever; now it must be detected
+// as a keepalive timeout, reported as cycle errors (never a silent
+// healthy zero-tag cycle), and healed by a reconnect once the link
+// comes back.
+func TestFleetRecoversFromBlackhole(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos integration")
+	}
+	rng := rand.New(rand.NewSource(7))
+	codes, err := epc.RandomPopulation(rng, 6, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := chaos.New(chaos.Config{Seed: 7}) // no probabilistic faults: the trip is scripted
+	_, addr := startChaosEmulator(t, inj, 700, codes)
+
+	cfg := DefaultConfig()
+	cfg.Readers = []ReaderConfig{{Name: "c0", Addr: addr}}
+	cfg.Tagwatch.PhaseIIDwell = 300 * time.Millisecond
+	cfg.DialTimeout = 2 * time.Second
+	cfg.BackoffBase = 25 * time.Millisecond
+	cfg.BackoffMax = 250 * time.Millisecond
+	cfg.CyclePause = 50 * time.Millisecond
+	cfg.KeepalivePeriod = 100 * time.Millisecond
+	cfg.KeepaliveMisses = 3
+	cfg.OpTimeout = 500 * time.Millisecond
+	cfg.CycleErrorLimit = 2
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m := New(cfg)
+	sub := m.Bus().Subscribe(4096)
+	defer sub.Close()
+	log := collectEvents(sub)
+	m.Start(ctx)
+	defer m.Stop()
+
+	// Phase 1: healthy operation — session up, cycles completing, tags in
+	// the registry.
+	waitFor(t, 15*time.Second, "reader up", func() bool {
+		return readerStatus(m, "c0").State == "up"
+	})
+	waitFor(t, 20*time.Second, "healthy cycles and a populated registry", func() bool {
+		return readerStatus(m, "c0").Cycles >= 2 && m.Registry().Len() == len(codes)
+	})
+
+	// Phase 2: the link goes half-open. The watchdog (3 × 100 ms window)
+	// must kill the session with a distinguishable error and drive the
+	// supervisor out of the up state.
+	inj.SetBlackhole(true)
+	waitFor(t, 15*time.Second, "supervisor to leave up after the blackhole", func() bool {
+		return readerStatus(m, "c0").State != "up"
+	})
+	waitFor(t, 15*time.Second, "the keepalive watchdog to be named as the cause", func() bool {
+		if strings.Contains(readerStatus(m, "c0").LastError, "keepalive watchdog") {
+			return true
+		}
+		found := false
+		log.scan(func(ev Event) {
+			if ev.Reader == "c0" && strings.Contains(ev.Error, "keepalive watchdog") {
+				found = true
+			}
+		})
+		return found
+	})
+	// Redial attempts against the still-blackholed listener keep failing
+	// (TCP connects, but the connection event never arrives).
+	downAttempts := readerStatus(m, "c0").Attempts
+	waitFor(t, 15*time.Second, "failed redials to accumulate", func() bool {
+		return readerStatus(m, "c0").Attempts > downAttempts
+	})
+
+	// Phase 3: the link heals; the supervisor reconnects and healthy
+	// cycles resume with fresh sightings.
+	inj.SetBlackhole(false)
+	healAt := time.Now()
+	waitFor(t, 20*time.Second, "reconnect after the blackhole clears", func() bool {
+		rs := readerStatus(m, "c0")
+		return rs.State == "up" && rs.Reconnects >= 1
+	})
+	waitFor(t, 20*time.Second, "fresh readings after recovery", func() bool {
+		st, ok := m.Registry().Get(codes[0])
+		return ok && st.LastSeen.After(healAt)
+	})
+
+	// The degradation was reported, not swallowed: at least one cycle
+	// carried an error, and — the contract this PR exists for — no cycle
+	// ever reported a healthy empty field. A dead transport must never
+	// masquerade as "0 tags present".
+	sawCycleErr := false
+	log.scan(func(ev Event) {
+		if ev.Type != EventCycle || ev.Cycle == nil {
+			return
+		}
+		if ev.Cycle.Err != "" {
+			sawCycleErr = true
+		}
+		if ev.Cycle.Err == "" && ev.Cycle.Present == 0 && ev.Cycle.PhaseIReads == 0 {
+			t.Errorf("silent empty-field cycle at %v: %+v", ev.At, ev.Cycle)
+		}
+	})
+	if !sawCycleErr {
+		t.Error("no cycle ever reported its transport error")
+	}
+	if rs := readerStatus(m, "c0"); rs.CycleErrors == 0 {
+		t.Errorf("supervisor counted no cycle errors across a blackhole: %+v", rs)
+	}
+}
+
+// TestFleetSurvivesCorruptionStorm: probabilistic wire corruption and
+// mid-message resets, reproducible from the injector seed. Sessions die
+// repeatedly (decode failures and severed sockets), but the fleet must
+// keep reconnecting and making forward progress — a full registry and
+// no deadlocks — rather than wedging on any single fault interleaving.
+func TestFleetSurvivesCorruptionStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos integration")
+	}
+	rng := rand.New(rand.NewSource(11))
+	codes, err := epc.RandomPopulation(rng, 5, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := chaos.New(chaos.Config{
+		Seed:        11,
+		CorruptProb: 0.01,
+		ResetProb:   0.005,
+	})
+	_, addr := startChaosEmulator(t, inj, 1100, codes)
+
+	cfg := DefaultConfig()
+	cfg.Readers = []ReaderConfig{{Name: "storm", Addr: addr}}
+	cfg.Tagwatch.PhaseIIDwell = 200 * time.Millisecond
+	cfg.DialTimeout = 2 * time.Second
+	cfg.BackoffBase = 10 * time.Millisecond
+	cfg.BackoffMax = 100 * time.Millisecond
+	cfg.KeepalivePeriod = 200 * time.Millisecond
+	cfg.OpTimeout = time.Second
+	cfg.MaxFailures = 0 // retry forever; the storm is survivable by design
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m := New(cfg)
+	m.Start(ctx)
+	defer m.Stop()
+
+	// Forward progress through the storm: every tag observed, at least
+	// one fault actually injected, and at least one session death healed
+	// by a reconnect — survival proven against a real failure, not a
+	// lucky clean run.
+	waitFor(t, 60*time.Second, "full registry, an injected fault, and a reconnect", func() bool {
+		st := inj.Stats()
+		return m.Registry().Len() == len(codes) &&
+			st.Corruptions+st.Resets >= 1 &&
+			readerStatus(m, "storm").Reconnects >= 1
+	})
+	st := inj.Stats()
+	t.Logf("storm stats: %+v, reader: %+v", st, readerStatus(m, "storm"))
+
+	// Teardown under load must not deadlock: Stop has its own watchdog.
+	stopped := make(chan struct{})
+	go func() {
+		m.Stop()
+		close(stopped)
+	}()
+	select {
+	case <-stopped:
+	case <-time.After(15 * time.Second):
+		t.Fatal("fleet Stop deadlocked under chaos")
+	}
+}

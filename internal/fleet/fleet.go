@@ -51,17 +51,36 @@ type Config struct {
 	// EventBuffer sizes per-subscriber bus buffers (SSE clients and the
 	// like); a full buffer drops rather than blocks.
 	EventBuffer int
+	// KeepalivePeriod asks each reader for periodic KEEPALIVE messages
+	// and arms the connection watchdog: KeepaliveMisses missed periods
+	// kill the session with llrp.ErrKeepaliveTimeout and trigger a
+	// reconnect. Zero disables the watchdog (a half-open link is then
+	// only caught by per-operation deadlines).
+	KeepalivePeriod time.Duration
+	// KeepaliveMisses is the watchdog budget (minimum 2; default 3).
+	KeepaliveMisses int
+	// OpTimeout bounds each LLRP request/response exchange and socket
+	// write; zero keeps llrp.DefaultOpTimeout.
+	OpTimeout time.Duration
+	// CycleErrorLimit forces a reconnect after this many consecutive
+	// cycles ending in transport errors even if the connection has not
+	// formally died — a session that cannot complete cycles is not
+	// worth keeping. Zero means 3.
+	CycleErrorLimit int
 }
 
 // DefaultConfig returns production-shaped fleet defaults (no readers).
 func DefaultConfig() Config {
 	return Config{
-		Tagwatch:    core.DefaultConfig(),
-		DialTimeout: 5 * time.Second,
-		BackoffBase: 500 * time.Millisecond,
-		BackoffMax:  30 * time.Second,
-		MaxFailures: 0,
-		EventBuffer: 256,
+		Tagwatch:        core.DefaultConfig(),
+		DialTimeout:     5 * time.Second,
+		BackoffBase:     500 * time.Millisecond,
+		BackoffMax:      30 * time.Second,
+		MaxFailures:     0,
+		EventBuffer:     256,
+		KeepalivePeriod: 5 * time.Second,
+		KeepaliveMisses: 3,
+		CycleErrorLimit: 3,
 	}
 }
 
@@ -78,6 +97,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = d.EventBuffer
+	}
+	if c.KeepaliveMisses <= 0 {
+		c.KeepaliveMisses = d.KeepaliveMisses
+	}
+	if c.CycleErrorLimit <= 0 {
+		c.CycleErrorLimit = d.CycleErrorLimit
 	}
 	return c
 }

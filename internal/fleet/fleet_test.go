@@ -253,7 +253,9 @@ func TestFleetReconnectAndMergedRegistry(t *testing.T) {
 }
 
 // TestSupervisorRetryBudget: a reader that never answers exhausts its
-// capped retry budget and lands in the down state.
+// capped retry budget and lands in the down state — and the failure is
+// observable over every serving surface: /api/readers state, /healthz
+// degradation, and /metrics counters.
 func TestSupervisorRetryBudget(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Readers = []ReaderConfig{{Name: "dead", Addr: "127.0.0.1:1"}}
@@ -278,5 +280,48 @@ func TestSupervisorRetryBudget(t *testing.T) {
 	}
 	if m.Healthy() {
 		t.Fatal("fleet with only a dead reader must be unhealthy")
+	}
+
+	ts := httptest.NewServer(m.Handler())
+	defer ts.Close()
+
+	// /healthz must refuse with 503 and report itself degraded.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with every reader down: status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(hbody), `"degraded"`) {
+		t.Fatalf("healthz body missing degraded marker: %s", hbody)
+	}
+
+	// /metrics must expose the down state and the spent dial budget.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(mbody)
+	for _, want := range []string{
+		`tagwatch_fleet_reader_up{reader="dead"} 0`,
+		`tagwatch_fleet_reader_state{reader="dead",state="down"} 1`,
+		`tagwatch_fleet_reader_state{reader="dead",state="up"} 0`,
+		`tagwatch_fleet_reader_dial_attempts_total{reader="dead"} 3`,
+		`tagwatch_fleet_reader_failures_total{reader="dead"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
 	}
 }

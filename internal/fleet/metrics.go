@@ -55,6 +55,14 @@ func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, rs := range readers {
 		fmt.Fprintf(&b, "tagwatch_fleet_reader_cycles_total{reader=%q} %d\n", rs.Name, rs.Cycles)
 	}
+	counter("tagwatch_fleet_reader_cycle_errors_total", "Cycles that ended with a transport error per reader.")
+	for _, rs := range readers {
+		fmt.Fprintf(&b, "tagwatch_fleet_reader_cycle_errors_total{reader=%q} %d\n", rs.Name, rs.CycleErrors)
+	}
+	counter("tagwatch_fleet_reader_failures_total", "Consecutive dial/session failures currently accumulated per reader.")
+	for _, rs := range readers {
+		fmt.Fprintf(&b, "tagwatch_fleet_reader_failures_total{reader=%q} %d\n", rs.Name, rs.ConsecutiveFailures)
+	}
 	counter("tagwatch_fleet_reader_readings_total", "Tag readings delivered per reader.")
 	for _, rs := range readers {
 		fmt.Fprintf(&b, "tagwatch_fleet_reader_readings_total{reader=%q} %d\n", rs.Name, rs.Readings)

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -52,7 +53,10 @@ type ReaderStatus struct {
 	Attempts            int    `json:"attempts"`
 	ConsecutiveFailures int    `json:"consecutive_failures"`
 	Reconnects          int    `json:"reconnects"`
-	LastError           string `json:"last_error,omitempty"`
+	// CycleErrors counts cycles that ended with a transport error —
+	// degraded operation even while the session nominally stays up.
+	CycleErrors int    `json:"cycle_errors,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
 	// ConnectedAt is zero unless the reader is up.
 	ConnectedAt time.Time `json:"connected_at,omitempty"`
 	Cycles      int       `json:"cycles"`
@@ -78,6 +82,7 @@ type supervisor struct {
 	lastErr     error
 	connectedAt time.Time
 	cycles      int
+	cycleErrors int
 
 	readings atomic.Uint64
 }
@@ -104,6 +109,7 @@ func (s *supervisor) status() ReaderStatus {
 		Attempts:            s.attempts,
 		ConsecutiveFailures: s.consecFails,
 		Cycles:              s.cycles,
+		CycleErrors:         s.cycleErrors,
 		Readings:            s.readings.Load(),
 	}
 	if s.sessions > 1 {
@@ -176,9 +182,15 @@ func (s *supervisor) run(ctx context.Context) {
 			s.mu.Unlock()
 			s.setState(StateUp, nil)
 
-			s.serve(ctx, conn)
+			serveErr := s.serve(ctx, conn)
 			conn.Close()
 			err = conn.Err()
+			// A cycle-level failure (e.g. the cycle-error budget spent on a
+			// link that never formally died) names the cause better than the
+			// ErrClosed our own teardown produces.
+			if serveErr != nil {
+				err = serveErr
+			}
 		}
 
 		if ctx.Err() != nil {
@@ -204,13 +216,33 @@ func (s *supervisor) run(ctx context.Context) {
 }
 
 // serve runs Tagwatch cycles over an established connection until the
-// session dies or the fleet stops. Every reading is merged into the fleet
-// registry as it is delivered; after each cycle the per-tag assessments
-// (mobility verdict, IRR) are refreshed and a cycle summary is published.
-func (s *supervisor) serve(ctx context.Context, conn *llrp.Conn) {
+// session dies or the fleet stops, returning the reason the session was
+// abandoned (nil on clean shutdown). Every reading is merged into the
+// fleet registry as it is delivered; after each cycle the per-tag
+// assessments (mobility verdict, IRR) are refreshed and a cycle summary
+// is published.
+//
+// Cycle errors are consumed here rather than ignored: a cycle whose
+// transport failed publishes its error on the bus, and a run of
+// CycleErrorLimit consecutive failing cycles — or a formally dead
+// connection — abandons the session so the reconnect loop takes over,
+// instead of serving stale "empty field" data forever.
+func (s *supervisor) serve(ctx context.Context, conn *llrp.Conn) error {
 	// Closing the connection on cancel unblocks an in-flight RunCycle.
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
+
+	if s.cfg.OpTimeout > 0 {
+		conn.SetOpTimeout(s.cfg.OpTimeout)
+	}
+	if s.cfg.KeepalivePeriod > 0 {
+		kctx, cancel := context.WithTimeout(ctx, s.cfg.DialTimeout)
+		err := conn.StartKeepalive(kctx, s.cfg.KeepalivePeriod, s.cfg.KeepaliveMisses)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("fleet: keepalive setup: %w", err)
+		}
+	}
 
 	tw := core.New(s.cfg.Tagwatch, core.NewLLRPDevice(conn))
 	tw.Subscribe(func(r core.Reading) {
@@ -223,18 +255,23 @@ func (s *supervisor) serve(ctx context.Context, conn *llrp.Conn) {
 		}
 	})
 
+	consecCycleErrs := 0
 	for {
 		select {
 		case <-ctx.Done():
-			return
+			return nil
 		case <-conn.Done():
-			return
+			return nil // conn.Err() names the cause
 		default:
 		}
 
 		rep := tw.RunCycle()
 		s.mu.Lock()
 		s.cycles++
+		if rep.Err != nil {
+			s.cycleErrors++
+			s.lastErr = rep.Err
+		}
 		s.mu.Unlock()
 
 		mobile := make(map[string]bool, len(rep.Mobile))
@@ -244,27 +281,41 @@ func (s *supervisor) serve(ctx context.Context, conn *llrp.Conn) {
 		for _, code := range rep.Present {
 			s.reg.UpdateAssessment(s.name, code, mobile[code.String()], tw.History().IRR(code))
 		}
-		s.bus.Publish(Event{
-			Type: EventCycle, Reader: s.name, At: time.Now(),
-			Cycle: &CycleSummary{
-				Present:       len(rep.Present),
-				Mobile:        len(rep.Mobile),
-				Targets:       len(rep.Targets),
-				Masks:         len(rep.Plan.Masks),
-				FellBack:      rep.FellBack,
-				PhaseIReads:   len(rep.PhaseIReads),
-				PhaseIIReads:  len(rep.PhaseIIReads),
-				ScheduleCostU: rep.ScheduleCost.Microseconds(),
-			},
-		})
+		summary := &CycleSummary{
+			Present:       len(rep.Present),
+			Mobile:        len(rep.Mobile),
+			Targets:       len(rep.Targets),
+			Masks:         len(rep.Plan.Masks),
+			FellBack:      rep.FellBack,
+			PhaseIReads:   len(rep.PhaseIReads),
+			PhaseIIReads:  len(rep.PhaseIIReads),
+			ScheduleCostU: rep.ScheduleCost.Microseconds(),
+		}
+		if rep.Err != nil {
+			summary.Err = rep.Err.Error()
+		}
+		s.bus.Publish(Event{Type: EventCycle, Reader: s.name, At: time.Now(), Cycle: summary})
+
+		if rep.Err != nil {
+			consecCycleErrs++
+			if err := conn.Err(); err != nil {
+				return nil // formally dead; run() reports conn.Err()
+			}
+			if s.cfg.CycleErrorLimit > 0 && consecCycleErrs >= s.cfg.CycleErrorLimit {
+				return fmt.Errorf("fleet: %d consecutive cycle errors, last: %w",
+					consecCycleErrs, rep.Err)
+			}
+		} else {
+			consecCycleErrs = 0
+		}
 
 		if s.cfg.CyclePause > 0 {
 			select {
 			case <-time.After(s.cfg.CyclePause):
 			case <-ctx.Done():
-				return
+				return nil
 			case <-conn.Done():
-				return
+				return nil
 			}
 		}
 	}

@@ -9,11 +9,24 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // ErrClosed is returned by operations on a closed connection.
 var ErrClosed = errors.New("llrp: connection closed")
+
+// ErrKeepaliveTimeout is the watchdog's terminal error: the reader went
+// silent for longer than the armed window. Supervisors match it with
+// errors.Is to distinguish a half-open link from a clean close or a
+// decode failure.
+var ErrKeepaliveTimeout = errors.New("llrp: keepalive watchdog expired")
+
+// DefaultOpTimeout bounds each request/response exchange when the
+// caller's context carries no tighter deadline. LLRP control operations
+// complete in milliseconds on a healthy link; anything near this bound
+// means the link is gone, not slow.
+const DefaultOpTimeout = 10 * time.Second
 
 // Conn is the client side of an LLRP connection — what Tagwatch uses in
 // place of the ImpinJ LTK. It owns the socket: a background goroutine
@@ -33,6 +46,15 @@ type Conn struct {
 
 	reports chan []TagReportData
 	events  chan ReaderEvent
+
+	// opTimeout is the per-operation deadline (nanoseconds; atomic so
+	// SetOpTimeout races cleanly with in-flight operations).
+	opTimeout atomic.Int64
+	// lastRx is the UnixNano stamp of the last complete inbound frame —
+	// the watchdog's evidence of life. Any frame counts, not just
+	// keepalives: a reader streaming reports is alive even if its
+	// keepalive ticker falls behind.
+	lastRx atomic.Int64
 }
 
 // Dial connects to an LLRP reader (real or emulated) and waits for the
@@ -70,8 +92,69 @@ func newConn(nc net.Conn) *Conn {
 		reports: make(chan []TagReportData, 256),
 		events:  make(chan ReaderEvent, 16),
 	}
+	c.opTimeout.Store(int64(DefaultOpTimeout))
+	c.lastRx.Store(time.Now().UnixNano())
 	go c.readLoop()
 	return c
+}
+
+// SetOpTimeout overrides the per-operation deadline applied to every
+// request/response exchange (and to socket writes, so a blackholed link
+// with a full kernel buffer cannot wedge a sender). Non-positive
+// disables the bound.
+func (c *Conn) SetOpTimeout(d time.Duration) { c.opTimeout.Store(int64(d)) }
+
+// Watchdog arms a liveness monitor: if no complete frame arrives within
+// the window, the connection dies with ErrKeepaliveTimeout — Done fires
+// and Err reports the distinguishable cause. Pair it with SetKeepalive
+// so a quiet-but-healthy reader still produces inbound traffic; see
+// StartKeepalive for the combined call.
+func (c *Conn) Watchdog(window time.Duration) {
+	if window <= 0 {
+		return
+	}
+	c.lastRx.Store(time.Now().UnixNano())
+	go func() {
+		tick := window / 4
+		if tick < 5*time.Millisecond {
+			tick = 5 * time.Millisecond
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.closed:
+				return
+			case <-t.C:
+				silent := time.Since(time.Unix(0, c.lastRx.Load()))
+				if silent > window {
+					c.setErr(fmt.Errorf("%w: reader silent %v (window %v)",
+						ErrKeepaliveTimeout, silent.Round(time.Millisecond), window))
+					c.Close()
+					return
+				}
+			}
+		}
+	}()
+}
+
+// StartKeepalive asks the reader for periodic KEEPALIVE messages and
+// arms the watchdog to fire after `misses` missed periods (minimum 2).
+// This is the production liveness contract: a dead or half-open link is
+// detected within misses×period instead of looking like an empty RF
+// field forever.
+func (c *Conn) StartKeepalive(ctx context.Context, period time.Duration, misses int) error {
+	if period <= 0 {
+		return fmt.Errorf("llrp: keepalive period %v must be positive", period)
+	}
+	if err := c.SetKeepalive(ctx, period); err != nil {
+		return err
+	}
+	if misses < 2 {
+		misses = 2
+	}
+	c.Watchdog(time.Duration(misses) * period)
+	return nil
 }
 
 // Reports returns the stream of tag reports from RO_ACCESS_REPORT
@@ -152,6 +235,7 @@ func (c *Conn) readLoop() {
 			c.setErr(err)
 			return
 		}
+		c.lastRx.Store(time.Now().UnixNano())
 		c.dispatch(msg)
 	}
 }
@@ -202,7 +286,9 @@ func (c *Conn) dispatch(msg Message) {
 	}
 }
 
-// send writes one frame.
+// send writes one frame under the per-operation write deadline, so a
+// blackholed socket with a full kernel buffer fails the operation
+// instead of wedging every sender behind writeMu.
 func (c *Conn) send(m Message) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
@@ -211,12 +297,22 @@ func (c *Conn) send(m Message) error {
 		return c.readError()
 	default:
 	}
+	if d := time.Duration(c.opTimeout.Load()); d > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(d))
+		defer c.conn.SetWriteDeadline(time.Time{})
+	}
 	_, err := c.conn.Write(m.EncodeFrame())
 	return err
 }
 
-// roundTrip sends a request and waits for its matching response.
+// roundTrip sends a request and waits for its matching response, under
+// the per-operation deadline in addition to any deadline ctx carries.
 func (c *Conn) roundTrip(ctx context.Context, m Message) (Message, error) {
+	if d := time.Duration(c.opTimeout.Load()); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
 	wantType, hasResp := responseTypeFor(m.Type)
 	c.mu.Lock()
 	c.nextID++
@@ -227,10 +323,17 @@ func (c *Conn) roundTrip(ctx context.Context, m Message) (Message, error) {
 	}
 	c.mu.Unlock()
 
-	if err := c.send(m); err != nil {
+	// unregister removes the waiter; every exit path that did not consume
+	// the response runs it, so an abandoned ID can never match a late
+	// reply against a different caller.
+	unregister := func() {
 		c.mu.Lock()
 		delete(c.pending, m.ID)
 		c.mu.Unlock()
+	}
+
+	if err := c.send(m); err != nil {
+		unregister()
 		return Message{}, fmt.Errorf("llrp: send type %d: %w", m.Type, err)
 	}
 	if !hasResp {
@@ -246,9 +349,7 @@ func (c *Conn) roundTrip(ctx context.Context, m Message) (Message, error) {
 		}
 		return resp, nil
 	case <-ctx.Done():
-		c.mu.Lock()
-		delete(c.pending, m.ID)
-		c.mu.Unlock()
+		unregister()
 		return Message{}, ctx.Err()
 	case <-c.closed:
 		return Message{}, c.readError()

@@ -18,16 +18,30 @@ type Proxy struct {
 	Upstream string
 	// Log receives one line per frame; defaults to discarding.
 	Log func(direction string, m Message)
+	// Wrap, when set, wraps each accepted client connection — the fault
+	// injection point for the chaos package. Set before Listen.
+	Wrap func(net.Conn) net.Conn
 
 	lis    net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
 	once   sync.Once
+
+	// connMu/conns track every live socket (client and upstream sides)
+	// so Close severs in-flight copy pairs instead of waiting for them
+	// to die of natural causes — the same bug class as Server.Close.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 }
 
 // NewProxy builds a proxy toward the upstream reader.
 func NewProxy(upstream string, logFn func(direction string, m Message)) *Proxy {
-	return &Proxy{Upstream: upstream, Log: logFn, closed: make(chan struct{})}
+	return &Proxy{
+		Upstream: upstream,
+		Log:      logFn,
+		closed:   make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}
 }
 
 // Listen binds addr and starts accepting clients.
@@ -42,14 +56,42 @@ func (p *Proxy) Listen(addr string) (net.Addr, error) {
 	return lis.Addr(), nil
 }
 
-// Close stops the proxy and waits for its goroutines.
+// Close stops the proxy, severs every live client↔upstream pair, and
+// waits for all of its goroutines (accept loop, serve, and both pumps
+// of every pair).
 func (p *Proxy) Close() error {
 	p.once.Do(func() { close(p.closed) })
 	if p.lis != nil {
 		p.lis.Close()
 	}
+	p.connMu.Lock()
+	for nc := range p.conns {
+		nc.Close()
+	}
+	p.connMu.Unlock()
 	p.wg.Wait()
 	return nil
+}
+
+// track registers a live socket for Close to sever; if the proxy is
+// already closing, the socket is refused immediately.
+func (p *Proxy) track(nc net.Conn) bool {
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	select {
+	case <-p.closed:
+		nc.Close()
+		return false
+	default:
+	}
+	p.conns[nc] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(nc net.Conn) {
+	p.connMu.Lock()
+	delete(p.conns, nc)
+	p.connMu.Unlock()
 }
 
 func (p *Proxy) acceptLoop() {
@@ -59,6 +101,9 @@ func (p *Proxy) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if p.Wrap != nil {
+			client = p.Wrap(client)
+		}
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
@@ -67,28 +112,42 @@ func (p *Proxy) acceptLoop() {
 	}
 }
 
-// serve bridges one client to a fresh upstream connection.
+// serve bridges one client to a fresh upstream connection. Either pump
+// exiting (or Close severing the tracked sockets) tears the whole pair
+// down; serve returns only after both pumps have.
 func (p *Proxy) serve(client net.Conn) {
 	defer client.Close()
+	if !p.track(client) {
+		return
+	}
+	defer p.untrack(client)
 	upstream, err := net.DialTimeout("tcp", p.Upstream, 10*time.Second)
 	if err != nil {
 		return
 	}
 	defer upstream.Close()
-
-	done := make(chan struct{}, 2)
-	go func() {
-		p.pump(client, upstream, "→reader")
-		done <- struct{}{}
-	}()
-	go func() {
-		p.pump(upstream, client, "←reader")
-		done <- struct{}{}
-	}()
-	select {
-	case <-done:
-	case <-p.closed:
+	if !p.track(upstream) {
+		return
 	}
+	defer p.untrack(upstream)
+
+	var pumps sync.WaitGroup
+	pumps.Add(2)
+	go func() {
+		defer pumps.Done()
+		p.pump(client, upstream, "→reader")
+		// One direction died: sever both sockets so the other pump
+		// unblocks instead of lingering on a half-open pair.
+		client.Close()
+		upstream.Close()
+	}()
+	go func() {
+		defer pumps.Done()
+		p.pump(upstream, client, "←reader")
+		client.Close()
+		upstream.Close()
+	}()
+	pumps.Wait()
 }
 
 // pump copies frames from src to dst, logging each.

@@ -1,0 +1,247 @@
+package llrp
+
+// Robustness regression tests for the transport layer: the keepalive
+// watchdog, pending-waiter cleanup on cancelled round trips, and the
+// proxy's obligation to sever live copy pairs on Close. These are the
+// failure modes the chaos harness provokes at scale; here each one is
+// pinned in isolation.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeReader is the silent half of a net.Pipe speaking raw LLRP frames on
+// demand — a reader whose behaviour the test scripts byte by byte.
+type fakeReader struct {
+	t    *testing.T
+	conn net.Conn
+}
+
+// newFakeReaderConn wires a Conn to a scripted peer over an in-memory
+// pipe. The peer's inbound bytes (keepalive acks, requests) are drained
+// continuously so the synchronous pipe never wedges the client's writes.
+func newFakeReaderConn(t *testing.T) (*Conn, *fakeReader) {
+	t.Helper()
+	cli, srv := net.Pipe()
+	c := newConn(cli)
+	t.Cleanup(func() { c.Close(); srv.Close() })
+	return c, &fakeReader{t: t, conn: srv}
+}
+
+// drain discards everything the client writes in the background.
+func (f *fakeReader) drain() {
+	go io.Copy(io.Discard, f.conn)
+}
+
+// sendFrame pushes one encoded message at the client.
+func (f *fakeReader) sendFrame(m Message) error {
+	_, err := f.conn.Write(m.EncodeFrame())
+	return err
+}
+
+// readFrame blocks for one complete frame from the client.
+func (f *fakeReader) readFrame() (Message, error) {
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(f.conn, hdr); err != nil {
+		return Message{}, err
+	}
+	length := int(uint32(hdr[2])<<24 | uint32(hdr[3])<<16 | uint32(hdr[4])<<8 | uint32(hdr[5]))
+	frame := make([]byte, length)
+	copy(frame, hdr)
+	if _, err := io.ReadFull(f.conn, frame[headerSize:]); err != nil {
+		return Message{}, err
+	}
+	m, _, err := DecodeFrame(frame)
+	return m, err
+}
+
+func TestWatchdogDetectsSilentReader(t *testing.T) {
+	c, f := newFakeReaderConn(t)
+	f.drain()
+
+	const window = 300 * time.Millisecond
+	c.Watchdog(window)
+
+	// Phase 1: a chatty reader keeps the watchdog fed — any inbound frame
+	// counts as liveness, keepalive or not.
+	stopFeeding := time.After(2 * window)
+feed:
+	for i := uint32(1); ; i++ {
+		select {
+		case <-stopFeeding:
+			break feed
+		case <-time.After(50 * time.Millisecond):
+			if err := f.sendFrame(Message{Type: MsgKeepalive, ID: i}); err != nil {
+				t.Fatalf("feeding keepalive: %v", err)
+			}
+		}
+	}
+	if c.Err() != nil {
+		t.Fatalf("watchdog fired on a chatty reader: %v", c.Err())
+	}
+
+	// Phase 2: the reader goes silent with the socket still open — a
+	// half-open link. The watchdog must kill the session with a
+	// distinguishable error instead of letting it look idle forever.
+	if !c.WaitClosed(5 * window) {
+		t.Fatal("watchdog never fired on a silent reader")
+	}
+	if err := c.Err(); !errors.Is(err, ErrKeepaliveTimeout) {
+		t.Fatalf("Err = %v, want ErrKeepaliveTimeout", err)
+	}
+}
+
+func TestRoundTripCancelCleansPendingWaiter(t *testing.T) {
+	c, f := newFakeReaderConn(t)
+
+	// The scripted reader swallows the first request without answering,
+	// remembering its ID so it can reply late.
+	var mu sync.Mutex
+	var firstID uint32
+	swallowed := make(chan struct{})
+	go func() {
+		m, err := f.readFrame()
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		firstID = m.ID
+		mu.Unlock()
+		close(swallowed)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := c.roundTrip(ctx, Message{Type: MsgGetReaderCapabilities}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("abandoned round trip: err = %v, want deadline exceeded", err)
+	}
+	<-swallowed
+
+	// The waiter must be unregistered the moment the caller gives up —
+	// an abandoned ID left in the pending map would match the late reply
+	// below against whichever caller registers next.
+	c.mu.Lock()
+	leaked := len(c.pending)
+	c.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("%d pending waiters leaked after cancel", leaked)
+	}
+
+	// The reader answers the dead request late, then serves the live one.
+	done := make(chan error, 1)
+	go func() {
+		mu.Lock()
+		late := firstID
+		mu.Unlock()
+		if err := f.sendFrame(Message{Type: MsgGetReaderCapabilitiesResponse, ID: late}); err != nil {
+			done <- err
+			return
+		}
+		m, err := f.readFrame()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- f.sendFrame(Message{Type: MsgGetReaderCapabilitiesResponse, ID: m.ID})
+	}()
+
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	resp, err := c.roundTrip(ctx2, Message{Type: MsgGetReaderCapabilities})
+	if err != nil {
+		t.Fatalf("round trip after a late stray reply: %v", err)
+	}
+	if resp.Type != MsgGetReaderCapabilitiesResponse {
+		t.Fatalf("response type %d leaked across waiters", resp.Type)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("scripted reader: %v", err)
+	}
+}
+
+func TestProxyCloseSeversLivePairs(t *testing.T) {
+	// An upstream that accepts and then holds the socket open in silence:
+	// both proxy pumps park in ReadFull with nothing to copy.
+	upstream, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer upstream.Close()
+	var held []net.Conn
+	var heldMu sync.Mutex
+	go func() {
+		for {
+			nc, err := upstream.Accept()
+			if err != nil {
+				return
+			}
+			heldMu.Lock()
+			held = append(held, nc)
+			heldMu.Unlock()
+		}
+	}()
+	defer func() {
+		heldMu.Lock()
+		for _, nc := range held {
+			nc.Close()
+		}
+		heldMu.Unlock()
+	}()
+
+	p := NewProxy(upstream.Addr().String(), nil)
+	addr, err := p.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Push one valid frame through so the client→upstream pump is known to
+	// be live (not still dialing) before the Close races it.
+	if _, err := client.Write(Message{Type: MsgKeepalive, ID: 1}.EncodeFrame()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		heldMu.Lock()
+		n := len(held)
+		heldMu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("proxy never dialed upstream")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Close must sever the idle pair and return: before the fix it blocked
+	// in wg.Wait forever because neither parked pump could exit on its own.
+	closed := make(chan struct{})
+	go func() {
+		p.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Proxy.Close hung on a live client↔upstream pair")
+	}
+
+	// The severed client observes EOF rather than hanging.
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := client.Read(make([]byte, 1)); err == nil {
+		t.Fatal("client read succeeded on a severed pair")
+	} else if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		t.Fatal("client still connected after Proxy.Close")
+	}
+}

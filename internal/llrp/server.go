@@ -96,10 +96,18 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("llrp: listen %s: %w", addr, err)
 	}
+	return s.Serve(lis), nil
+}
+
+// Serve starts accepting connections from an already-bound listener —
+// the seam where cmd/readersim and the chaos suite interpose a fault
+// injector between the emulator and its clients. It returns the
+// listener's address.
+func (s *Server) Serve(lis net.Listener) net.Addr {
 	s.lis = lis
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return lis.Addr(), nil
+	return lis.Addr()
 }
 
 // Close shuts the server down — severing any live client session, the
