@@ -1,0 +1,57 @@
+# Reproduces CI locally, one target per job. `make check` is the whole
+# pipeline in CI order: cheap static analysis first, then the race
+# tests, then the fuzz smoke.
+
+# Pinned to the same versions as .github/workflows/ci.yml. Both run via
+# `go run mod@version`, so they need network the first time; use
+# `make lint-offline` on an air-gapped machine to run everything that
+# resolves from the local build cache.
+STATICCHECK = go run honnef.co/go/tools/cmd/staticcheck@2025.1.1
+GOVULNCHECK = go run golang.org/x/vuln/cmd/govulncheck@v1.1.4
+
+.PHONY: all build check lint lint-offline test race chaos fuzz-smoke vettool clean
+
+all: build
+
+build:
+	go build ./...
+
+# The full CI pipeline in CI order.
+check: lint race fuzz-smoke
+
+# lint = the CI lint job: go vet, the repo's own invariant suite, then
+# the pinned third-party analyzers.
+lint: lint-offline
+	$(STATICCHECK) ./...
+	$(GOVULNCHECK) ./...
+
+# Everything in lint that works with no network: go vet + tagwatchvet.
+lint-offline:
+	go build ./...
+	go vet ./...
+	go run ./cmd/tagwatchvet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# The chaos regression suite, named so a failure names itself.
+chaos:
+	go test -race -count=1 -run 'TestFleetRecoversFromBlackhole|TestFleetSurvivesCorruptionStorm' ./internal/fleet/
+	go test -race -count=1 ./internal/chaos/
+
+# Short fuzz bursts on the wire-facing decoders, mirroring CI. Go allows
+# one -fuzz target per invocation.
+fuzz-smoke:
+	go test -fuzz=FuzzDecodeFrame -fuzztime=10s -run '^$$' ./internal/llrp/
+	go test -fuzz=FuzzParse -fuzztime=10s -run '^$$' ./internal/epc/
+
+# Builds the vet-protocol binary so `go vet -vettool=bin/tagwatchvet`
+# integrates the suite with go vet's package driver and build cache.
+vettool:
+	go build -o bin/tagwatchvet ./cmd/tagwatchvet
+
+clean:
+	rm -rf bin

@@ -86,8 +86,14 @@ func main() {
 	if err := conn.AddROSpec(ctx, spec); err != nil {
 		log.Fatal(err)
 	}
-	conn.EnableROSpec(ctx, 1)
-	conn.StartROSpec(ctx, 1)
+	// tagwatchvet(deverr): a dropped enable/start error here used to make
+	// the example hang forever waiting for reports that never come.
+	if err := conn.EnableROSpec(ctx, 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := conn.StartROSpec(ctx, 1); err != nil {
+		log.Fatal(err)
+	}
 
 	provisioned := map[string]bool{}
 	deadline := time.After(5 * time.Second)

@@ -1,0 +1,186 @@
+// Package analysis is a self-contained reimplementation of the
+// golang.org/x/tools/go/analysis core, built only on the standard
+// library so the repo stays dependency-free. It exists to run
+// tagwatch-specific invariant checkers (see the sibling simclock,
+// goleaklite, deverr, and locksend packages) from cmd/tagwatchvet,
+// both standalone and as a `go vet -vettool`.
+//
+// The API mirrors go/analysis deliberately: an Analyzer owns a Run
+// function that receives a Pass (one type-checked package) and reports
+// Diagnostics. If the repo ever vendors x/tools, the analyzers port
+// over by changing imports.
+//
+// Every analyzer honors a source-level escape hatch: a comment of the
+// form
+//
+//	//tagwatch:allow-<directive> <justification>
+//
+// on the flagged line, or alone on the line directly above it,
+// suppresses that analyzer's diagnostics for the line. The justification
+// text is not parsed but reviewers should demand one.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags.
+	Name string
+	// Doc is the one-paragraph help text.
+	Doc string
+	// Directive is the suffix of the suppression comment that silences
+	// this analyzer, e.g. "allow-wallclock" for //tagwatch:allow-wallclock.
+	Directive string
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, positioned in the package's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report records a finding.
+func (p *Pass) Report(d Diagnostic) { p.diags = append(p.diags, d) }
+
+// Reportf records a finding with fmt-style formatting.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Inspect walks every file in the pass in depth-first order, calling fn
+// for each node; fn returning false prunes the subtree (same contract as
+// ast.Inspect).
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// Callee resolves the *types.Func a call expression invokes, whether
+// through a plain identifier, a package selector, or a method selector.
+// It returns nil for calls to function values, conversions, and builtins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// ReceiverNamed reports the defining package path and type name of a
+// method's receiver, dereferencing one pointer. It returns "", "" for
+// plain functions and methods on unnamed types.
+func ReceiverNamed(fn *types.Func) (pkgPath, typeName string) {
+	if fn == nil {
+		return "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", ""
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// ReturnsError reports whether the function's final result is the
+// built-in error type.
+func ReturnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// directivePrefix is the comment marker all suppression directives share.
+const directivePrefix = "//tagwatch:"
+
+// directiveLines maps file name -> line -> set of directives ("allow-x")
+// present on that line.
+func directiveLines(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	out := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				name, _, _ := strings.Cut(rest, " ")
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					out[pos.Filename] = byLine
+				}
+				if byLine[pos.Line] == nil {
+					byLine[pos.Line] = make(map[string]bool)
+				}
+				byLine[pos.Line][name] = true
+			}
+		}
+	}
+	return out
+}
+
+// FilterSuppressed drops diagnostics silenced by a //tagwatch:allow-*
+// directive on the same line or the line immediately above. Both the
+// standalone runner and the analysistest harness route findings through
+// here so the escape hatch behaves identically everywhere.
+func FilterSuppressed(fset *token.FileSet, files []*ast.File, a *Analyzer, diags []Diagnostic) []Diagnostic {
+	if a.Directive == "" || len(diags) == 0 {
+		return diags
+	}
+	dirs := directiveLines(fset, files)
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		byLine := dirs[pos.Filename]
+		if byLine[pos.Line][a.Directive] || byLine[pos.Line-1][a.Directive] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

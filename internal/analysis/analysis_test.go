@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestFilterSuppressed(t *testing.T) {
+	src := `package p
+
+func a() {
+	_ = 1 //tagwatch:allow-test same-line excuse
+}
+
+func b() {
+	//tagwatch:allow-test line-above excuse
+	_ = 2
+}
+
+func c() {
+	_ = 3 //tagwatch:allow-other wrong directive
+}
+
+func d() {
+	_ = 4
+}
+`
+	fset, files := parseOne(t, src)
+	az := &Analyzer{Name: "test", Directive: "allow-test"}
+	// Synthesize diagnostics on chosen lines via the file's line table.
+	diagAtLine := func(line int) Diagnostic {
+		tf := fset.File(files[0].Pos())
+		return Diagnostic{Pos: tf.LineStart(line), Message: "m"}
+	}
+	diags := []Diagnostic{diagAtLine(4), diagAtLine(9), diagAtLine(13), diagAtLine(17)}
+	kept := FilterSuppressed(fset, files, az, diags)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2 (lines 13 and 17)", len(kept))
+	}
+	for _, d := range kept {
+		line := fset.Position(d.Pos).Line
+		if line != 13 && line != 17 {
+			t.Errorf("diagnostic on line %d survived; only 13 and 17 should", line)
+		}
+	}
+}
+
+func TestMainVetProtocolProbes(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := Main(&stdout, &stderr, []string{"-V=full"}, nil); code != 0 {
+		t.Fatalf("-V=full exit %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "tagwatchvet version") {
+		t.Errorf("-V=full output %q lacks the version fingerprint", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := Main(&stdout, &stderr, []string{"-flags"}, nil); code != 0 {
+		t.Fatalf("-flags exit %d, want 0", code)
+	}
+	if strings.TrimSpace(stdout.String()) != "[]" {
+		t.Errorf("-flags output %q, want []", stdout.String())
+	}
+}
+
+func TestMainUsageOnNoPatterns(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := Main(&stdout, &stderr, nil, []*Analyzer{{Name: "x", Doc: "d", Run: func(*Pass) error { return nil }}}); code != 1 {
+		t.Fatalf("no-arg exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "usage: tagwatchvet") {
+		t.Errorf("usage text missing from stderr: %q", stderr.String())
+	}
+}

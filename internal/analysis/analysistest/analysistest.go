@@ -1,0 +1,259 @@
+// Package analysistest runs one of the repo's analyzers over golden
+// packages under a testdata directory and compares the diagnostics it
+// reports against expectations written in the source itself, mirroring
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	ch <- v // want `channel send while holding`
+//
+// Each `// want` comment carries one or more quoted regular expressions
+// that must each match a diagnostic reported on that line; diagnostics
+// with no matching expectation, and expectations with no matching
+// diagnostic, fail the test.
+//
+// Test packages live under <testdata>/src/<import-path>/ — GOPATH
+// layout, so a fixture can impersonate a real import path (deverr's
+// fixtures declare a fake tagwatch/internal/core, simclock's a fake
+// tagwatch/internal/gen2). Imports resolve testdata-first, then fall
+// back to the real build via `go list -export`, so fixtures may use the
+// standard library freely.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tagwatch/internal/analysis"
+)
+
+// Run loads each package path from testdataDir/src and checks the
+// analyzer's diagnostics against the package's `// want` expectations.
+func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := &loader{
+		root:    testdataDir,
+		fset:    token.NewFileSet(),
+		cache:   make(map[string]*types.Package),
+		exports: make(map[string]string),
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", l.lookup)
+	for _, path := range paths {
+		runOne(t, l, a, path)
+	}
+}
+
+func runOne(t *testing.T, l *loader, a *analysis.Analyzer, path string) {
+	t.Helper()
+	files, info, tpkg, err := l.loadLocal(path)
+	if err != nil {
+		t.Fatalf("%s: loading fixture %s: %v", a.Name, path, err)
+	}
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      l.fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+	}
+	diags, err := analysis.RunForTest(pass)
+	if err != nil {
+		t.Fatalf("%s: analyzing %s: %v", a.Name, path, err)
+	}
+
+	wants := parseWants(t, l.fset, files)
+	for _, d := range diags {
+		pos := l.fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: %s: unexpected diagnostic: %s", a.Name, key, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: %s: expected diagnostic matching %q was not reported", a.Name, k, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE pulls the expectation list out of a comment: everything after
+// the `want` keyword as space-separated quoted (or backquoted) strings.
+var wantRE = regexp.MustCompile("// *want((?: +(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+
+var wantArgRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*want {
+	t.Helper()
+	out := make(map[string][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, arg := range wantArgRE.FindAllString(m[1], -1) {
+					var pattern string
+					if arg[0] == '`' {
+						pattern = arg[1 : len(arg)-1]
+					} else {
+						var err error
+						pattern, err = strconv.Unquote(arg)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", key, arg, err)
+						}
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pattern, err)
+					}
+					out[key] = append(out[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// loader resolves fixture imports: testdata/src first, then the real
+// build's export data.
+type loader struct {
+	root    string
+	fset    *token.FileSet
+	cache   map[string]*types.Package
+	exports map[string]string
+	gc      types.Importer
+}
+
+// Import implements types.Importer for the fixtures' dependencies.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if dir := filepath.Join(l.root, "src", filepath.FromSlash(path)); isDir(dir) {
+		_, _, pkg, err := l.loadLocal(path)
+		return pkg, err
+	}
+	if err := l.ensureExport(path); err != nil {
+		return nil, err
+	}
+	pkg, err := l.gc.Import(path)
+	if err == nil {
+		l.cache[path] = pkg
+	}
+	return pkg, err
+}
+
+// loadLocal parses and type-checks one testdata package from source.
+func (l *loader) loadLocal(path string) ([]*ast.File, *types.Info, *types.Package, error) {
+	dir := filepath.Join(l.root, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewTypesInfo()
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err.Error()) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, nil, nil, fmt.Errorf("fixture %s does not type-check:\n\t%s", path, strings.Join(typeErrs, "\n\t"))
+	}
+	l.cache[path] = tpkg
+	return files, info, tpkg, nil
+}
+
+// ensureExport fills l.exports with compiled export data for path and
+// its transitive dependencies via `go list -export`.
+func (l *loader) ensureExport(path string) error {
+	if _, ok := l.exports[path]; ok {
+		return nil
+	}
+	cmd := exec.Command("go", "list", "-e", "-export", "-deps", "-json=ImportPath,Export", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	if _, ok := l.exports[path]; !ok {
+		return fmt.Errorf("no export data produced for %q", path)
+	}
+	return nil
+}
+
+// lookup feeds the gc importer from the ensured export map.
+func (l *loader) lookup(path string) (io.ReadCloser, error) {
+	if err := l.ensureExport(path); err != nil {
+		return nil, err
+	}
+	return os.Open(l.exports[path])
+}
+
+func isDir(p string) bool {
+	fi, err := os.Stat(p)
+	return err == nil && fi.IsDir()
+}

@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tagwatch/internal/analysis"
+	"tagwatch/internal/analysis/deverr"
+	"tagwatch/internal/analysis/goleaklite"
+	"tagwatch/internal/analysis/locksend"
+	"tagwatch/internal/analysis/simclock"
+)
+
+// TestTreeIsClean runs the whole tagwatchvet suite over the whole
+// module, so `go test ./...` — not just the CI lint step — fails the
+// moment an invariant violation lands. Violations are either fixed or
+// carry a //tagwatch:allow-* justification; this test is what keeps
+// that bargain honest between CI runs.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool; skipped in -short")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader matched no packages")
+	}
+	findings, err := analysis.Analyze(pkgs, []*analysis.Analyzer{
+		simclock.Analyzer,
+		goleaklite.Analyzer,
+		deverr.Analyzer,
+		locksend.Analyzer,
+	})
+	if err != nil {
+		t.Fatalf("analyzing module: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

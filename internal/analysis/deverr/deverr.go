@@ -1,0 +1,89 @@
+// Package deverr enforces the error-propagation invariant introduced
+// with the error-aware cycle pipeline: failures from the device and
+// transport layers must never be silently dropped. A core.Device that
+// returns an error alongside partial readings is reporting "the link is
+// dying", and a call site that discards it turns a dying transport back
+// into an invisible empty RF field — exactly the bug class the pipeline
+// was built to kill.
+//
+// The analyzer flags statements that invoke an error-returning method
+// on one of the watched types (core.Device and its implementations,
+// llrp.Conn/Server/Proxy, the fleet manager/bus/registry) and discard
+// every result — a bare expression statement or a `go` statement.
+// Assigning the error to blank (`_ = dev.ReadAll()`-style) is treated
+// as a reviewed, deliberate drop and stays legal, as do `Close`
+// methods (teardown is best-effort by convention; CloseConnection,
+// which performs the LLRP handshake, is still checked).
+//
+// Suppress a deliberate drop with //tagwatch:allow-droppederr <why>.
+package deverr
+
+import (
+	"go/ast"
+
+	"tagwatch/internal/analysis"
+)
+
+// watched maps package path -> type names whose error-returning methods
+// must not be dropped.
+var watched = map[string]map[string]bool{
+	"tagwatch/internal/core": {
+		"Device": true, "SimDevice": true, "LLRPDevice": true,
+	},
+	"tagwatch/internal/llrp": {
+		"Conn": true, "Server": true, "Proxy": true,
+	},
+	"tagwatch/internal/fleet": {
+		"Manager": true, "Bus": true, "Registry": true,
+	},
+}
+
+// exemptMethods are error-returning methods whose drop is conventional.
+var exemptMethods = map[string]bool{
+	"Close": true,
+}
+
+// Analyzer flags dropped errors from device/transport/fleet methods.
+var Analyzer = &analysis.Analyzer{
+	Name:      "deverr",
+	Directive: "allow-droppederr",
+	Doc: `flag silently dropped errors from core.Device, llrp.Conn/Server, and fleet methods
+
+The cycle pipeline distinguishes "transport failed" from "no tags in
+the field" only if every call site propagates device and connection
+errors. Discarding one re-introduces the silent-failure mode PR 2
+removed. Handle the error, assign it to _ deliberately, or annotate
+with //tagwatch:allow-droppederr.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = n.X.(*ast.CallExpr)
+		case *ast.GoStmt:
+			call = n.Call
+		case *ast.DeferStmt:
+			// Deferred teardown (e.g. `defer conn.CloseConnection(ctx)`)
+			// has nowhere to send the error; leave defer to reviewers.
+			return true
+		}
+		if call == nil {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil || !analysis.ReturnsError(fn) || exemptMethods[fn.Name()] {
+			return true
+		}
+		pkgPath, typeName := analysis.ReceiverNamed(fn)
+		if pkgPath == "" || !watched[pkgPath][typeName] {
+			return true
+		}
+		pass.Reportf(call.Pos(), "error from (%s.%s).%s is silently dropped; the error pipeline must propagate or deliberately discard it (err handling, `_ =`, or //tagwatch:allow-droppederr)",
+			pkgPath, typeName, fn.Name())
+		return true
+	})
+	return nil
+}

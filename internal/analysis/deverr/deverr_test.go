@@ -1,0 +1,20 @@
+package deverr_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tagwatch/internal/analysis/analysistest"
+	"tagwatch/internal/analysis/deverr"
+)
+
+func TestDevErr(t *testing.T) {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixture fakes impersonate the watched import paths; the real
+	// packages never enter the picture because the harness resolves
+	// imports testdata-first.
+	analysistest.Run(t, testdata, deverr.Analyzer, "devclient")
+}

@@ -1,0 +1,61 @@
+// Fixture: call sites against the watched device/transport/fleet types.
+package devclient
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"tagwatch/internal/core"
+	"tagwatch/internal/fleet"
+	"tagwatch/internal/llrp"
+)
+
+func drops(dev core.Device, sim *core.SimDevice, c *llrp.Conn, m *fleet.Manager, ctx context.Context, lis net.Listener) {
+	dev.ReadAll()            // want `error from \(tagwatch/internal/core.Device\).ReadAll is silently dropped`
+	sim.ReadSelective(0)     // want `error from \(tagwatch/internal/core.SimDevice\).ReadSelective is silently dropped`
+	c.StartROSpec(ctx, 1)    // want `error from \(tagwatch/internal/llrp.Conn\).StartROSpec is silently dropped`
+	go c.StopROSpec(ctx, 1)  // want `error from \(tagwatch/internal/llrp.Conn\).StopROSpec is silently dropped`
+	m.Serve(ctx, lis)        // want `error from \(tagwatch/internal/fleet.Manager\).Serve is silently dropped`
+}
+
+func handled(dev core.Device) error {
+	if _, err := dev.ReadAll(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Assigning to blank is a reviewed, deliberate discard: legal.
+func deliberate(dev core.Device) {
+	_, _ = dev.ReadAll()
+}
+
+// Close is exempt by convention — teardown is best-effort.
+func closing(c *llrp.Conn, s *llrp.Server) {
+	c.Close()
+	s.Close()
+}
+
+// Deferred teardown is left to reviewers, not flagged.
+func deferred(c *llrp.Conn, ctx context.Context) {
+	defer c.StopROSpec(ctx, 1)
+}
+
+// No error in the signature means nothing to drop.
+func now(dev core.Device) time.Duration {
+	return dev.Now()
+}
+
+// Error-returning methods on unwatched types are out of scope.
+type other struct{}
+
+func (o other) Do() error { return nil }
+
+func unwatched(o other) {
+	o.Do()
+}
+
+func excused(dev core.Device) {
+	dev.ReadAll() //tagwatch:allow-droppederr fixture: proves the escape hatch
+}

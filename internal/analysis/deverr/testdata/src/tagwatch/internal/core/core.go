@@ -1,0 +1,19 @@
+// Fixture: minimal stand-in for the real core package, matched by the
+// analyzer purely on import path + type name + signature.
+package core
+
+import "time"
+
+type Reading struct{}
+
+type Device interface {
+	ReadAll() ([]Reading, error)
+	ReadSelective(dwell time.Duration) ([]Reading, error)
+	Now() time.Duration
+}
+
+type SimDevice struct{}
+
+func (d *SimDevice) ReadAll() ([]Reading, error)                          { return nil, nil }
+func (d *SimDevice) ReadSelective(dwell time.Duration) ([]Reading, error) { return nil, nil }
+func (d *SimDevice) Now() time.Duration                                   { return 0 }

@@ -1,0 +1,11 @@
+// Fixture: minimal stand-in for the real fleet package.
+package fleet
+
+import (
+	"context"
+	"net"
+)
+
+type Manager struct{}
+
+func (m *Manager) Serve(ctx context.Context, lis net.Listener) error { return nil }

@@ -1,0 +1,14 @@
+// Fixture: minimal stand-in for the real llrp package.
+package llrp
+
+import "context"
+
+type Conn struct{}
+
+func (c *Conn) StartROSpec(ctx context.Context, id uint32) error { return nil }
+func (c *Conn) StopROSpec(ctx context.Context, id uint32) error  { return nil }
+func (c *Conn) Close() error                                     { return nil }
+
+type Server struct{}
+
+func (s *Server) Close() error { return nil }

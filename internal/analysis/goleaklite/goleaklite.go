@@ -1,0 +1,194 @@
+// Package goleaklite enforces the repo's shutdown invariant: background
+// goroutines must have a way to stop, and tickers/timers must be
+// stopped. It is "lite" because it is purely syntactic about signal
+// naming — precise escape analysis is not worth the complexity for the
+// two leak shapes that actually bit this codebase:
+//
+//  1. `go func() { for { ... } }()` with no receive from a done/ctx
+//     channel anywhere in the literal: the goroutine outlives its owner
+//     (the fleet supervisors and llrp.Conn read loops all must honor
+//     shutdown so tests and the daemon can drain cleanly).
+//  2. A time.NewTicker/time.NewTimer whose handle never has Stop called
+//     in the creating function and never escapes it: the runtime timer
+//     leaks until process exit.
+//
+// Suppress a deliberate exception with //tagwatch:allow-leak <why>.
+package goleaklite
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"tagwatch/internal/analysis"
+)
+
+// Analyzer flags unstoppable goroutines and unstopped tickers/timers.
+var Analyzer = &analysis.Analyzer{
+	Name:      "goleaklite",
+	Directive: "allow-leak",
+	Doc: `flag goroutine literals with unbounded loops and no shutdown signal, and unstopped tickers/timers
+
+Every long-lived goroutine must select on a done/ctx/stop channel so
+Close/Stop/ctx-cancel actually terminates it, and every time.NewTicker
+or time.NewTimer must be stopped (usually via defer) or handed off.
+Annotate deliberate exceptions with //tagwatch:allow-leak.`,
+	Run: run,
+}
+
+// shutdownName matches identifiers conventionally carrying a shutdown
+// signal. Receiving from any of them (or from any Done() call) counts
+// as a shutdown path.
+var shutdownName = regexp.MustCompile(`(?i)(done|stop|quit|exit|clos|cancel|ctx|kill|shutdown)`)
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				checkGoroutine(pass, n, lit)
+			}
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				checkTimers(pass, n.Body)
+			}
+		case *ast.FuncLit:
+			checkTimers(pass, n.Body)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkGoroutine reports a go'd function literal that loops forever
+// without any receive from a shutdown-ish channel.
+func checkGoroutine(pass *analysis.Pass, g *ast.GoStmt, lit *ast.FuncLit) {
+	unbounded := false
+	hasSignal := false
+	inspectOwn(lit.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				unbounded = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && isShutdownChan(n.X) {
+				hasSignal = true
+			}
+		case *ast.RangeStmt:
+			// `for range ch` terminates when the channel closes; treat a
+			// channel range as its own shutdown path.
+			if t, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					hasSignal = true
+				}
+			}
+		}
+	})
+	if unbounded && !hasSignal {
+		pass.Reportf(g.Pos(), "goroutine loops forever with no shutdown path: select on a done/ctx/stop channel so Close or ctx-cancel can end it")
+	}
+}
+
+// isShutdownChan reports whether a receive operand looks like a
+// shutdown signal: any Done()-style call, or an identifier/selector
+// whose name matches the conventional shutdown vocabulary.
+func isShutdownChan(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		switch fun := e.Fun.(type) {
+		case *ast.SelectorExpr:
+			return shutdownName.MatchString(fun.Sel.Name)
+		case *ast.Ident:
+			return shutdownName.MatchString(fun.Name)
+		}
+	case *ast.Ident:
+		return shutdownName.MatchString(e.Name)
+	case *ast.SelectorExpr:
+		return shutdownName.MatchString(e.Sel.Name)
+	}
+	return false
+}
+
+// checkTimers flags `x := time.NewTicker(...)` / `time.NewTimer(...)`
+// where x never has Stop called and never escapes the enclosing
+// function body. The scan is per-body and does not descend into nested
+// function literals when attributing the creation site, but a Stop in a
+// nested literal (e.g. `defer func() { t.Stop() }()` or a restart
+// closure) does count.
+func checkTimers(pass *analysis.Pass, body *ast.BlockStmt) {
+	inspectOwn(body, func(n ast.Node) {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return
+		}
+		id, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			return
+		}
+		if fn.Name() != "NewTicker" && fn.Name() != "NewTimer" {
+			return
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if !stoppedOrEscapes(pass, body, obj, id) {
+			pass.Reportf(assign.Pos(), "time.%s is never stopped in this function and never escapes it; the timer leaks — add `defer %s.Stop()`", fn.Name(), id.Name)
+		}
+	})
+}
+
+// stoppedOrEscapes scans the whole body (nested literals included — a
+// deferred closure stopping the ticker is the common idiom) for either
+// a Stop call on obj or any use of obj that is not a field selection,
+// which conservatively counts as handing the timer off.
+func stoppedOrEscapes(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object, def *ast.Ident) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if x, ok := n.X.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(x) == obj {
+				if n.Sel.Name == "Stop" {
+					found = true
+				}
+				// x.C / x.Reset are plain uses of the handle, not escapes.
+				return false
+			}
+		case *ast.Ident:
+			if n != def && pass.TypesInfo.ObjectOf(n) == obj {
+				// Bare use outside a selector: returned, stored, passed,
+				// or reassigned — someone else owns the stop now.
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// inspectOwn walks a function body without descending into nested
+// function literals, so each body's findings are attributed to the
+// function that owns the statement.
+func inspectOwn(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

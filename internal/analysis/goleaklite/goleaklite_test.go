@@ -1,0 +1,17 @@
+package goleaklite_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tagwatch/internal/analysis/analysistest"
+	"tagwatch/internal/analysis/goleaklite"
+)
+
+func TestGoleakLite(t *testing.T) {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, testdata, goleaklite.Analyzer, "leak")
+}

@@ -1,0 +1,110 @@
+// Fixture: goroutine shutdown-path and ticker/timer hygiene cases.
+package leak
+
+import (
+	"context"
+	"time"
+)
+
+type worker struct {
+	stop chan struct{}
+	ch   chan int
+}
+
+func (w *worker) badLoop() {
+	go func() { // want `goroutine loops forever with no shutdown path`
+		for {
+			process(<-w.ch)
+		}
+	}()
+}
+
+func (w *worker) goodStopChan() {
+	go func() {
+		for {
+			select {
+			case <-w.stop:
+				return
+			case v := <-w.ch:
+				process(v)
+			}
+		}
+	}()
+}
+
+func (w *worker) goodCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-w.ch:
+				process(v)
+			}
+		}
+	}()
+}
+
+func (w *worker) goodBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			process(i)
+		}
+	}()
+}
+
+// A channel range drains until close — its own shutdown path.
+func (w *worker) goodRangeDrain() {
+	go func() {
+		for {
+			for v := range w.ch {
+				process(v)
+			}
+		}
+	}()
+}
+
+func (w *worker) excusedLoop() {
+	//tagwatch:allow-leak fixture: daemon loop that dies with the process
+	go func() {
+		for {
+			process(<-w.ch)
+		}
+	}()
+}
+
+func badTicker() {
+	t := time.NewTicker(time.Second) // want `time.NewTicker is never stopped`
+	<-t.C
+}
+
+func badTimer() {
+	tm := time.NewTimer(time.Second) // want `time.NewTimer is never stopped`
+	<-tm.C
+}
+
+func goodDeferStop() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	<-t.C
+}
+
+// Stopping from a nested closure (the deferred-cleanup idiom) counts.
+func goodClosureStop() {
+	t := time.NewTicker(time.Second)
+	defer func() { t.Stop() }()
+	<-t.C
+}
+
+// Handing the handle off transfers stop responsibility.
+func goodEscape() *time.Ticker {
+	t := time.NewTicker(time.Second)
+	return t
+}
+
+func excusedTicker() {
+	t := time.NewTicker(time.Hour) //tagwatch:allow-leak fixture: burns for the process lifetime by design
+	<-t.C
+}
+
+func process(int) {}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+	Match      []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+	DepsErrors []struct{ Err string }
+}
+
+// Load resolves the given package patterns with the go tool and
+// type-checks every matched (non-test) package from source, importing
+// dependencies from their compiled export data. It shells out to
+// `go list -export`, so it works offline against the build cache and
+// needs no third-party loader.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Standard,Incomplete,Match,ImportMap,Error,DepsErrors",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		// Match is set only on packages named by the patterns; -deps pulls
+		// in the rest purely as export-data providers.
+		if len(p.Match) > 0 && !p.Standard && p.Name != "" && len(p.GoFiles) > 0 {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	// One shared importer: export data is read once per dependency no
+	// matter how many targets import it. The repo has no vendoring, so a
+	// global path->export map is sound; ImportMap is consulted per lookup
+	// to stay correct if that ever changes.
+	importMaps := make(map[string]string)
+	for _, t := range targets {
+		for from, to := range t.ImportMap {
+			importMaps[from] = to
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMaps[path]; ok {
+			path = mapped
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// checkPackage parses and type-checks one package's files.
+func checkPackage(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	var typeErrs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, _ := conf.Check(importPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("typecheck %s:\n\t%s", importPath, strings.Join(typeErrs, "\n\t"))
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// NewTypesInfo allocates a types.Info with every map analyzers rely on.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

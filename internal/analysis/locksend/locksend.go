@@ -1,0 +1,258 @@
+// Package locksend flags blocking operations performed while holding a
+// sync.Mutex or sync.RWMutex — the deadlock shape PR 1 had to fix by
+// hand in llrp.Server: a channel send under a lock blocks until a
+// consumer runs, and if that consumer needs the same lock the process
+// wedges. The analyzer catches, inside a critical section:
+//
+//   - blocking channel sends (`ch <- v`, or a select containing a send
+//     case but no default);
+//   - time.Sleep;
+//   - Read/Write calls on a net.Conn (socket I/O can block for the
+//     whole kernel timeout while every other lock acquirer queues up).
+//
+// Non-blocking sends (select with a default clause) are the sanctioned
+// under-lock publish pattern (see fleet.Bus.Publish) and are not
+// flagged. The critical section is tracked per statement list: from a
+// `mu.Lock()` statement to the matching `mu.Unlock()` in the same list,
+// or to the end of the list when the unlock is deferred. Nested
+// function literals are skipped — they run later, not under the lock.
+//
+// A deliberate, bounded block (e.g. a socket write serialized by a
+// write mutex and bounded by a deadline) is annotated with
+// //tagwatch:allow-locked-send <why the block is bounded>.
+package locksend
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"tagwatch/internal/analysis"
+)
+
+// Analyzer flags blocking sends and I/O under a held mutex.
+var Analyzer = &analysis.Analyzer{
+	Name:      "locksend",
+	Directive: "allow-locked-send",
+	Doc: `flag blocking channel sends and blocking I/O while holding a sync mutex
+
+A send under a lock deadlocks the moment its consumer needs the same
+lock (the llrp.Server wedge PR 1 fixed by hand). Publish outside the
+critical section, use select+default, or annotate a provably bounded
+block with //tagwatch:allow-locked-send.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+		case *ast.FuncLit:
+			body = n.Body
+		default:
+			return true
+		}
+		if body != nil {
+			scanList(pass, body.List)
+		}
+		return true
+	})
+	return nil
+}
+
+// lockCall matches `x.Lock()` / `x.RLock()` / `x.Unlock()` / `x.RUnlock()`
+// where x's type is (a pointer to) sync.Mutex or sync.RWMutex, returning
+// a stable textual key for the mutex expression.
+func lockCall(pass *analysis.Pass, stmt ast.Stmt) (key string, lock bool, ok bool) {
+	es, isExpr := stmt.(*ast.ExprStmt)
+	if !isExpr {
+		return "", false, false
+	}
+	call, isCall := es.X.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		lock = true
+	case "Unlock", "RUnlock":
+		lock = false
+	default:
+		return "", false, false
+	}
+	fn := analysis.Callee(pass.TypesInfo, call)
+	pkgPath, typeName := analysis.ReceiverNamed(fn)
+	if pkgPath != "sync" || (typeName != "Mutex" && typeName != "RWMutex") {
+		return "", false, false
+	}
+	return exprKey(sel.X), lock, true
+}
+
+// exprKey renders an expression to text so `s.mu` in two statements
+// compares equal. Positions are irrelevant to the rendering.
+func exprKey(e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, token.NewFileSet(), e)
+	return buf.String()
+}
+
+// scanList walks one statement list in execution order, tracking which
+// mutexes are held, and recurses into nested statement lists (with the
+// held-set copied, so an unlock inside a branch ends the critical
+// section for that branch only).
+func scanList(pass *analysis.Pass, stmts []ast.Stmt) {
+	held := map[string]bool{}
+	scanStmts(pass, stmts, held)
+}
+
+func scanStmts(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		if key, lock, ok := lockCall(pass, stmt); ok {
+			if lock {
+				held[key] = true
+			} else {
+				delete(held, key)
+			}
+			continue
+		}
+		// `defer mu.Unlock()` keeps the lock held to the end of this list;
+		// nothing to track since held already says so.
+		if anyHeld(held) {
+			checkBlocking(pass, stmt, held)
+		}
+		// Recurse into compound statements with a copy of the held set.
+		switch s := stmt.(type) {
+		case *ast.BlockStmt:
+			scanStmts(pass, s.List, copyHeld(held))
+		case *ast.IfStmt:
+			scanStmts(pass, s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					scanStmts(pass, e.List, copyHeld(held))
+				case *ast.IfStmt:
+					scanStmts(pass, []ast.Stmt{e}, copyHeld(held))
+				}
+			}
+		case *ast.ForStmt:
+			scanStmts(pass, s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			scanStmts(pass, s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanStmts(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanStmts(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					scanStmts(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.LabeledStmt:
+			scanStmts(pass, []ast.Stmt{s.Stmt}, held)
+		}
+	}
+}
+
+func anyHeld(held map[string]bool) bool { return len(held) > 0 }
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func heldName(held map[string]bool) string {
+	name := ""
+	for k := range held {
+		if name == "" || k < name {
+			name = k
+		}
+	}
+	return name
+}
+
+// checkBlocking inspects one statement (shallowly — compound bodies are
+// handled by the scanStmts recursion, function literals are skipped) for
+// blocking operations.
+func checkBlocking(pass *analysis.Pass, stmt ast.Stmt, held map[string]bool) {
+	switch s := stmt.(type) {
+	case *ast.SendStmt:
+		pass.Reportf(s.Arrow, "channel send while holding %s can deadlock; publish outside the lock or use select with a default", heldName(held))
+		return
+	case *ast.SelectStmt:
+		// A select containing a send is non-blocking only with a default.
+		hasDefault := false
+		var sends []*ast.SendStmt
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm == nil {
+				hasDefault = true
+			} else if send, ok := cc.Comm.(*ast.SendStmt); ok {
+				sends = append(sends, send)
+			}
+		}
+		if !hasDefault {
+			for _, send := range sends {
+				pass.Reportf(send.Arrow, "select send while holding %s has no default and can block; add a default case or publish outside the lock", heldName(held))
+			}
+		}
+		return
+	}
+	// Expression-level blocking calls within a simple statement.
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.BlockStmt:
+			return false // handled by scanStmts / runs later
+		case *ast.CallExpr:
+			fn := analysis.Callee(pass.TypesInfo, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				pass.Reportf(n.Pos(), "time.Sleep while holding %s stalls every other lock acquirer", heldName(held))
+				return true
+			}
+			if isNetIO(fn) {
+				pass.Reportf(n.Pos(), "blocking %s.%s on a net.Conn while holding %s; socket I/O can block for the full kernel timeout — bound it and annotate, or move it outside the lock", recvShort(fn), fn.Name(), heldName(held))
+			}
+		}
+		return true
+	})
+}
+
+// isNetIO reports whether fn is a Read/Write-shaped method defined in
+// package net (covers the net.Conn interface and its concrete types).
+func isNetIO(fn *types.Func) bool {
+	if fn.Name() != "Read" && fn.Name() != "Write" {
+		return false
+	}
+	pkgPath, _ := analysis.ReceiverNamed(fn)
+	return pkgPath == "net"
+}
+
+func recvShort(fn *types.Func) string {
+	_, name := analysis.ReceiverNamed(fn)
+	return name
+}

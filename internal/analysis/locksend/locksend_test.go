@@ -1,0 +1,17 @@
+package locksend_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tagwatch/internal/analysis/analysistest"
+	"tagwatch/internal/analysis/locksend"
+)
+
+func TestLockSend(t *testing.T) {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, testdata, locksend.Analyzer, "locks")
+}

@@ -1,0 +1,115 @@
+// Fixture: blocking operations inside and outside mutex critical
+// sections.
+package locks
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type hub struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	conn net.Conn
+}
+
+func (h *hub) badSend(v int) {
+	h.mu.Lock()
+	h.ch <- v // want `channel send while holding h.mu`
+	h.mu.Unlock()
+}
+
+func (h *hub) badSendUnderDefer(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ch <- v // want `channel send while holding h.mu`
+}
+
+func (h *hub) badSendUnderRLock(v int) {
+	h.rw.RLock()
+	defer h.rw.RUnlock()
+	h.ch <- v // want `channel send while holding h.rw`
+}
+
+func (h *hub) goodAfterUnlock(v int) {
+	h.mu.Lock()
+	h.mu.Unlock()
+	h.ch <- v
+}
+
+// select+default is the sanctioned non-blocking publish under a lock
+// (the fleet bus pattern).
+func (h *hub) goodNonBlocking(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case h.ch <- v:
+	default:
+	}
+}
+
+func (h *hub) badSelectNoDefault(v int, done chan struct{}) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case h.ch <- v: // want `select send while holding h.mu`
+	case <-done:
+	}
+}
+
+func (h *hub) badSleep() {
+	h.rw.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding h.rw`
+	h.rw.Unlock()
+}
+
+func (h *hub) badConnWrite(p []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.conn.Write(p) // want `blocking Conn.Write on a net.Conn while holding h.mu`
+}
+
+func (h *hub) badSendInLoop(vs []int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, v := range vs {
+		h.ch <- v // want `channel send while holding h.mu`
+	}
+}
+
+// A branch that releases the lock before sending is clean.
+func (h *hub) goodBranchUnlock(v int) {
+	h.mu.Lock()
+	if v > 0 {
+		h.mu.Unlock()
+		h.ch <- v
+		return
+	}
+	h.mu.Unlock()
+}
+
+// The deferred closure runs at return, after the explicit unlock below.
+func (h *hub) goodDeferredClosure(v int) {
+	h.mu.Lock()
+	defer func() {
+		h.ch <- v
+	}()
+	h.mu.Unlock()
+}
+
+// Two mutexes: releasing one does not release the other.
+func (h *hub) badTwoLocks(v int) {
+	h.mu.Lock()
+	h.rw.Lock()
+	h.rw.Unlock()
+	h.ch <- v // want `channel send while holding h.mu`
+	h.mu.Unlock()
+}
+
+func (h *hub) excusedWrite(p []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.conn.Write(p) //tagwatch:allow-locked-send fixture: bounded by a deadline in real code
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic resolved to a concrete source position,
+// tagged with the analyzer that produced it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyze runs every analyzer over every package and returns the
+// surviving (non-suppressed) findings sorted by position.
+func Analyze(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range FilterSuppressed(pkg.Fset, pkg.Files, a, pass.diags) {
+				// Test files are exempt across the suite: tests measure real
+				// elapsed time on purpose, and their goroutines die with the
+				// test process. The standalone loader never sees them; this
+				// keeps the `go vet -vettool` path (which does) consistent.
+				if strings.HasSuffix(pkg.Fset.Position(d.Pos).Filename, "_test.go") {
+					continue
+				}
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// RunForTest executes the pass's analyzer and returns the surviving
+// diagnostics with the suppression filter applied, exactly as the
+// runner would see them. It exists for the analysistest harness, which
+// owns expectation matching.
+func RunForTest(pass *Pass) ([]Diagnostic, error) {
+	if err := pass.Analyzer.Run(pass); err != nil {
+		return nil, err
+	}
+	return FilterSuppressed(pass.Fset, pass.Files, pass.Analyzer, pass.diags), nil
+}
+
+// Main is the entry point shared by cmd/tagwatchvet. It dispatches
+// between the two supported invocation styles:
+//
+//	tagwatchvet [flags] ./...        standalone multichecker
+//	go vet -vettool=$(which tagwatchvet) ./...
+//
+// and returns the process exit code: 0 clean, 1 usage/load failure,
+// 2 findings (matching `go vet`).
+func Main(stdout, stderr io.Writer, args []string, analyzers []*Analyzer) int {
+	// The vet driver probes the tool with -V=full before handing it a
+	// config file; both shapes are handled before normal flag parsing.
+	if code, handled := vetToolMain(stdout, stderr, args, analyzers); handled {
+		return code
+	}
+
+	fs := flag.NewFlagSet("tagwatchvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tagwatchvet [flags] packages...\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(stderr, "  %-10s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fmt.Fprintf(stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		return 1
+	}
+	var active []*Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "tagwatchvet:", err)
+		return 1
+	}
+	pkgs, err := Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "tagwatchvet:", err)
+		return 1
+	}
+	findings, err := Analyze(pkgs, active)
+	if err != nil {
+		fmt.Fprintln(stderr, "tagwatchvet:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "tagwatchvet: %d finding(s)\n", len(findings))
+		return 2
+	}
+	return 0
+}
+
+func firstLine(s string) string {
+	for i, r := range s {
+		if r == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

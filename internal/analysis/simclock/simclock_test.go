@@ -1,0 +1,24 @@
+package simclock_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tagwatch/internal/analysis/analysistest"
+	"tagwatch/internal/analysis/simclock"
+)
+
+func TestSimclock(t *testing.T) {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, testdata, simclock.Analyzer,
+		// Seeded violations, the sanctioned seeded-RNG/virtual-clock
+		// patterns, and both spellings of //tagwatch:allow-wallclock.
+		"tagwatch/internal/gen2",
+		// Negative case: a package outside RestrictedPrefixes uses wall
+		// time freely and must produce zero diagnostics.
+		"tagwatch/cmd/wallclocked",
+	)
+}

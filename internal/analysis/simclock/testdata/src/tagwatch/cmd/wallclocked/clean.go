@@ -1,0 +1,20 @@
+// Fixture: a package outside the deterministic set. Wall time and the
+// global RNG are its business; simclock must stay silent here.
+package wallclocked
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func Jitter(d time.Duration) time.Duration {
+	return d + time.Duration(rand.Int63n(int64(d)))
+}
+
+func Stamp() time.Time {
+	return time.Now()
+}

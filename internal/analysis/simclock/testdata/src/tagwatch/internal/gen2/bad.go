@@ -1,0 +1,56 @@
+// Fixture: impersonates a deterministic simulator package, so every
+// wall-clock and global-RNG touch below must be flagged unless
+// explicitly excused.
+package gen2
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want `time.Now breaks seed replay`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since breaks seed replay`
+}
+
+func nap() {
+	time.Sleep(time.Millisecond) // want `time.Sleep breaks seed replay`
+}
+
+func draw() int {
+	return rand.Intn(16) // want `global math/rand.Intn breaks seed replay`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand.Shuffle breaks seed replay`
+}
+
+// Taking the forbidden function as a value is the sneaky variant.
+var clock = time.Now // want `time.Now breaks seed replay`
+
+// The injected seeded stream is the sanctioned path: no diagnostics.
+func seeded(rng *rand.Rand) int {
+	return rng.Intn(16)
+}
+
+// Building a seeded stream is how determinism starts: legal.
+func newStream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Virtual-clock arithmetic never touches the wall: legal.
+func virtual(now, dwell time.Duration) time.Duration {
+	return now + dwell
+}
+
+func excusedAbove() time.Time {
+	//tagwatch:allow-wallclock fixture: proves the line-above escape hatch
+	return time.Now()
+}
+
+func excusedInline(start time.Time) time.Duration {
+	return time.Since(start) //tagwatch:allow-wallclock fixture: proves the inline escape hatch
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// vetConfig mirrors the JSON config `go vet` writes for each package
+// when driving an external tool (see cmd/go/internal/work and
+// x/tools/go/analysis/unitchecker). Only the fields this shim consumes
+// are declared.
+type vetConfig struct {
+	ID         string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	NonGoFiles []string
+	ImportMap  map[string]string
+	// PackageFile maps import paths to compiled export data, covering
+	// the transitive dependencies of the unit under analysis.
+	PackageFile map[string]string
+	// VetxOnly units exist purely so fact-based analyzers can export
+	// facts for dependents. The tagwatch analyzers carry no facts, so
+	// such units are acknowledged and skipped.
+	VetxOnly   bool
+	VetxOutput string
+	// SucceedOnTypecheckFailure is set for packages the driver already
+	// knows are broken; the tool must stay quiet instead of double
+	// reporting.
+	SucceedOnTypecheckFailure bool
+}
+
+// vetToolMain implements the `go vet -vettool` protocol: the driver
+// first invokes the tool with -V=full to fingerprint it for the build
+// cache, then once per package with a single *.cfg argument. Returns
+// handled=false when the invocation is not vet-shaped so the standalone
+// CLI takes over.
+func vetToolMain(stdout, stderr io.Writer, args []string, analyzers []*Analyzer) (code int, handled bool) {
+	for _, a := range args {
+		// The driver first asks which flags the tool accepts; declaring
+		// none keeps the per-package invocation down to a single cfg path.
+		if a == "-flags" || a == "--flags" {
+			fmt.Fprintln(stdout, "[]")
+			return 0, true
+		}
+		if a == "-V=full" || a == "--V=full" || a == "-V" || a == "--V" {
+			// The reported string doubles as a cache key; bump the version
+			// when analyzer semantics change so stale verdicts are not
+			// replayed from the vet cache.
+			fmt.Fprintln(stdout, "tagwatchvet version v1 (tagwatch invariant suite)")
+			return 0, true
+		}
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		return 0, false
+	}
+
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintln(stderr, "tagwatchvet:", err)
+		return 1, true
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "tagwatchvet: parsing %s: %v\n", args[0], err)
+		return 1, true
+	}
+	// The driver insists on the facts file existing even though this
+	// suite exports none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(stderr, "tagwatchvet:", err)
+			return 1, true
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, true
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, ".go") {
+			files = append(files, f)
+		}
+	}
+	sort.Strings(files)
+	pkg, err := checkPackage(fset, importer.ForCompiler(fset, "gc", lookup), cfg.ImportPath, "", files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, true
+		}
+		fmt.Fprintln(stderr, "tagwatchvet:", err)
+		return 1, true
+	}
+	findings, err := Analyze([]*Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "tagwatchvet:", err)
+		return 1, true
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2, true
+	}
+	return 0, true
+}

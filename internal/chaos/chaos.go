@@ -229,7 +229,10 @@ func (c *faultConn) block() (int, error) {
 // a peer's FIN) is then observed. Returns false when the socket closed
 // while parked.
 func (c *faultConn) awaitBlackhole() bool {
-	t := time.NewTicker(10 * time.Millisecond)
+	// The proxy paces a real kernel socket, so parking must poll wall
+	// time; every fault *decision* still comes from the seeded RNG
+	// streams, which is what replayability means for the injector.
+	t := time.NewTicker(10 * time.Millisecond) //tagwatch:allow-wallclock real-socket pacing, not a simulated decision
 	defer t.Stop()
 	for {
 		select {
@@ -266,7 +269,9 @@ func (c *faultConn) Read(p []byte) (int, error) {
 	}
 	if delay > 0 {
 		select {
-		case <-time.After(delay):
+		// Injected latency holds a real socket read back in wall time; the
+		// delay's *magnitude* was drawn from the seeded read stream above.
+		case <-time.After(delay): //tagwatch:allow-wallclock real-socket latency injection
 		case <-c.closed:
 			return c.block()
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -206,8 +207,10 @@ func (d *LLRPDevice) runSpec(spec llrp.ROSpec) ([]Reading, error) {
 			}
 			return out, nil
 		case <-deadline:
-			d.Conn.StopROSpec(ctx, spec.ID)
-			return out, fmt.Errorf("ROSpec %d overran the 30s guard", spec.ID)
+			// tagwatchvet(deverr): the stop failure is evidence too — it
+			// distinguishes "reader wedged but link alive" from "link dead".
+			stopErr := d.Conn.StopROSpec(ctx, spec.ID)
+			return out, errors.Join(fmt.Errorf("ROSpec %d overran the 30s guard", spec.ID), stopErr)
 		}
 	}
 }

@@ -301,7 +301,10 @@ func (c *Conn) send(m Message) error {
 		c.conn.SetWriteDeadline(time.Now().Add(d))
 		defer c.conn.SetWriteDeadline(time.Time{})
 	}
-	_, err := c.conn.Write(m.EncodeFrame())
+	// Holding writeMu across the socket write is the point of this
+	// mutex — frames must not interleave — and the block is bounded by
+	// the write deadline armed above.
+	_, err := c.conn.Write(m.EncodeFrame()) //tagwatch:allow-locked-send serialised frame write, bounded by SetWriteDeadline
 	return err
 }
 

@@ -153,7 +153,12 @@ type serverConn struct {
 func (c *serverConn) send(m Message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_, err := c.nc.Write(m.EncodeFrame())
+	// tagwatchvet(locksend): a client that stops reading used to be able
+	// to wedge the emulator behind a full kernel buffer forever; the
+	// deadline bounds the serialised write like llrp.Conn.send does.
+	c.nc.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	defer c.nc.SetWriteDeadline(time.Time{})
+	_, err := c.nc.Write(m.EncodeFrame()) //tagwatch:allow-locked-send serialised frame write, bounded by the deadline above
 	return err
 }
 
@@ -299,10 +304,15 @@ func (s *Server) handle(conn *serverConn, msg Message) bool {
 			e.enabled = true
 		}
 		s.mu.Unlock()
-		conn.send(NewStatusResponse(MsgEnableROSpecResponse, msg.ID, status))
-		if exists && e.spec.Boundary.StartTrigger == StartTriggerImmediate {
-			s.startROSpec(conn, id)
+		// tagwatchvet(deverr): an immediate-start failure used to vanish —
+		// the client saw a success status and then silence. Starting before
+		// responding lets the status carry the real outcome.
+		if exists && status.OK() && e.spec.Boundary.StartTrigger == StartTriggerImmediate {
+			if err := s.startROSpec(conn, id); err != nil {
+				status = LLRPStatus{Code: StatusFieldError, Description: fmt.Sprintf("immediate start: %s", err)}
+			}
 		}
+		conn.send(NewStatusResponse(MsgEnableROSpecResponse, msg.ID, status))
 
 	case MsgStartROSpec:
 		id, _ := ROSpecIDOf(msg)
