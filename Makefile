@@ -9,7 +9,7 @@
 STATICCHECK = go run honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK = go run golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: all build check lint lint-offline test race chaos fuzz-smoke vettool clean
+.PHONY: all build check lint lint-offline test race chaos crash fuzz-smoke vettool clean
 
 all: build
 
@@ -41,6 +41,13 @@ race:
 chaos:
 	go test -race -count=1 -run 'TestFleetRecoversFromBlackhole|TestFleetSurvivesCorruptionStorm' ./internal/fleet/
 	go test -race -count=1 ./internal/chaos/
+
+# The crash-injection suite: the durable statestore and its engine/fleet
+# wiring, killed at every mutating filesystem operation (torn writes,
+# skipped renames) and required to recover everything it acked durable.
+crash:
+	go test -race -count=1 -run 'TestCrash' ./internal/statestore/ ./internal/core/
+	go test -race -count=1 -run 'TestFleetState' ./internal/fleet/
 
 # Short fuzz bursts on the wire-facing decoders, mirroring CI. Go allows
 # one -fuzz target per invocation.

@@ -49,6 +49,9 @@ func main() {
 		cycleErrs   = flag.Int("cycle-error-limit", 3, "consecutive failing cycles before forcing a reconnect")
 		config      = flag.String("config", "", "JSON Tagwatch configuration file (see core.FileConfig)")
 		quiet       = flag.Bool("quiet", false, "suppress per-event logging")
+		stateDir    = flag.String("state-dir", "", "durable registry directory: crash-safe snapshots + journal, restored on start, saved on shutdown")
+		snapEvery   = flag.Duration("snapshot-interval", time.Minute, "with -state-dir, time between full registry snapshots")
+		flushEvery  = flag.Duration("journal-flush", 2*time.Second, "with -state-dir, time between incremental journal flushes (the durability lag a crash can lose)")
 	)
 	flag.Parse()
 
@@ -74,6 +77,9 @@ func main() {
 	cfg.KeepaliveMisses = *kaMisses
 	cfg.OpTimeout = *opTimeout
 	cfg.CycleErrorLimit = *cycleErrs
+	cfg.StateDir = *stateDir
+	cfg.SnapshotInterval = *snapEvery
+	cfg.JournalFlush = *flushEvery
 	for _, part := range strings.Split(*readers, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -105,12 +111,16 @@ func main() {
 					}
 				case fleet.EventHandoff:
 					log.Printf("handoff %s: %s -> %s", ev.EPC, ev.From, ev.To)
+				case fleet.EventStateStore:
+					log.Printf("statestore %s failed: %s (registry now non-durable)", ev.State, ev.Error)
 				}
 			}
 		}()
 	}
 
-	m.Start(ctx)
+	if err := m.Start(ctx); err != nil {
+		log.Fatalf("start fleet: %v", err)
+	}
 	defer m.Stop()
 
 	lis, err := net.Listen("tcp", *httpAddr)

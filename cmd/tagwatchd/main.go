@@ -8,8 +8,11 @@
 //	tagwatchd -reader 127.0.0.1:5084 -cycles 10 -dwell 5s
 //	tagwatchd -reader 127.0.0.1:5084 -pin 30f4ab12cd0045e100000001
 //
-// SIGINT/SIGTERM stop the cycle loop cleanly: the -state file is still
-// saved and the lifetime metrics still print.
+// SIGINT/SIGTERM stop the cycle loop cleanly: durable state (-state-dir)
+// gets its final snapshot, the legacy -state file is still saved, and
+// the lifetime metrics still print. With -state-dir every cycle's
+// changes are journaled to stable storage before the next cycle starts,
+// so even a SIGKILL loses at most the in-flight cycle.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"tagwatch/internal/core"
 	"tagwatch/internal/epc"
 	"tagwatch/internal/llrp"
+	"tagwatch/internal/statestore"
 )
 
 func main() {
@@ -38,7 +42,9 @@ func main() {
 		opTimeout   = flag.Duration("op-timeout", 10*time.Second, "per-operation LLRP request/response deadline")
 		pins        = flag.String("pin", "", "comma-separated EPCs to always schedule")
 		config      = flag.String("config", "", "JSON configuration file (see core.FileConfig)")
-		state       = flag.String("state", "", "state file: learned immobility models are loaded at start and saved at exit")
+		state       = flag.String("state", "", "legacy state file: learned immobility models are loaded at start and saved at exit (no crash safety; prefer -state-dir)")
+		stateDir    = flag.String("state-dir", "", "durable state directory: crash-safe snapshots + per-cycle journal; supersedes -state")
+		snapEvery   = flag.Duration("snapshot-interval", time.Minute, "with -state-dir, time between full snapshots (journal appends cover every cycle in between)")
 	)
 	flag.Parse()
 
@@ -90,7 +96,37 @@ func main() {
 	}
 	dev := core.NewLLRPDevice(conn)
 	tw := core.New(cfg, dev)
-	if *state != "" {
+	var ckpt *core.Checkpointer
+	if *stateDir != "" {
+		if *state != "" {
+			log.Printf("-state ignored: -state-dir %s supersedes it", *stateDir)
+		}
+		st, err := statestore.Open(*stateDir, statestore.Options{})
+		if err != nil {
+			log.Fatalf("state dir: %v", err)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				log.Printf("state close: %v", err)
+			}
+		}()
+		ckpt = core.NewCheckpointer(tw, st)
+		if err := ckpt.Restore(); err != nil {
+			log.Fatalf("state restore: %v", err)
+		}
+		if rec := st.Recovery(); rec.HasSnapshot || len(rec.Records) > 0 {
+			fmt.Printf("tagwatchd: resumed durable state from %s (snapshot gen %d + %d journal records)\n",
+				*stateDir, rec.SnapshotGen, len(rec.Records))
+		}
+		// Runs before the store Close above (LIFO): the save-on-SIGTERM
+		// path — the signal context ends the loop, this writes the final
+		// snapshot generation.
+		defer func() {
+			if err := ckpt.Snapshot(); err != nil {
+				log.Printf("final snapshot: %v", err)
+			}
+		}()
+	} else if *state != "" {
 		if f, err := os.Open(*state); err == nil {
 			if err := tw.LoadState(f); err != nil {
 				log.Printf("state load: %v (starting cold)", err)
@@ -122,12 +158,25 @@ func main() {
 			m.TargetsScheduled, (m.ScheduleCostTotal / time.Duration(m.Cycles)).Round(time.Microsecond))
 	}()
 
+	lastSnap := time.Now()
 	for i := 0; *cycles == 0 || i < *cycles; i++ {
 		if ctx.Err() != nil {
 			fmt.Println("tagwatchd: interrupted, saving state")
 			return
 		}
 		rep := tw.RunCycle()
+		if ckpt != nil {
+			var perr error
+			if *snapEvery > 0 && time.Since(lastSnap) >= *snapEvery {
+				perr = ckpt.Snapshot()
+				lastSnap = time.Now()
+			} else {
+				perr = ckpt.AfterCycle()
+			}
+			if perr != nil {
+				log.Printf("cycle %d state persist: %v", i, perr)
+			}
+		}
 		mode := "selective"
 		if rep.FellBack {
 			mode = "read-all (fallback)"

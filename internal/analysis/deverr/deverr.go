@@ -6,9 +6,15 @@
 // into an invisible empty RF field — exactly the bug class the pipeline
 // was built to kill.
 //
+// The same invariant covers durability: statestore.Store's writers and
+// core.Checkpointer return "your state did NOT reach stable storage" as
+// an error, and dropping it silently converts a durable system into one
+// that merely looks durable until the first crash.
+//
 // The analyzer flags statements that invoke an error-returning method
 // on one of the watched types (core.Device and its implementations,
-// llrp.Conn/Server/Proxy, the fleet manager/bus/registry) and discard
+// llrp.Conn/Server/Proxy, the fleet manager/bus/registry, the durable
+// statestore.Store and core.Checkpointer) and discard
 // every result — a bare expression statement or a `go` statement.
 // Assigning the error to blank (`_ = dev.ReadAll()`-style) is treated
 // as a reviewed, deliberate drop and stays legal, as do `Close`
@@ -29,12 +35,20 @@ import (
 var watched = map[string]map[string]bool{
 	"tagwatch/internal/core": {
 		"Device": true, "SimDevice": true, "LLRPDevice": true,
+		// Checkpointer errors mean "this cycle's changes are NOT durable";
+		// a caller that drops one silently breaks the durability ack.
+		"Checkpointer": true,
 	},
 	"tagwatch/internal/llrp": {
 		"Conn": true, "Server": true, "Proxy": true,
 	},
 	"tagwatch/internal/fleet": {
 		"Manager": true, "Bus": true, "Registry": true,
+	},
+	// The durable store's writers: a dropped Append/WriteSnapshot error is
+	// state the operator believes persisted but was never acked to disk.
+	"tagwatch/internal/statestore": {
+		"Store": true,
 	},
 }
 

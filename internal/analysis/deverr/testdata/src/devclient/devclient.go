@@ -9,14 +9,15 @@ import (
 	"tagwatch/internal/core"
 	"tagwatch/internal/fleet"
 	"tagwatch/internal/llrp"
+	"tagwatch/internal/statestore"
 )
 
 func drops(dev core.Device, sim *core.SimDevice, c *llrp.Conn, m *fleet.Manager, ctx context.Context, lis net.Listener) {
-	dev.ReadAll()            // want `error from \(tagwatch/internal/core.Device\).ReadAll is silently dropped`
-	sim.ReadSelective(0)     // want `error from \(tagwatch/internal/core.SimDevice\).ReadSelective is silently dropped`
-	c.StartROSpec(ctx, 1)    // want `error from \(tagwatch/internal/llrp.Conn\).StartROSpec is silently dropped`
-	go c.StopROSpec(ctx, 1)  // want `error from \(tagwatch/internal/llrp.Conn\).StopROSpec is silently dropped`
-	m.Serve(ctx, lis)        // want `error from \(tagwatch/internal/fleet.Manager\).Serve is silently dropped`
+	dev.ReadAll()           // want `error from \(tagwatch/internal/core.Device\).ReadAll is silently dropped`
+	sim.ReadSelective(0)    // want `error from \(tagwatch/internal/core.SimDevice\).ReadSelective is silently dropped`
+	c.StartROSpec(ctx, 1)   // want `error from \(tagwatch/internal/llrp.Conn\).StartROSpec is silently dropped`
+	go c.StopROSpec(ctx, 1) // want `error from \(tagwatch/internal/llrp.Conn\).StopROSpec is silently dropped`
+	m.Serve(ctx, lis)       // want `error from \(tagwatch/internal/fleet.Manager\).Serve is silently dropped`
 }
 
 func handled(dev core.Device) error {
@@ -58,4 +59,21 @@ func unwatched(o other) {
 
 func excused(dev core.Device) {
 	dev.ReadAll() //tagwatch:allow-droppederr fixture: proves the escape hatch
+}
+
+// Durability writers: a dropped error means state the caller believes
+// persisted but was never acked to disk.
+func durabilityDrops(st *statestore.Store, ck *core.Checkpointer) {
+	st.Append(nil)        // want `error from \(tagwatch/internal/statestore.Store\).Append is silently dropped`
+	st.AppendBatch(nil)   // want `error from \(tagwatch/internal/statestore.Store\).AppendBatch is silently dropped`
+	st.WriteSnapshot(nil) // want `error from \(tagwatch/internal/statestore.Store\).WriteSnapshot is silently dropped`
+	ck.AfterCycle()       // want `error from \(tagwatch/internal/core.Checkpointer\).AfterCycle is silently dropped`
+	st.Close()            // Close stays exempt: teardown is best-effort.
+}
+
+func durabilityHandled(st *statestore.Store, ck *core.Checkpointer) error {
+	if err := st.WriteSnapshot(nil); err != nil {
+		return err
+	}
+	return ck.Snapshot()
 }

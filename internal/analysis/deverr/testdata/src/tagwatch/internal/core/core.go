@@ -17,3 +17,9 @@ type SimDevice struct{}
 func (d *SimDevice) ReadAll() ([]Reading, error)                          { return nil, nil }
 func (d *SimDevice) ReadSelective(dwell time.Duration) ([]Reading, error) { return nil, nil }
 func (d *SimDevice) Now() time.Duration                                   { return 0 }
+
+type Checkpointer struct{}
+
+func (c *Checkpointer) Restore() error    { return nil }
+func (c *Checkpointer) AfterCycle() error { return nil }
+func (c *Checkpointer) Snapshot() error   { return nil }

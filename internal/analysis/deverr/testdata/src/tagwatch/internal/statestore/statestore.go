@@ -1,0 +1,10 @@
+// Fixture: minimal stand-in for the real statestore package, matched by
+// the analyzer purely on import path + type name + signature.
+package statestore
+
+type Store struct{}
+
+func (s *Store) Append(data []byte) error         { return nil }
+func (s *Store) AppendBatch(recs [][]byte) error  { return nil }
+func (s *Store) WriteSnapshot(state []byte) error { return nil }
+func (s *Store) Close() error                     { return nil }

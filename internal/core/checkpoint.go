@@ -1,0 +1,99 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"tagwatch/internal/statestore"
+)
+
+// Checkpointer ties a Tagwatch to a durable statestore.Store: restore on
+// boot, journal the incremental changes after each cycle, write a full
+// snapshot periodically and at shutdown.
+//
+// It is not safe for concurrent use — call it from the cycle loop's
+// goroutine, the same discipline RunCycle demands.
+type Checkpointer struct {
+	tw    *Tagwatch
+	store *statestore.Store
+	// cyclesSinceSnap counts AfterCycle calls since the last snapshot,
+	// driving the every-N policy.
+	cyclesSinceSnap int
+	// SnapshotEvery writes a full snapshot after this many cycles; 0
+	// journals forever and snapshots only on Snapshot() calls (shutdown).
+	SnapshotEvery int
+}
+
+// NewCheckpointer wires a middleware to an opened store. Call Restore
+// before the first cycle.
+func NewCheckpointer(tw *Tagwatch, store *statestore.Store) *Checkpointer {
+	return &Checkpointer{tw: tw, store: store}
+}
+
+// Restore replays the store's recovered state into the middleware: the
+// newest valid snapshot (an envelope or a legacy motion image), then
+// every journal record on top. It must run before the first cycle.
+func (c *Checkpointer) Restore() error {
+	rec := c.store.Recovery()
+	if rec.HasSnapshot {
+		if err := c.tw.RestoreState(bytes.NewReader(rec.Snapshot)); err != nil {
+			return fmt.Errorf("core: restore snapshot (gen %d): %w", rec.SnapshotGen, err)
+		}
+	}
+	for i, data := range rec.Records {
+		if err := c.tw.ApplyRecord(data); err != nil {
+			return fmt.Errorf("core: replay journal record %d/%d: %w", i+1, len(rec.Records), err)
+		}
+	}
+	// Replayed state is already durable; don't feed it back into the
+	// journal.
+	c.tw.discardChanges()
+	return nil
+}
+
+// AfterCycle persists everything the finished cycle changed: learned
+// mode updates, pin set changes, and forgets go to the journal; when the
+// snapshot policy fires (or the store demands a re-anchor after a
+// mid-chain recovery) a full snapshot is written instead. On return with
+// nil, every change the cycle made is on stable storage.
+func (c *Checkpointer) AfterCycle() error {
+	c.cyclesSinceSnap++
+	if c.SnapshotEvery > 0 && c.cyclesSinceSnap >= c.SnapshotEvery {
+		return c.Snapshot()
+	}
+	recs, err := c.tw.JournalRecords()
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	if err := c.store.AppendBatch(recs); err != nil {
+		if errors.Is(err, statestore.ErrSnapshotNeeded) {
+			// The store recovered through a torn mid-chain journal and
+			// refuses appends until re-anchored. The drained changes are
+			// still in live state, so the full snapshot loses nothing.
+			return c.Snapshot()
+		}
+		return err
+	}
+	return nil
+}
+
+// Snapshot writes the full state envelope as a new snapshot generation,
+// resetting the journal and the every-N counter.
+func (c *Checkpointer) Snapshot() error {
+	var buf bytes.Buffer
+	if err := c.tw.SaveState(&buf); err != nil {
+		return err
+	}
+	if err := c.store.WriteSnapshot(buf.Bytes()); err != nil {
+		return err
+	}
+	// Changes drained into records that never got appended — or still
+	// sitting dirty — are all covered by the snapshot just written.
+	c.tw.discardChanges()
+	c.cyclesSinceSnap = 0
+	return nil
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"io"
 	"time"
 )
 
@@ -90,10 +89,3 @@ func unhealthyPause(pause time.Duration, n int) time.Duration {
 	}
 	return d
 }
-
-// SaveState persists the middleware's learned state (the motion detector's
-// immobility models) so a restart resumes without a cold start.
-func (tw *Tagwatch) SaveState(w io.Writer) error { return tw.det.Save(w) }
-
-// LoadState restores state written by SaveState.
-func (tw *Tagwatch) LoadState(r io.Reader) error { return tw.det.Load(r) }

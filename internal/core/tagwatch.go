@@ -93,8 +93,8 @@ func (r *CycleReport) Healthy() bool { return r.Err == nil }
 // Metrics accumulates operational counters across the middleware's
 // lifetime — what an operator dashboards.
 type Metrics struct {
-	Cycles           int
-	Fallbacks        int
+	Cycles    int
+	Fallbacks int
 	// CycleErrors counts cycles that ended with a transport error —
 	// the degraded-operation signal an operator alerts on.
 	CycleErrors      int
@@ -122,6 +122,9 @@ type Tagwatch struct {
 	listeners []func(Reading)
 
 	pinned map[epc.EPC]bool
+	// pinsDirty marks the pinned set as changed since the last
+	// JournalRecords drain.
+	pinsDirty bool
 	// lastRestless is the hysteresis memory: device time of each tag's
 	// most recent restless reading.
 	lastRestless map[epc.EPC]time.Duration
@@ -178,10 +181,20 @@ func (tw *Tagwatch) Metrics() Metrics {
 func (tw *Tagwatch) Detector() *motion.Detector { return tw.det }
 
 // Pin adds a tag to the always-schedule set at runtime.
-func (tw *Tagwatch) Pin(code epc.EPC) { tw.pinned[code] = true }
+func (tw *Tagwatch) Pin(code epc.EPC) {
+	if !tw.pinned[code] {
+		tw.pinned[code] = true
+		tw.pinsDirty = true
+	}
+}
 
 // Unpin removes a pinned tag.
-func (tw *Tagwatch) Unpin(code epc.EPC) { delete(tw.pinned, code) }
+func (tw *Tagwatch) Unpin(code epc.EPC) {
+	if tw.pinned[code] {
+		delete(tw.pinned, code)
+		tw.pinsDirty = true
+	}
+}
 
 // deliver records a reading in history and fans it out.
 func (tw *Tagwatch) deliver(r Reading) {

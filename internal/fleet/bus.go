@@ -17,6 +17,10 @@ const (
 	EventCycle EventType = "cycle"
 	// EventHandoff marks a tag whose last-seen reader changed.
 	EventHandoff EventType = "handoff"
+	// EventStateStore reports a registry persistence failure (journal
+	// flush, snapshot, or close); the fleet keeps serving from memory,
+	// degraded to non-durable.
+	EventStateStore EventType = "statestore"
 )
 
 // Event is one fleet occurrence, shaped for direct JSON/SSE serialisation.

@@ -112,7 +112,9 @@ func TestFleetRecoversFromBlackhole(t *testing.T) {
 	sub := m.Bus().Subscribe(4096)
 	defer sub.Close()
 	log := collectEvents(sub)
-	m.Start(ctx)
+	if err := m.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
 	defer m.Stop()
 
 	// Phase 1: healthy operation — session up, cycles completing, tags in
@@ -221,7 +223,9 @@ func TestFleetSurvivesCorruptionStorm(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	m := New(cfg)
-	m.Start(ctx)
+	if err := m.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
 	defer m.Stop()
 
 	// Forward progress through the storm: every tag observed, at least

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"tagwatch/internal/core"
+	"tagwatch/internal/statestore"
 )
 
 // ReaderConfig names one reader to supervise. An empty Name defaults to
@@ -67,6 +68,22 @@ type Config struct {
 	// formally died — a session that cannot complete cycles is not
 	// worth keeping. Zero means 3.
 	CycleErrorLimit int
+	// StateDir, when set, makes the merged tag registry durable: Start
+	// restores it from the newest valid snapshot plus journal before any
+	// supervisor runs, a background loop checkpoints it while the fleet
+	// is up, and Stop writes a final snapshot.
+	StateDir string
+	// SnapshotInterval spaces full registry snapshots (default 60s).
+	SnapshotInterval time.Duration
+	// JournalFlush spaces incremental journal appends between snapshots
+	// (default 2s) — the durability lag a crash can lose.
+	JournalFlush time.Duration
+	// StateRetain is how many snapshot generations to keep (default 2).
+	StateRetain int
+	// SSEWriteTimeout bounds each write to an /api/events client; a
+	// client that cannot drain a frame within it is disconnected instead
+	// of pinning the handler forever (default 10s).
+	SSEWriteTimeout time.Duration
 }
 
 // DefaultConfig returns production-shaped fleet defaults (no readers).
@@ -81,6 +98,11 @@ func DefaultConfig() Config {
 		KeepalivePeriod: 5 * time.Second,
 		KeepaliveMisses: 3,
 		CycleErrorLimit: 3,
+
+		SnapshotInterval: 60 * time.Second,
+		JournalFlush:     2 * time.Second,
+		StateRetain:      2,
+		SSEWriteTimeout:  10 * time.Second,
 	}
 }
 
@@ -104,6 +126,18 @@ func (c Config) withDefaults() Config {
 	if c.CycleErrorLimit <= 0 {
 		c.CycleErrorLimit = d.CycleErrorLimit
 	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = d.SnapshotInterval
+	}
+	if c.JournalFlush <= 0 {
+		c.JournalFlush = d.JournalFlush
+	}
+	if c.StateRetain <= 0 {
+		c.StateRetain = d.StateRetain
+	}
+	if c.SSEWriteTimeout <= 0 {
+		c.SSEWriteTimeout = d.SSEWriteTimeout
+	}
 	return c
 }
 
@@ -113,6 +147,9 @@ type Manager struct {
 	cfg Config
 	reg *Registry
 	bus *Bus
+
+	// store is the durable registry backing; nil when StateDir is unset.
+	store *statestore.Store
 
 	mu      sync.Mutex
 	sups    []*supervisor
@@ -144,15 +181,31 @@ func New(cfg Config) *Manager {
 }
 
 // Start launches every supervisor. The fleet runs until ctx is cancelled
-// or Stop is called.
-func (m *Manager) Start(ctx context.Context) {
+// or Stop is called. With a StateDir configured, the registry is
+// restored from disk BEFORE the first supervisor runs (so recovered
+// state never races live observations) and a checkpoint loop keeps it
+// durable; a state directory that cannot be opened or restored fails
+// Start outright rather than running amnesiac.
+func (m *Manager) Start(ctx context.Context) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.cancel != nil {
-		return // already started
+		return nil // already started
+	}
+	if m.cfg.StateDir != "" {
+		if err := m.openState(); err != nil {
+			return err
+		}
 	}
 	ctx, m.cancel = context.WithCancel(ctx)
 	m.started = time.Now()
+	if m.store != nil {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.checkpointLoop(ctx)
+		}()
+	}
 	for _, s := range m.sups {
 		s := s
 		m.wg.Add(1)
@@ -161,9 +214,12 @@ func (m *Manager) Start(ctx context.Context) {
 			s.run(ctx)
 		}()
 	}
+	return nil
 }
 
-// Stop cancels every supervisor and waits for them to exit.
+// Stop cancels every supervisor and waits for them to exit, then — when
+// the registry is durable — writes the final flush and snapshot and
+// closes the store.
 func (m *Manager) Stop() {
 	m.mu.Lock()
 	cancel := m.cancel
@@ -172,6 +228,15 @@ func (m *Manager) Stop() {
 		cancel()
 	}
 	m.wg.Wait()
+	m.mu.Lock()
+	store := m.store
+	m.mu.Unlock()
+	if store != nil {
+		m.closeState()
+		m.mu.Lock()
+		m.store = nil
+		m.mu.Unlock()
+	}
 }
 
 // Registry exposes the merged tag view.

@@ -120,7 +120,9 @@ func TestFleetReconnectAndMergedRegistry(t *testing.T) {
 	m := New(cfg)
 	events := m.Bus().Subscribe(1024)
 	defer events.Close()
-	m.Start(ctx)
+	if err := m.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
 	defer m.Stop()
 
 	ts := httptest.NewServer(m.Handler())
@@ -267,7 +269,9 @@ func TestSupervisorRetryBudget(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	m := New(cfg)
-	m.Start(ctx)
+	if err := m.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
 	defer m.Stop()
 
 	waitFor(t, 10*time.Second, "supervisor to spend its retry budget", func() bool {

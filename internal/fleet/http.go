@@ -119,12 +119,33 @@ func (m *Manager) handleReaders(w http.ResponseWriter, r *http.Request) {
 // own buffered channel; if this client cannot keep up, events drop here
 // rather than backing pressure into the cycle loops, and the drop total
 // rides along on every frame.
+//
+// Every write runs under a deadline: a stalled client (TCP window gone
+// to zero, a phone in a tunnel) would otherwise block Fprintf forever
+// and pin this handler goroutine — with the subscriber still registered
+// — for the life of the process. A write that misses the deadline (or
+// fails for any reason) disconnects the client; SSE clients reconnect.
 func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
-	flusher, ok := w.(http.Flusher)
-	if !ok {
+	if _, ok := w.(http.Flusher); !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
+	rc := http.NewResponseController(w)
+	// send writes one frame under the deadline and reports whether the
+	// client is still worth keeping. SetWriteDeadline may be unsupported
+	// by an exotic wrapped writer — then the write proceeds unbounded,
+	// which is the old behaviour, not a new failure.
+	send := func(format string, args ...any) bool {
+		_ = rc.SetWriteDeadline(time.Now().Add(m.cfg.SSEWriteTimeout))
+		if _, err := fmt.Fprintf(w, format, args...); err != nil {
+			return false
+		}
+		if err := rc.Flush(); err != nil {
+			return false
+		}
+		return true
+	}
+
 	sub := m.bus.Subscribe(m.cfg.EventBuffer)
 	defer sub.Close()
 
@@ -132,8 +153,9 @@ func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprintf(w, ": tagwatch fleet event stream\n\n")
-	flusher.Flush()
+	if !send(": tagwatch fleet event stream\n\n") {
+		return
+	}
 
 	heartbeat := time.NewTicker(15 * time.Second)
 	defer heartbeat.Stop()
@@ -143,8 +165,9 @@ func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case <-heartbeat.C:
-			fmt.Fprintf(w, ": heartbeat dropped=%d\n\n", sub.Dropped())
-			flusher.Flush()
+			if !send(": heartbeat dropped=%d\n\n", sub.Dropped()) {
+				return
+			}
 		case ev, ok := <-sub.C():
 			if !ok {
 				return
@@ -154,8 +177,9 @@ func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			id++
-			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, ev.Type, data)
-			flusher.Flush()
+			if !send("id: %d\nevent: %s\ndata: %s\n\n", id, ev.Type, data) {
+				return
+			}
 		}
 	}
 }

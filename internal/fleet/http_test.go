@@ -3,6 +3,8 @@ package fleet
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -187,6 +189,51 @@ func TestHTTPEventsSSE(t *testing.T) {
 	if ev.Reader != "r9" || ev.State != "up" {
 		t.Fatalf("event payload: %+v", ev)
 	}
+}
+
+// TestHTTPEventsSlowClientDisconnected is the regression test for SSE
+// handler pinning: a client that connects and then never reads jams its
+// TCP receive window, and without write deadlines the handler goroutine
+// would block in Fprintf forever with its subscriber still registered.
+// With SSEWriteTimeout set, the stalled write times out, the handler
+// returns, and the subscriber count drops back to zero.
+func TestHTTPEventsSlowClientDisconnected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SSEWriteTimeout = 200 * time.Millisecond
+	m := New(cfg)
+	ts := httptest.NewServer(m.Handler())
+	defer ts.Close()
+
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "GET /api/events HTTP/1.1\r\nHost: fleet\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	// ...and never read a byte: the receive window fills and stays full.
+
+	waitFor(t, 5*time.Second, "SSE subscriber to register", func() bool {
+		_, _, subs := m.Bus().Stats()
+		return subs == 1
+	})
+
+	// Flood with fat events until the handler's writes back up against
+	// the dead window and the deadline fires. Socket buffers absorb the
+	// first wave, so keep publishing until the handler gives up.
+	payload := strings.Repeat("x", 1<<15)
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, _, subs := m.Bus().Stats(); subs == 0 {
+			return // handler exited and unsubscribed
+		}
+		for i := 0; i < 32; i++ {
+			m.Bus().Publish(Event{Type: EventReaderState, Reader: "r0", At: time.Now(), State: "up", Error: payload})
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("stalled SSE client still pinning its handler after 15s")
 }
 
 func fetchJSON(t *testing.T, url string, v any) {

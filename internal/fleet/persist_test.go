@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"tagwatch/internal/core"
+)
+
+// regJSON canonicalises a registry for comparison: sorted snapshot,
+// JSON-encoded (which also strips time.Time monotonic clocks, so a
+// state that round-tripped through disk compares equal to the live one).
+func regJSON(t *testing.T, r *Registry) string {
+	t.Helper()
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestFleetStateRestartRoundTrip drives the full manager lifecycle: a
+// fleet with a StateDir accumulates registry state, Stop writes the
+// final snapshot, and a fresh manager over the same directory starts
+// with the identical registry before any supervisor runs.
+func TestFleetStateRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	cfg.StateDir = dir
+	cfg.JournalFlush = 10 * time.Millisecond
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	m := New(cfg)
+	if err := m.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	a := mustEPC(t, "30f4ab12cd0045e100000001")
+	b := mustEPC(t, "30f4ab12cd0045e100000002")
+	m.Registry().Observe("r0", core.Reading{EPC: a, Antenna: 1}, now)
+	m.Registry().Observe("r0", core.Reading{EPC: b, Antenna: 2}, now)
+	m.Registry().Observe("r1", core.Reading{EPC: b, Antenna: 1}, now.Add(time.Second)) // handoff
+	m.Registry().UpdateAssessment("r1", b, true, 25)
+	want := regJSON(t, m.Registry())
+	m.Stop()
+
+	m2 := New(cfg)
+	if err := m2.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Stop()
+	if got := regJSON(t, m2.Registry()); got != want {
+		t.Fatalf("restored registry differs:\n got %s\nwant %s", got, want)
+	}
+	st, ok := m2.Registry().Get(b)
+	if !ok || !st.Mobile || st.IRR != 25 || st.Handoffs != 1 || st.Reader != "r1" {
+		t.Fatalf("restored tag B: %+v", st)
+	}
+}
+
+// TestFleetStateJournalSurvivesCrash exercises the machinery directly —
+// no checkpoint goroutine, no timing: changes flushed to the journal
+// but never snapshotted must survive a close-without-final-snapshot
+// (the crash path), including drop tombstones and the drop-then-
+// reobserve ordering where the fresh image must win on replay.
+func TestFleetStateJournalSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	cfg.StateDir = dir
+
+	a := mustEPC(t, "30f4ab12cd0045e100000010")
+	b := mustEPC(t, "30f4ab12cd0045e100000011")
+	old := time.Now().Add(-time.Hour)
+	now := time.Now()
+
+	// Incarnation 1: journal two tags, then crash (close with no
+	// final flush or snapshot of anything still dirty).
+	m := New(cfg)
+	if err := m.openState(); err != nil {
+		t.Fatal(err)
+	}
+	m.reg.Observe("r0", core.Reading{EPC: a, Antenna: 1}, old)
+	m.reg.Observe("r0", core.Reading{EPC: b, Antenna: 2}, now)
+	if err := m.flushJournal(); err != nil {
+		t.Fatal(err)
+	}
+	m.reg.Observe("r0", core.Reading{EPC: b, Antenna: 3}, now) // dirty, never flushed
+	if err := m.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation 2: the flushed states are back, the unflushed update
+	// is legitimately lost (it was never acked durable).
+	m2 := New(cfg)
+	if err := m2.openState(); err != nil {
+		t.Fatal(err)
+	}
+	if m2.reg.Len() != 2 {
+		t.Fatalf("recovered %d tags, want 2", m2.reg.Len())
+	}
+	if st, ok := m2.reg.Get(b); !ok || st.Antenna != 2 {
+		t.Fatalf("tag B after crash: %+v (want flushed antenna 2)", st)
+	}
+
+	// Drop A, re-observe it fresh, flush: the batch carries the
+	// tombstone before the new image.
+	if n := m2.reg.Prune(now.Add(-30 * time.Minute)); n != 1 {
+		t.Fatalf("pruned %d, want 1", n)
+	}
+	m2.reg.Observe("r1", core.Reading{EPC: a, Antenna: 4}, now)
+	if err := m2.flushJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation 3: replay lands on the fresh image — one read, new
+	// reader — not the pre-drop history and not absence.
+	m3 := New(cfg)
+	if err := m3.openState(); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := m3.reg.Get(a)
+	if !ok {
+		t.Fatal("tag A vanished: drop tombstone replayed after its fresh image")
+	}
+	if st.Reads != 1 || st.Reader != "r1" || st.Antenna != 4 {
+		t.Fatalf("tag A after drop+reobserve: %+v", st)
+	}
+	// A snapshot compacts the chain; a fourth incarnation restores from
+	// it alone.
+	if err := m3.writeSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	want := regJSON(t, m3.reg)
+	if err := m3.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m4 := New(cfg)
+	if err := m4.openState(); err != nil {
+		t.Fatal(err)
+	}
+	defer m4.store.Close()
+	if got := regJSON(t, m4.reg); got != want {
+		t.Fatalf("snapshot restore differs:\n got %s\nwant %s", got, want)
+	}
+}

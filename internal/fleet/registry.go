@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -28,9 +29,9 @@ type Handoff struct {
 
 // TagState is the merged, fleet-wide view of one tag.
 type TagState struct {
-	EPC     string    `json:"epc"`
-	Reader  string    `json:"reader"`
-	Antenna int       `json:"antenna"`
+	EPC     string `json:"epc"`
+	Reader  string `json:"reader"`
+	Antenna int    `json:"antenna"`
 	// LastSeen is the wall-clock time of the most recent observation from
 	// any reader; DeviceTime is that reader's virtual timestamp.
 	LastSeen   time.Time     `json:"last_seen"`
@@ -56,6 +57,10 @@ type tagEntry struct {
 type regShard struct {
 	mu   sync.RWMutex
 	tags map[epc.EPC]*tagEntry
+	// dirty and dropped accumulate changes since the last DrainDirty —
+	// the incremental feed for the fleet's statestore journal.
+	dirty   map[epc.EPC]bool
+	dropped map[epc.EPC]bool
 }
 
 // Registry merges observations from every reader in the fleet into one
@@ -73,6 +78,8 @@ func NewRegistry() *Registry {
 	r := &Registry{}
 	for i := range r.shards {
 		r.shards[i].tags = make(map[epc.EPC]*tagEntry)
+		r.shards[i].dirty = make(map[epc.EPC]bool)
+		r.shards[i].dropped = make(map[epc.EPC]bool)
 	}
 	return r
 }
@@ -117,6 +124,7 @@ func (g *Registry) Observe(reader string, r core.Reading, at time.Time) (Handoff
 	st.DeviceTime = r.Time
 	st.Reads++
 	st.Readers[reader]++
+	sh.dirty[r.EPC] = true
 	sh.mu.Unlock()
 
 	g.observations.Add(1)
@@ -136,6 +144,7 @@ func (g *Registry) UpdateAssessment(reader string, code epc.EPC, mobile bool, ir
 	if e, ok := sh.tags[code]; ok && e.state.Reader == reader {
 		e.state.Mobile = mobile
 		e.state.IRR = irr
+		sh.dirty[code] = true
 	}
 	sh.mu.Unlock()
 }
@@ -190,12 +199,75 @@ func (g *Registry) Prune(cutoff time.Time) int {
 		for code, e := range sh.tags {
 			if e.state.LastSeen.Before(cutoff) {
 				delete(sh.tags, code)
+				delete(sh.dirty, code)
+				sh.dropped[code] = true
 				n++
 			}
 		}
 		sh.mu.Unlock()
 	}
 	return n
+}
+
+// DrainDirty returns a copy of every tag state changed since the
+// previous drain plus the tags dropped in that window, clearing both
+// sets. States are full images (absolute, last-wins on replay) and both
+// slices are sorted for deterministic journal bytes. A tag dropped and
+// re-observed since the last drain appears in BOTH — the journal writer
+// must put the drop before the state so replay lands on the fresh image.
+func (g *Registry) DrainDirty() (states []TagState, dropped []string) {
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		for code := range sh.dirty {
+			if e, ok := sh.tags[code]; ok {
+				states = append(states, copyState(&e.state))
+			}
+		}
+		for code := range sh.dropped {
+			dropped = append(dropped, code.String())
+		}
+		if len(sh.dirty) > 0 {
+			sh.dirty = make(map[epc.EPC]bool)
+		}
+		if len(sh.dropped) > 0 {
+			sh.dropped = make(map[epc.EPC]bool)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i].EPC < states[j].EPC })
+	sort.Strings(dropped)
+	return states, dropped
+}
+
+// Restore installs one tag state (a recovered snapshot entry or journal
+// record), replacing any existing entry for that EPC. Restored entries
+// are not marked dirty — they are already durable. The state is
+// validated before anything is touched.
+func (g *Registry) Restore(st TagState) error {
+	code, err := epc.Parse(st.EPC)
+	if err != nil {
+		return fmt.Errorf("fleet: restore tag %q: %w", st.EPC, err)
+	}
+	cp := copyState(&st)
+	if cp.Readers == nil {
+		cp.Readers = make(map[string]uint64, 1)
+	}
+	sh := g.shard(code)
+	sh.mu.Lock()
+	sh.tags[code] = &tagEntry{code: code, state: cp}
+	sh.mu.Unlock()
+	return nil
+}
+
+// Drop removes one tag (a recovered drop tombstone) without recording a
+// new tombstone.
+func (g *Registry) Drop(code epc.EPC) {
+	sh := g.shard(code)
+	sh.mu.Lock()
+	delete(sh.tags, code)
+	delete(sh.dirty, code)
+	sh.mu.Unlock()
 }
 
 // Stats reports lifetime observation and handoff counts.

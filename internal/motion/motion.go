@@ -440,6 +440,10 @@ type Detector struct {
 	stacks    map[key]*Stack
 	tagStacks map[epc.EPC][]*Stack
 	lastSeen  map[epc.EPC]time.Duration
+	// dirty and forgotten accumulate the changes since the last
+	// DrainChanges — the incremental feed for the statestore journal.
+	dirty     map[key]bool
+	forgotten map[epc.EPC]bool
 }
 
 // NewDetector builds a GMM detector with the given metric.
@@ -450,6 +454,8 @@ func NewDetector(cfg Config, dist DistFunc) *Detector {
 		stacks:    make(map[key]*Stack),
 		tagStacks: make(map[epc.EPC][]*Stack),
 		lastSeen:  make(map[epc.EPC]time.Duration),
+		dirty:     make(map[key]bool),
+		forgotten: make(map[epc.EPC]bool),
 	}
 }
 
@@ -512,6 +518,7 @@ func (d *Detector) Observe(tag epc.EPC, antenna, channel int, value float64, at 
 		d.tagStacks[tag] = append(d.tagStacks[tag], st)
 	}
 	d.lastSeen[tag] = at
+	d.dirty[k] = true
 	// A stack still without any established mode is bootstrapping. While
 	// the tag is vouched for on other links, bootstrap verdicts are muted:
 	// otherwise every hop onto a fresh channel spends ~WeightFloor/α
@@ -570,14 +577,18 @@ func (d *Detector) Stack(tag epc.EPC, antenna, channel int) *Stack {
 }
 
 // Forget drops all state for a tag — the §4.3 answer to departed tags.
+// The drop is recorded as a tombstone for the next DrainChanges so the
+// journal forgets the tag too.
 func (d *Detector) Forget(tag epc.EPC) {
 	for k := range d.stacks {
 		if k.tag == tag {
 			delete(d.stacks, k)
+			delete(d.dirty, k)
 		}
 	}
 	delete(d.tagStacks, tag)
 	delete(d.lastSeen, tag)
+	d.forgotten[tag] = true
 }
 
 // Prune forgets every tag not seen since the cutoff, returning how many

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"time"
 
 	"tagwatch/internal/epc"
@@ -16,11 +18,16 @@ import (
 // link to learn; a warehouse deployment has thousands of links).
 type Snapshot struct {
 	// Version guards the format.
-	Version int             `json:"version"`
-	Stacks  []stackSnapshot `json:"stacks"`
+	Version int         `json:"version"`
+	Stacks  []LinkState `json:"stacks"`
 }
 
-type stackSnapshot struct {
+// LinkState is the serialised immobility stack of one physical link —
+// one tag seen over one (antenna, channel). It is both an element of
+// the full Snapshot and the unit of incremental persistence: the
+// statestore journal carries one LinkState per learned-mode update, and
+// RestoreLink replays it.
+type LinkState struct {
 	EPC      string         `json:"epc"`
 	Antenna  int            `json:"antenna"`
 	Channel  int            `json:"channel"`
@@ -39,30 +46,99 @@ type modeSnapshot struct {
 // snapshotVersion is the current format version.
 const snapshotVersion = 1
 
+// encodeLink serialises one stack. Callers own k's presence in d.stacks.
+func (d *Detector) encodeLink(k key, st *Stack) LinkState {
+	ls := LinkState{
+		EPC:      k.tag.String(),
+		Antenna:  k.antenna,
+		Channel:  k.channel,
+		LastSeen: int64(d.lastSeen[k.tag] / time.Microsecond),
+	}
+	for _, g := range st.modes {
+		ls.Modes = append(ls.Modes, modeSnapshot{
+			W: g.w, Mu: g.mu, Sigma: g.sigma, N: g.n, M2: g.M2(),
+		})
+	}
+	return ls
+}
+
+// M2 exposes the Welford accumulator for serialisation.
+func (g gaussian) M2() float64 { return g.m2 }
+
+// decodeLink validates one serialised link and rebuilds its stack
+// without touching the detector. Mode identities are reassigned (switch
+// detection resets, which only costs one grace reading per link).
+func (d *Detector) decodeLink(ls LinkState) (key, *Stack, error) {
+	code, err := epc.Parse(ls.EPC)
+	if err != nil {
+		return key{}, nil, fmt.Errorf("motion: snapshot EPC %q: %w", ls.EPC, err)
+	}
+	st := NewStack(d.cfg, d.dist)
+	for _, m := range ls.Modes {
+		if m.Sigma <= 0 || m.N < 1 {
+			return key{}, nil, fmt.Errorf("motion: snapshot mode for %s is corrupt", ls.EPC)
+		}
+		for _, f := range [...]float64{m.W, m.Mu, m.Sigma, m.M2} {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return key{}, nil, fmt.Errorf("motion: snapshot mode for %s is not finite", ls.EPC)
+			}
+		}
+		st.nextID++
+		st.modes = append(st.modes, gaussian{
+			id: st.nextID, w: m.W, mu: m.Mu, sigma: m.Sigma, n: m.N, m2: m.M2,
+		})
+	}
+	k := key{tag: code, antenna: ls.Antenna, channel: ls.Channel}
+	return k, st, nil
+}
+
+// installLink puts a rebuilt stack into the detector, replacing any
+// existing stack for the same link in both indexes.
+func (d *Detector) installLink(k key, st *Stack, lastSeen time.Duration) {
+	if old, ok := d.stacks[k]; ok {
+		for i, s := range d.tagStacks[k.tag] {
+			if s == old {
+				d.tagStacks[k.tag][i] = st
+				break
+			}
+		}
+	} else {
+		d.tagStacks[k.tag] = append(d.tagStacks[k.tag], st)
+	}
+	d.stacks[k] = st
+	if lastSeen > d.lastSeen[k.tag] {
+		d.lastSeen[k.tag] = lastSeen
+	} else if _, ok := d.lastSeen[k.tag]; !ok {
+		d.lastSeen[k.tag] = lastSeen
+	}
+}
+
 // Save serialises the detector's learned state as JSON.
 func (d *Detector) Save(w io.Writer) error {
 	snap := Snapshot{Version: snapshotVersion}
 	for k, st := range d.stacks {
-		ss := stackSnapshot{
-			EPC:      k.tag.String(),
-			Antenna:  k.antenna,
-			Channel:  k.channel,
-			LastSeen: int64(d.lastSeen[k.tag] / time.Microsecond),
-		}
-		for _, g := range st.modes {
-			ss.Modes = append(ss.Modes, modeSnapshot{
-				W: g.w, Mu: g.mu, Sigma: g.sigma, N: g.n, M2: g.m2,
-			})
-		}
-		snap.Stacks = append(snap.Stacks, ss)
+		snap.Stacks = append(snap.Stacks, d.encodeLink(k, st))
 	}
+	// Deterministic order: map iteration must not leak into the bytes,
+	// or two snapshots of identical state would differ.
+	sort.Slice(snap.Stacks, func(i, j int) bool {
+		a, b := snap.Stacks[i], snap.Stacks[j]
+		if a.EPC != b.EPC {
+			return a.EPC < b.EPC
+		}
+		if a.Antenna != b.Antenna {
+			return a.Antenna < b.Antenna
+		}
+		return a.Channel < b.Channel
+	})
 	enc := json.NewEncoder(w)
 	return enc.Encode(snap)
 }
 
 // Load restores learned state previously written by Save, replacing any
-// existing state. Mode identities are reassigned (switch detection resets,
-// which only costs one grace reading per link).
+// existing state. The snapshot is fully validated before the detector is
+// touched: a decode error, version skew, corrupt mode, or duplicate link
+// leaves the detector exactly as it was.
 func (d *Detector) Load(r io.Reader) error {
 	var snap Snapshot
 	dec := json.NewDecoder(r)
@@ -72,30 +148,84 @@ func (d *Detector) Load(r io.Reader) error {
 	if snap.Version != snapshotVersion {
 		return fmt.Errorf("motion: snapshot version %d, want %d", snap.Version, snapshotVersion)
 	}
-	d.stacks = make(map[key]*Stack)
-	d.tagStacks = make(map[epc.EPC][]*Stack)
-	d.lastSeen = make(map[epc.EPC]time.Duration)
-	for _, ss := range snap.Stacks {
-		code, err := epc.Parse(ss.EPC)
+
+	// Build the replacement state on the side; swap only on success.
+	stacks := make(map[key]*Stack, len(snap.Stacks))
+	tagStacks := make(map[epc.EPC][]*Stack)
+	lastSeen := make(map[epc.EPC]time.Duration)
+	for _, ls := range snap.Stacks {
+		k, st, err := d.decodeLink(ls)
 		if err != nil {
-			return fmt.Errorf("motion: snapshot EPC %q: %w", ss.EPC, err)
+			return err
 		}
-		st := NewStack(d.cfg, d.dist)
-		for _, m := range ss.Modes {
-			if m.Sigma <= 0 || m.N < 1 {
-				return fmt.Errorf("motion: snapshot mode for %s is corrupt", ss.EPC)
-			}
-			st.nextID++
-			st.modes = append(st.modes, gaussian{
-				id: st.nextID, w: m.W, mu: m.Mu, sigma: m.Sigma, n: m.N, m2: m.M2,
-			})
+		if _, dup := stacks[k]; dup {
+			return fmt.Errorf("motion: snapshot has duplicate stack for %s antenna %d channel %d",
+				ls.EPC, ls.Antenna, ls.Channel)
 		}
-		k := key{tag: code, antenna: ss.Antenna, channel: ss.Channel}
-		d.stacks[k] = st
-		d.tagStacks[code] = append(d.tagStacks[code], st)
-		if ls := time.Duration(ss.LastSeen) * time.Microsecond; ls > d.lastSeen[code] {
-			d.lastSeen[code] = ls
+		stacks[k] = st
+		tagStacks[k.tag] = append(tagStacks[k.tag], st)
+		if seen := time.Duration(ls.LastSeen) * time.Microsecond; seen > lastSeen[k.tag] {
+			lastSeen[k.tag] = seen
 		}
 	}
+
+	d.stacks = stacks
+	d.tagStacks = tagStacks
+	d.lastSeen = lastSeen
+	d.dirty = make(map[key]bool)
+	d.forgotten = make(map[epc.EPC]bool)
 	return nil
+}
+
+// RestoreLink replays one incremental LinkState (a statestore journal
+// record) into the detector, replacing that link's stack. Validation
+// matches Load: a corrupt record is rejected without mutating anything.
+// Restored links are not marked dirty — they are already durable.
+func (d *Detector) RestoreLink(ls LinkState) error {
+	k, st, err := d.decodeLink(ls)
+	if err != nil {
+		return err
+	}
+	d.installLink(k, st, time.Duration(ls.LastSeen)*time.Microsecond)
+	return nil
+}
+
+// DirtyLinks reports how many links have changed since the last
+// DrainChanges.
+func (d *Detector) DirtyLinks() int { return len(d.dirty) }
+
+// DrainChanges returns the serialised state of every link touched since
+// the previous drain, plus every tag forgotten in that window, and
+// clears both sets. Links are full-stack snapshots (absolute, last-wins)
+// so a journal replay needs no ordering beyond append order; the slices
+// are sorted for deterministic journal bytes. A tag both forgotten and
+// re-observed since the last drain appears in BOTH lists — the journal
+// writer must append the tombstone before the link records so replay
+// drops the tag's stale pre-forget links and then reinstates the fresh
+// one.
+func (d *Detector) DrainChanges() (links []LinkState, forgotten []string) {
+	for k := range d.dirty {
+		st, ok := d.stacks[k]
+		if !ok {
+			continue // forgotten after the observation that dirtied it
+		}
+		links = append(links, d.encodeLink(k, st))
+	}
+	sort.Slice(links, func(i, j int) bool {
+		a, b := links[i], links[j]
+		if a.EPC != b.EPC {
+			return a.EPC < b.EPC
+		}
+		if a.Antenna != b.Antenna {
+			return a.Antenna < b.Antenna
+		}
+		return a.Channel < b.Channel
+	})
+	for tag := range d.forgotten {
+		forgotten = append(forgotten, tag.String())
+	}
+	sort.Strings(forgotten)
+	d.dirty = make(map[key]bool)
+	d.forgotten = make(map[epc.EPC]bool)
+	return links, forgotten
 }

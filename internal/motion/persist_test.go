@@ -2,6 +2,8 @@ package motion
 
 import (
 	"bytes"
+	"encoding/json"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -80,5 +82,198 @@ func TestLoadErrors(t *testing.T) {
 		if err := d.Load(strings.NewReader(content)); err == nil {
 			t.Errorf("%s must error", name)
 		}
+	}
+}
+
+// trainedDetector builds a detector with settled modes on three links
+// and returns it with its serialised state.
+func trainedDetector(t *testing.T) (*Detector, []byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	d := NewPhaseMoG(Config{})
+	for i := 0; i < 200; i++ {
+		at := time.Duration(i) * 10 * time.Millisecond
+		d.Observe(tagA, 1, 0, rf.WrapPhase(1.5+rng.NormFloat64()*0.08), at)
+		d.Observe(tagA, 1, 5, rf.WrapPhase(4.0+rng.NormFloat64()*0.08), at)
+		d.Observe(tagB, 2, 0, rf.WrapPhase(2.7+rng.NormFloat64()*0.08), at)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return d, buf.Bytes()
+}
+
+// TestLoadHostileInputsNoPartialMutation feeds Load a battery of
+// corrupt snapshots — each derived from a VALID image so it fails as
+// deep into decoding as possible — and asserts the detector is left
+// bit-for-bit untouched (Save output is deterministic, so byte equality
+// of a re-Save proves it).
+func TestLoadHostileInputsNoPartialMutation(t *testing.T) {
+	d, valid := trainedDetector(t)
+	before := append([]byte(nil), valid...)
+
+	var snap Snapshot
+	if err := json.Unmarshal(valid, &snap); err != nil {
+		t.Fatal(err)
+	}
+
+	versionSkew, err := json.Marshal(Snapshot{Version: snapshotVersion + 1, Stacks: snap.Stacks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dupStacks, err := json.Marshal(Snapshot{
+		Version: snapshotVersion,
+		Stacks:  append(append([]LinkState(nil), snap.Stacks...), snap.Stacks[0]),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastBad := append([]LinkState(nil), snap.Stacks...)
+	lastBad[len(lastBad)-1].Modes = []modeSnapshot{{W: 1, Sigma: 0, N: 0}}
+	tailCorrupt, err := json.Marshal(Snapshot{Version: snapshotVersion, Stacks: lastBad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated JSON":      valid[:len(valid)/2],
+		"version skew":        versionSkew,
+		"duplicate stacks":    dupStacks,
+		"corrupt final stack": tailCorrupt,
+	}
+	for name, payload := range cases {
+		if err := d.Load(bytes.NewReader(payload)); err == nil {
+			t.Fatalf("%s: Load accepted a corrupt snapshot", name)
+		}
+		var after bytes.Buffer
+		if err := d.Save(&after); err != nil {
+			t.Fatalf("%s: re-save: %v", name, err)
+		}
+		if !bytes.Equal(before, after.Bytes()) {
+			t.Fatalf("%s: rejected Load mutated the detector", name)
+		}
+	}
+
+	// Non-finite modes cannot ride in through JSON (Marshal rejects NaN,
+	// null decodes to 0 and trips the Sigma check), but journal replay
+	// hands Go structs straight to RestoreLink — guard that path.
+	nan := snap.Stacks[0]
+	nan.Modes = []modeSnapshot{{W: math.NaN(), Mu: 1, Sigma: 0.2, N: 5}}
+	if err := d.RestoreLink(nan); err == nil {
+		t.Fatal("RestoreLink accepted a non-finite mode")
+	}
+	var after bytes.Buffer
+	if err := d.Save(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after.Bytes()) {
+		t.Fatal("rejected RestoreLink mutated the detector")
+	}
+
+	// The untouched detector still works, and the valid image still loads.
+	if d.Observe(tagA, 1, 0, 1.5, 0).Moving {
+		t.Fatal("detector lost its trained state")
+	}
+	if err := d.Load(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid snapshot rejected after hostile attempts: %v", err)
+	}
+}
+
+// TestDrainChangesRoundTrip replays the incremental journal feed into a
+// fresh detector and expects full recognition — the same guarantee Save
+// and Load give, arrived at one LinkState at a time.
+func TestDrainChangesRoundTrip(t *testing.T) {
+	d, _ := trainedDetector(t)
+	links, forgotten := d.DrainChanges()
+	if len(links) != 3 {
+		t.Fatalf("drained %d links, want 3", len(links))
+	}
+	if len(forgotten) != 0 {
+		t.Fatalf("unexpected tombstones %v", forgotten)
+	}
+	if n := d.DirtyLinks(); n != 0 {
+		t.Fatalf("dirty after drain: %d", n)
+	}
+	if l, f := d.DrainChanges(); len(l) != 0 || len(f) != 0 {
+		t.Fatal("second drain must be empty")
+	}
+
+	restored := NewPhaseMoG(Config{})
+	for _, ls := range links {
+		if err := restored.RestoreLink(ls); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// RestoreLink must not feed the restored state back into the journal.
+	if restored.DirtyLinks() != 0 {
+		t.Fatal("RestoreLink marked links dirty")
+	}
+	if restored.Observe(tagA, 1, 0, 1.5, 0).Moving {
+		t.Fatal("restored detector must recognise tagA on (1,0)")
+	}
+	if restored.Observe(tagB, 2, 0, 2.7, 0).Moving {
+		t.Fatal("restored detector must recognise tagB")
+	}
+	if restored.TrackedTags() != 2 {
+		t.Fatalf("tracked = %d", restored.TrackedTags())
+	}
+}
+
+// TestDrainChangesForgetTombstones checks the forget bookkeeping: a
+// forgotten tag yields a tombstone, and a forget-then-reobserve yields
+// BOTH (tombstone first in replay drops the stale links, the fresh
+// LinkState reinstates the live one).
+func TestDrainChangesForgetTombstones(t *testing.T) {
+	d, _ := trainedDetector(t)
+	d.DrainChanges()
+
+	d.Forget(tagB)
+	links, forgotten := d.DrainChanges()
+	if len(links) != 0 || len(forgotten) != 1 || forgotten[0] != tagB.String() {
+		t.Fatalf("after forget: links=%d forgotten=%v", len(links), forgotten)
+	}
+
+	d.Forget(tagA) // tagA had stacks on (1,0) and (1,5)
+	d.Observe(tagA, 1, 0, 2.2, time.Hour)
+	links, forgotten = d.DrainChanges()
+	if len(forgotten) != 1 || forgotten[0] != tagA.String() {
+		t.Fatalf("forget+reobserve tombstones = %v", forgotten)
+	}
+	if len(links) != 1 || links[0].Antenna != 1 || links[0].Channel != 0 {
+		t.Fatalf("forget+reobserve links = %+v", links)
+	}
+}
+
+// TestRestoreLinkReplacesExisting pins the last-wins replay semantics:
+// a second LinkState for the same link replaces the first outright.
+func TestRestoreLinkReplacesExisting(t *testing.T) {
+	d, _ := trainedDetector(t)
+	links, _ := d.DrainChanges()
+
+	restored := NewPhaseMoG(Config{})
+	for i := 0; i < 2; i++ { // replay the whole batch twice
+		for _, ls := range links {
+			if err := restored.RestoreLink(ls); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if restored.TrackedTags() != 2 {
+		t.Fatalf("tracked = %d after double replay", restored.TrackedTags())
+	}
+	if got := len(restored.tagStacks[tagA]); got != 2 {
+		t.Fatalf("tagA has %d stacks after double replay, want 2", got)
+	}
+	if restored.Observe(tagA, 1, 0, 1.5, 0).Moving {
+		t.Fatal("double replay broke recognition")
+	}
+	// A corrupt record is rejected without touching the live stack.
+	bad := links[0]
+	bad.Modes = []modeSnapshot{{W: 1, Sigma: -1, N: 3}}
+	if err := restored.RestoreLink(bad); err == nil {
+		t.Fatal("RestoreLink accepted a corrupt record")
+	}
+	if restored.Observe(tagA, 1, 0, 1.5, 0).Moving {
+		t.Fatal("rejected RestoreLink damaged the live stack")
 	}
 }

@@ -1,0 +1,258 @@
+package statestore
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// crashWorkload drives a store through a fixed mutation script —
+// appends interleaved with snapshots — stopping at the first error (the
+// simulated crash). It returns the durability floor: the set of
+// key=value facts the store acked, every record ever submitted, and
+// every snapshot payload ever acked.
+//
+// Records are "key=value" strings with unique keys; a snapshot payload
+// is the joined state at its write ("k0=v0\nk1=v1\n..."), so recovered
+// bytes can be checked for exact membership against what was submitted.
+type crashResult struct {
+	durable   map[string]string // acked as durable: must survive
+	submitted map[string]bool   // every record payload ever handed to Append
+	snapshots map[string]bool   // every snapshot payload handed to WriteSnapshot
+}
+
+func crashWorkload(fsys FS, dir string) crashResult {
+	res := crashResult{
+		durable:   map[string]string{},
+		submitted: map[string]bool{},
+		snapshots: map[string]bool{},
+	}
+	state := map[string]string{} // in-memory truth, acked or not
+	var order []string
+
+	st, err := Open(dir, Options{FS: fsys, Retain: 2})
+	if err != nil {
+		return res
+	}
+	defer st.Close()
+
+	// Resume from whatever a previous incarnation persisted (the
+	// double-crash test reopens mid-history).
+	rec := st.Recovery()
+	if rec.HasSnapshot {
+		for _, line := range strings.Split(string(rec.Snapshot), "\n") {
+			if k, v, ok := strings.Cut(line, "="); ok {
+				state[k] = v
+				order = append(order, k)
+			}
+		}
+	}
+	for _, r := range rec.Records {
+		if k, v, ok := strings.Cut(string(r), "="); ok {
+			state[k] = v
+			order = append(order, k)
+		}
+	}
+
+	encodeState := func() string {
+		var sb strings.Builder
+		for _, k := range order {
+			fmt.Fprintf(&sb, "%s=%s\n", k, state[k])
+		}
+		return sb.String()
+	}
+
+	step := 0
+	appendKV := func() bool {
+		k, v := fmt.Sprintf("k%03d", len(order)), fmt.Sprintf("v%03d", step)
+		recBytes := k + "=" + v
+		res.submitted[recBytes] = true
+		state[k] = v
+		order = append(order, k)
+		if err := st.Append([]byte(recBytes)); err != nil {
+			return false
+		}
+		res.durable[k] = v
+		return true
+	}
+	snapshot := func() bool {
+		payload := encodeState()
+		res.snapshots[payload] = true
+		if err := st.WriteSnapshot([]byte(payload)); err != nil {
+			return false
+		}
+		// A successful snapshot acks the entire state.
+		for k, v := range state {
+			res.durable[k] = v
+		}
+		return true
+	}
+
+	// Script: appends and snapshots interleaved so the op sweep visits
+	// every phase — journal appends, snapshot body/fsync/rename/dir
+	// fsync, journal rollover, GC of generation 1.
+	for ; step < 40; step++ {
+		ok := true
+		switch {
+		case step == 8 || step == 20 || step == 32:
+			ok = snapshot()
+		default:
+			ok = appendKV()
+		}
+		if !ok {
+			return res
+		}
+	}
+	return res
+}
+
+// verifyRecovered reopens the directory on the real filesystem and
+// checks the two crash-recovery invariants: every durably-acked fact
+// survives, and nothing corrupt is ever surfaced.
+func verifyRecovered(t *testing.T, dir string, res crashResult, label string) {
+	t.Helper()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("%s: reopen after crash: %v", label, err)
+	}
+	defer st.Close()
+	rec := st.Recovery()
+
+	recovered := map[string]string{}
+	if rec.HasSnapshot {
+		// Invariant: a surfaced snapshot is byte-identical to one the
+		// engine wrote — never a blend or a truncation.
+		if !res.snapshots[string(rec.Snapshot)] {
+			t.Fatalf("%s: recovered snapshot was never submitted:\n%q", label, rec.Snapshot)
+		}
+		for _, line := range strings.Split(string(rec.Snapshot), "\n") {
+			if k, v, ok := strings.Cut(line, "="); ok {
+				recovered[k] = v
+			}
+		}
+	}
+	for _, r := range rec.Records {
+		// Invariant: every surfaced record is byte-identical to a
+		// submitted one.
+		if !res.submitted[string(r)] {
+			t.Fatalf("%s: recovered record was never submitted: %q", label, r)
+		}
+		k, v, ok := strings.Cut(string(r), "=")
+		if !ok {
+			t.Fatalf("%s: malformed recovered record %q", label, r)
+		}
+		recovered[k] = v
+	}
+
+	// Invariant: the durability floor holds — everything acked before
+	// the crash is present with the exact acked value.
+	for k, v := range res.durable {
+		got, ok := recovered[k]
+		if !ok {
+			t.Fatalf("%s: durably-acked %s=%s lost (recovered %d keys)", label, k, v, len(recovered))
+		}
+		if got != v {
+			t.Fatalf("%s: durably-acked %s=%s recovered as %s", label, k, v, got)
+		}
+	}
+}
+
+// TestCrashSweepEveryOp kills the store at every mutating-filesystem
+// operation of the workload in turn — mid-journal-append, mid-snapshot
+// write, between fsync and rename, mid-rename, during GC — and asserts
+// the recovery invariants each time.
+func TestCrashSweepEveryOp(t *testing.T) {
+	// Dry run to size the sweep.
+	dry := NewCrashFS(OSFS{}, 0)
+	crashWorkload(dry, filepath.Join(t.TempDir(), "dry"))
+	total := dry.Ops()
+	if total < 60 {
+		t.Fatalf("workload only issued %d fs ops; the sweep needs a longer script", total)
+	}
+
+	for _, seed := range []int64{1, 2, 3} {
+		for op := 0; op < total; op++ {
+			dir := filepath.Join(t.TempDir(), fmt.Sprintf("s%d-op%d", seed, op))
+			cfs := NewCrashFS(OSFS{}, seed+int64(op)*1000)
+			cfs.CrashAt(op)
+			res := crashWorkload(cfs, dir)
+			if !cfs.Crashed() {
+				t.Fatalf("seed %d op %d: workload finished without crashing", seed, op)
+			}
+			verifyRecovered(t, dir, res, fmt.Sprintf("seed %d op %d", seed, op))
+		}
+	}
+}
+
+// TestCrashTwice crashes, recovers, and crashes again at a later point:
+// the second incarnation appends after a truncated torn tail, so this
+// exercises recovery-of-a-recovery.
+func TestCrashTwice(t *testing.T) {
+	dry := NewCrashFS(OSFS{}, 0)
+	crashWorkload(dry, filepath.Join(t.TempDir(), "dry"))
+	total := dry.Ops()
+
+	for _, firstOp := range []int{5, 13, 21, 33, total - 2} {
+		dir := filepath.Join(t.TempDir(), fmt.Sprintf("first%d", firstOp))
+		cfs := NewCrashFS(OSFS{}, int64(firstOp))
+		cfs.CrashAt(firstOp)
+		res1 := crashWorkload(cfs, dir)
+		if !cfs.Crashed() {
+			t.Fatalf("first crash at %d not reached", firstOp)
+		}
+
+		// Second incarnation resumes in the same directory and dies again.
+		cfs2 := NewCrashFS(OSFS{}, int64(firstOp)*7+1)
+		cfs2.CrashAt(firstOp + 9)
+		res2 := crashWorkload(cfs2, dir)
+
+		// The union of both incarnations' acks must survive: res2's
+		// workload rebuilt on top of res1's recovered state.
+		merged := crashResult{
+			durable:   map[string]string{},
+			submitted: map[string]bool{},
+			snapshots: map[string]bool{},
+		}
+		for k, v := range res1.durable {
+			merged.durable[k] = v
+		}
+		for k, v := range res2.durable {
+			merged.durable[k] = v
+		}
+		for r := range res1.submitted {
+			merged.submitted[r] = true
+		}
+		for r := range res2.submitted {
+			merged.submitted[r] = true
+		}
+		for s := range res1.snapshots {
+			merged.snapshots[s] = true
+		}
+		for s := range res2.snapshots {
+			merged.snapshots[s] = true
+		}
+		verifyRecovered(t, dir, merged, fmt.Sprintf("double crash %d", firstOp))
+	}
+}
+
+// TestCrashedFSRefusesEverything pins the harness's own contract: after
+// the crash point nothing reaches the disk.
+func TestCrashedFSRefusesEverything(t *testing.T) {
+	cfs := NewCrashFS(OSFS{}, 1)
+	cfs.CrashAt(0)
+	dir := t.TempDir()
+	if err := cfs.MkdirAll(filepath.Join(dir, "x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash-point op: %v", err)
+	}
+	if err := cfs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: %v", err)
+	}
+	if _, err := cfs.Create(filepath.Join(dir, "c")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create: %v", err)
+	}
+	if _, err := cfs.ReadFile(filepath.Join(dir, "c")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read: %v", err)
+	}
+}

@@ -1,0 +1,294 @@
+package statestore
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+)
+
+// ErrCrashed is returned by every CrashFS operation from the crash
+// point onward: the simulated process is dead and nothing it does
+// afterwards reaches the disk.
+var ErrCrashed = errors.New("statestore: simulated crash")
+
+// CrashFS wraps another FS and kills the process at a chosen mutation,
+// in the spirit of internal/chaos: deterministic, seeded, and honest
+// about what real crashes do to half-written state.
+//
+// Durability is modelled the way a kernel page cache behaves: bytes
+// written to a file sit in a pending buffer until Sync flushes them to
+// the inner FS. At the crash point the harness flushes a seeded-random
+// *prefix* of every pending buffer — the torn tail an interrupted
+// append or snapshot write leaves behind — and a pending rename is
+// performed or skipped by a seeded coin flip (a rename is atomic, so a
+// crash leaves either the old name or the new, never a blend). Every
+// operation after the crash returns ErrCrashed.
+//
+// Mutating operations (Create, OpenAppend, Write, Sync, Rename, Remove,
+// Truncate, SyncDir, MkdirAll) each count as one crash point, so a
+// sweep over CrashAt(0..Ops()) visits every interesting interleaving:
+// mid-journal-append, mid-snapshot-body, between snapshot fsync and
+// rename, mid-rename, between rename and directory fsync.
+type CrashFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	ops     int
+	crashAt int // op index that crashes; <0 never crashes
+	crashed bool
+	files   map[*crashFile]bool
+}
+
+// NewCrashFS wraps inner with a crash harness drawing tear lengths and
+// rename outcomes from the seed. It starts disarmed (never crashes);
+// arm it with CrashAt.
+func NewCrashFS(inner FS, seed int64) *CrashFS {
+	return &CrashFS{
+		inner:   inner,
+		rng:     rand.New(rand.NewSource(seed)),
+		crashAt: -1,
+		files:   make(map[*crashFile]bool),
+	}
+}
+
+// CrashAt arms the harness: the n-th mutating operation (0-based)
+// crashes. Call before driving the store.
+func (c *CrashFS) CrashAt(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashAt = n
+}
+
+// Ops reports how many mutating operations have been counted — run the
+// workload once disarmed to size the sweep.
+func (c *CrashFS) Ops() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
+// Crashed reports whether the crash point was reached.
+func (c *CrashFS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// step counts one mutating operation and reports whether THIS call is
+// the crash point. Callers must hold c.mu and have already bailed if
+// c.crashed is set.
+func (c *CrashFS) step() bool {
+	op := c.ops
+	c.ops++
+	if c.crashAt >= 0 && op == c.crashAt {
+		c.crash()
+		return true
+	}
+	return false
+}
+
+// crash marks the filesystem dead and tears every pending buffer: a
+// seeded-random prefix of each open file's unflushed bytes reaches the
+// inner FS, the rest vanishes. Callers must hold c.mu.
+func (c *CrashFS) crash() {
+	c.crashed = true
+	for f := range c.files {
+		f.tear(c.rng)
+	}
+}
+
+// MkdirAll implements FS.
+func (c *CrashFS) MkdirAll(dir string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed || c.step() {
+		return ErrCrashed
+	}
+	return c.inner.MkdirAll(dir)
+}
+
+// ReadDir implements FS. Reads are free (recovery runs them), but a
+// crashed process cannot read either.
+func (c *CrashFS) ReadDir(dir string) ([]string, error) {
+	c.mu.Lock()
+	dead := c.crashed
+	c.mu.Unlock()
+	if dead {
+		return nil, ErrCrashed
+	}
+	return c.inner.ReadDir(dir)
+}
+
+// ReadFile implements FS.
+func (c *CrashFS) ReadFile(name string) ([]byte, error) {
+	c.mu.Lock()
+	dead := c.crashed
+	c.mu.Unlock()
+	if dead {
+		return nil, ErrCrashed
+	}
+	return c.inner.ReadFile(name)
+}
+
+// Create implements FS.
+func (c *CrashFS) Create(name string) (File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed || c.step() {
+		return nil, ErrCrashed
+	}
+	f, err := c.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	cf := &crashFile{fs: c, inner: f}
+	c.files[cf] = true
+	return cf, nil
+}
+
+// OpenAppend implements FS.
+func (c *CrashFS) OpenAppend(name string) (File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed || c.step() {
+		return nil, ErrCrashed
+	}
+	f, err := c.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	cf := &crashFile{fs: c, inner: f}
+	c.files[cf] = true
+	return cf, nil
+}
+
+// Rename implements FS. A crash at the rename performs or skips it by a
+// seeded coin flip: the operation is atomic on a journaling filesystem,
+// but whether it happened before the power died is a coin flip.
+func (c *CrashFS) Rename(oldname, newname string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	if c.step() {
+		if c.rng.Intn(2) == 1 {
+			_ = c.inner.Rename(oldname, newname)
+		}
+		return ErrCrashed
+	}
+	return c.inner.Rename(oldname, newname)
+}
+
+// Remove implements FS.
+func (c *CrashFS) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed || c.step() {
+		return ErrCrashed
+	}
+	return c.inner.Remove(name)
+}
+
+// Truncate implements FS.
+func (c *CrashFS) Truncate(name string, size int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed || c.step() {
+		return ErrCrashed
+	}
+	return c.inner.Truncate(name, size)
+}
+
+// SyncDir implements FS.
+func (c *CrashFS) SyncDir(dir string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed || c.step() {
+		return ErrCrashed
+	}
+	return c.inner.SyncDir(dir)
+}
+
+// crashFile buffers writes until Sync, modelling the page cache: bytes
+// not yet synced may tear or vanish at the crash.
+type crashFile struct {
+	fs      *CrashFS
+	inner   File
+	pending []byte
+	dead    bool
+}
+
+// Write implements File: bytes land in the pending buffer, durable only
+// after Sync.
+func (f *crashFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.dead || f.fs.crashed || f.fs.step() {
+		f.dead = true
+		return 0, ErrCrashed
+	}
+	f.pending = append(f.pending, p...)
+	return len(p), nil
+}
+
+// Sync implements File: flush the pending buffer to the inner FS and
+// fsync it. A crash at this point tears the buffer instead.
+func (f *crashFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.dead || f.fs.crashed || f.fs.step() {
+		f.dead = true
+		return ErrCrashed
+	}
+	if err := f.flushLocked(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// Close implements File. An un-synced buffer is flushed without an
+// fsync — on a real system those bytes usually reach the disk soon
+// after, and a crash between Close and that writeback is modelled by
+// crashing at an earlier op instead.
+func (f *crashFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	delete(f.fs.files, f)
+	if f.dead || f.fs.crashed {
+		f.dead = true
+		f.inner.Close()
+		return ErrCrashed
+	}
+	if err := f.flushLocked(); err != nil {
+		f.inner.Close()
+		return err
+	}
+	return f.inner.Close()
+}
+
+// flushLocked writes the pending buffer through. Callers hold fs.mu.
+func (f *crashFile) flushLocked() error {
+	if len(f.pending) == 0 {
+		return nil
+	}
+	_, err := f.inner.Write(f.pending)
+	f.pending = nil
+	return err
+}
+
+// tear flushes a seeded-random prefix of the pending buffer — the
+// half-written state a crash leaves behind — and marks the file dead.
+// Callers hold fs.mu.
+func (f *crashFile) tear(rng *rand.Rand) {
+	if n := len(f.pending); n > 0 {
+		keep := rng.Intn(n + 1)
+		if keep > 0 {
+			_, _ = f.inner.Write(f.pending[:keep])
+		}
+		f.pending = nil
+	}
+	f.dead = true
+	_ = f.inner.Close()
+}

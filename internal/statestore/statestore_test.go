@@ -1,0 +1,358 @@
+package statestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// openT opens a store and fails the test on error.
+func openT(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	st, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// reopen closes the store and opens the directory again.
+func reopen(t *testing.T, st *Store, opts Options) *Store {
+	t.Helper()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return openT(t, st.Dir(), opts)
+}
+
+func mustAppend(t *testing.T, st *Store, records ...string) {
+	t.Helper()
+	for _, r := range records {
+		if err := st.Append([]byte(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func recordsEqual(rec Recovery, want ...string) error {
+	if len(rec.Records) != len(want) {
+		return fmt.Errorf("recovered %d records, want %d", len(rec.Records), len(want))
+	}
+	for i, w := range want {
+		if string(rec.Records[i]) != w {
+			return fmt.Errorf("record %d = %q, want %q", i, rec.Records[i], w)
+		}
+	}
+	return nil
+}
+
+// corruptFile flips one byte at offset (negative = from the end).
+func corruptFile(t *testing.T, path string, offset int64) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offset < 0 {
+		offset += int64(len(data))
+	}
+	data[offset] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryMatrix is the table of recovery shapes the store must
+// handle: the rows mirror the states a crashed deployment can wake up
+// in.
+func TestRecoveryMatrix(t *testing.T) {
+	t.Run("no state dir", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "fresh", "nested")
+		st := openT(t, dir, Options{})
+		defer st.Close()
+		rec := st.Recovery()
+		if rec.HasSnapshot || len(rec.Records) != 0 || rec.CorruptSnapshots != 0 {
+			t.Fatalf("fresh dir recovery not empty: %+v", rec)
+		}
+		mustAppend(t, st, "a", "b")
+		st = reopen(t, st, Options{})
+		defer st.Close()
+		if err := recordsEqual(st.Recovery(), "a", "b"); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("snapshot only", func(t *testing.T) {
+		st := openT(t, t.TempDir(), Options{})
+		defer st.Close()
+		if err := st.WriteSnapshot([]byte("full-state")); err != nil {
+			t.Fatal(err)
+		}
+		st = reopen(t, st, Options{})
+		defer st.Close()
+		rec := st.Recovery()
+		if !rec.HasSnapshot || string(rec.Snapshot) != "full-state" {
+			t.Fatalf("snapshot not recovered: %+v", rec)
+		}
+		if len(rec.Records) != 0 {
+			t.Fatalf("unexpected records: %q", rec.Records)
+		}
+	})
+
+	t.Run("snapshot plus journal", func(t *testing.T) {
+		st := openT(t, t.TempDir(), Options{})
+		defer st.Close()
+		mustAppend(t, st, "pre") // superseded by the snapshot
+		if err := st.WriteSnapshot([]byte("S")); err != nil {
+			t.Fatal(err)
+		}
+		mustAppend(t, st, "r1", "r2", "r3")
+		st = reopen(t, st, Options{})
+		defer st.Close()
+		rec := st.Recovery()
+		if !rec.HasSnapshot || string(rec.Snapshot) != "S" {
+			t.Fatalf("snapshot: %+v", rec)
+		}
+		if err := recordsEqual(rec, "r1", "r2", "r3"); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("torn journal tail", func(t *testing.T) {
+		st := openT(t, t.TempDir(), Options{})
+		defer st.Close()
+		if err := st.WriteSnapshot([]byte("S")); err != nil {
+			t.Fatal(err)
+		}
+		mustAppend(t, st, "good-1", "good-2")
+		dir := st.Dir()
+		gen := st.Gen()
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Simulate an interrupted append: half a header and garbage.
+		wal := filepath.Join(dir, fmt.Sprintf("wal-%08d.twj", gen))
+		f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte{0x09, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		st = openT(t, dir, Options{})
+		defer st.Close()
+		rec := st.Recovery()
+		if err := recordsEqual(rec, "good-1", "good-2"); err != nil {
+			t.Fatal(err)
+		}
+		if rec.TornTailBytes != 6 {
+			t.Fatalf("torn tail bytes = %d, want 6", rec.TornTailBytes)
+		}
+		if rec.ReplayStopped {
+			t.Fatal("a tail tear in the newest journal must not stop replay")
+		}
+		// The tail was truncated: appends extend a clean boundary.
+		mustAppend(t, st, "good-3")
+		st = reopen(t, st, Options{})
+		defer st.Close()
+		if err := recordsEqual(st.Recovery(), "good-1", "good-2", "good-3"); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("corrupt snapshot falls back to previous generation", func(t *testing.T) {
+		st := openT(t, t.TempDir(), Options{})
+		defer st.Close()
+		if err := st.WriteSnapshot([]byte("gen1")); err != nil {
+			t.Fatal(err)
+		}
+		mustAppend(t, st, "during-gen1")
+		if err := st.WriteSnapshot([]byte("gen2")); err != nil {
+			t.Fatal(err)
+		}
+		mustAppend(t, st, "during-gen2")
+		dir := st.Dir()
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Flip a payload byte in the gen-2 snapshot: CRC must reject it.
+		corruptFile(t, filepath.Join(dir, "snap-00000002.tws"), -1)
+
+		st = openT(t, dir, Options{})
+		defer st.Close()
+		rec := st.Recovery()
+		if !rec.HasSnapshot || string(rec.Snapshot) != "gen1" || rec.SnapshotGen != 1 {
+			t.Fatalf("must fall back to gen 1: %+v", rec)
+		}
+		if rec.CorruptSnapshots != 1 {
+			t.Fatalf("corrupt snapshots = %d, want 1", rec.CorruptSnapshots)
+		}
+		// Both generations' journals roll the old snapshot forward: no
+		// acked record is lost to the corrupt snapshot.
+		if err := recordsEqual(rec, "during-gen1", "during-gen2"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestRetentionGC(t *testing.T) {
+	st := openT(t, t.TempDir(), Options{Retain: 2})
+	defer st.Close()
+	for i := 1; i <= 5; i++ {
+		mustAppend(t, st, fmt.Sprintf("r%d", i))
+		if err := st.WriteSnapshot([]byte(fmt.Sprintf("gen%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := os.ReadDir(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	for _, e := range names {
+		kept = append(kept, e.Name())
+	}
+	for _, name := range kept {
+		if g, ok := parseGen(name, "snap-", snapSuffix); ok && g < 4 {
+			t.Fatalf("snapshot gen %d not collected (files: %v)", g, kept)
+		}
+		if g, ok := parseGen(name, "wal-", walSuffix); ok && g < 4 {
+			t.Fatalf("journal gen %d not collected (files: %v)", g, kept)
+		}
+	}
+	st = reopen(t, st, Options{Retain: 2})
+	defer st.Close()
+	rec := st.Recovery()
+	if !rec.HasSnapshot || string(rec.Snapshot) != "gen5" {
+		t.Fatalf("newest snapshot must survive GC: %+v", rec)
+	}
+}
+
+func TestMidChainTearRequiresSnapshot(t *testing.T) {
+	st := openT(t, t.TempDir(), Options{})
+	defer st.Close()
+	mustAppend(t, st, "old-1", "old-2")
+	if err := st.WriteSnapshot([]byte("gen1")); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, st, "new-1")
+	dir := st.Dir()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the FIRST record of wal-0 and the gen-1 snapshot: recovery
+	// falls back to cold start, replay breaks immediately in wal-0, and
+	// everything after — including wal-1 — is beyond the replay horizon.
+	corruptFile(t, filepath.Join(dir, "wal-00000000.twj"), recHeaderLen)
+	corruptFile(t, filepath.Join(dir, "snap-00000001.tws"), -1)
+
+	st = openT(t, dir, Options{})
+	defer st.Close()
+	rec := st.Recovery()
+	if rec.HasSnapshot {
+		t.Fatalf("no snapshot should validate: %+v", rec)
+	}
+	if !rec.ReplayStopped {
+		t.Fatal("mid-chain tear must set ReplayStopped")
+	}
+	if len(rec.Records) != 0 {
+		t.Fatalf("no record before the tear should surface: %q", rec.Records)
+	}
+	// Appends are refused until a snapshot re-anchors the chain —
+	// otherwise they would be lost on the next open.
+	if err := st.Append([]byte("x")); !errors.Is(err, ErrSnapshotNeeded) {
+		t.Fatalf("append after mid-chain tear: %v, want ErrSnapshotNeeded", err)
+	}
+	if err := st.WriteSnapshot([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, st, "post")
+	st = reopen(t, st, Options{})
+	defer st.Close()
+	rec = st.Recovery()
+	if !rec.HasSnapshot || string(rec.Snapshot) != "fresh" {
+		t.Fatalf("re-anchored snapshot must recover: %+v", rec)
+	}
+	if err := recordsEqual(rec, "post"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoisonedAfterWriteFailure(t *testing.T) {
+	// A store whose journal write fails must refuse further writes: the
+	// tail is in an unknown state and only a reopen re-validates it.
+	dir := t.TempDir()
+	cfs := NewCrashFS(OSFS{}, 7)
+	st, err := Open(dir, Options{FS: cfs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, st, "ok")
+	cfs.CrashAt(cfs.Ops()) // next mutating op dies
+	if err := st.Append([]byte("doomed")); err == nil {
+		t.Fatal("append at crash point must fail")
+	}
+	if err := st.Append([]byte("after")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append on poisoned store: %v, want ErrPoisoned", err)
+	}
+	if err := st.WriteSnapshot([]byte("s")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("snapshot on poisoned store: %v, want ErrPoisoned", err)
+	}
+
+	// Reopen with the real filesystem: the acked record survived.
+	st2 := openT(t, dir, Options{})
+	defer st2.Close()
+	if err := recordsEqual(st2.Recovery(), "ok"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	st := openT(t, t.TempDir(), Options{})
+	defer st.Close()
+	if err := st.Append(nil); err == nil {
+		t.Fatal("empty record must be rejected")
+	}
+	if err := st.AppendBatch(nil); err != nil {
+		t.Fatalf("empty batch is a no-op: %v", err)
+	}
+}
+
+func TestSnapshotDecodeRejectsHostileImages(t *testing.T) {
+	good := func() []byte {
+		var buf bytes.Buffer
+		st := openT(t, t.TempDir(), Options{})
+		defer st.Close()
+		if err := st.WriteSnapshot([]byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(st.Dir(), "snap-00000001.tws"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(data)
+		return buf.Bytes()
+	}()
+	if _, err := decodeSnapshot(good); err != nil {
+		t.Fatalf("control image must decode: %v", err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"short header":    func(b []byte) []byte { return b[:snapHeaderLen-1] },
+		"bad magic":       func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"version skew":    func(b []byte) []byte { b[8] = 99; return b },
+		"truncated body":  func(b []byte) []byte { return b[:len(b)-2] },
+		"flipped payload": func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b },
+		"extra bytes":     func(b []byte) []byte { return append(b, 0x00) },
+	}
+	for name, mutate := range cases {
+		img := mutate(append([]byte(nil), good...))
+		if _, err := decodeSnapshot(img); err == nil {
+			t.Errorf("%s: hostile snapshot image must be rejected", name)
+		}
+	}
+}
