@@ -9,7 +9,7 @@
 STATICCHECK = go run honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK = go run golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: all build check lint lint-offline test race chaos crash fuzz-smoke vettool clean
+.PHONY: all build check lint lint-offline test race chaos crash soak fuzz-smoke vettool clean
 
 all: build
 
@@ -48,6 +48,17 @@ chaos:
 crash:
 	go test -race -count=1 -run 'TestCrash' ./internal/statestore/ ./internal/core/
 	go test -race -count=1 -run 'TestFleetState' ./internal/fleet/
+
+# The overload soak at acceptance scale: a million unique ghost EPCs and
+# 500 greedy API clients against one manager, under the race detector
+# with a hard memory ceiling. Proves the bounds hold (registry capped,
+# quarantine ring fixed, heap flat), the counters fire (shed, rate
+# limit, eviction, quarantine), /healthz answers throughout, and the
+# restart round-trip restores only legitimate tags. Without
+# TAGWATCH_SOAK=full the same test runs at a CI-friendly 100k scale
+# inside the ordinary race job.
+soak:
+	TAGWATCH_SOAK=full GOMEMLIMIT=512MiB go test -race -count=1 -run TestSoakFloodSurvival -v ./internal/fleet/
 
 # Short fuzz bursts on the wire-facing decoders, mirroring CI. Go allows
 # one -fuzz target per invocation.

@@ -52,6 +52,17 @@ func main() {
 		stateDir    = flag.String("state-dir", "", "durable registry directory: crash-safe snapshots + journal, restored on start, saved on shutdown")
 		snapEvery   = flag.Duration("snapshot-interval", time.Minute, "with -state-dir, time between full registry snapshots")
 		flushEvery  = flag.Duration("journal-flush", 2*time.Second, "with -state-dir, time between incremental journal flushes (the durability lag a crash can lose)")
+
+		maxTags       = flag.Int("max-tags", 0, "registry capacity bound; at the cap the stalest tag is evicted for each new arrival (0 = unbounded)")
+		quarK         = flag.Int("quarantine-k", 0, "sightings within the quarantine window before a new EPC is believed; filters one-off ghost decodes (0/1 = off)")
+		quarWindow    = flag.Duration("quarantine-window", 10*time.Second, "how long quarantine remembers a probationary EPC between sightings")
+		quarCap       = flag.Int("quarantine-cap", 65536, "fixed size of the probationary ring; overflow displaces the oldest suspect")
+		apiRate       = flag.Float64("api-rate", 0, "API requests/second allowed per client IP (0 = no rate limit)")
+		apiBurst      = flag.Float64("api-burst", 0, "token-bucket burst per client IP (0 = 2x rate)")
+		apiMaxConc    = flag.Int("api-max-concurrent", 0, "ceiling for the adaptive API concurrency limit (0 = no concurrency limit)")
+		maxSSE        = flag.Int("max-sse", 64, "concurrent /api/events subscribers before new streams get 503")
+		restartBudget = flag.Int("restart-budget", 5, "contained panics per window before a supervisor is tripped for good")
+		restartWindow = flag.Duration("restart-window", time.Minute, "sliding window for the panic-restart budget")
 	)
 	flag.Parse()
 
@@ -80,6 +91,17 @@ func main() {
 	cfg.StateDir = *stateDir
 	cfg.SnapshotInterval = *snapEvery
 	cfg.JournalFlush = *flushEvery
+	cfg.MaxTags = *maxTags
+	cfg.Tagwatch.Motion.MaxTags = *maxTags // bound the per-reader motion models too
+	cfg.QuarantineK = *quarK
+	cfg.QuarantineWindow = *quarWindow
+	cfg.QuarantineCap = *quarCap
+	cfg.APIRate = *apiRate
+	cfg.APIBurst = *apiBurst
+	cfg.APIMaxConcurrent = *apiMaxConc
+	cfg.MaxSSEClients = *maxSSE
+	cfg.RestartBudget = *restartBudget
+	cfg.RestartWindow = *restartWindow
 	for _, part := range strings.Split(*readers, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -113,6 +135,8 @@ func main() {
 					log.Printf("handoff %s: %s -> %s", ev.EPC, ev.From, ev.To)
 				case fleet.EventStateStore:
 					log.Printf("statestore %s failed: %s (registry now non-durable)", ev.State, ev.Error)
+				case fleet.EventPanic:
+					log.Printf("panic in %s: %s %s", ev.Reader, ev.State, ev.Error)
 				}
 			}
 		}()

@@ -45,6 +45,7 @@ func main() {
 		state       = flag.String("state", "", "legacy state file: learned immobility models are loaded at start and saved at exit (no crash safety; prefer -state-dir)")
 		stateDir    = flag.String("state-dir", "", "durable state directory: crash-safe snapshots + per-cycle journal; supersedes -state")
 		snapEvery   = flag.Duration("snapshot-interval", time.Minute, "with -state-dir, time between full snapshots (journal appends cover every cycle in between)")
+		maxTags     = flag.Int("max-tags", 0, "motion-model capacity bound; first contact past the cap evicts the stalest tracked tag (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -85,6 +86,7 @@ func main() {
 		cfg = loaded
 	}
 	cfg.PhaseIIDwell = *dwell
+	cfg.Motion.MaxTags = *maxTags
 	if *pins != "" {
 		for _, s := range strings.Split(*pins, ",") {
 			code, err := epc.Parse(strings.TrimSpace(s))

@@ -50,6 +50,13 @@ var watched = map[string]map[string]bool{
 	"tagwatch/internal/statestore": {
 		"Store": true,
 	},
+	// The overload armor: Sentinel.Do returns the contained panic — the
+	// only evidence a supervised component just crashed — and
+	// Admission.Acquire returns the slot's release func alongside its
+	// error. Dropping either erases a crash or leaks a concurrency slot.
+	"tagwatch/internal/guard": {
+		"Sentinel": true, "Admission": true,
+	},
 }
 
 // exemptMethods are error-returning methods whose drop is conventional.

@@ -8,6 +8,7 @@ import (
 
 	"tagwatch/internal/core"
 	"tagwatch/internal/fleet"
+	"tagwatch/internal/guard"
 	"tagwatch/internal/llrp"
 	"tagwatch/internal/statestore"
 )
@@ -76,4 +77,29 @@ func durabilityHandled(st *statestore.Store, ck *core.Checkpointer) error {
 		return err
 	}
 	return ck.Snapshot()
+}
+
+// The overload armor: Sentinel.Do's error is the contained panic, and
+// Admission.Acquire's results are the slot release plus the shed error.
+func guardDrops(s *guard.Sentinel, a *guard.Admission, ctx context.Context) {
+	s.Do("worker", func() {}) // want `error from \(tagwatch/internal/guard.Sentinel\).Do is silently dropped`
+	a.Acquire(ctx)            // want `error from \(tagwatch/internal/guard.Admission\).Acquire is silently dropped`
+}
+
+func guardHandled(s *guard.Sentinel, a *guard.Admission, ctx context.Context) error {
+	if err := s.Do("worker", func() {}); err != nil {
+		return err
+	}
+	release, err := a.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	release(true)
+	return nil
+}
+
+// A reviewed, deliberate drop stays legal — containment-only call sites
+// where no restart decision rides on the error.
+func guardDeliberate(s *guard.Sentinel) {
+	_ = s.Do("checkpoint", func() {})
 }

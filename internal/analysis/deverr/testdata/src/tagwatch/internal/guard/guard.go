@@ -1,0 +1,14 @@
+// Fixture: minimal stand-in for the real guard package, matched by the
+// analyzer purely on import path + type name + signature.
+package guard
+
+import "context"
+
+type Sentinel struct{}
+
+func (s *Sentinel) Do(component string, fn func()) error { return nil }
+func (s *Sentinel) Total() uint64                        { return 0 }
+
+type Admission struct{}
+
+func (a *Admission) Acquire(ctx context.Context) (func(bool), error) { return nil, nil }

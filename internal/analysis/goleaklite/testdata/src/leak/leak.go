@@ -107,4 +107,36 @@ func excusedTicker() {
 	<-t.C
 }
 
+// The panic-restart loop shape from the fleet's supervision: contain a
+// crash, back off, run again. Restarting forever with no shutdown
+// receive is exactly the leak that keeps a dead manager's goroutines
+// spinning after Stop.
+func (w *worker) badRestartLoop(contained func() error) {
+	go func() { // want `goroutine loops forever with no shutdown path`
+		for {
+			if err := contained(); err == nil {
+				return
+			}
+			time.Sleep(100 * time.Millisecond) // backoff without a cancel path
+		}
+	}()
+}
+
+// The accepted shape: the backoff wait races ctx cancellation, so
+// Stop/ctx-cancel ends the restart loop between attempts.
+func (w *worker) goodRestartLoop(ctx context.Context, contained func() error) {
+	go func() {
+		for {
+			if err := contained(); err == nil {
+				return
+			}
+			select {
+			case <-time.After(100 * time.Millisecond):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
 func process(int) {}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tagwatch/internal/epc"
+	"tagwatch/internal/guard"
 	"tagwatch/internal/motion"
 	"tagwatch/internal/schedule"
 )
@@ -105,6 +106,10 @@ type Metrics struct {
 	// ScheduleCostTotal is the accumulated wall-clock planning time; the
 	// mean (divided by Cycles) is the Fig. 17 quantity.
 	ScheduleCostTotal time.Duration
+	// ListenerPanics counts subscriber callbacks that panicked during
+	// delivery. The panic is contained — one broken subscriber loses its
+	// own readings, not everyone else's and not the cycle loop.
+	ListenerPanics uint64
 }
 
 // Tagwatch is the middleware controller.
@@ -196,11 +201,17 @@ func (tw *Tagwatch) Unpin(code epc.EPC) {
 	}
 }
 
-// deliver records a reading in history and fans it out.
+// deliver records a reading in history and fans it out. Each listener
+// runs contained: a panicking subscriber is counted and skipped for this
+// reading; the remaining listeners and the cycle loop are unaffected.
 func (tw *Tagwatch) deliver(r Reading) {
 	tw.history.Add(r)
 	for _, fn := range tw.listeners {
-		fn(r)
+		if perr := guard.Call(func() { fn(r) }); perr != nil {
+			tw.metricsMu.Lock()
+			tw.metrics.ListenerPanics++
+			tw.metricsMu.Unlock()
+		}
 	}
 }
 

@@ -424,3 +424,18 @@ func TestMetricsAccumulate(t *testing.T) {
 		t.Fatal("schedule cost must accumulate")
 	}
 }
+
+func TestPanickingListenerContained(t *testing.T) {
+	tw, _, _, _ := paperRig(t, 7, 10, 1, 0)
+	var survivor int
+	tw.Subscribe(func(Reading) { panic("broken subscriber") })
+	tw.Subscribe(func(Reading) { survivor++ })
+	rep := tw.RunCycle()
+	want := len(rep.PhaseIReads) + len(rep.PhaseIIReads)
+	if survivor != want {
+		t.Fatalf("healthy subscriber saw %d readings, want %d", survivor, want)
+	}
+	if got := tw.Metrics().ListenerPanics; got != uint64(want) {
+		t.Fatalf("ListenerPanics = %d, want %d", got, want)
+	}
+}

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +22,10 @@ const (
 	// flush, snapshot, or close); the fleet keeps serving from memory,
 	// degraded to non-durable.
 	EventStateStore EventType = "statestore"
+	// EventPanic reports a contained panic: State is "contained" when the
+	// component will be restarted under its budget, "tripped" when the
+	// budget is spent and the component is dead for good.
+	EventPanic EventType = "panic"
 )
 
 // Event is one fleet occurrence, shaped for direct JSON/SSE serialisation.
@@ -66,9 +71,14 @@ type Bus struct {
 	mu     sync.Mutex
 	nextID int
 	subs   map[int]*Subscriber
+	// limit bounds TrySubscribe admissions; zero means unbounded.
+	// Internal subscribers (checkpointing, tests) use Subscribe, which
+	// ignores the limit — the bound exists for untrusted SSE clients.
+	limit int
 
 	published atomic.Uint64
 	dropped   atomic.Uint64
+	rejected  atomic.Uint64
 }
 
 // Subscriber is one registered event consumer.
@@ -85,6 +95,15 @@ func NewBus() *Bus {
 	return &Bus{subs: make(map[int]*Subscriber)}
 }
 
+// SetSubscriberLimit caps how many subscribers TrySubscribe will admit
+// (zero = unbounded). Call before serving; not safe to change mid-flight
+// semantics aside, it only gates future TrySubscribe calls.
+func (b *Bus) SetSubscriberLimit(n int) {
+	b.mu.Lock()
+	b.limit = n
+	b.mu.Unlock()
+}
+
 // Subscribe registers a consumer with the given channel buffer (minimum 1).
 func (b *Bus) Subscribe(buffer int) *Subscriber {
 	if buffer < 1 {
@@ -96,6 +115,26 @@ func (b *Bus) Subscribe(buffer int) *Subscriber {
 	s := &Subscriber{bus: b, id: b.nextID, ch: make(chan Event, buffer)}
 	b.subs[s.id] = s
 	return s
+}
+
+// TrySubscribe registers a consumer unless the subscriber limit is
+// reached, in which case it returns (nil, false) and counts the
+// rejection. This is the entry point for untrusted clients (SSE).
+func (b *Bus) TrySubscribe(buffer int) (*Subscriber, bool) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	b.mu.Lock()
+	if b.limit > 0 && len(b.subs) >= b.limit {
+		b.mu.Unlock()
+		b.rejected.Add(1)
+		return nil, false
+	}
+	b.nextID++
+	s := &Subscriber{bus: b, id: b.nextID, ch: make(chan Event, buffer)}
+	b.subs[s.id] = s
+	b.mu.Unlock()
+	return s, true
 }
 
 // Publish delivers an event to every subscriber without blocking.
@@ -119,6 +158,28 @@ func (b *Bus) Stats() (published, dropped uint64, subscribers int) {
 	n := len(b.subs)
 	b.mu.Unlock()
 	return b.published.Load(), b.dropped.Load(), n
+}
+
+// Rejected reports how many TrySubscribe calls the limit turned away.
+func (b *Bus) Rejected() uint64 { return b.rejected.Load() }
+
+// SubscriberDrops is one live subscriber's drop count for /metrics.
+type SubscriberDrops struct {
+	ID      int
+	Dropped uint64
+}
+
+// Drops snapshots the per-subscriber drop counters, sorted by subscriber
+// ID for deterministic metrics output.
+func (b *Bus) Drops() []SubscriberDrops {
+	b.mu.Lock()
+	out := make([]SubscriberDrops, 0, len(b.subs))
+	for _, s := range b.subs {
+		out = append(out, SubscriberDrops{ID: s.id, Dropped: s.dropped.Load()})
+	}
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // C returns the subscriber's event channel. It is closed by Close.

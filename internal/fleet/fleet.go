@@ -16,10 +16,13 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"net/http"
 	"sync"
 	"time"
 
 	"tagwatch/internal/core"
+	"tagwatch/internal/epc"
+	"tagwatch/internal/guard"
 	"tagwatch/internal/statestore"
 )
 
@@ -84,6 +87,47 @@ type Config struct {
 	// client that cannot drain a frame within it is disconnected instead
 	// of pinning the handler forever (default 10s).
 	SSEWriteTimeout time.Duration
+
+	// MaxTags caps the merged registry: when a shard is full, observing a
+	// new tag evicts the stalest tag in that shard (with a journal
+	// tombstone, so durable state shrinks too). Zero means unbounded —
+	// the pre-guard behaviour, kept as the library default.
+	MaxTags int
+	// QuarantineK enables the ghost-tag quarantine: an EPC never seen
+	// before must be sighted K times within QuarantineWindow (default
+	// 10s) before it is admitted to the registry, motion models, or the
+	// WAL. At most QuarantineCap EPCs (default 65536) sit on probation at
+	// once; overflow evicts the oldest probe. K <= 1 disables quarantine.
+	QuarantineK      int
+	QuarantineWindow time.Duration
+	QuarantineCap    int
+	// APIRate enables per-client-IP rate limiting of the HTTP API at this
+	// many requests/second with APIBurst depth (default 2×rate), tracking
+	// at most APIMaxClients buckets (default 16384). Zero disables.
+	APIRate       float64
+	APIBurst      float64
+	APIMaxClients int
+	// APIMaxConcurrent enables the adaptive (AIMD) concurrency limit for
+	// the HTTP API: at most this many requests run at once, shrinking
+	// toward APIMinConcurrent (default 4) when requests blow the
+	// APILatencyBudget (default 1s). Excess requests wait in a LIFO queue
+	// of APIQueueDepth (default 64) for up to APIQueueTimeout (default
+	// 200ms) before being shed with a 503. Zero disables.
+	APIMaxConcurrent int
+	APIMinConcurrent int
+	APIQueueDepth    int
+	APIQueueTimeout  time.Duration
+	APILatencyBudget time.Duration
+	// MaxSSEClients bounds concurrent /api/events subscribers (SSE
+	// streams bypass the concurrency limit — they are long-lived by
+	// design — so they need their own cap). Default 64.
+	MaxSSEClients int
+	// RestartBudget and RestartWindow meter supervisor panic restarts: a
+	// supervisor that panics more than RestartBudget times (default 5)
+	// within RestartWindow (default 1m) is tripped to dead instead of
+	// restarted, so a crash loop cannot take the manager with it.
+	RestartBudget int
+	RestartWindow time.Duration
 }
 
 // DefaultConfig returns production-shaped fleet defaults (no readers).
@@ -103,6 +147,16 @@ func DefaultConfig() Config {
 		JournalFlush:     2 * time.Second,
 		StateRetain:      2,
 		SSEWriteTimeout:  10 * time.Second,
+
+		QuarantineWindow: 10 * time.Second,
+		QuarantineCap:    65536,
+		APIMinConcurrent: 4,
+		APIQueueDepth:    64,
+		APIQueueTimeout:  200 * time.Millisecond,
+		APILatencyBudget: time.Second,
+		MaxSSEClients:    64,
+		RestartBudget:    5,
+		RestartWindow:    time.Minute,
 	}
 }
 
@@ -138,6 +192,30 @@ func (c Config) withDefaults() Config {
 	if c.SSEWriteTimeout <= 0 {
 		c.SSEWriteTimeout = d.SSEWriteTimeout
 	}
+	if c.QuarantineWindow <= 0 {
+		c.QuarantineWindow = d.QuarantineWindow
+	}
+	if c.QuarantineCap <= 0 {
+		c.QuarantineCap = d.QuarantineCap
+	}
+	if c.APIMinConcurrent <= 0 {
+		c.APIMinConcurrent = d.APIMinConcurrent
+	}
+	if c.APIQueueTimeout <= 0 {
+		c.APIQueueTimeout = d.APIQueueTimeout
+	}
+	if c.APILatencyBudget <= 0 {
+		c.APILatencyBudget = d.APILatencyBudget
+	}
+	if c.MaxSSEClients <= 0 {
+		c.MaxSSEClients = d.MaxSSEClients
+	}
+	if c.RestartBudget <= 0 {
+		c.RestartBudget = d.RestartBudget
+	}
+	if c.RestartWindow <= 0 {
+		c.RestartWindow = d.RestartWindow
+	}
 	return c
 }
 
@@ -147,6 +225,12 @@ type Manager struct {
 	cfg Config
 	reg *Registry
 	bus *Bus
+
+	// sentinel contains panics in supervised components; admission guards
+	// the HTTP API. Both are always present (zero config degrades them to
+	// pass-through plus panic containment).
+	sentinel  *guard.Sentinel
+	admission *guard.Admission
 
 	// store is the durable registry backing; nil when StateDir is unset.
 	store *statestore.Store
@@ -166,6 +250,35 @@ func New(cfg Config) *Manager {
 		reg: NewRegistry(),
 		bus: NewBus(),
 	}
+	m.bus.SetSubscriberLimit(cfg.MaxSSEClients)
+	var quar *guard.Quarantine[epc.EPC]
+	if cfg.QuarantineK > 1 {
+		quar = guard.NewQuarantine[epc.EPC](cfg.QuarantineK, cfg.QuarantineWindow, cfg.QuarantineCap)
+	}
+	m.reg.Guard(cfg.MaxTags, quar)
+	m.sentinel = guard.NewSentinel(func(component string, perr *guard.PanicError) {
+		m.bus.Publish(Event{
+			Type: EventPanic, Reader: component, At: time.Now(),
+			State: "contained", Error: perr.Error(),
+		})
+	})
+	m.admission = guard.NewAdmission(guard.AdmissionConfig{
+		RatePerClient: cfg.APIRate,
+		Burst:         cfg.APIBurst,
+		MaxClients:    cfg.APIMaxClients,
+		MaxConcurrent: cfg.APIMaxConcurrent,
+		MinConcurrent: cfg.APIMinConcurrent,
+		QueueDepth:    cfg.APIQueueDepth,
+		QueueTimeout:  cfg.APIQueueTimeout,
+		LatencyBudget: cfg.APILatencyBudget,
+		// Health and metrics must answer during the exact overload this
+		// layer manages; SSE streams are long-lived by design and bounded
+		// by the subscriber cap instead of a concurrency slot.
+		Bypass: func(r *http.Request) bool {
+			return r.URL.Path == "/healthz" || r.URL.Path == "/metrics"
+		},
+		NoSlot: func(r *http.Request) bool { return r.URL.Path == "/api/events" },
+	})
 	for i, rc := range cfg.Readers {
 		name := rc.Name
 		if name == "" {
@@ -175,7 +288,12 @@ func New(cfg Config) *Manager {
 		// two supervisors never share a backoff schedule.
 		h := fnv.New64a()
 		fmt.Fprintf(h, "%s|%s|%d", name, rc.Addr, i)
-		m.sups = append(m.sups, newSupervisor(name, rc.Addr, cfg, m.reg, m.bus, int64(h.Sum64())))
+		s := newSupervisor(name, rc.Addr, cfg, m.reg, m.bus, int64(h.Sum64()))
+		s.breaker = guard.NewBreaker(guard.BreakerConfig{
+			Budget: cfg.RestartBudget,
+			Window: cfg.RestartWindow,
+		})
+		m.sups = append(m.sups, s)
 	}
 	return m
 }
@@ -203,7 +321,10 @@ func (m *Manager) Start(ctx context.Context) error {
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()
-			m.checkpointLoop(ctx)
+			// A checkpoint-loop panic degrades the fleet to non-durable; it
+			// must not kill the process. The sentinel has already counted
+			// and published it. //tagwatch:allow-droppederr containment only; no restart decision rides on this error
+			_ = m.sentinel.Do("checkpoint", func() { m.checkpointLoop(ctx) })
 		}()
 	}
 	for _, s := range m.sups {
@@ -211,10 +332,39 @@ func (m *Manager) Start(ctx context.Context) error {
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()
-			s.run(ctx)
+			m.runSupervised(ctx, s)
 		}()
 	}
 	return nil
+}
+
+// runSupervised runs one supervisor under panic containment: a panic
+// anywhere in its dial/cycle machinery is counted and published, then the
+// supervisor restarts after the breaker's backoff — until the restart
+// budget for the window is spent, at which point the supervisor trips to
+// dead and stays there while the rest of the fleet keeps running.
+func (m *Manager) runSupervised(ctx context.Context, s *supervisor) {
+	for {
+		err := m.sentinel.Do("supervisor."+s.name, func() { s.run(ctx) })
+		if err == nil {
+			return // clean exit: ctx cancelled or retry budget spent
+		}
+		delay, ok := s.breaker.Next(time.Now())
+		if !ok {
+			s.trip(err)
+			m.bus.Publish(Event{
+				Type: EventPanic, Reader: s.name, At: time.Now(),
+				State: "tripped", Error: err.Error(),
+			})
+			return
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			s.setState(StateDown, nil)
+			return
+		}
+	}
 }
 
 // Stop cancels every supervisor and waits for them to exit, then — when

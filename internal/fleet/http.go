@@ -20,6 +20,12 @@ import (
 //	GET /api/events      fleet event stream as server-sent events
 //	GET /healthz         200 while at least one reader is up, else 503
 //	GET /metrics         Prometheus text exposition
+//
+// The whole mux runs behind the admission controller: per-client rate
+// limiting (429) and adaptive concurrency limiting with LIFO shedding
+// (503) when configured, panic containment always. /healthz and /metrics
+// bypass limiting — they must answer during the exact overload the
+// limits manage.
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/tags", m.handleTags)
@@ -28,17 +34,27 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /api/events", m.handleEvents)
 	mux.HandleFunc("GET /healthz", m.handleHealthz)
 	mux.HandleFunc("GET /metrics", m.handleMetrics)
-	return mux
+	return m.admission.Middleware(mux)
 }
 
 // Serve runs the HTTP API on lis until ctx is cancelled, then shuts down
 // gracefully with a 5 s drain. Request contexts derive from ctx, so
 // long-lived SSE streams end promptly at shutdown instead of pinning the
 // drain.
+//
+// The server is hardened against slow and abusive clients: header reads
+// and idle keep-alives are bounded, and header size is capped. There is
+// deliberately no WriteTimeout — it would kill every SSE stream at a
+// fixed age; slow SSE consumers are bounded instead by the per-write
+// deadlines in handleEvents, and slow non-SSE responses by the admission
+// latency budget.
 func (m *Manager) Serve(ctx context.Context, lis net.Listener) error {
 	srv := &http.Server{
-		Handler:     m.Handler(),
-		BaseContext: func(net.Listener) context.Context { return ctx },
+		Handler:           m.Handler(),
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(lis) }()
@@ -146,7 +162,14 @@ func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 
-	sub := m.bus.Subscribe(m.cfg.EventBuffer)
+	// SSE streams bypass the concurrency limit (they are long-lived by
+	// design), so the subscriber cap is what bounds them.
+	sub, ok := m.bus.TrySubscribe(m.cfg.EventBuffer)
+	if !ok {
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "subscriber limit reached", http.StatusServiceUnavailable)
+		return
+	}
 	defer sub.Close()
 
 	w.Header().Set("Content-Type", "text/event-stream")

@@ -67,6 +67,18 @@ func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, rs := range readers {
 		fmt.Fprintf(&b, "tagwatch_fleet_reader_readings_total{reader=%q} %d\n", rs.Name, rs.Readings)
 	}
+	gauge("tagwatch_fleet_reader_tripped", "Whether the supervisor spent its panic-restart budget and is dead.")
+	for _, rs := range readers {
+		tripped := 0
+		if rs.Tripped {
+			tripped = 1
+		}
+		fmt.Fprintf(&b, "tagwatch_fleet_reader_tripped{reader=%q} %d\n", rs.Name, tripped)
+	}
+	gauge("tagwatch_fleet_reader_panic_restarts", "Panic restarts inside the current budget window per reader.")
+	for _, rs := range readers {
+		fmt.Fprintf(&b, "tagwatch_fleet_reader_panic_restarts{reader=%q} %d\n", rs.Name, rs.PanicRestarts)
+	}
 
 	tags := m.reg.Snapshot()
 	mobile := 0
@@ -97,13 +109,56 @@ func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("tagwatch_fleet_registry_handoffs_total", "Reader-to-reader tag transitions.")
 	fmt.Fprintf(&b, "tagwatch_fleet_registry_handoffs_total %d\n", handoffs)
 
+	evicted, quarantinedObs, qs := m.reg.GuardStats()
+	counter("tagwatch_fleet_registry_evicted_total", "Tags evicted by the registry capacity bound.")
+	fmt.Fprintf(&b, "tagwatch_fleet_registry_evicted_total %d\n", evicted)
+	counter("tagwatch_fleet_registry_quarantined_total", "Observations refused while their EPC sat in quarantine.")
+	fmt.Fprintf(&b, "tagwatch_fleet_registry_quarantined_total %d\n", quarantinedObs)
+	counter("tagwatch_guard_quarantine_held_total", "Sightings held on probation by the ghost-tag quarantine.")
+	fmt.Fprintf(&b, "tagwatch_guard_quarantine_held_total %d\n", qs.Held)
+	counter("tagwatch_guard_quarantine_confirmed_total", "EPCs that cleared quarantine and were admitted.")
+	fmt.Fprintf(&b, "tagwatch_guard_quarantine_confirmed_total %d\n", qs.Confirmed)
+	counter("tagwatch_guard_quarantine_evicted_total", "Probationary EPCs displaced by quarantine ring overflow.")
+	fmt.Fprintf(&b, "tagwatch_guard_quarantine_evicted_total %d\n", qs.Evicted)
+	counter("tagwatch_guard_quarantine_expired_total", "Probation windows that lapsed and restarted.")
+	fmt.Fprintf(&b, "tagwatch_guard_quarantine_expired_total %d\n", qs.Expired)
+	gauge("tagwatch_guard_quarantine_size", "EPCs currently on probation.")
+	fmt.Fprintf(&b, "tagwatch_guard_quarantine_size %d\n", qs.Size)
+
 	published, dropped, subscribers := m.bus.Stats()
 	counter("tagwatch_fleet_bus_events_total", "Events published on the fleet bus.")
 	fmt.Fprintf(&b, "tagwatch_fleet_bus_events_total %d\n", published)
 	counter("tagwatch_fleet_bus_dropped_total", "Events dropped across all slow subscribers.")
 	fmt.Fprintf(&b, "tagwatch_fleet_bus_dropped_total %d\n", dropped)
+	counter("tagwatch_fleet_bus_rejected_total", "Subscriptions refused by the subscriber limit.")
+	fmt.Fprintf(&b, "tagwatch_fleet_bus_rejected_total %d\n", m.bus.Rejected())
 	gauge("tagwatch_fleet_bus_subscribers", "Live bus subscribers.")
 	fmt.Fprintf(&b, "tagwatch_fleet_bus_subscribers %d\n", subscribers)
+	counter("tagwatch_fleet_bus_subscriber_dropped_total", "Events dropped per live subscriber.")
+	for _, sd := range m.bus.Drops() {
+		fmt.Fprintf(&b, "tagwatch_fleet_bus_subscriber_dropped_total{subscriber=\"%d\"} %d\n", sd.ID, sd.Dropped)
+	}
+
+	ast := m.admission.Stats()
+	counter("tagwatch_guard_api_admitted_total", "API requests that acquired a concurrency slot (or needed none).")
+	fmt.Fprintf(&b, "tagwatch_guard_api_admitted_total %d\n", ast.Admitted)
+	counter("tagwatch_guard_api_rate_limited_total", "API requests rejected 429 by the per-client token bucket.")
+	fmt.Fprintf(&b, "tagwatch_guard_api_rate_limited_total %d\n", ast.RateLimited)
+	counter("tagwatch_guard_api_shed_total", "API requests shed 503 by the concurrency limiter.")
+	fmt.Fprintf(&b, "tagwatch_guard_api_shed_total %d\n", ast.Shed)
+	counter("tagwatch_guard_api_panics_total", "HTTP handler panics contained into 500s.")
+	fmt.Fprintf(&b, "tagwatch_guard_api_panics_total %d\n", ast.Panics)
+	gauge("tagwatch_guard_api_concurrency_limit", "Current adaptive (AIMD) concurrency limit.")
+	fmt.Fprintf(&b, "tagwatch_guard_api_concurrency_limit %d\n", ast.Limit)
+	gauge("tagwatch_guard_api_inflight", "API requests currently holding slots.")
+	fmt.Fprintf(&b, "tagwatch_guard_api_inflight %d\n", ast.Inflight)
+	gauge("tagwatch_guard_api_clients", "Client token buckets currently tracked.")
+	fmt.Fprintf(&b, "tagwatch_guard_api_clients %d\n", ast.Clients)
+
+	counter("tagwatch_guard_panics_total", "Panics contained per supervised component.")
+	for _, cc := range m.sentinel.Counts() {
+		fmt.Fprintf(&b, "tagwatch_guard_panics_total{component=%q} %d\n", cc.Component, cc.Count)
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

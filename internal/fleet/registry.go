@@ -9,6 +9,7 @@ import (
 
 	"tagwatch/internal/core"
 	"tagwatch/internal/epc"
+	"tagwatch/internal/guard"
 )
 
 // numShards spreads registry contention; readings from N cycle loops hash
@@ -69,8 +70,16 @@ type regShard struct {
 type Registry struct {
 	shards [numShards]regShard
 
+	// maxPerShard caps each shard (0 = unbounded): admitting a new tag to
+	// a full shard evicts the shard's stalest tag with a journal
+	// tombstone. quar, when set, gates admission of never-seen EPCs.
+	maxPerShard int
+	quar        *guard.Quarantine[epc.EPC]
+
 	observations atomic.Uint64
 	handoffs     atomic.Uint64
+	evicted      atomic.Uint64
+	quarantined  atomic.Uint64
 }
 
 // NewRegistry builds an empty registry.
@@ -82,6 +91,19 @@ func NewRegistry() *Registry {
 		r.shards[i].dropped = make(map[epc.EPC]bool)
 	}
 	return r
+}
+
+// Guard bounds the registry: maxTags caps the total population (rounded
+// up to a per-shard cap; 0 = unbounded) and quar, when non-nil, holds
+// never-seen EPCs on probation so ghost reads cannot allocate entries.
+// Call before the first Observe; it is not safe to change mid-flight.
+func (g *Registry) Guard(maxTags int, quar *guard.Quarantine[epc.EPC]) {
+	if maxTags > 0 {
+		g.maxPerShard = (maxTags + numShards - 1) / numShards
+	} else {
+		g.maxPerShard = 0
+	}
+	g.quar = quar
 }
 
 func (g *Registry) shard(code epc.EPC) *regShard {
@@ -103,6 +125,18 @@ func (g *Registry) Observe(reader string, r core.Reading, at time.Time) (Handoff
 	sh.mu.Lock()
 	e, ok := sh.tags[r.EPC]
 	if !ok {
+		// A never-seen EPC must clear quarantine before it may allocate
+		// anything: no entry, no dirty mark, no journal record. Ghost
+		// reads die here. (The quarantine has its own lock but never
+		// blocks, so holding the shard lock across it is safe.)
+		if g.quar != nil && !g.quar.Observe(r.EPC, at) {
+			sh.mu.Unlock()
+			g.quarantined.Add(1)
+			return Handoff{}, false
+		}
+		if g.maxPerShard > 0 && len(sh.tags) >= g.maxPerShard {
+			g.evictStalestLocked(sh)
+		}
 		e = &tagEntry{code: r.EPC, state: TagState{
 			EPC:     r.EPC.String(),
 			Readers: make(map[string]uint64, 2),
@@ -132,6 +166,33 @@ func (g *Registry) Observe(reader string, r core.Reading, at time.Time) (Handoff
 		g.handoffs.Add(1)
 	}
 	return ho, moved
+}
+
+// evictStalestLocked removes the shard's least-recently-seen tag to make
+// room, recording a journal tombstone so the durable state shrinks with
+// the in-memory state. Ties break on EPC order for determinism. The scan
+// is O(shard); with the quarantine in front, floods rarely confirm, so
+// evictions stay rare enough that linear is the right trade against
+// keeping a per-shard heap coherent on every observation.
+func (g *Registry) evictStalestLocked(sh *regShard) {
+	var victim epc.EPC
+	var victimEPC string
+	var oldest time.Time
+	found := false
+	for code, e := range sh.tags {
+		if !found || e.state.LastSeen.Before(oldest) ||
+			(e.state.LastSeen.Equal(oldest) && e.state.EPC < victimEPC) {
+			victim, victimEPC, oldest = code, e.state.EPC, e.state.LastSeen
+			found = true
+		}
+	}
+	if !found {
+		return
+	}
+	delete(sh.tags, victim)
+	delete(sh.dirty, victim)
+	sh.dropped[victim] = true
+	g.evicted.Add(1)
 }
 
 // UpdateAssessment records a reader's per-cycle verdict for a tag: the
@@ -273,6 +334,16 @@ func (g *Registry) Drop(code epc.EPC) {
 // Stats reports lifetime observation and handoff counts.
 func (g *Registry) Stats() (observations, handoffs uint64) {
 	return g.observations.Load(), g.handoffs.Load()
+}
+
+// GuardStats reports the overload counters: tags evicted by the capacity
+// bound, observations refused while their EPC sat in quarantine, and the
+// quarantine's own lifetime stats (zero when no quarantine is installed).
+func (g *Registry) GuardStats() (evicted, quarantined uint64, qs guard.QuarantineStats) {
+	if g.quar != nil {
+		qs = g.quar.Stats()
+	}
+	return g.evicted.Load(), g.quarantined.Load(), qs
 }
 
 // copyState deep-copies the mutable maps/slices so callers can hold the

@@ -1,0 +1,275 @@
+package fleet
+
+// The overload soak: a ghost-EPC corruption flood plus a crowd of greedy
+// API clients thrown at one manager, with the health probe timed
+// throughout. By default it runs at a CI-friendly scale; set
+// TAGWATCH_SOAK=full for the acceptance-scale run (1M ghosts, 500
+// clients) that `make soak` executes under -race and GOMEMLIMIT.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tagwatch/internal/epc"
+)
+
+func TestSoakFloodSurvival(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak harness skipped in -short mode")
+	}
+	ghosts, clients, realTags := 100_000, 60, 6000
+	scale := "scaled"
+	if os.Getenv("TAGWATCH_SOAK") == "full" {
+		ghosts, clients, realTags = 1_000_000, 500, 6000
+		scale = "full"
+	}
+	t.Logf("soak scale %s: %d ghosts, %d clients, %d real tags", scale, ghosts, clients, realTags)
+
+	cfg := DefaultConfig()
+	cfg.StateDir = t.TempDir()
+	cfg.JournalFlush = 50 * time.Millisecond
+	cfg.SnapshotInterval = time.Second
+	cfg.MaxTags = 1024  // well under the confirmed-tag population, so eviction must fire
+	cfg.QuarantineK = 2 // a ghost decoded once is never admitted
+	cfg.QuarantineCap = 16384
+	cfg.APIRate = 50 // per client IP; the whole crowd shares 127.0.0.1
+	cfg.APIBurst = 50
+	cfg.APIMaxConcurrent = 8
+	cfg.APIQueueDepth = 8
+	cfg.APIQueueTimeout = 20 * time.Millisecond
+	m := New(cfg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := m.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		_ = m.Serve(ctx, lis) // returns http.ErrServerClosed on cancel
+	}()
+	baseURL := "http://" + lis.Addr().String()
+
+	rng := rand.New(rand.NewSource(2024))
+	legit, err := epc.RandomPopulation(rng, realTags, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legitSet := make(map[string]bool, len(legit))
+	for _, c := range legit {
+		legitSet[c.String()] = true
+	}
+
+	var wg sync.WaitGroup
+	var healthFailures, healthProbes atomic.Uint64
+
+	// The health probe: /healthz must answer within its deadline for the
+	// whole flood. This is the "stays observable under fire" guarantee.
+	// The deadline is generous because the full-scale run deliberately
+	// saturates every core under the race detector — the claim is "always
+	// answers", not "answers fast on an oversubscribed box".
+	probeCtx, probeCancel := context.WithCancel(ctx)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		client := &http.Client{Timeout: 5 * time.Second}
+		for probeCtx.Err() == nil {
+			healthProbes.Add(1)
+			resp, err := client.Get(baseURL + "/healthz")
+			if err != nil {
+				healthFailures.Add(1)
+			} else {
+				resp.Body.Close() // 503-degraded is fine; not answering is not
+			}
+			select {
+			case <-probeCtx.Done():
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+	}()
+
+	// The ghost flood: unique EPCs, each decoded exactly once — the
+	// registry must admit none of them. Real tags are re-observed
+	// throughout so confirmed traffic flows through the same shards.
+	floodWorkers := 4
+	wg.Add(floodWorkers)
+	base := time.Unix(1_700_000_000, 0)
+	for w := 0; w < floodWorkers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(int64(3000 + w)))
+			buf := make([]byte, 12)
+			for i := 0; i < ghosts/floodWorkers; i++ {
+				wrng.Read(buf)
+				ghost := epc.New(buf)
+				if legitSet[ghost.String()] {
+					continue // astronomically unlikely; keep the invariant exact
+				}
+				at := base.Add(time.Duration(i) * time.Microsecond)
+				m.reg.Observe("r0", reading(ghost, time.Duration(i)), at)
+				if i%64 == 0 {
+					c := legit[(i/64+w*1000)%len(legit)]
+					m.reg.Observe("r0", reading(c, time.Duration(i)), at)
+					m.reg.Observe("r0", reading(c, time.Duration(i+1)), at.Add(time.Millisecond))
+				}
+			}
+		}(w)
+	}
+
+	// The API crowd: every client hammers the JSON endpoints with no
+	// pacing. They all share one source IP, so the token bucket and the
+	// concurrency limiter both get exercised; 429/503 are the designed
+	// answers, transport errors are not.
+	var transportErrs, served, limited atomic.Uint64
+	var crowdWg sync.WaitGroup
+	crowdCtx, crowdCancel := context.WithCancel(ctx)
+	crowdWg.Add(clients)
+	for cl := 0; cl < clients; cl++ {
+		go func() {
+			defer crowdWg.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			paths := []string{"/api/tags?limit=50", "/api/readers", "/api/tags"}
+			for i := 0; crowdCtx.Err() == nil; i++ {
+				resp, err := client.Get(baseURL + paths[i%len(paths)])
+				if err != nil {
+					// A client-side timeout on a box this oversubscribed is
+					// the client's impatience, not a server fault; refused or
+					// reset connections would be.
+					var ne net.Error
+					timeout := errors.As(err, &ne) && ne.Timeout()
+					if crowdCtx.Err() == nil && !timeout {
+						transportErrs.Add(1)
+					}
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					served.Add(1)
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					limited.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	// Let the crowd run while the flood completes, then wind down.
+	floodStart := time.Now()
+	waitFor(t, 120*time.Second, "ghost flood absorbed", func() bool {
+		_, quarantined, _ := m.reg.GuardStats()
+		return quarantined >= uint64(ghosts*9/10)
+	})
+	t.Logf("flood absorbed in %v", time.Since(floodStart))
+	time.Sleep(200 * time.Millisecond) // a little steady-state crowd time
+	crowdCancel()
+	crowdWg.Wait()
+	waitFor(t, 30*time.Second, "crowd slots drained", func() bool {
+		return m.admission.Stats().Inflight == 0
+	})
+
+	// Deterministically exercise the shedding path: with the crowd gone,
+	// pin every concurrency slot, then one more request must age out of
+	// the queue and be shed.
+	var rels []func(bool)
+	for i := 0; i < cfg.APIMaxConcurrent+cfg.APIQueueDepth; i++ {
+		if rel, err := m.admission.Acquire(context.Background()); err == nil {
+			rels = append(rels, rel)
+		}
+	}
+	if _, err := m.admission.Acquire(context.Background()); err == nil {
+		t.Fatal("saturated admission still granted a slot")
+	}
+	for _, rel := range rels {
+		rel(true)
+	}
+	probeCancel()
+
+	// ---- Invariants while still live ----
+
+	bound := ((cfg.MaxTags + numShards - 1) / numShards) * numShards
+	if got := m.reg.Len(); got > bound {
+		t.Fatalf("registry holds %d tags, bound %d", got, bound)
+	}
+	evicted, quarantined, qs := m.reg.GuardStats()
+	if quarantined == 0 || qs.Held == 0 {
+		t.Fatalf("quarantine counters flat: quarantined=%d held=%d", quarantined, qs.Held)
+	}
+	if evicted == 0 {
+		t.Fatalf("eviction counter flat with %d real tags over a %d cap", realTags, cfg.MaxTags)
+	}
+	if qs.Size > cfg.QuarantineCap {
+		t.Fatalf("quarantine ring %d over cap %d", qs.Size, cfg.QuarantineCap)
+	}
+	ast := m.admission.Stats()
+	if ast.Shed == 0 {
+		t.Fatalf("shed counter flat: %+v", ast)
+	}
+	if ast.RateLimited == 0 {
+		t.Fatalf("rate-limited counter flat with %d clients on one IP: %+v (served=%d limited=%d)",
+			clients, ast, served.Load(), limited.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("no API request was ever served")
+	}
+	if healthProbes.Load() == 0 || healthFailures.Load() > 0 {
+		t.Fatalf("health probe: %d/%d failed", healthFailures.Load(), healthProbes.Load())
+	}
+	if transportErrs.Load() > 0 {
+		t.Fatalf("%d API requests failed at the transport (want clean 200/429/503)", transportErrs.Load())
+	}
+
+	// Memory proxy: after the flood, heap must reflect the bounded
+	// structures, not the million ghosts that passed through.
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > 400<<20 {
+		t.Fatalf("heap %d MiB after flood — bounds are leaking", ms.HeapAlloc>>20)
+	}
+	t.Logf("heap after flood: %d MiB; served=%d limited=%d shed=%d rate_limited=%d quarantined=%d evicted=%d",
+		ms.HeapAlloc>>20, served.Load(), limited.Load(), ast.Shed, ast.RateLimited, quarantined, evicted)
+
+	// ---- Durable state must be ghost-free ----
+
+	cancel() // stops Serve and the manager's loops
+	wg.Wait()
+	<-serveDone
+	m.Stop() // final journal flush + snapshot
+
+	restored := New(Config{StateDir: cfg.StateDir})
+	rctx, rcancel := context.WithCancel(context.Background())
+	defer rcancel()
+	if err := restored.Start(rctx); err != nil {
+		t.Fatalf("restart on soak state: %v", err)
+	}
+	defer restored.Stop()
+	snap := restored.Registry().Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("restored registry is empty — durable state was lost")
+	}
+	if len(snap) > bound {
+		t.Fatalf("restored registry holds %d tags, bound %d", len(snap), bound)
+	}
+	for _, st := range snap {
+		if !legitSet[st.EPC] {
+			t.Fatalf("ghost EPC %s survived into the snapshot/WAL", st.EPC)
+		}
+	}
+	t.Logf("restored %d tags, all legitimate", len(snap))
+}

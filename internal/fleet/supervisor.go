@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tagwatch/internal/core"
+	"tagwatch/internal/guard"
 	"tagwatch/internal/llrp"
 )
 
@@ -50,13 +51,18 @@ type ReaderStatus struct {
 	State string `json:"state"`
 	// Attempts counts every dial ever made; ConsecutiveFailures resets on a
 	// successful session and drives the backoff exponent and retry budget.
-	Attempts            int    `json:"attempts"`
-	ConsecutiveFailures int    `json:"consecutive_failures"`
-	Reconnects          int    `json:"reconnects"`
+	Attempts            int `json:"attempts"`
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	Reconnects          int `json:"reconnects"`
 	// CycleErrors counts cycles that ended with a transport error —
 	// degraded operation even while the session nominally stays up.
 	CycleErrors int    `json:"cycle_errors,omitempty"`
 	LastError   string `json:"last_error,omitempty"`
+	// Tripped means the supervisor spent its panic-restart budget and was
+	// severed from the fleet; PanicRestarts counts how many panic
+	// restarts are inside the current budget window.
+	Tripped       bool `json:"tripped,omitempty"`
+	PanicRestarts int  `json:"panic_restarts,omitempty"`
 	// ConnectedAt is zero unless the reader is up.
 	ConnectedAt time.Time `json:"connected_at,omitempty"`
 	Cycles      int       `json:"cycles"`
@@ -74,6 +80,14 @@ type supervisor struct {
 	bus  *Bus
 	rng  *rand.Rand
 
+	// breaker meters panic restarts (set by the Manager; nil in direct
+	// unit-test construction, where containment is not in play).
+	breaker *guard.Breaker
+	// crash, when non-nil, runs at the top of every run() iteration. It
+	// exists so tests can inject a deterministic panic into the supervisor
+	// loop; production never sets it.
+	crash func()
+
 	mu          sync.Mutex
 	state       ReaderState
 	attempts    int
@@ -83,6 +97,7 @@ type supervisor struct {
 	connectedAt time.Time
 	cycles      int
 	cycleErrors int
+	tripped     bool
 
 	readings atomic.Uint64
 }
@@ -121,7 +136,19 @@ func (s *supervisor) status() ReaderStatus {
 	if s.state == StateUp {
 		st.ConnectedAt = s.connectedAt
 	}
+	st.Tripped = s.tripped
+	if s.breaker != nil {
+		st.PanicRestarts, _ = s.breaker.Restarts()
+	}
 	return st
+}
+
+// trip marks the supervisor dead after its panic-restart budget is spent.
+func (s *supervisor) trip(err error) {
+	s.mu.Lock()
+	s.tripped = true
+	s.mu.Unlock()
+	s.setState(StateDown, err)
 }
 
 // setState transitions the state machine and publishes the change.
@@ -165,6 +192,9 @@ func (s *supervisor) run(ctx context.Context) {
 		if ctx.Err() != nil {
 			s.setState(StateDown, nil)
 			return
+		}
+		if s.crash != nil {
+			s.crash()
 		}
 		s.mu.Lock()
 		s.attempts++

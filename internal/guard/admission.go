@@ -1,0 +1,446 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrRateLimited reports a client that spent its token bucket.
+var ErrRateLimited = errors.New("guard: client rate limit exceeded")
+
+// ErrOverloaded reports a request shed by the concurrency limiter: the
+// adaptive limit was saturated and the request aged out of (or never
+// fit in) the LIFO wait queue.
+var ErrOverloaded = errors.New("guard: server overloaded, request shed")
+
+// AdmissionConfig tunes the HTTP admission layer. The zero value
+// disables both the rate limiter and the concurrency limit, leaving
+// only panic containment active.
+type AdmissionConfig struct {
+	// RatePerClient is the sustained request rate (req/s) each client
+	// key (IP) may spend; Burst is the bucket depth (default 2×rate).
+	// Zero disables per-client rate limiting.
+	RatePerClient float64
+	Burst         float64
+	// MaxClients bounds the tracked client buckets (default 16384); when
+	// full, the stalest bucket among a small sample is recycled.
+	MaxClients int
+
+	// MaxConcurrent is the ceiling (and the starting point) of the
+	// adaptive concurrency limit; zero disables the concurrency limiter.
+	// MinConcurrent floors the limit so a latency spike cannot choke the
+	// API to zero (default 4).
+	MaxConcurrent int
+	MinConcurrent int
+	// QueueDepth is how many requests may wait for a slot (LIFO: the
+	// newest waiter is served first, and when the queue overflows the
+	// oldest waiter — the one most likely already abandoned by its
+	// client — is shed). QueueTimeout bounds the wait (default 250ms).
+	QueueDepth   int
+	QueueTimeout time.Duration
+	// LatencyBudget is the AIMD feedback signal: a request finishing
+	// within it votes the limit up (additive), one finishing late votes
+	// it down (multiplicative), so the limit converges on the
+	// concurrency the backend actually sustains (default 1s).
+	LatencyBudget time.Duration
+
+	// RetryAfter is the hint attached to 429/503 responses (default 1s).
+	RetryAfter time.Duration
+
+	// Bypass exempts a request from rate limiting and concurrency
+	// limiting entirely (health and metrics probes must answer during
+	// the exact overload this layer manages). Panics are still contained.
+	Bypass func(*http.Request) bool
+	// NoSlot exempts a request from the concurrency limit only (it is
+	// still rate limited): long-lived streams like SSE would otherwise
+	// pin slots forever and are bounded elsewhere (subscriber caps).
+	NoSlot func(*http.Request) bool
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.RatePerClient > 0 && c.Burst <= 0 {
+		c.Burst = 2 * c.RatePerClient
+	}
+	if c.MaxClients <= 0 {
+		c.MaxClients = 16384
+	}
+	if c.MaxConcurrent > 0 {
+		if c.MinConcurrent <= 0 {
+			c.MinConcurrent = 4
+		}
+		if c.MinConcurrent > c.MaxConcurrent {
+			c.MinConcurrent = c.MaxConcurrent
+		}
+		if c.QueueTimeout <= 0 {
+			c.QueueTimeout = 250 * time.Millisecond
+		}
+	}
+	if c.LatencyBudget <= 0 {
+		c.LatencyBudget = time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// AdmissionStats is the counter snapshot for the metrics endpoint.
+type AdmissionStats struct {
+	Admitted    uint64 // requests that acquired a slot (or needed none)
+	RateLimited uint64 // requests rejected 429 by the token bucket
+	Shed        uint64 // requests rejected 503 by the concurrency limiter
+	Panics      uint64 // handler panics contained into 500s
+	Limit       int    // current adaptive concurrency limit
+	Inflight    int    // requests currently holding slots
+	Waiting     int    // requests currently queued
+	Clients     int    // tracked client buckets
+}
+
+// Admission is the HTTP admission controller: token bucket per client,
+// AIMD concurrency limit with LIFO shedding, and panic containment.
+type Admission struct {
+	cfg AdmissionConfig
+
+	// now is the injected clock (tests); defaults to time.Now.
+	now func() time.Time
+
+	// Token buckets, keyed by client.
+	bmu     sync.Mutex
+	buckets map[string]*bucket
+
+	// Concurrency limiter state. limit is a float so additive increase
+	// accumulates across requests (+1/limit per good request ≈ +1 per
+	// RTT of good requests, the classic AIMD shape).
+	cmu      sync.Mutex
+	limit    float64
+	inflight int
+	waiters  []*waiter // index 0 = oldest; LIFO grants from the tail
+
+	admitted    atomic.Uint64
+	rateLimited atomic.Uint64
+	shed        atomic.Uint64
+	panics      atomic.Uint64
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// waiter is one queued request. Exactly one of grant/shed is closed,
+// under the limiter lock, which also clears w.queued.
+type waiter struct {
+	grant  chan struct{}
+	shed   chan struct{}
+	queued bool
+}
+
+// NewAdmission builds an admission controller.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	cfg = cfg.withDefaults()
+	return &Admission{
+		cfg:     cfg,
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+		limit:   float64(cfg.MaxConcurrent),
+	}
+}
+
+// AllowClient spends one token from the client's bucket, reporting
+// false when the client is over its rate. With rate limiting disabled
+// every client is allowed.
+func (a *Admission) AllowClient(client string) bool {
+	if a.cfg.RatePerClient <= 0 {
+		return true
+	}
+	at := a.now()
+	a.bmu.Lock()
+	b, ok := a.buckets[client]
+	if !ok {
+		if len(a.buckets) >= a.cfg.MaxClients {
+			a.evictBucketLocked()
+		}
+		// A fresh bucket starts full; this request spends one token.
+		a.buckets[client] = &bucket{tokens: a.cfg.Burst - 1, last: at}
+		a.bmu.Unlock()
+		return true
+	}
+	b.tokens = math.Min(a.cfg.Burst, b.tokens+a.cfg.RatePerClient*at.Sub(b.last).Seconds())
+	b.last = at
+	if b.tokens < 1 {
+		a.bmu.Unlock()
+		a.rateLimited.Add(1)
+		return false
+	}
+	b.tokens--
+	a.bmu.Unlock()
+	return true
+}
+
+// evictBucketLocked recycles the stalest of a small sample of buckets —
+// O(1) amortised and good enough: an attacker rotating source IPs only
+// ever recycles other attacker buckets, because real clients keep their
+// buckets fresh.
+func (a *Admission) evictBucketLocked() {
+	var victim string
+	var oldest time.Time
+	n := 0
+	for k, b := range a.buckets {
+		if n == 0 || b.last.Before(oldest) {
+			victim, oldest = k, b.last
+		}
+		n++
+		if n >= 8 {
+			break
+		}
+	}
+	if victim != "" {
+		delete(a.buckets, victim)
+	}
+}
+
+// Acquire obtains a concurrency slot, waiting in the LIFO queue up to
+// the configured timeout (or ctx cancellation). On success it returns a
+// release function that MUST be called exactly once when the request
+// finishes; ok=true means the request completed within the latency
+// budget and votes the adaptive limit up, ok=false votes it down. The
+// error is ErrOverloaded when the request was shed, or the ctx error.
+// With the concurrency limiter disabled, Acquire always succeeds with a
+// no-op release.
+func (a *Admission) Acquire(ctx context.Context) (release func(ok bool), err error) {
+	if a.cfg.MaxConcurrent <= 0 {
+		a.admitted.Add(1)
+		return func(bool) {}, nil
+	}
+	a.cmu.Lock()
+	if a.inflight < a.limitNowLocked() {
+		a.inflight++
+		a.cmu.Unlock()
+		a.admitted.Add(1)
+		return a.release, nil
+	}
+	if a.cfg.QueueDepth <= 0 {
+		a.cmu.Unlock()
+		a.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	w := &waiter{grant: make(chan struct{}), shed: make(chan struct{}), queued: true}
+	if len(a.waiters) >= a.cfg.QueueDepth {
+		// LIFO shedding: the OLDEST waiter has been in line longest, is
+		// closest to its client giving up, and is the one to sacrifice
+		// for the fresh request.
+		old := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		old.queued = false
+		close(old.shed)
+		a.shed.Add(1)
+	}
+	a.waiters = append(a.waiters, w)
+	a.cmu.Unlock()
+
+	timer := time.NewTimer(a.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case <-w.grant:
+		a.admitted.Add(1)
+		return a.release, nil
+	case <-w.shed:
+		return nil, ErrOverloaded
+	case <-ctx.Done():
+		if a.abandon(w) {
+			a.shed.Add(1)
+			return nil, ctx.Err()
+		}
+		// A grant raced the cancellation; take the slot and let the
+		// caller unwind through its normal release path.
+		<-w.grant
+		a.admitted.Add(1)
+		return a.release, nil
+	case <-timer.C:
+		if a.abandon(w) {
+			a.shed.Add(1)
+			return nil, ErrOverloaded
+		}
+		<-w.grant
+		a.admitted.Add(1)
+		return a.release, nil
+	}
+}
+
+// abandon removes w from the queue, reporting false when w was already
+// granted (or shed) and is no longer queued.
+func (a *Admission) abandon(w *waiter) bool {
+	a.cmu.Lock()
+	defer a.cmu.Unlock()
+	if !w.queued {
+		return false
+	}
+	for i, q := range a.waiters {
+		if q == w {
+			a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+			w.queued = false
+			return true
+		}
+	}
+	w.queued = false
+	return true
+}
+
+// release returns a slot and applies the AIMD feedback.
+func (a *Admission) release(ok bool) {
+	a.cmu.Lock()
+	if ok {
+		// Additive increase: +1 after ~limit good completions.
+		a.limit += 1 / math.Max(a.limit, 1)
+	} else {
+		// Multiplicative decrease on latency-budget misses and panics.
+		a.limit *= 0.9
+	}
+	a.limit = math.Min(math.Max(a.limit, float64(a.cfg.MinConcurrent)), float64(a.cfg.MaxConcurrent))
+	// Hand the slot to the NEWEST waiter (LIFO): under overload the
+	// freshest request is the one whose client is still listening.
+	if n := len(a.waiters); n > 0 {
+		w := a.waiters[n-1]
+		a.waiters = a.waiters[:n-1]
+		w.queued = false
+		close(w.grant)
+		a.cmu.Unlock()
+		return
+	}
+	a.inflight--
+	a.cmu.Unlock()
+}
+
+// limitNowLocked is the integer limit currently in force.
+func (a *Admission) limitNowLocked() int {
+	l := int(a.limit)
+	if l < a.cfg.MinConcurrent {
+		l = a.cfg.MinConcurrent
+	}
+	return l
+}
+
+// Stats snapshots the admission counters.
+func (a *Admission) Stats() AdmissionStats {
+	a.cmu.Lock()
+	limit, inflight, waiting := 0, a.inflight, len(a.waiters)
+	if a.cfg.MaxConcurrent > 0 {
+		limit = a.limitNowLocked()
+	}
+	a.cmu.Unlock()
+	a.bmu.Lock()
+	clients := len(a.buckets)
+	a.bmu.Unlock()
+	return AdmissionStats{
+		Admitted:    a.admitted.Load(),
+		RateLimited: a.rateLimited.Load(),
+		Shed:        a.shed.Load(),
+		Panics:      a.panics.Load(),
+		Limit:       limit,
+		Inflight:    inflight,
+		Waiting:     waiting,
+		Clients:     clients,
+	}
+}
+
+// ClientIP extracts the admission key from a request: the bare host of
+// RemoteAddr. (Deliberately not X-Forwarded-For: an unauthenticated
+// header that lets any client mint fresh buckets would turn the rate
+// limiter into decoration.)
+func ClientIP(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// statusRecorder tracks whether a handler already wrote headers, so the
+// panic-recovery path only writes its 500 on a virgin response.
+type statusRecorder struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.wrote = true
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	sr.wrote = true
+	return sr.ResponseWriter.Write(p)
+}
+
+// Flush preserves http.Flusher through the wrapper (SSE needs it).
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		sr.wrote = true
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer (the
+// SSE per-write deadlines depend on it).
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
+// Middleware wraps next with the full admission pipeline: panic
+// containment for every request, then — unless bypassed — the per-client
+// token bucket (429) and the adaptive concurrency limit with LIFO
+// shedding (503), both with Retry-After hints.
+func (a *Admission) Middleware(next http.Handler) http.Handler {
+	retryAfter := strconv.Itoa(int(math.Ceil(a.cfg.RetryAfter.Seconds())))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		if a.cfg.Bypass != nil && a.cfg.Bypass(r) {
+			a.serveContained(next, rec, r)
+			return
+		}
+		if !a.AllowClient(ClientIP(r)) {
+			w.Header().Set("Retry-After", retryAfter)
+			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+			return
+		}
+		if a.cfg.NoSlot != nil && a.cfg.NoSlot(r) {
+			a.serveContained(next, rec, r)
+			return
+		}
+		release, err := a.Acquire(r.Context())
+		if err != nil {
+			w.Header().Set("Retry-After", retryAfter)
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		start := a.now()
+		panicked := a.serveContained(next, rec, r)
+		release(!panicked && a.now().Sub(start) <= a.cfg.LatencyBudget)
+	})
+}
+
+// serveContained runs the handler under recover: a panic is counted,
+// answered with a 500 when the response is still unwritten, and never
+// escapes to the server's connection goroutine. http.ErrAbortHandler is
+// re-raised — it is the sanctioned way to abort a response, not a bug.
+func (a *Admission) serveContained(next http.Handler, rec *statusRecorder, r *http.Request) (panicked bool) {
+	defer func() {
+		if rv := recover(); rv != nil {
+			if rv == http.ErrAbortHandler {
+				panic(rv)
+			}
+			panicked = true
+			a.panics.Add(1)
+			if !rec.wrote {
+				http.Error(rec, "internal error", http.StatusInternalServerError)
+			}
+		}
+	}()
+	next.ServeHTTP(rec, r)
+	return false
+}

@@ -1,0 +1,357 @@
+package guard
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives an Admission deterministically.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestAdmission(cfg AdmissionConfig) (*Admission, *fakeClock) {
+	a := NewAdmission(cfg)
+	clk := &fakeClock{now: time.Unix(1_700_000_000, 0)}
+	a.now = clk.Now
+	return a, clk
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	a, clk := newTestAdmission(AdmissionConfig{RatePerClient: 10, Burst: 5})
+	// The burst is spendable immediately…
+	for i := 0; i < 5; i++ {
+		if !a.AllowClient("10.0.0.1") {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	// …then the bucket is dry…
+	if a.AllowClient("10.0.0.1") {
+		t.Fatal("dry bucket allowed a request")
+	}
+	// …and refills at the configured rate (10/s → one token per 100ms).
+	clk.Advance(100 * time.Millisecond)
+	if !a.AllowClient("10.0.0.1") {
+		t.Fatal("refilled token denied")
+	}
+	if a.AllowClient("10.0.0.1") {
+		t.Fatal("second request on one refilled token allowed")
+	}
+	// Other clients have independent buckets.
+	if !a.AllowClient("10.0.0.2") {
+		t.Fatal("fresh client denied")
+	}
+	if got := a.Stats().RateLimited; got != 2 {
+		t.Fatalf("RateLimited = %d, want 2", got)
+	}
+}
+
+func TestBucketMapBounded(t *testing.T) {
+	a, clk := newTestAdmission(AdmissionConfig{RatePerClient: 1, Burst: 1, MaxClients: 32})
+	for i := 0; i < 500; i++ {
+		a.AllowClient(fmt.Sprintf("10.0.%d.%d", i/256, i%256))
+		clk.Advance(time.Millisecond)
+	}
+	if got := a.Stats().Clients; got > 32 {
+		t.Fatalf("bucket map grew to %d, cap 32", got)
+	}
+}
+
+func TestAcquireUpToLimitThenShed(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{MaxConcurrent: 4, MinConcurrent: 4, QueueDepth: 0})
+	var releases []func(bool)
+	for i := 0; i < 4; i++ {
+		rel, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("Acquire %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	if _, err := a.Acquire(context.Background()); err != ErrOverloaded {
+		t.Fatalf("over-limit Acquire err = %v, want ErrOverloaded", err)
+	}
+	st := a.Stats()
+	if st.Inflight != 4 || st.Shed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	for _, rel := range releases {
+		rel(true)
+	}
+	if got := a.Stats().Inflight; got != 0 {
+		t.Fatalf("Inflight after release = %d", got)
+	}
+}
+
+func TestLIFOQueueGrantAndShed(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{
+		MaxConcurrent: 1, MinConcurrent: 1,
+		QueueDepth: 2, QueueTimeout: 5 * time.Second,
+	})
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		id  int
+		err error
+		rel func(bool)
+	}
+	results := make(chan result, 3)
+	start := make(chan int, 3)
+	for i := 1; i <= 3; i++ {
+		go func(id int) {
+			start <- id
+			r, e := a.Acquire(context.Background())
+			results <- result{id, e, r}
+		}(i)
+		<-start
+		// Wait until this waiter is actually queued (or shed) before
+		// starting the next, so queue order is deterministic.
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			st := a.Stats()
+			if st.Waiting+int(st.Shed) >= i || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Queue depth 2: enqueueing waiter 3 sheds waiter 1 (the oldest).
+	r := <-results
+	if r.id != 1 || r.err != ErrOverloaded {
+		t.Fatalf("first completion = waiter %d err %v, want waiter 1 shed", r.id, r.err)
+	}
+	// Releasing the slot grants the NEWEST waiter (3), not waiter 2.
+	rel(true)
+	r = <-results
+	if r.id != 3 || r.err != nil {
+		t.Fatalf("grant went to waiter %d (err %v), want 3", r.id, r.err)
+	}
+	r.rel(true)
+	r = <-results
+	if r.id != 2 || r.err != nil {
+		t.Fatalf("final grant to waiter %d (err %v), want 2", r.id, r.err)
+	}
+	r.rel(true)
+}
+
+func TestQueueTimeoutSheds(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{
+		MaxConcurrent: 1, MinConcurrent: 1,
+		QueueDepth: 4, QueueTimeout: 20 * time.Millisecond,
+	})
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel(true)
+	if _, err := a.Acquire(context.Background()); err != ErrOverloaded {
+		t.Fatalf("timed-out Acquire err = %v, want ErrOverloaded", err)
+	}
+	if a.Stats().Waiting != 0 {
+		t.Fatal("timed-out waiter left in queue")
+	}
+}
+
+func TestAcquireContextCancel(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{
+		MaxConcurrent: 1, MinConcurrent: 1,
+		QueueDepth: 4, QueueTimeout: time.Minute,
+	})
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, e := a.Acquire(ctx)
+		done <- e
+	}()
+	waitForCond(t, time.Second, "waiter queued", func() bool { return a.Stats().Waiting == 1 })
+	cancel()
+	if e := <-done; e != context.Canceled {
+		t.Fatalf("cancelled Acquire err = %v", e)
+	}
+}
+
+func TestAIMDFeedback(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{MaxConcurrent: 100, MinConcurrent: 4})
+	// A run of budget misses collapses the limit multiplicatively…
+	for i := 0; i < 60; i++ {
+		rel, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel(false)
+	}
+	low := a.Stats().Limit
+	if low != 4 {
+		t.Fatalf("limit after sustained misses = %d, want floor 4", low)
+	}
+	// …and good completions climb it back additively (slowly).
+	for i := 0; i < 200; i++ {
+		rel, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel(true)
+	}
+	if got := a.Stats().Limit; got <= low {
+		t.Fatalf("limit did not recover: %d", got)
+	}
+}
+
+func waitForCond(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestMiddlewareRateLimit(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{RatePerClient: 1, Burst: 2})
+	h := a.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	codes := make([]int, 0, 3)
+	for i := 0; i < 3; i++ {
+		req := httptest.NewRequest("GET", "/api/tags", nil)
+		req.RemoteAddr = "192.0.2.7:1234"
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		codes = append(codes, rr.Code)
+	}
+	if codes[0] != 200 || codes[1] != 200 || codes[2] != http.StatusTooManyRequests {
+		t.Fatalf("codes = %v", codes)
+	}
+	req := httptest.NewRequest("GET", "/api/tags", nil)
+	req.RemoteAddr = "192.0.2.7:1234"
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if got := rr.Header().Get("Retry-After"); got == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+func TestMiddlewareBypass(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{
+		RatePerClient: 1, Burst: 1,
+		Bypass: func(r *http.Request) bool { return r.URL.Path == "/healthz" },
+	})
+	h := a.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	// Health probes from one address never hit the bucket.
+	for i := 0; i < 50; i++ {
+		req := httptest.NewRequest("GET", "/healthz", nil)
+		req.RemoteAddr = "192.0.2.9:999"
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != 200 {
+			t.Fatalf("healthz probe %d got %d", i, rr.Code)
+		}
+	}
+}
+
+func TestMiddlewareShed503(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{
+		MaxConcurrent: 1, MinConcurrent: 1,
+		QueueDepth: 0, RetryAfter: 3 * time.Second,
+	})
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	h := a.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(blocked)
+		<-release
+	}))
+	go func() {
+		req := httptest.NewRequest("GET", "/api/tags", nil)
+		req.RemoteAddr = "192.0.2.1:1"
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	<-blocked
+	req := httptest.NewRequest("GET", "/api/tags", nil)
+	req.RemoteAddr = "192.0.2.2:2"
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	close(release)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("shed request got %d", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") != "3" {
+		t.Fatalf("Retry-After = %q, want 3", rr.Header().Get("Retry-After"))
+	}
+}
+
+func TestMiddlewareContainsPanic(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{MaxConcurrent: 8, MinConcurrent: 8})
+	h := a.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("handler bug")
+	}))
+	req := httptest.NewRequest("GET", "/api/tags", nil)
+	req.RemoteAddr = "192.0.2.1:1"
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler answered %d", rr.Code)
+	}
+	st := a.Stats()
+	if st.Panics != 1 {
+		t.Fatalf("Panics = %d", st.Panics)
+	}
+	if st.Inflight != 0 {
+		t.Fatal("panicking handler leaked its slot")
+	}
+}
+
+func TestMiddlewareRepanicsAbortHandler(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{})
+	h := a.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Fatal("ErrAbortHandler was swallowed")
+		}
+	}()
+	req := httptest.NewRequest("GET", "/api/tags", nil)
+	req.RemoteAddr = "192.0.2.1:1"
+	h.ServeHTTP(httptest.NewRecorder(), req)
+}
+
+func TestClientIP(t *testing.T) {
+	r := httptest.NewRequest("GET", "/", nil)
+	r.RemoteAddr = "203.0.113.5:4312"
+	if got := ClientIP(r); got != "203.0.113.5" {
+		t.Fatalf("ClientIP = %q", got)
+	}
+	r.RemoteAddr = "weird"
+	if got := ClientIP(r); got != "weird" {
+		t.Fatalf("ClientIP fallback = %q", got)
+	}
+}

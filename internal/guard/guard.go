@@ -1,0 +1,137 @@
+// Package guard is Tagwatch's overload armor: the containment layer
+// that keeps a fleet serving — degraded but observable — when its
+// inputs turn hostile. It provides four independent mechanisms, each
+// wired through the fleet, core, and daemon layers:
+//
+//   - panic containment: Call/Sentinel convert a panic anywhere in a
+//     supervised component into a counted *PanicError instead of a
+//     process death;
+//   - restart budgets: Breaker meters how often a panicking component
+//     may be restarted (exponential backoff, trip-to-dead when the
+//     budget for the window is spent);
+//   - admission control: Admission combines a per-client token bucket
+//     with an adaptive (AIMD) concurrency limit and LIFO shedding for
+//     the HTTP/SSE API, so 500 greedy clients degrade into 503s with
+//     Retry-After instead of an unbounded goroutine pile-up;
+//   - ghost-tag quarantine: Quarantine holds never-before-seen keys in
+//     a fixed-size probationary ring until they have been sighted K
+//     times within a window, so an RF corruption flood of one-off EPCs
+//     can never reach the registry, the motion models, or the WAL.
+//
+// Everything is counted: every shed request, held sighting, evicted
+// probe, and contained panic increments a counter the fleet exposes on
+// /metrics, because graceful degradation only counts if an operator can
+// see it happening.
+package guard
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+)
+
+// PanicError is a recovered panic promoted to an error: the component
+// that panicked, the recovered value, and the goroutine stack captured
+// at the recovery point.
+type PanicError struct {
+	Component string
+	Value     any
+	Stack     []byte
+}
+
+// Error renders the panic without the stack (the stack is for logs, not
+// for error strings that end up in JSON events).
+func (e *PanicError) Error() string {
+	if e.Component == "" {
+		return fmt.Sprintf("panic: %v", e.Value)
+	}
+	return fmt.Sprintf("panic in %s: %v", e.Component, e.Value)
+}
+
+// Call runs fn, converting a panic into a *PanicError (nil otherwise).
+// It is the primitive the per-reading hot paths use directly; supervised
+// components should prefer Sentinel.Do so the panic is also counted.
+func Call(fn func()) (perr *PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			perr = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// Sentinel is a panic-containment hub: it runs component bodies under
+// recover and keeps per-component panic counts for the metrics endpoint.
+// The zero value is not usable; call NewSentinel.
+type Sentinel struct {
+	mu     sync.Mutex
+	counts map[string]uint64
+
+	// onPanic, when set, observes every contained panic (publishing a
+	// bus event, logging). It runs outside the sentinel's lock and is
+	// itself recovered: a panicking observer must not defeat containment.
+	onPanic func(component string, err *PanicError)
+}
+
+// NewSentinel builds a sentinel. onPanic may be nil.
+func NewSentinel(onPanic func(component string, err *PanicError)) *Sentinel {
+	return &Sentinel{counts: make(map[string]uint64), onPanic: onPanic}
+}
+
+// Do runs fn under recover. A panic is counted against component,
+// reported to the observer, and returned as a *PanicError; a normal
+// return yields nil. Callers owning a restart decision must consume the
+// error (deverr enforces this); fire-and-forget callers may discard it
+// deliberately — the count and observer report have already happened.
+func (s *Sentinel) Do(component string, fn func()) error {
+	perr := Call(fn)
+	if perr == nil {
+		return nil
+	}
+	perr.Component = component
+	s.mu.Lock()
+	s.counts[component]++
+	s.mu.Unlock()
+	if s.onPanic != nil {
+		// The observer is contained too — and its own panic is counted,
+		// so a broken observer is visible rather than silent.
+		if operr := Call(func() { s.onPanic(component, perr) }); operr != nil {
+			s.mu.Lock()
+			s.counts["sentinel.observer"]++
+			s.mu.Unlock()
+		}
+	}
+	return perr
+}
+
+// Total reports the lifetime number of contained panics.
+func (s *Sentinel) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n uint64
+	for _, c := range s.counts {
+		n += c
+	}
+	return n
+}
+
+// ComponentCount is one (component, contained panics) pair.
+type ComponentCount struct {
+	Component string
+	Count     uint64
+}
+
+// Counts snapshots the per-component panic counts, sorted by component
+// for deterministic metrics output.
+func (s *Sentinel) Counts() []ComponentCount {
+	s.mu.Lock()
+	out := make([]ComponentCount, 0, len(s.counts))
+	for c, n := range s.counts {
+		out = append(out, ComponentCount{Component: c, Count: n})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Component < out[j].Component })
+	return out
+}

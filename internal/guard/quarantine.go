@@ -1,0 +1,173 @@
+package guard
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Quarantine holds never-before-seen keys in a fixed-size probationary
+// ring until they earn admission: K sightings within a sliding window.
+// It is the ghost-tag filter — corrupted backscatter decodes into an
+// EPC that was never on a tag, and such one-off reads must not be
+// allowed to allocate registry entries, motion models, or WAL records.
+// A real tag entering the field is sighted every cycle and clears
+// probation in K cycles; a ghost is sighted once and ages out of the
+// ring (or is evicted by newer ghosts) without ever being admitted.
+//
+// Memory is strictly bounded: at most Cap probationary entries exist at
+// once, evicted oldest-first, so a flood of unique ghosts recycles the
+// ring instead of growing it. All methods are safe for concurrent use.
+type Quarantine[K comparable] struct {
+	k      int
+	window time.Duration
+	cap    int
+
+	mu     sync.Mutex
+	probes map[K]*probe
+	// order is the insertion-order FIFO used for ring eviction. Entries
+	// that were confirmed or re-keyed stay behind as dead weight until
+	// either an eviction pops them or a compaction sweeps them; the
+	// slice is compacted once it outgrows 2×cap, keeping it O(cap).
+	order []K
+
+	held      atomic.Uint64 // sightings answered "still on probation"
+	confirmed atomic.Uint64 // keys admitted
+	evicted   atomic.Uint64 // probes displaced by ring overflow
+	expired   atomic.Uint64 // probes whose window lapsed and restarted
+}
+
+type probe struct {
+	count int
+	first time.Time
+	live  bool
+}
+
+// NewQuarantine builds a quarantine requiring k sightings within window,
+// holding at most cap probationary keys (cap minimum 1). k <= 1 builds a
+// pass-through that admits every key on first sight.
+func NewQuarantine[K comparable](k int, window time.Duration, cap int) *Quarantine[K] {
+	if window <= 0 {
+		window = 10 * time.Second
+	}
+	if cap < 1 {
+		cap = 1
+	}
+	return &Quarantine[K]{
+		k:      k,
+		window: window,
+		cap:    cap,
+		probes: make(map[K]*probe),
+	}
+}
+
+// Observe records one sighting of key at time at. It returns true when
+// the key is (now) confirmed — the caller admits it and the quarantine
+// forgets it — and false while the key remains on probation.
+func (q *Quarantine[K]) Observe(key K, at time.Time) bool {
+	if q.k <= 1 {
+		q.confirmed.Add(1)
+		return true
+	}
+	q.mu.Lock()
+	p, ok := q.probes[key]
+	if !ok {
+		if len(q.probes) >= q.cap {
+			q.evictOldestLocked()
+		}
+		q.probes[key] = &probe{count: 1, first: at, live: true}
+		q.order = append(q.order, key)
+		q.maybeCompactLocked()
+		q.mu.Unlock()
+		q.held.Add(1)
+		return false
+	}
+	if at.Sub(p.first) > q.window {
+		// The window lapsed before K sightings: probation starts over.
+		// This sighting is the new first.
+		p.count = 1
+		p.first = at
+		q.mu.Unlock()
+		q.expired.Add(1)
+		q.held.Add(1)
+		return false
+	}
+	p.count++
+	if p.count >= q.k {
+		p.live = false
+		delete(q.probes, key)
+		q.mu.Unlock()
+		q.confirmed.Add(1)
+		return true
+	}
+	q.mu.Unlock()
+	q.held.Add(1)
+	return false
+}
+
+// evictOldestLocked pops FIFO entries until one live probe is removed.
+func (q *Quarantine[K]) evictOldestLocked() {
+	for len(q.order) > 0 {
+		key := q.order[0]
+		q.order = q.order[1:]
+		if p, ok := q.probes[key]; ok && p.live {
+			delete(q.probes, key)
+			q.evicted.Add(1)
+			return
+		}
+	}
+}
+
+// maybeCompactLocked drops dead (confirmed) keys from the order slice
+// once it has outgrown twice the ring capacity.
+func (q *Quarantine[K]) maybeCompactLocked() {
+	if len(q.order) <= 2*q.cap {
+		return
+	}
+	kept := q.order[:0]
+	for _, key := range q.order {
+		if p, ok := q.probes[key]; ok && p.live {
+			kept = append(kept, key)
+		}
+	}
+	q.order = kept
+}
+
+// Contains reports whether key is currently on probation.
+func (q *Quarantine[K]) Contains(key K) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	_, ok := q.probes[key]
+	return ok
+}
+
+// Len reports how many keys are currently on probation.
+func (q *Quarantine[K]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.probes)
+}
+
+// QuarantineStats is the counter snapshot for the metrics endpoint.
+type QuarantineStats struct {
+	// Held counts sightings answered "not admitted"; Confirmed counts
+	// keys that cleared probation; Evicted counts probes displaced by
+	// ring overflow; Expired counts probation windows that lapsed and
+	// restarted. Size is the current probationary population.
+	Held      uint64
+	Confirmed uint64
+	Evicted   uint64
+	Expired   uint64
+	Size      int
+}
+
+// Stats snapshots the lifetime counters.
+func (q *Quarantine[K]) Stats() QuarantineStats {
+	return QuarantineStats{
+		Held:      q.held.Load(),
+		Confirmed: q.confirmed.Load(),
+		Evicted:   q.evicted.Load(),
+		Expired:   q.expired.Load(),
+		Size:      q.Len(),
+	}
+}

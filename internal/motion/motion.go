@@ -15,6 +15,7 @@
 package motion
 
 import (
+	"bytes"
 	"math"
 	"time"
 
@@ -103,6 +104,12 @@ type Config struct {
 	// COTS readers exhibit a distinct constant phase offset per hop
 	// frequency, so phase modes only cohere within a channel.
 	IgnoreChannel bool
+	// MaxTags caps how many tags the detector models at once (0 =
+	// unbounded, the paper's assumption). When full, first contact with a
+	// new tag forgets the least-recently-seen tracked tag — with a
+	// tombstone, so checkpoints shrink too. An EPC flood then recycles
+	// model slots instead of growing the per-tag GMM maps without bound.
+	MaxTags int
 }
 
 // DefaultConfig returns the paper's Phase I parameters.
@@ -444,6 +451,8 @@ type Detector struct {
 	// DrainChanges — the incremental feed for the statestore journal.
 	dirty     map[key]bool
 	forgotten map[epc.EPC]bool
+	// evicted counts tags forgotten by the MaxTags capacity bound.
+	evicted uint64
 }
 
 // NewDetector builds a GMM detector with the given metric.
@@ -509,6 +518,11 @@ func NewRSSMoG(cfg Config) *Detector {
 func (d *Detector) Observe(tag epc.EPC, antenna, channel int, value float64, at time.Duration) Result {
 	if d.cfg.IgnoreChannel {
 		channel = 0
+	}
+	if d.cfg.MaxTags > 0 {
+		if _, known := d.lastSeen[tag]; !known && len(d.lastSeen) >= d.cfg.MaxTags {
+			d.evictStalest()
+		}
 	}
 	k := key{tag: tag, antenna: antenna, channel: channel}
 	st, ok := d.stacks[k]
@@ -604,8 +618,32 @@ func (d *Detector) Prune(cutoff time.Duration) int {
 	return dropped
 }
 
+// evictStalest forgets the least-recently-seen tracked tag to make room
+// under MaxTags. Ties break on EPC byte order so eviction is a pure
+// function of the observation stream (device time only — no wall clock).
+func (d *Detector) evictStalest() {
+	var victim epc.EPC
+	var oldest time.Duration
+	found := false
+	for tag, seen := range d.lastSeen {
+		if !found || seen < oldest ||
+			(seen == oldest && bytes.Compare(tag.Bytes(), victim.Bytes()) < 0) {
+			victim, oldest = tag, seen
+			found = true
+		}
+	}
+	if !found {
+		return
+	}
+	d.Forget(victim)
+	d.evicted++
+}
+
 // TrackedTags returns the number of tags with live state.
 func (d *Detector) TrackedTags() int { return len(d.lastSeen) }
+
+// EvictedTags reports how many tags the MaxTags bound has forgotten.
+func (d *Detector) EvictedTags() uint64 { return d.evicted }
 
 // Differencing is the naive baseline: compare each reading with the
 // previous one (§4.1 "Challenges"). Norm scales the raw deviation into the

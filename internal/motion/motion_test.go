@@ -465,3 +465,51 @@ func TestFusionPrune(t *testing.T) {
 		t.Fatal("prune must apply to both modalities")
 	}
 }
+
+func TestMaxTagsEvictsStalest(t *testing.T) {
+	d := NewPhaseMoG(Config{MaxTags: 4})
+	pop, err := epc.RandomPopulation(rand.New(rand.NewSource(11)), 12, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tag := range pop {
+		d.Observe(tag, 0, 0, 1.0, time.Duration(i)*time.Second)
+	}
+	if n := d.TrackedTags(); n != 4 {
+		t.Fatalf("tracked %d tags, cap is 4", n)
+	}
+	if ev := d.EvictedTags(); ev != 8 {
+		t.Fatalf("evicted %d tags, want 8", ev)
+	}
+	// The survivors must be the most recently seen, i.e. the last four.
+	for _, tag := range pop[:8] {
+		if d.Stack(tag, 0, 0) != nil {
+			t.Fatalf("stale tag %s survived the cap", tag)
+		}
+	}
+	for _, tag := range pop[8:] {
+		if d.Stack(tag, 0, 0) == nil {
+			t.Fatalf("fresh tag %s was evicted", tag)
+		}
+	}
+	// Eviction must tombstone, so checkpoints shrink too.
+	_, forgotten := d.DrainChanges()
+	if len(forgotten) != 8 {
+		t.Fatalf("%d tombstones drained, want 8", len(forgotten))
+	}
+}
+
+func TestMaxTagsReobservationIsNotEviction(t *testing.T) {
+	// Re-observing an already-tracked tag at the cap must not evict
+	// anyone — only first contact with a genuinely new tag does.
+	d := NewPhaseMoG(Config{MaxTags: 2})
+	d.Observe(tagA, 0, 0, 1.0, 0)
+	d.Observe(tagB, 0, 0, 1.0, time.Second)
+	d.Observe(tagA, 0, 0, 1.1, 2*time.Second)
+	if ev := d.EvictedTags(); ev != 0 {
+		t.Fatalf("re-observation evicted %d tags", ev)
+	}
+	if d.TrackedTags() != 2 {
+		t.Fatal("both tags must remain tracked")
+	}
+}
