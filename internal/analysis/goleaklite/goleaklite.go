@@ -12,6 +12,12 @@
 //     in the creating function and never escapes it: the runtime timer
 //     leaks until process exit.
 //
+// One guard-package idiom is recognised as a shutdown path of its own:
+// a restart loop metered by (*guard.Breaker).Next or gated on
+// (*guard.Breaker).Tripped terminates when the restart budget is spent
+// (the breaker trips to dead and the loop returns), so it is legal
+// without a done-channel receive.
+//
 // Suppress a deliberate exception with //tagwatch:allow-leak <why>.
 package goleaklite
 
@@ -32,6 +38,8 @@ var Analyzer = &analysis.Analyzer{
 Every long-lived goroutine must select on a done/ctx/stop channel so
 Close/Stop/ctx-cancel actually terminates it, and every time.NewTicker
 or time.NewTimer must be stopped (usually via defer) or handed off.
+A restart loop metered by a guard.Breaker (Next/Tripped) is exempt: the
+breaker trips to dead after the restart budget, ending the loop.
 Annotate deliberate exceptions with //tagwatch:allow-leak.`,
 	Run: run,
 }
@@ -75,6 +83,13 @@ func checkGoroutine(pass *analysis.Pass, g *ast.GoStmt, lit *ast.FuncLit) {
 			if n.Op.String() == "<-" && isShutdownChan(n.X) {
 				hasSignal = true
 			}
+		case *ast.CallExpr:
+			// A guard.Breaker-metered loop terminates when the restart
+			// budget trips to dead; consulting the breaker is a shutdown
+			// path even without a done-channel receive.
+			if isBreakerCall(pass, n) {
+				hasSignal = true
+			}
 		case *ast.RangeStmt:
 			// `for range ch` terminates when the channel closes; treat a
 			// channel range as its own shutdown path.
@@ -88,6 +103,20 @@ func checkGoroutine(pass *analysis.Pass, g *ast.GoStmt, lit *ast.FuncLit) {
 	if unbounded && !hasSignal {
 		pass.Reportf(g.Pos(), "goroutine loops forever with no shutdown path: select on a done/ctx/stop channel so Close or ctx-cancel can end it")
 	}
+}
+
+// guardPkg is the package whose Breaker bounds restart loops.
+const guardPkg = "tagwatch/internal/guard"
+
+// isBreakerCall reports whether call invokes (*guard.Breaker).Next or
+// (*guard.Breaker).Tripped — the methods whose ok=false/true answer is
+// how a budgeted restart loop learns it must stop.
+func isBreakerCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if pkg, typ := analysis.ReceiverNamed(fn); pkg != guardPkg || typ != "Breaker" {
+		return false
+	}
+	return fn.Name() == "Next" || fn.Name() == "Tripped"
 }
 
 // isShutdownChan reports whether a receive operand looks like a

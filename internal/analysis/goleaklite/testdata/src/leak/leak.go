@@ -4,6 +4,8 @@ package leak
 import (
 	"context"
 	"time"
+
+	"tagwatch/internal/guard"
 )
 
 type worker struct {
@@ -135,6 +137,47 @@ func (w *worker) goodRestartLoop(ctx context.Context, contained func() error) {
 			case <-ctx.Done():
 				return
 			}
+		}
+	}()
+}
+
+// The guard-budgeted shape: the breaker hands out backoff until the
+// restart budget is spent, then answers ok=false and the loop dies.
+// Trip-to-dead IS the shutdown path; no done-channel receive needed.
+func (w *worker) goodBreakerLoop(b *guard.Breaker, contained func() error) {
+	go func() {
+		for {
+			if err := contained(); err == nil {
+				return
+			}
+			delay, ok := b.Next(time.Now())
+			if !ok {
+				return // tripped to dead
+			}
+			time.Sleep(delay)
+		}
+	}()
+}
+
+// Gating each lap on Tripped counts the same way.
+func (w *worker) goodTrippedGate(b *guard.Breaker, contained func() error) {
+	go func() {
+		for {
+			if b.Tripped() {
+				return
+			}
+			_ = contained()
+		}
+	}()
+}
+
+// A sentinel alone contains panics but never ends the loop — only the
+// breaker (or a shutdown receive) bounds a restart loop.
+func (w *worker) badSentinelOnlyLoop(s *guard.Sentinel, body func()) {
+	go func() { // want `goroutine loops forever with no shutdown path`
+		for {
+			_ = s.Do("component", body)
+			time.Sleep(100 * time.Millisecond)
 		}
 	}()
 }

@@ -1,0 +1,16 @@
+// Fixture: minimal stand-in for the real guard package, matched by the
+// analyzer purely on import path + type name + signature.
+package guard
+
+import "time"
+
+type Breaker struct{}
+
+func (b *Breaker) Next(at time.Time) (time.Duration, bool) { return 0, false }
+func (b *Breaker) Tripped() bool                           { return true }
+
+// Sentinel is here so fixtures can mirror the real supervisor shape;
+// its methods are NOT shutdown paths.
+type Sentinel struct{}
+
+func (s *Sentinel) Do(component string, fn func()) error { return nil }

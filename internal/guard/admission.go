@@ -214,6 +214,12 @@ func (a *Admission) evictBucketLocked() {
 // error is ErrOverloaded when the request was shed, or the ctx error.
 // With the concurrency limiter disabled, Acquire always succeeds with a
 // no-op release.
+//
+// Ordering is deliberately LIFO throughout: releases grant the newest
+// waiter first, and every free slot is handed to queued waiters before
+// the fast path can see it (release drains the queue up to the limit,
+// so waiters are only ever queued while inflight is at the limit — a
+// fresh request never takes a slot a waiter could have had).
 func (a *Admission) Acquire(ctx context.Context) (release func(ok bool), err error) {
 	if a.cfg.MaxConcurrent <= 0 {
 		a.admitted.Add(1)
@@ -258,19 +264,28 @@ func (a *Admission) Acquire(ctx context.Context) (release func(ok bool), err err
 			a.shed.Add(1)
 			return nil, ctx.Err()
 		}
-		// A grant raced the cancellation; take the slot and let the
-		// caller unwind through its normal release path.
-		<-w.grant
-		a.admitted.Add(1)
-		return a.release, nil
+		return a.settleRaced(w)
 	case <-timer.C:
 		if a.abandon(w) {
 			a.shed.Add(1)
 			return nil, ErrOverloaded
 		}
-		<-w.grant
+		return a.settleRaced(w)
+	}
+}
+
+// settleRaced resolves a waiter that lost the abandon race: the limiter
+// already dequeued it and committed to exactly one of grant (take the
+// slot, unwind through the normal release path) or shed (overflow
+// displacement, already counted at the close site). Waiting on only one
+// channel here would deadlock forever when the other was the one closed.
+func (a *Admission) settleRaced(w *waiter) (func(ok bool), error) {
+	select {
+	case <-w.grant:
 		a.admitted.Add(1)
 		return a.release, nil
+	case <-w.shed:
+		return nil, ErrOverloaded
 	}
 }
 
@@ -304,18 +319,31 @@ func (a *Admission) release(ok bool) {
 		a.limit *= 0.9
 	}
 	a.limit = math.Min(math.Max(a.limit, float64(a.cfg.MinConcurrent)), float64(a.cfg.MaxConcurrent))
-	// Hand the slot to the NEWEST waiter (LIFO): under overload the
-	// freshest request is the one whose client is still listening.
-	if n := len(a.waiters); n > 0 {
+	a.inflight--
+	a.grantLocked()
+	a.cmu.Unlock()
+}
+
+// grantLocked hands every free slot to a queued waiter, NEWEST first
+// (LIFO: under overload the freshest request is the one whose client is
+// still listening). Looping — rather than granting a single slot per
+// release — matters when the additive increase has just raised the
+// limit: the extra capacity must reach waiters already in line, or they
+// age out while fresh arrivals take the new slots on the fast path.
+// This loop maintains the invariant that waiters remain queued only
+// while inflight has reached the limit.
+func (a *Admission) grantLocked() {
+	for a.inflight < a.limitNowLocked() {
+		n := len(a.waiters)
+		if n == 0 {
+			return
+		}
 		w := a.waiters[n-1]
 		a.waiters = a.waiters[:n-1]
 		w.queued = false
+		a.inflight++
 		close(w.grant)
-		a.cmu.Unlock()
-		return
 	}
-	a.inflight--
-	a.cmu.Unlock()
 }
 
 // limitNowLocked is the integer limit currently in force.

@@ -195,6 +195,97 @@ func TestAcquireContextCancel(t *testing.T) {
 	}
 }
 
+// Regression: a waiter shed by queue overflow concurrently with its own
+// queue timeout (or ctx cancellation) must settle on whichever of
+// grant/shed actually fired — blocking on grant alone deadlocks the
+// handler goroutine forever, since a shed waiter's grant never closes.
+// Tiny timeouts plus constant overflow make the race fire in practice.
+func TestAcquireShedTimeoutRaceNoDeadlock(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{
+		MaxConcurrent: 2, MinConcurrent: 1,
+		QueueDepth: 2, QueueTimeout: time.Millisecond,
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rel, err := a.Acquire(context.Background())
+				if err == nil {
+					rel(i%2 == 0)
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Acquire deadlocked under shed/timeout races")
+	}
+	st := a.Stats()
+	if st.Inflight != 0 || st.Waiting != 0 {
+		t.Fatalf("leaked limiter state after drain: %+v", st)
+	}
+}
+
+// Regression: when the additive increase raises the limit, the new
+// capacity must reach waiters already in line — not sit idle for the
+// fast path while a queued waiter ages out. One release at limit 1→2
+// must therefore admit BOTH queued waiters.
+func TestLimitRiseGrantsAllWaiters(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{
+		MaxConcurrent: 2, MinConcurrent: 1,
+		QueueDepth: 4, QueueTimeout: 5 * time.Second,
+	})
+	// One budget miss drives the limit down to 1.
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel(false)
+	if got := a.Stats().Limit; got != 1 {
+		t.Fatalf("limit after miss = %d, want 1", got)
+	}
+	hold, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		rel func(bool)
+		err error
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			r, e := a.Acquire(context.Background())
+			results <- result{r, e}
+		}()
+	}
+	waitForCond(t, time.Second, "both waiters queued", func() bool { return a.Stats().Waiting == 2 })
+	// The good completion raises the limit to 2 and frees one slot: one
+	// waiter takes the freed slot, the other the new capacity. Each holds
+	// its slot so the second grant cannot come from the first's release.
+	hold(true)
+	granted := make([]result, 0, 2)
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatalf("waiter %d: %v", i, r.err)
+			}
+			granted = append(granted, r)
+		case <-time.After(2 * time.Second):
+			t.Fatal("waiter stranded despite free capacity from limit rise")
+		}
+	}
+	for _, r := range granted {
+		r.rel(true)
+	}
+}
+
 func TestAIMDFeedback(t *testing.T) {
 	a, _ := newTestAdmission(AdmissionConfig{MaxConcurrent: 100, MinConcurrent: 4})
 	// A run of budget misses collapses the limit multiplicatively…

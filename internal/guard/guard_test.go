@@ -205,6 +205,40 @@ func TestQuarantinePassThrough(t *testing.T) {
 	}
 }
 
+// Regression: a key that cleared probation and later re-enters leaves a
+// stale entry at the FRONT of the eviction FIFO. Matching that entry by
+// key alone would evict the key's fresh probe — the youngest in the
+// ring — instead of the genuinely oldest one; entries must be matched
+// by probe identity so stale duplicates are discarded.
+func TestQuarantineReprobationEvictionOrder(t *testing.T) {
+	q := NewQuarantine[string](2, time.Minute, 3)
+	t0 := time.Unix(1_700_000_000, 0)
+	// A clears probation, leaving its stale order entry behind…
+	q.Observe("A", t0)
+	if !q.Observe("A", t0.Add(time.Second)) {
+		t.Fatal("A not confirmed after K sightings")
+	}
+	// …then B and C enter, and A re-enters probation after both.
+	q.Observe("B", t0.Add(2*time.Second))
+	q.Observe("C", t0.Add(3*time.Second))
+	q.Observe("A", t0.Add(4*time.Second))
+	// Ring full: admitting D must evict B, the oldest live probe — not
+	// A, whose stale front entry predates B but whose live probe is the
+	// youngest in the ring.
+	q.Observe("D", t0.Add(5*time.Second))
+	if q.Contains("B") {
+		t.Fatal("oldest live probe B survived eviction")
+	}
+	for _, k := range []string{"A", "C", "D"} {
+		if !q.Contains(k) {
+			t.Fatalf("probe %s wrongly evicted in place of B", k)
+		}
+	}
+	if got := q.Stats().Evicted; got != 1 {
+		t.Fatalf("Evicted = %d, want 1", got)
+	}
+}
+
 func TestQuarantineOrderCompaction(t *testing.T) {
 	// Confirmed keys leave dead entries in the order slice; make sure the
 	// slice stays O(cap) under a confirm-heavy workload.

@@ -25,11 +25,14 @@ type Quarantine[K comparable] struct {
 
 	mu     sync.Mutex
 	probes map[K]*probe
-	// order is the insertion-order FIFO used for ring eviction. Entries
-	// that were confirmed or re-keyed stay behind as dead weight until
-	// either an eviction pops them or a compaction sweeps them; the
-	// slice is compacted once it outgrows 2×cap, keeping it O(cap).
-	order []K
+	// order is the insertion-order FIFO used for ring eviction. Each
+	// entry pins the probe pointer it was created for, so a stale entry
+	// (its key confirmed or evicted, possibly back on probation under a
+	// fresh probe) is recognised and skipped rather than evicting the
+	// newer probe out of turn. Stale entries stay behind as dead weight
+	// until an eviction pops them or a compaction sweeps them; the slice
+	// is compacted once it outgrows 2×cap, keeping it O(cap).
+	order []orderEntry[K]
 
 	held      atomic.Uint64 // sightings answered "still on probation"
 	confirmed atomic.Uint64 // keys admitted
@@ -40,7 +43,13 @@ type Quarantine[K comparable] struct {
 type probe struct {
 	count int
 	first time.Time
-	live  bool
+}
+
+// orderEntry identifies one ring admission: key plus the exact probe it
+// admitted. probes[key] == p iff that admission is still live.
+type orderEntry[K comparable] struct {
+	key K
+	p   *probe
 }
 
 // NewQuarantine builds a quarantine requiring k sightings within window,
@@ -75,8 +84,9 @@ func (q *Quarantine[K]) Observe(key K, at time.Time) bool {
 		if len(q.probes) >= q.cap {
 			q.evictOldestLocked()
 		}
-		q.probes[key] = &probe{count: 1, first: at, live: true}
-		q.order = append(q.order, key)
+		p = &probe{count: 1, first: at}
+		q.probes[key] = p
+		q.order = append(q.order, orderEntry[K]{key: key, p: p})
 		q.maybeCompactLocked()
 		q.mu.Unlock()
 		q.held.Add(1)
@@ -94,7 +104,6 @@ func (q *Quarantine[K]) Observe(key K, at time.Time) bool {
 	}
 	p.count++
 	if p.count >= q.k {
-		p.live = false
 		delete(q.probes, key)
 		q.mu.Unlock()
 		q.confirmed.Add(1)
@@ -106,28 +115,32 @@ func (q *Quarantine[K]) Observe(key K, at time.Time) bool {
 }
 
 // evictOldestLocked pops FIFO entries until one live probe is removed.
+// An entry whose probe pointer no longer matches the map is stale — its
+// admission already ended (confirmed or evicted), and the key may since
+// have re-entered probation under a fresh probe with its own, younger
+// entry — so it is discarded, never used to evict.
 func (q *Quarantine[K]) evictOldestLocked() {
 	for len(q.order) > 0 {
-		key := q.order[0]
+		e := q.order[0]
 		q.order = q.order[1:]
-		if p, ok := q.probes[key]; ok && p.live {
-			delete(q.probes, key)
+		if q.probes[e.key] == e.p {
+			delete(q.probes, e.key)
 			q.evicted.Add(1)
 			return
 		}
 	}
 }
 
-// maybeCompactLocked drops dead (confirmed) keys from the order slice
-// once it has outgrown twice the ring capacity.
+// maybeCompactLocked drops stale entries from the order slice once it
+// has outgrown twice the ring capacity.
 func (q *Quarantine[K]) maybeCompactLocked() {
 	if len(q.order) <= 2*q.cap {
 		return
 	}
 	kept := q.order[:0]
-	for _, key := range q.order {
-		if p, ok := q.probes[key]; ok && p.live {
-			kept = append(kept, key)
+	for _, e := range q.order {
+		if q.probes[e.key] == e.p {
+			kept = append(kept, e)
 		}
 	}
 	q.order = kept
