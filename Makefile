@@ -9,7 +9,7 @@
 STATICCHECK = go run honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK = go run golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: all build check lint lint-offline test race chaos crash soak fuzz-smoke vettool clean
+.PHONY: all build check lint lint-offline test race chaos crash soak fuzz-smoke bench replay-smoke vettool clean
 
 all: build
 
@@ -65,6 +65,30 @@ soak:
 fuzz-smoke:
 	go test -fuzz=FuzzDecodeFrame -fuzztime=10s -run '^$$' ./internal/llrp/
 	go test -fuzz=FuzzParse -fuzztime=10s -run '^$$' ./internal/epc/
+
+# The perf-trajectory rig: the core data-plane benchmarks (wire codec,
+# schedule solver, motion model, EPC ops, WAL append, registry merge,
+# scenario compile) rendered as BENCH_core.json. The file is checked in
+# per PR and uploaded as a CI artifact, so ns/op / B/op / allocs/op form
+# a reviewable trajectory across the repo's history. Absolute numbers
+# vary by machine; the allocation counts should not.
+BENCH_PKGS = ./internal/llrp ./internal/schedule ./internal/motion ./internal/epc ./internal/statestore ./internal/fleet ./internal/scenario
+BENCH_SEL  = 'ROAccessReport|Select40Tags|Select400Tags|NewIndexTable|ObserveStationary|ObserveMoving|Peek|CRC16|MatchBits|WALAppend|RegistryObserve|CompileTimeline'
+bench:
+	go test -run '^$$' -bench $(BENCH_SEL) -benchmem -benchtime=0.2s $(BENCH_PKGS) | go run ./cmd/benchjson > BENCH_core.json
+	@cat BENCH_core.json
+
+# The replay determinism gate: the retail-rush pack streamed through a
+# real fleet at 100x virtual time, twice, under the race detector; the
+# runs must agree on the report fingerprint (wall-clock timing is the
+# only permitted difference).
+replay-smoke:
+	go run -race ./cmd/replayd -scenario retail-rush -speed 100 -report /tmp/tagwatch-replay-a.json
+	go run -race ./cmd/replayd -scenario retail-rush -speed 100 -report /tmp/tagwatch-replay-b.json
+	@fa=$$(grep -o '"fingerprint": "[0-9a-f]*"' /tmp/tagwatch-replay-a.json); \
+	fb=$$(grep -o '"fingerprint": "[0-9a-f]*"' /tmp/tagwatch-replay-b.json); \
+	test -n "$$fa" && test "$$fa" = "$$fb" || { echo "replay-smoke: fingerprint mismatch: $$fa vs $$fb"; exit 1; }; \
+	echo "replay-smoke: deterministic ($$fa)"
 
 # Builds the vet-protocol binary so `go vet -vettool=bin/tagwatchvet`
 # integrates the suite with go vet's package driver and build cache.

@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into the checked-in perf-trajectory file BENCH_core.json: one record
+// per benchmark with ns/op, B/op, and allocs/op, sorted by (package,
+// name) so diffs against the previous trajectory point are stable.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_core.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Pkg  string `json:"pkg"`
+	Name string `json:"name"`
+	Runs int64  `json:"runs"`
+	// NsPerOp is wall time per operation; BPerOp/AllocsPerOp are -1 when
+	// the run did not report memory stats.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Output is the BENCH_core.json document.
+type Output struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if _, err := os.Stdout.Write(b); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (Output, error) {
+	var out Output
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok, err := parseBench(line, pkg)
+			if err != nil {
+				return Output{}, err
+			}
+			if ok {
+				out.Benchmarks = append(out.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Output{}, err
+	}
+	sort.Slice(out.Benchmarks, func(i, j int) bool {
+		a, b := out.Benchmarks[i], out.Benchmarks[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		return a.Name < b.Name
+	})
+	return out, nil
+}
+
+// parseBench decodes one result line:
+//
+//	BenchmarkName-8   1000   1234 ns/op   512 B/op   10 allocs/op
+//
+// returning ok=false for benchmark lines with no measurements (e.g. a
+// bare name echoed under -v).
+func parseBench(line, pkg string) (Result, bool, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || f[3] != "ns/op" {
+		return Result{}, false, nil
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix so the name is stable across machines.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	runs, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false, fmt.Errorf("bad run count in %q: %w", line, err)
+	}
+	ns, err := strconv.ParseFloat(f[2], 64)
+	if err != nil {
+		return Result{}, false, fmt.Errorf("bad ns/op in %q: %w", line, err)
+	}
+	r := Result{Pkg: pkg, Name: name, Runs: runs, NsPerOp: ns, BPerOp: -1, AllocsPerOp: -1}
+	for i := 4; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseInt(f[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "B/op":
+			r.BPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	return r, true, nil
+}

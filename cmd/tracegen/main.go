@@ -1,12 +1,16 @@
-// Command tracegen generates a TrackPoint-style sorting-facility reading
-// trace (the paper's Figs. 3–4 workload) and writes it as CSV: one row per
-// tag with arrival, departure, and reading counts, plus a per-minute
-// timeline.
+// Command tracegen generates a sorting-facility reading trace and writes
+// it as CSV: one row per tag with arrival, departure, and reading counts,
+// plus a per-minute timeline. By default it models the paper's TrackPoint
+// facility (Figs. 3–4); -scenario swaps in any built-in scenario pack, so
+// this tool and the replay daemon (cmd/replayd) share one workload
+// factory.
 //
 // Usage:
 //
 //	tracegen -hours 4 -tags 527 -seed 1 > trace.csv
 //	tracegen -timeline > timeline.csv
+//	tracegen -scenario retail-rush > rush.csv
+//	tracegen -scenario list
 package main
 
 import (
@@ -16,24 +20,60 @@ import (
 	"os"
 	"time"
 
+	"tagwatch/internal/scenario"
 	"tagwatch/internal/trace"
 )
 
 func main() {
 	var (
-		hours    = flag.Float64("hours", 4, "trace duration in hours")
-		tags     = flag.Int("tags", 527, "distinct tags")
+		hours    = flag.Float64("hours", 0, "override trace duration in hours (0 keeps the scenario's)")
+		tags     = flag.Int("tags", 0, "override distinct tag count (0 keeps the scenario's)")
 		seed     = flag.Int64("seed", 1, "generation seed")
 		timeline = flag.Bool("timeline", false, "emit the per-minute timeline instead of per-tag rows")
 		adaptive = flag.Bool("adaptive", false, "replay the facility under the rate-adaptive policy")
+		scen     = flag.String("scenario", "", "built-in scenario pack to generate from (\"list\" to enumerate)")
 	)
 	flag.Parse()
 
-	cfg := trace.DefaultConfig()
-	cfg.Duration = time.Duration(*hours * float64(time.Hour))
-	cfg.Arrivals = *tags
+	var cfg trace.Config
+	switch *scen {
+	case "":
+		cfg = trace.DefaultConfig()
+		if *hours == 0 {
+			*hours = 4
+		}
+		if *tags == 0 {
+			*tags = 527
+		}
+	case "list":
+		for _, p := range scenario.Packs() {
+			fmt.Printf("%-22s %s\n", p.Name, p.Description)
+		}
+		return
+	default:
+		spec, err := scenario.Lookup(*scen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		cfg, err = spec.TraceConfig()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+	}
+	if *hours > 0 {
+		cfg.Duration = time.Duration(*hours * float64(time.Hour))
+	}
+	if *tags > 0 {
+		cfg.Arrivals = *tags
+	}
 	cfg.RateAdaptive = *adaptive
-	tr := trace.Generate(cfg, rand.New(rand.NewSource(*seed)))
+	tr, err := trace.Generate(cfg, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
 
 	w := os.Stdout
 	if *timeline {

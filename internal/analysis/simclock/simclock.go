@@ -33,6 +33,7 @@ var RestrictedPrefixes = []string{
 	"tagwatch/internal/motion",
 	"tagwatch/internal/reader",
 	"tagwatch/internal/rf",
+	"tagwatch/internal/scenario",
 	"tagwatch/internal/scene",
 	"tagwatch/internal/schedule",
 	"tagwatch/internal/trace",

@@ -37,10 +37,16 @@ func Fig03(opt Options) (Fig03Result, error) {
 		// IRR) unchanged by shortening dwells with the trace.
 		cfg.MeanParkDwell /= 1 // dwell shortening would change shape; keep
 	}
-	tr := trace.Generate(cfg, rand.New(rand.NewSource(opt.Seed)))
+	tr, err := trace.Generate(cfg, rand.New(rand.NewSource(opt.Seed)))
+	if err != nil {
+		return Fig03Result{}, err
+	}
 	acfg := cfg
 	acfg.RateAdaptive = true
-	adaptive := trace.Generate(acfg, rand.New(rand.NewSource(opt.Seed)))
+	adaptive, err := trace.Generate(acfg, rand.New(rand.NewSource(opt.Seed)))
+	if err != nil {
+		return Fig03Result{}, err
+	}
 	counts := tr.ReadCounts()
 	var crossing []float64
 	for _, tag := range tr.Tags {

@@ -1,0 +1,37 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"tagwatch/internal/core"
+	"tagwatch/internal/epc"
+)
+
+// BenchmarkRegistryObserve measures the fleet's per-reading cost: the
+// sharded merge every supervisor and ingest pays for every tag report.
+// Steady-state shape (all tags already admitted), cycling through a
+// 1024-tag population from two readers so the handoff path is exercised
+// without dominating.
+func BenchmarkRegistryObserve(b *testing.B) {
+	reg := NewRegistry()
+	pop, err := epc.SequentialPopulation([]byte{0x30, 0x1C, 0xA0}, 0, 1024, epc.StandardBits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	at := time.Unix(0, 0).UTC()
+	readings := make([]core.Reading, len(pop))
+	for i, code := range pop {
+		readings[i] = core.Reading{EPC: code, Antenna: 1 + i%4}
+		reg.Observe("bench-a", readings[i], at)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reader := "bench-a"
+		if i&0xFF == 0 {
+			reader = "bench-b"
+		}
+		reg.Observe(reader, readings[i%len(readings)], at.Add(time.Duration(i)))
+	}
+}

@@ -237,6 +237,7 @@ type Manager struct {
 
 	mu      sync.Mutex
 	sups    []*supervisor
+	ingests []*Ingest
 	cancel  context.CancelFunc
 	started time.Time
 	wg      sync.WaitGroup
@@ -396,11 +397,18 @@ func (m *Manager) Registry() *Registry { return m.reg }
 func (m *Manager) Bus() *Bus { return m.bus }
 
 // Readers snapshots the status of every supervised reader, in
-// configuration order.
+// configuration order, followed by any synthetic ingests in registration
+// order.
 func (m *Manager) Readers() []ReaderStatus {
-	out := make([]ReaderStatus, len(m.sups))
-	for i, s := range m.sups {
-		out[i] = s.status()
+	m.mu.Lock()
+	ingests := append([]*Ingest(nil), m.ingests...)
+	m.mu.Unlock()
+	out := make([]ReaderStatus, 0, len(m.sups)+len(ingests))
+	for _, s := range m.sups {
+		out = append(out, s.status())
+	}
+	for _, in := range ingests {
+		out = append(out, in.status())
 	}
 	return out
 }

@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"tagwatch/internal/core"
+	"tagwatch/internal/epc"
+)
+
+func ingestReading(t *testing.T, i int) core.Reading {
+	t.Helper()
+	pop, err := epc.SequentialPopulation([]byte{0x30, 0x1C, 0xA1}, uint32(i), 1, epc.StandardBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Reading{EPC: pop[0], Antenna: 1}
+}
+
+func TestIngestFeedsRegistryAndBus(t *testing.T) {
+	m := New(Config{})
+	sub := m.Bus().Subscribe(16)
+	defer sub.Close()
+
+	entry := m.NewIngest("entry")
+	exit := m.NewIngest("exit")
+	at := time.Unix(0, 0).UTC()
+	r := ingestReading(t, 0)
+
+	if _, moved := entry.Observe(r, at); moved {
+		t.Fatal("first sighting cannot be a handoff")
+	}
+	ho, moved := exit.Observe(r, at.Add(time.Second))
+	if !moved || ho.From != "entry" || ho.To != "exit" {
+		t.Fatalf("expected entry->exit handoff, got %+v moved=%v", ho, moved)
+	}
+	select {
+	case ev := <-sub.C():
+		if ev.Type != EventHandoff || ev.From != "entry" || ev.To != "exit" {
+			t.Fatalf("bus event = %+v", ev)
+		}
+	default:
+		t.Fatal("handoff not published on the bus")
+	}
+
+	exit.UpdateAssessment(r.EPC, true, 12.5)
+	st, ok := m.Registry().Get(r.EPC)
+	if !ok || !st.Mobile || st.IRR != 12.5 {
+		t.Fatalf("assessment not recorded: %+v ok=%v", st, ok)
+	}
+	// A stale reader's verdict must not clobber the owner's.
+	entry.UpdateAssessment(r.EPC, false, 1)
+	if st, _ := m.Registry().Get(r.EPC); !st.Mobile {
+		t.Fatal("non-owner overwrote the assessment")
+	}
+
+	exit.PublishCycle(at.Add(2*time.Second), &CycleSummary{Present: 1})
+	select {
+	case ev := <-sub.C():
+		if ev.Type != EventCycle || ev.Reader != "exit" || ev.Cycle.Present != 1 {
+			t.Fatalf("cycle event = %+v", ev)
+		}
+	default:
+		t.Fatal("cycle summary not published")
+	}
+}
+
+func TestIngestAppearsInReadersAndStaysHealthy(t *testing.T) {
+	m := New(Config{})
+	in := m.NewIngest("replay-gate")
+	in.Observe(ingestReading(t, 1), time.Unix(0, 0).UTC())
+
+	rs := m.Readers()
+	if len(rs) != 1 {
+		t.Fatalf("readers = %+v", rs)
+	}
+	st := rs[0]
+	if st.Name != "replay-gate" || st.State != "up" || st.Readings != 1 {
+		t.Fatalf("ingest status = %+v", st)
+	}
+	if !m.Healthy() {
+		t.Fatal("a fleet of only ingests must be healthy")
+	}
+}

@@ -1,0 +1,283 @@
+// Package replay streams a compiled scenario timeline through a live
+// fleet at a wall-clock speed multiple — the engine behind cmd/replayd.
+//
+// The runner compiles a scenario.Spec into its deterministic timeline,
+// builds a real fleet.Manager (guard layer and all), registers one
+// synthetic ingest per gate, and delivers every compiled reading through
+// the same registry path a supervised LLRP reader would use. Virtual
+// time does the bookkeeping: observations carry timestamps on a fixed
+// epoch, so quarantine clocks, eviction order, and handoff records are
+// identical run to run, while the wall clock only paces delivery
+// (`Speed` virtual seconds per wall second; 0 replays as fast as the
+// pipeline drains).
+//
+// The outcome is a Report whose deterministic portion — everything
+// except the Wall section — hashes to a stable fingerprint: two runs of
+// the same (spec, seed) must produce byte-identical reports modulo
+// wall-clock timing, which is exactly what the CI replay-smoke job
+// asserts.
+package replay
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"tagwatch/internal/core"
+	"tagwatch/internal/fleet"
+	"tagwatch/internal/scenario"
+)
+
+// Config tunes one replay run.
+type Config struct {
+	// Spec is the scenario to compile and replay.
+	Spec scenario.Spec
+	// Seed drives every stochastic draw in the compiled timeline.
+	Seed int64
+	// Speed is the virtual-to-wall time multiple: 100 replays one virtual
+	// hour in 36 wall seconds. Zero (or negative) replays unthrottled.
+	Speed float64
+	// QuarantineK gates never-seen EPCs exactly as a production fleet
+	// would (k sightings within the virtual quarantine window before
+	// admission). Values <= 1 disable quarantine.
+	QuarantineK int
+	// MaxTags caps the merged registry (0 = unbounded).
+	MaxTags int
+}
+
+// Bucket is one cumulative histogram bin: Count tags were read at most
+// Le times.
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count int     `json:"count"`
+}
+
+// FleetCounters is the registry/guard outcome of the run — the numbers
+// that prove the pipeline actually processed the workload.
+type FleetCounters struct {
+	TagsSeen            int    `json:"tags_seen"`
+	Observations        uint64 `json:"observations"`
+	Handoffs            uint64 `json:"handoffs"`
+	Evicted             uint64 `json:"evicted"`
+	QuarantineRefused   uint64 `json:"quarantine_refused"`
+	QuarantineHeld      uint64 `json:"quarantine_held"`
+	QuarantineConfirmed uint64 `json:"quarantine_confirmed"`
+	BusPublished        uint64 `json:"bus_published"`
+}
+
+// GateReport is one ingest's share of the run.
+type GateReport struct {
+	Reader   string `json:"reader"`
+	Readings uint64 `json:"readings"`
+	Cycles   int    `json:"cycles"`
+}
+
+// Wall is the only non-deterministic section of a report: wall-clock
+// timing, excluded from the fingerprint.
+type Wall struct {
+	Start     time.Time `json:"start"`
+	End       time.Time `json:"end"`
+	ElapsedMS int64     `json:"elapsed_ms"`
+	// EffectiveSpeed is virtual duration over wall elapsed — how fast the
+	// run actually went (>= Speed when the pipeline kept up).
+	EffectiveSpeed float64 `json:"effective_speed"`
+}
+
+// Report is the run summary replayd emits as JSON.
+type Report struct {
+	Scenario        string        `json:"scenario"`
+	Seed            int64         `json:"seed"`
+	Speed           float64       `json:"speed"`
+	VirtualDuration time.Duration `json:"virtual_duration_ns"`
+	// TimelineDigest fingerprints the compiled workload (scenario.Digest);
+	// Fingerprint covers the whole deterministic report.
+	TimelineDigest string `json:"timeline_digest"`
+
+	TimelineTags     int `json:"timeline_tags"`
+	TimelineReadings int `json:"timeline_readings"`
+	TimelineEvents   int `json:"timeline_events"`
+	GateChanges      int `json:"gate_changes"`
+	PeakConcurrent   int `json:"peak_concurrent"`
+
+	Fleet FleetCounters `json:"fleet"`
+	Gates []GateReport  `json:"gates"`
+	// ReadRate is the per-tag read-count histogram over the registry's
+	// final state (cumulative, Fig. 4 shaped).
+	ReadRate []Bucket `json:"read_rate_histogram"`
+
+	Fingerprint string `json:"fingerprint"`
+	Wall        Wall   `json:"wall"`
+}
+
+// epoch anchors virtual time: observation k at virtual offset t carries
+// the timestamp epoch+t, independent of the wall clock, so registry
+// state is a pure function of the compiled timeline.
+var epoch = time.Unix(0, 0).UTC()
+
+// bucketBounds are the cumulative histogram edges for ReadRate.
+var bucketBounds = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Run compiles and replays one scenario through a fresh fleet.Manager,
+// returning the run report. The context aborts the replay (the partial
+// run is discarded with an error).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	compiled, err := scenario.Compile(cfg.Spec, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	fc := fleet.DefaultConfig()
+	fc.MaxTags = cfg.MaxTags
+	fc.QuarantineK = cfg.QuarantineK
+	m := fleet.New(fc)
+	if err := m.Start(ctx); err != nil {
+		return nil, fmt.Errorf("replay: start fleet: %w", err)
+	}
+	defer m.Stop()
+
+	spec := compiled.Spec
+	ingests := make([]*fleet.Ingest, len(spec.Gates))
+	cycles := make([]int, len(spec.Gates))
+	for i, g := range spec.Gates {
+		ingests[i] = m.NewIngest(g.Reader)
+	}
+
+	wallStart := time.Now()
+	for _, ev := range compiled.Events {
+		if cfg.Speed > 0 {
+			target := wallStart.Add(time.Duration(float64(ev.At) / cfg.Speed))
+			if d := time.Until(target); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return nil, fmt.Errorf("replay: aborted at virtual %v: %w", ev.At, ctx.Err())
+				}
+			}
+		} else if ctx.Err() != nil {
+			return nil, fmt.Errorf("replay: aborted at virtual %v: %w", ev.At, ctx.Err())
+		}
+
+		in := ingests[ev.Gate]
+		for _, r := range ev.Readings {
+			in.Observe(core.Reading{
+				EPC:      compiled.Tags[r.Tag].EPC,
+				Time:     r.At,
+				Antenna:  int(r.Antenna),
+				Channel:  int(r.Channel),
+				PhaseRad: float64(r.PhaseRad),
+				RSSdBm:   float64(r.RSSdBm),
+			}, epoch.Add(r.At))
+		}
+		// Refresh assessments exactly as a supervisor does after a cycle:
+		// one verdict per distinct tag read in the window, at the shared
+		// per-tag rate Λ(present).
+		mobile := make(map[int32]bool, len(ev.Mobile))
+		for _, t := range ev.Mobile {
+			mobile[t] = true
+		}
+		irr := spec.Cost.IRR(ev.Present)
+		assessed := make(map[int32]bool, ev.Present)
+		for _, r := range ev.Readings {
+			if assessed[r.Tag] {
+				continue
+			}
+			assessed[r.Tag] = true
+			in.UpdateAssessment(compiled.Tags[r.Tag].EPC, mobile[r.Tag], irr)
+		}
+		in.PublishCycle(epoch.Add(ev.At), &fleet.CycleSummary{
+			Present:      ev.Present,
+			Mobile:       len(ev.Mobile),
+			Targets:      len(ev.Mobile),
+			PhaseIReads:  ev.Present,
+			PhaseIIReads: len(ev.Readings),
+		})
+		cycles[ev.Gate]++
+	}
+	wallEnd := time.Now()
+
+	rep := &Report{
+		Scenario:         spec.Name,
+		Seed:             cfg.Seed,
+		Speed:            cfg.Speed,
+		VirtualDuration:  spec.Duration,
+		TimelineDigest:   compiled.Digest(),
+		TimelineTags:     compiled.Stats.Tags,
+		TimelineReadings: compiled.Stats.Readings,
+		TimelineEvents:   compiled.Stats.Events,
+		GateChanges:      compiled.Stats.GateChanges,
+		PeakConcurrent:   compiled.Stats.PeakConcurrent,
+	}
+	reg := m.Registry()
+	obs, handoffs := reg.Stats()
+	evicted, refused, qs := reg.GuardStats()
+	published, _, _ := m.Bus().Stats()
+	rep.Fleet = FleetCounters{
+		TagsSeen:            reg.Len(),
+		Observations:        obs,
+		Handoffs:            handoffs,
+		Evicted:             evicted,
+		QuarantineRefused:   refused,
+		QuarantineHeld:      qs.Held,
+		QuarantineConfirmed: qs.Confirmed,
+		BusPublished:        published,
+	}
+	for i, g := range spec.Gates {
+		rep.Gates = append(rep.Gates, GateReport{
+			Reader:   g.Reader,
+			Readings: ingests[i].Readings(),
+			Cycles:   cycles[i],
+		})
+	}
+	rep.ReadRate = histogram(reg)
+	fp, err := rep.fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	rep.Fingerprint = fp
+	rep.Wall = Wall{
+		Start:     wallStart,
+		End:       wallEnd,
+		ElapsedMS: wallEnd.Sub(wallStart).Milliseconds(),
+	}
+	if el := wallEnd.Sub(wallStart); el > 0 {
+		rep.Wall.EffectiveSpeed = float64(spec.Duration) / float64(el)
+	}
+	return rep, nil
+}
+
+// histogram builds the cumulative per-tag read-count distribution from
+// the registry's final (sorted, deterministic) snapshot.
+func histogram(reg *fleet.Registry) []Bucket {
+	out := make([]Bucket, len(bucketBounds))
+	for i, le := range bucketBounds {
+		out[i].Le = le
+	}
+	for _, st := range reg.Snapshot() {
+		for i, le := range bucketBounds {
+			if float64(st.Reads) <= le {
+				out[i].Count++
+			}
+		}
+	}
+	return out
+}
+
+// fingerprint hashes the deterministic portion of the report: the
+// JSON encoding with Fingerprint and Wall zeroed. Two same-seed runs
+// must agree on it regardless of wall-clock pacing.
+func (r *Report) fingerprint() (string, error) {
+	cp := *r
+	cp.Fingerprint = ""
+	cp.Wall = Wall{}
+	b, err := json.Marshal(cp)
+	if err != nil {
+		return "", fmt.Errorf("replay: fingerprint: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

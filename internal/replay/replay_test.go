@@ -1,0 +1,125 @@
+package replay
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"tagwatch/internal/scenario"
+)
+
+// shrunkRush is retail-rush cut down to a few virtual minutes so the
+// integration test replays it at 100x in about two wall seconds.
+func shrunkRush(t *testing.T) scenario.Spec {
+	t.Helper()
+	spec, err := scenario.Lookup("retail-rush")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Duration = 3 * time.Minute
+	spec.Population = 150
+	spec.TransitTime = 20 * time.Second
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("shrunk spec invalid: %v", err)
+	}
+	return spec
+}
+
+func TestReplayThroughFleet(t *testing.T) {
+	cfg := Config{Spec: shrunkRush(t), Seed: 11, Speed: 100, QuarantineK: 2}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fleet.TagsSeen == 0 {
+		t.Fatal("no tags reached the registry")
+	}
+	if rep.Fleet.Observations == 0 || rep.Fleet.Observations > uint64(rep.TimelineReadings) {
+		t.Fatalf("observations %d outside (0, %d]", rep.Fleet.Observations, rep.TimelineReadings)
+	}
+	// Two gates on the route: tags crossing entry then exit must hand off.
+	if rep.Fleet.Handoffs == 0 {
+		t.Fatal("no handoffs despite a two-gate route")
+	}
+	// QuarantineK=2 means every never-seen EPC is held at least once.
+	if rep.Fleet.QuarantineHeld == 0 || rep.Fleet.QuarantineConfirmed == 0 {
+		t.Fatalf("quarantine counters flat: held=%d confirmed=%d",
+			rep.Fleet.QuarantineHeld, rep.Fleet.QuarantineConfirmed)
+	}
+	// The bus carried handoffs plus one cycle summary per event.
+	if rep.Fleet.BusPublished < uint64(rep.TimelineEvents) {
+		t.Fatalf("bus published %d < %d events", rep.Fleet.BusPublished, rep.TimelineEvents)
+	}
+	if rep.Fingerprint == "" || rep.TimelineDigest == "" {
+		t.Fatal("missing fingerprint/digest")
+	}
+	var gateReadings uint64
+	for _, g := range rep.Gates {
+		gateReadings += g.Readings
+	}
+	// Ingests count every delivery; the registry's observation counter
+	// excludes sightings refused while in quarantine.
+	if gateReadings != rep.Fleet.Observations+rep.Fleet.QuarantineRefused {
+		t.Fatalf("per-gate readings %d != observations %d + refused %d",
+			gateReadings, rep.Fleet.Observations, rep.Fleet.QuarantineRefused)
+	}
+	// Histogram is cumulative and ends at the full seen population.
+	last := 0
+	for _, b := range rep.ReadRate {
+		if b.Count < last {
+			t.Fatalf("histogram not monotone: %+v", rep.ReadRate)
+		}
+		last = b.Count
+	}
+	if rep.Wall.ElapsedMS <= 0 {
+		t.Fatal("wall elapsed not recorded")
+	}
+	// The report must round-trip as JSON (replayd's output format).
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report not serialisable: %v", err)
+	}
+}
+
+func TestReplayDeterministicFingerprint(t *testing.T) {
+	// Unthrottled on purpose: wall-clock pacing must not leak into the
+	// deterministic portion of the report.
+	cfg := Config{Spec: shrunkRush(t), Seed: 7, QuarantineK: 2}
+	a, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("same-seed fingerprints differ:\n%s\n%s", a.Fingerprint, b.Fingerprint)
+	}
+	cfg.Seed = 8
+	c, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint == a.Fingerprint {
+		t.Fatal("different seeds produced the same fingerprint")
+	}
+}
+
+func TestReplayAbortsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Throttled so the run cannot finish before noticing cancellation.
+	_, err := Run(ctx, Config{Spec: shrunkRush(t), Seed: 1, Speed: 1})
+	if err == nil {
+		t.Fatal("cancelled replay must fail")
+	}
+}
+
+func TestReplayRejectsBadSpec(t *testing.T) {
+	spec := shrunkRush(t)
+	spec.Duration = 0
+	if _, err := Run(context.Background(), Config{Spec: spec, Seed: 1}); err == nil {
+		t.Fatal("degenerate spec must be rejected before any fleet is built")
+	}
+}

@@ -1,0 +1,33 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// benchSpec is retail-rush shrunk so the benchmark measures compile
+// throughput, not a full-hour simulation.
+func benchSpec() Spec {
+	spec, err := Lookup("retail-rush")
+	if err != nil {
+		panic(err)
+	}
+	spec.Duration = 2 * time.Minute
+	spec.Population = 100
+	spec.TransitTime = 15 * time.Second
+	return spec
+}
+
+// BenchmarkCompileTimeline measures the scenario factory end to end:
+// spec validation, visit scheduling, the step-grid reading simulation,
+// and event assembly.
+func BenchmarkCompileTimeline(b *testing.B) {
+	spec := benchSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(spec, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

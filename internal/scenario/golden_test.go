@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json from the current generator")
+
+// goldenEntry pins one pack's compiled identity at seed 1. The digest is a
+// SHA-256 over the canonical timeline encoding, so any change to the
+// generator's draw order, pack parameters, or event layout shows up as a
+// diff here — run `go test ./internal/scenario -run TestGolden -update`
+// after an intentional change.
+type goldenEntry struct {
+	Digest   string `json:"digest"`
+	Tags     int    `json:"tags"`
+	Readings int    `json:"readings"`
+	Events   int    `json:"events"`
+}
+
+const goldenSeed = 1
+
+func goldenPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join("testdata", "golden.json")
+}
+
+// TestGoldenDeterminism proves every built-in pack compiles to a
+// byte-identical timeline for a fixed seed: twice in-process, and against
+// the checked-in golden digests (cross-machine, cross-run determinism).
+func TestGoldenDeterminism(t *testing.T) {
+	got := make(map[string]goldenEntry)
+	for _, p := range Packs() {
+		a, err := Compile(p, goldenSeed)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		b, err := Compile(p, goldenSeed)
+		if err != nil {
+			t.Fatalf("%s (second compile): %v", p.Name, err)
+		}
+		da, db := a.Digest(), b.Digest()
+		if da != db {
+			t.Fatalf("%s: same seed compiled to different timelines: %s vs %s", p.Name, da, db)
+		}
+		if c, err := Compile(p, goldenSeed+1); err != nil {
+			t.Fatalf("%s (seed+1): %v", p.Name, err)
+		} else if c.Digest() == da {
+			t.Fatalf("%s: different seeds compiled to the same timeline", p.Name)
+		}
+		got[p.Name] = goldenEntry{Digest: da, Tags: a.Stats.Tags, Readings: a.Stats.Readings, Events: a.Stats.Events}
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(t), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten with %d packs", len(got))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath(t))
+	if err != nil {
+		t.Fatalf("read golden (run with -update to generate): %v", err)
+	}
+	want := make(map[string]goldenEntry)
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse golden: %v", err)
+	}
+	for name, g := range got {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: missing from golden file (run with -update)", name)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: compiled timeline diverged from golden:\n got %+v\nwant %+v\n(run with -update if intentional)", name, g, w)
+		}
+	}
+	for name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("%s: in golden file but no longer a built-in pack", name)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tagwatch/internal/rf"
+)
+
+// builtin returns the pack catalog. Each call builds fresh values so
+// callers can mutate overrides (duration, population) without aliasing.
+func builtin() []Spec {
+	return []Spec{
+		{
+			Name:        "trackpoint",
+			Description: "the paper's §2.4 sorting facility: one gate, parked parcels starving crossing ones",
+			Duration:    4 * time.Hour,
+			Population:  527,
+			CrossTime:   time.Second,
+			Arrival:     Arrival{BatchMean: 8},
+			Categories: []Category{
+				{Name: "parcel", Weight: 1, ParkProb: 0.45, MeanDwell: 100 * time.Minute, GammaAlpha: 15},
+			},
+			Gates: []Gate{
+				{Reader: "gate", Antennas: 4, Center: rf.Pt(0, 0, 2.5)},
+			},
+			Route: []int{0},
+		},
+		{
+			Name:        "warehouse-crossdock",
+			Description: "inbound dock to outbound staging: pallet flow over resident stock",
+			Duration:    45 * time.Minute,
+			Population:  900,
+			Residents:   220,
+			// Forklifts shuffle ~2% of the standing stock at any moment.
+			MoverFraction: 0.02,
+			CrossTime:     4 * time.Second,
+			TransitTime:   40 * time.Second,
+			Arrival:       Arrival{BatchMean: 12},
+			Categories: []Category{
+				{Name: "pallet", Weight: 6, ParkProb: 0.6, MeanDwell: 20 * time.Minute, GammaAlpha: 10},
+				{Name: "tote", Weight: 3, ParkProb: 0.3, MeanDwell: 8 * time.Minute, GammaAlpha: 6},
+				{Name: "equipment", Weight: 1, ParkProb: 0.9, MeanDwell: 40 * time.Minute, GammaAlpha: 4},
+			},
+			Gates: []Gate{
+				{Reader: "inbound", Antennas: 4, Center: rf.Pt(0, 0, 3)},
+				{Reader: "outbound", Antennas: 4, Center: rf.Pt(30, 0, 3)},
+			},
+			Route: []int{0, 1},
+		},
+		{
+			Name:        "airport-baggage",
+			Description: "check-in, sorter, and gate reading zones: pure flow, many handoffs",
+			Duration:    time.Hour,
+			Population:  1600,
+			CrossTime:   3 * time.Second,
+			TransitTime: 90 * time.Second,
+			Arrival:     Arrival{BatchMean: 5},
+			Categories: []Category{
+				{Name: "checked-bag", Weight: 8, ParkProb: 0.05, MeanDwell: 10 * time.Minute, GammaAlpha: 8},
+				{Name: "transfer-bag", Weight: 2, ParkProb: 0.25, MeanDwell: 25 * time.Minute, GammaAlpha: 8},
+				{Name: "crew-bag", Weight: 1, ParkProb: 0, MeanDwell: 0, GammaAlpha: 0},
+			},
+			Gates: []Gate{
+				{Reader: "checkin", Antennas: 2, Center: rf.Pt(0, 0, 2)},
+				{Reader: "sorter", Antennas: 4, Center: rf.Pt(80, 0, 2)},
+				{Reader: "gate", Antennas: 2, Center: rf.Pt(200, 0, 2)},
+			},
+			Route: []int{0, 1, 2},
+		},
+		{
+			Name:        "hospital-assets",
+			Description: "four wards of mostly-stationary equipment with occasional relocations",
+			Duration:    2 * time.Hour,
+			Step:        2 * time.Second,
+			Residents:   400,
+			Population:  80,
+			// Porters move ~0.5% of the inventory at any instant.
+			MoverFraction: 0.005,
+			CrossTime:     30 * time.Second,
+			TransitTime:   60 * time.Second,
+			Arrival:       Arrival{BatchMean: 2},
+			Categories: []Category{
+				{Name: "infusion-pump", Weight: 5, ParkProb: 0.95, MeanDwell: 100 * time.Minute, GammaAlpha: 12},
+				{Name: "wheelchair", Weight: 3, ParkProb: 0.8, MeanDwell: 60 * time.Minute, GammaAlpha: 10},
+				{Name: "monitor", Weight: 2, ParkProb: 0.95, MeanDwell: 100 * time.Minute, GammaAlpha: 8},
+			},
+			Gates: []Gate{
+				{Reader: "ward-a", Antennas: 2, Center: rf.Pt(0, 0, 2.5)},
+				{Reader: "ward-b", Antennas: 2, Center: rf.Pt(40, 0, 2.5)},
+				{Reader: "ward-c", Antennas: 2, Center: rf.Pt(0, 40, 2.5)},
+				{Reader: "icu", Antennas: 4, Center: rf.Pt(40, 40, 2.5)},
+			},
+			Route: []int{0, 3},
+		},
+		{
+			Name:        "retail-rush",
+			Description: "entry and exit gates under a closing-time checkout rush",
+			Duration:    time.Hour,
+			Population:  1400,
+			CrossTime:   2 * time.Second,
+			TransitTime: 4 * time.Minute,
+			Arrival:     Arrival{BatchMean: 3, RushAt: 0.75, RushWidth: 0.2},
+			Categories: []Category{
+				{Name: "apparel", Weight: 6, ParkProb: 0.1, MeanDwell: 5 * time.Minute, GammaAlpha: 10},
+				{Name: "electronics", Weight: 2, ParkProb: 0.05, MeanDwell: 3 * time.Minute, GammaAlpha: 8},
+				{Name: "grocery", Weight: 4, ParkProb: 0, MeanDwell: 0, GammaAlpha: 0},
+			},
+			Gates: []Gate{
+				{Reader: "entry", Antennas: 2, Center: rf.Pt(0, 0, 2.2)},
+				{Reader: "exit", Antennas: 4, Center: rf.Pt(25, 0, 2.2)},
+			},
+			Route: []int{0, 1},
+		},
+	}
+}
+
+// Names lists the built-in pack names, sorted.
+func Names() []string {
+	packs := builtin()
+	out := make([]string, len(packs))
+	for i, p := range packs {
+		out[i] = p.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Packs returns every built-in pack.
+func Packs() []Spec { return builtin() }
+
+// Lookup returns the named built-in pack.
+func Lookup(name string) (Spec, error) {
+	for _, p := range builtin() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("scenario: unknown pack %q (have %v)", name, Names())
+}

@@ -1,0 +1,30 @@
+package statestore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// BenchmarkWALAppend measures the hot durable-path operation: one
+// journal record framed, checksummed, and written through the
+// single-writer WAL. This is what every registry flush pays per dirty
+// tag, so it anchors the perf trajectory in BENCH_core.json.
+func BenchmarkWALAppend(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}()
+	rec := bytes.Repeat([]byte{0xAB}, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

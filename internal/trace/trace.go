@@ -13,6 +13,7 @@
 package trace
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"time"
@@ -56,6 +57,45 @@ type Config struct {
 	PhaseIShare float64
 	// Step is the simulation resolution.
 	Step time.Duration
+}
+
+// Validate rejects configurations that would generate degenerate traces.
+// Zero Step, Cost, and BatchMean are defaulted by Generate, not rejected;
+// the trace-defining knobs must be explicitly positive.
+func (c Config) Validate() error {
+	if c.Duration <= 0 {
+		return fmt.Errorf("trace: non-positive duration %v", c.Duration)
+	}
+	if c.Arrivals <= 0 {
+		return fmt.Errorf("trace: non-positive arrivals %d", c.Arrivals)
+	}
+	if c.GammaAlpha <= 0 {
+		return fmt.Errorf("trace: non-positive gamma alpha %v (parked coupling undefined)", c.GammaAlpha)
+	}
+	if c.CrossTime <= 0 {
+		return fmt.Errorf("trace: non-positive cross time %v", c.CrossTime)
+	}
+	if c.ParkProb < 0 || c.ParkProb > 1 {
+		return fmt.Errorf("trace: park probability %v outside [0,1]", c.ParkProb)
+	}
+	if c.ParkProb > 0 && c.MeanParkDwell <= 0 {
+		return fmt.Errorf("trace: parking enabled with non-positive dwell %v", c.MeanParkDwell)
+	}
+	if c.Step < 0 {
+		return fmt.Errorf("trace: negative step %v", c.Step)
+	}
+	if c.Duration/cmpStep(c.Step) < 1 {
+		return fmt.Errorf("trace: duration %v shorter than step %v", c.Duration, cmpStep(c.Step))
+	}
+	return nil
+}
+
+// cmpStep is the step Generate will actually use for a given config.
+func cmpStep(step time.Duration) time.Duration {
+	if step <= 0 {
+		return time.Second
+	}
+	return step
 }
 
 // DefaultConfig reproduces the paper's trace statistics.
@@ -132,25 +172,16 @@ type liveTag struct {
 	gamma    float64
 }
 
-// Generate runs the facility model.
-func Generate(cfg Config, rng *rand.Rand) Trace {
-	if cfg.Step <= 0 {
-		cfg.Step = time.Second
+// Generate runs the facility model. A config that would produce a
+// degenerate trace (see Config.Validate) is rejected with an error rather
+// than silently patched.
+func Generate(cfg Config, rng *rand.Rand) (Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return Trace{}, err
 	}
-	if cfg.Duration <= 0 {
-		cfg.Duration = 4 * time.Hour
-	}
-	if cfg.Arrivals <= 0 {
-		cfg.Arrivals = 527
-	}
+	cfg.Step = cmpStep(cfg.Step)
 	if cfg.Cost == (aloha.CostModel{}) {
 		cfg.Cost = aloha.PaperCostModel()
-	}
-	if cfg.GammaAlpha <= 0 {
-		cfg.GammaAlpha = 3
-	}
-	if cfg.CrossTime <= 0 {
-		cfg.CrossTime = time.Second
 	}
 	tr := Trace{Config: cfg}
 	steps := int(cfg.Duration / cfg.Step)
@@ -267,7 +298,7 @@ func Generate(cfg Config, rng *rand.Rand) Trace {
 	for _, lt := range live {
 		tr.Tags[lt.idx].Depart = cfg.Duration
 	}
-	return tr
+	return tr, nil
 }
 
 // epcFor derives a deterministic EPC for tag index i.

@@ -2,14 +2,20 @@ package trace
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
+	"tagwatch/internal/aloha"
 	"tagwatch/internal/stats"
 )
 
 func genDefault(seed int64) Trace {
-	return Generate(DefaultConfig(), rand.New(rand.NewSource(seed)))
+	tr, err := Generate(DefaultConfig(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		panic(err)
+	}
+	return tr
 }
 
 func TestTraceBasicShape(t *testing.T) {
@@ -136,7 +142,10 @@ func TestShortCustomTrace(t *testing.T) {
 	cfg.Duration = 10 * time.Minute
 	cfg.Arrivals = 40
 	cfg.MeanParkDwell = 3 * time.Minute
-	tr := Generate(cfg, rand.New(rand.NewSource(9)))
+	tr, err := Generate(cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tr.Tags) == 0 || len(tr.Tags) > 40 {
 		t.Fatalf("tags = %d", len(tr.Tags))
 	}
@@ -153,10 +162,50 @@ func TestShortCustomTrace(t *testing.T) {
 	}
 }
 
-func TestZeroConfigDefaults(t *testing.T) {
-	tr := Generate(Config{Duration: 5 * time.Minute, Arrivals: 10}, rand.New(rand.NewSource(10)))
+func TestZeroStepAndCostDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Step = 0
+	cfg.Cost = aloha.CostModel{}
+	cfg.Duration = 5 * time.Minute
+	cfg.Arrivals = 10
+	tr, err := Generate(cfg, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatalf("zero step/cost must default, not fail: %v", err)
+	}
 	if len(tr.Tags) == 0 {
 		t.Fatal("defaults must fill in and generate")
+	}
+}
+
+func TestGenerateRejectsDegenerateConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"zero duration", func(c *Config) { c.Duration = 0 }, "non-positive duration"},
+		{"negative duration", func(c *Config) { c.Duration = -time.Hour }, "non-positive duration"},
+		{"zero arrivals", func(c *Config) { c.Arrivals = 0 }, "non-positive arrivals"},
+		{"negative arrivals", func(c *Config) { c.Arrivals = -5 }, "non-positive arrivals"},
+		{"zero gamma", func(c *Config) { c.GammaAlpha = 0 }, "gamma alpha"},
+		{"negative gamma", func(c *Config) { c.GammaAlpha = -2 }, "gamma alpha"},
+		{"zero cross", func(c *Config) { c.CrossTime = 0 }, "cross time"},
+		{"bad park prob", func(c *Config) { c.ParkProb = 1.5 }, "park probability"},
+		{"park no dwell", func(c *Config) { c.MeanParkDwell = 0 }, "dwell"},
+		{"negative step", func(c *Config) { c.Step = -time.Second }, "negative step"},
+		{"step too coarse", func(c *Config) { c.Duration, c.Step = time.Second, time.Minute }, "shorter than step"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mut(&cfg)
+		_, err := Generate(cfg, rand.New(rand.NewSource(1)))
+		if err == nil {
+			t.Errorf("%s: Generate accepted a degenerate config", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
 	}
 }
 
@@ -189,10 +238,16 @@ func TestRateAdaptiveRestoresCrossingReads(t *testing.T) {
 	// be read ≈50 times while crossing (≈1 s at the uncontended ~48 Hz);
 	// under reading-all the parked population starves crossings to single
 	// digits; under the rate-adaptive policy the expectation is restored.
-	base := Generate(DefaultConfig(), rand.New(rand.NewSource(42)))
+	base, err := Generate(DefaultConfig(), rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := DefaultConfig()
 	cfg.RateAdaptive = true
-	adaptive := Generate(cfg, rand.New(rand.NewSource(42)))
+	adaptive, err := Generate(cfg, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	med := func(tr Trace) float64 {
 		var xs []float64
