@@ -9,7 +9,7 @@
 STATICCHECK = go run honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK = go run golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: all build check lint lint-offline test race chaos crash soak fuzz-smoke bench replay-smoke vettool clean
+.PHONY: all build check lint lint-offline test race chaos crash soak fuzz-smoke bench replay-smoke failover-drill vettool clean
 
 all: build
 
@@ -73,7 +73,7 @@ fuzz-smoke:
 # a reviewable trajectory across the repo's history. Absolute numbers
 # vary by machine; the allocation counts should not.
 BENCH_PKGS = ./internal/llrp ./internal/schedule ./internal/motion ./internal/epc ./internal/statestore ./internal/fleet ./internal/scenario
-BENCH_SEL  = 'ROAccessReport|Select40Tags|Select400Tags|NewIndexTable|ObserveStationary|ObserveMoving|Peek|CRC16|MatchBits|WALAppend|RegistryObserve|CompileTimeline'
+BENCH_SEL  = 'ROAccessReport|Select40Tags|Select400Tags|NewIndexTable|ObserveStationary|ObserveMoving|Peek|CRC16|MatchBits|WALAppend|JournalStream|RegistryObserve|CompileTimeline'
 bench:
 	go test -run '^$$' -bench $(BENCH_SEL) -benchmem -benchtime=0.2s $(BENCH_PKGS) | go run ./cmd/benchjson > BENCH_core.json
 	@cat BENCH_core.json
@@ -89,6 +89,16 @@ replay-smoke:
 	fb=$$(grep -o '"fingerprint": "[0-9a-f]*"' /tmp/tagwatch-replay-b.json); \
 	test -n "$$fa" && test "$$fa" = "$$fb" || { echo "replay-smoke: fingerprint mismatch: $$fa vs $$fb"; exit 1; }; \
 	echo "replay-smoke: deterministic ($$fa)"
+
+# The failover acceptance gate: a retail-rush replay through a primary
+# whose replication link is chaos-degraded (latency, truncation,
+# corruption, resets, a half-open blackhole), killed mid-run at a seeded
+# point with no final flush, standby promoted, run finished on the
+# promoted fleet — whose registry fingerprint must match the
+# no-failover control run. The test itself runs the drill twice, so one
+# invocation already proves the drill deterministic; under -race.
+failover-drill:
+	go test -race -count=1 -run 'TestFailoverDrill' -v ./internal/replay/
 
 # Builds the vet-protocol binary so `go vet -vettool=bin/tagwatchvet`
 # integrates the suite with go vet's package driver and build cache.

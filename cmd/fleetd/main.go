@@ -14,6 +14,13 @@
 //	curl localhost:8080/api/tags?mobile=1
 //	curl -N localhost:8080/api/events
 //	curl localhost:8080/metrics
+//
+// A durable node (-state-dir) can stream its registry to hot standbys,
+// and a standby can take over when the primary host dies:
+//
+//	fleetd -readers ... -state-dir /var/lib/tagwatch -replicate-to standby:5091
+//	fleetd -standby -state-dir /var/lib/tagwatch-standby -listen-replication :5091 \
+//	       -readers ... -promote-on-signal     # SIGUSR1 promotes to a live fleet
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -34,6 +42,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		readers     = flag.String("readers", "", "comma-separated LLRP readers, each ADDR or NAME=ADDR")
 		httpAddr    = flag.String("http", ":8080", "HTTP listen address")
@@ -53,6 +65,11 @@ func main() {
 		snapEvery   = flag.Duration("snapshot-interval", time.Minute, "with -state-dir, time between full registry snapshots")
 		flushEvery  = flag.Duration("journal-flush", 2*time.Second, "with -state-dir, time between incremental journal flushes (the durability lag a crash can lose)")
 
+		replicateTo = flag.String("replicate-to", "", "comma-separated standby addresses to stream the durable registry to (requires -state-dir)")
+		standby     = flag.Bool("standby", false, "run as a hot standby: apply a primary's replication stream into -state-dir; serves status only until promoted")
+		listenRepl  = flag.String("listen-replication", ":5091", "with -standby, address to accept the primary's replication stream on")
+		promoteSig  = flag.Bool("promote-on-signal", false, "with -standby, promote to a live fleet (using -readers and the rest of the flags) on SIGUSR1")
+
 		maxTags       = flag.Int("max-tags", 0, "registry capacity bound; at the cap the stalest tag is evicted for each new arrival (0 = unbounded)")
 		quarK         = flag.Int("quarantine-k", 0, "sightings within the quarantine window before a new EPC is believed; filters one-off ghost decodes (0/1 = off)")
 		quarWindow    = flag.Duration("quarantine-window", 10*time.Second, "how long quarantine remembers a probationary EPC between sightings")
@@ -66,8 +83,18 @@ func main() {
 	)
 	flag.Parse()
 
-	if *readers == "" {
-		log.Fatal("fleetd: -readers is required (e.g. -readers 10.0.0.11:5084,10.0.0.12:5084)")
+	if *standby {
+		if *stateDir == "" {
+			log.Print("fleetd: -standby requires -state-dir (the replicated store is what gets promoted)")
+			return 2
+		}
+	} else if *readers == "" {
+		log.Print("fleetd: -readers is required (e.g. -readers 10.0.0.11:5084,10.0.0.12:5084)")
+		return 2
+	}
+	if *replicateTo != "" && *stateDir == "" {
+		log.Print("fleetd: -replicate-to requires -state-dir (replication ships the durable journal)")
+		return 2
 	}
 
 	cfg := fleet.DefaultConfig()
@@ -102,6 +129,13 @@ func main() {
 	cfg.MaxSSEClients = *maxSSE
 	cfg.RestartBudget = *restartBudget
 	cfg.RestartWindow = *restartWindow
+	if *replicateTo != "" {
+		for _, addr := range strings.Split(*replicateTo, ",") {
+			if addr = strings.TrimSpace(addr); addr != "" {
+				cfg.ReplicateTo = append(cfg.ReplicateTo, addr)
+			}
+		}
+	}
 	for _, part := range strings.Split(*readers, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -117,39 +151,27 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	m := fleet.New(cfg)
+	if *standby {
+		return runStandby(ctx, cfg, *listenRepl, *httpAddr, *promoteSig, *quiet)
+	}
 
-	// Log fleet events (state changes and handoffs; cycles are too chatty).
+	m := fleet.New(cfg)
 	if !*quiet {
-		sub := m.Bus().Subscribe(256)
-		go func() {
-			for ev := range sub.C() {
-				switch ev.Type {
-				case fleet.EventReaderState:
-					if ev.Error != "" {
-						log.Printf("reader %s: %s (attempt %d): %s", ev.Reader, ev.State, ev.Attempt, ev.Error)
-					} else {
-						log.Printf("reader %s: %s (attempt %d)", ev.Reader, ev.State, ev.Attempt)
-					}
-				case fleet.EventHandoff:
-					log.Printf("handoff %s: %s -> %s", ev.EPC, ev.From, ev.To)
-				case fleet.EventStateStore:
-					log.Printf("statestore %s failed: %s (registry now non-durable)", ev.State, ev.Error)
-				case fleet.EventPanic:
-					log.Printf("panic in %s: %s %s", ev.Reader, ev.State, ev.Error)
-				}
-			}
-		}()
+		logFleetEvents(m)
 	}
 
 	if err := m.Start(ctx); err != nil {
-		log.Fatalf("start fleet: %v", err)
+		log.Printf("start fleet: %v", err)
+		return 1
 	}
-	defer m.Stop()
 
 	lis, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
-		log.Fatalf("listen %s: %v", *httpAddr, err)
+		log.Printf("listen %s: %v", *httpAddr, err)
+		if serr := m.Stop(); serr != nil {
+			log.Printf("fleetd: final save failed: %v", serr)
+		}
+		return 1
 	}
 	fmt.Printf("fleetd: %d readers supervised, HTTP on %s\n", len(cfg.Readers), lis.Addr())
 
@@ -157,7 +179,132 @@ func main() {
 		log.Printf("http: %v", err)
 	}
 
-	m.Stop()
+	return finishFleet(m)
+}
+
+// finishFleet stops a live Manager and turns a failed final save into a
+// nonzero exit: a node that could not flush its last registry state must
+// die visibly unclean so operators (and init systems) know the durable
+// directory is behind the live state it served.
+func finishFleet(m *fleet.Manager) int {
+	exit := 0
+	if err := m.Stop(); err != nil {
+		log.Printf("fleetd: final save failed: %v (exiting unclean)", err)
+		exit = 1
+	}
 	obs, handoffs := m.Registry().Stats()
 	fmt.Printf("fleetd: %d tags, %d observations, %d handoffs\n", m.Registry().Len(), obs, handoffs)
+	return exit
+}
+
+// logFleetEvents logs fleet events (state changes and handoffs; cycles
+// are too chatty).
+func logFleetEvents(m *fleet.Manager) {
+	sub := m.Bus().Subscribe(256)
+	go func() {
+		for ev := range sub.C() {
+			switch ev.Type {
+			case fleet.EventReaderState:
+				if ev.Error != "" {
+					log.Printf("reader %s: %s (attempt %d): %s", ev.Reader, ev.State, ev.Attempt, ev.Error)
+				} else {
+					log.Printf("reader %s: %s (attempt %d)", ev.Reader, ev.State, ev.Attempt)
+				}
+			case fleet.EventHandoff:
+				log.Printf("handoff %s: %s -> %s", ev.EPC, ev.From, ev.To)
+			case fleet.EventStateStore:
+				log.Printf("statestore %s failed: %s (registry now non-durable)", ev.State, ev.Error)
+			case fleet.EventPanic:
+				log.Printf("panic in %s: %s %s", ev.Reader, ev.State, ev.Error)
+			}
+		}
+	}()
+}
+
+// runStandby runs the hot-standby role: accept the primary's replication
+// stream into -state-dir and serve a minimal status surface. With
+// promote enabled, SIGUSR1 turns the node into a live fleet over the
+// replicated state — the HTTP address stays the same; the handler is
+// swapped in place so watchers never have to re-resolve the node.
+func runStandby(ctx context.Context, cfg fleet.Config, listenRepl, httpAddr string, promote, quiet bool) int {
+	lisRepl, err := net.Listen("tcp", listenRepl)
+	if err != nil {
+		log.Printf("listen replication %s: %v", listenRepl, err)
+		return 1
+	}
+	sb, err := fleet.NewStandby(cfg, lisRepl)
+	if err != nil {
+		lisRepl.Close()
+		log.Printf("standby: %v", err)
+		return 1
+	}
+	if err := sb.Start(ctx); err != nil {
+		lisRepl.Close()
+		log.Printf("standby: %v", err)
+		return 1
+	}
+
+	lis, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		sb.Stop()
+		log.Printf("listen %s: %v", httpAddr, err)
+		return 1
+	}
+
+	// The served handler is swappable: standby status surface now, the
+	// full fleet API after promotion, on the same listener. The box keeps
+	// the stored concrete type constant — atomic.Value panics if the
+	// standby and fleet handlers land as their own distinct types.
+	type handlerBox struct{ h http.Handler }
+	var handler atomic.Value
+	handler.Store(handlerBox{sb.Handler()})
+	srv := &http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(handlerBox).h.ServeHTTP(w, r)
+		}),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(lis) }()
+	defer srv.Close()
+	fmt.Printf("fleetd: standby, replication on %s, HTTP on %s\n", lisRepl.Addr(), lis.Addr())
+
+	var promoteCh chan os.Signal
+	if promote {
+		promoteCh = make(chan os.Signal, 1)
+		signal.Notify(promoteCh, syscall.SIGUSR1)
+		defer signal.Stop(promoteCh)
+	}
+
+	select {
+	case <-ctx.Done():
+		sb.Stop()
+		return 0
+	case err := <-errc:
+		log.Printf("http: %v", err)
+		sb.Stop()
+		return 1
+	case <-promoteCh:
+	}
+
+	log.Print("fleetd: SIGUSR1 received, promoting standby to a live fleet")
+	m, err := sb.Promote(ctx)
+	if err != nil {
+		log.Printf("promote: %v", err)
+		return 1
+	}
+	if !quiet {
+		logFleetEvents(m)
+	}
+	handler.Store(handlerBox{m.Handler()})
+	fmt.Printf("fleetd: promoted, %d readers supervised, HTTP on %s\n", len(cfg.Readers), lis.Addr())
+
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		log.Printf("http: %v", err)
+	}
+	return finishFleet(m)
 }

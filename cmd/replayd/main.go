@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"time"
@@ -49,6 +50,10 @@ func main() {
 	}
 	if *scen == "" {
 		fmt.Fprintln(os.Stderr, "replayd: -scenario is required (try -list)")
+		os.Exit(2)
+	}
+	if *speed < 0 || math.IsNaN(*speed) || math.IsInf(*speed, 0) {
+		fmt.Fprintf(os.Stderr, "replayd: -speed must be a finite value >= 0 (0 = unthrottled), got %v\n", *speed)
 		os.Exit(2)
 	}
 	spec, err := scenario.Lookup(*scen)

@@ -44,11 +44,23 @@ var watched = map[string]map[string]bool{
 	},
 	"tagwatch/internal/fleet": {
 		"Manager": true, "Bus": true, "Registry": true,
+		// Standby.Start/Promote errors are the difference between "a hot
+		// spare is following the primary" and "nobody is".
+		"Standby": true,
 	},
 	// The durable store's writers: a dropped Append/WriteSnapshot error is
 	// state the operator believes persisted but was never acked to disk.
+	// JournalReader's Poll/Next errors carry ErrCursorGone — the signal
+	// that a tailer must resync from a snapshot; dropping one ships a
+	// silently incomplete stream.
 	"tagwatch/internal/statestore": {
-		"Store": true,
+		"Store": true, "JournalReader": true,
+	},
+	// The replication link: Shipper.WaitSynced's error is the only
+	// evidence a quiesce point was NOT reached — dropping it turns a
+	// planned failover into data loss.
+	"tagwatch/internal/replication": {
+		"Shipper": true, "Standby": true,
 	},
 	// The overload armor: Sentinel.Do returns the contained panic — the
 	// only evidence a supervised component just crashed — and

@@ -10,6 +10,7 @@ import (
 	"tagwatch/internal/fleet"
 	"tagwatch/internal/guard"
 	"tagwatch/internal/llrp"
+	"tagwatch/internal/replication"
 	"tagwatch/internal/statestore"
 )
 
@@ -102,4 +103,23 @@ func guardHandled(s *guard.Sentinel, a *guard.Admission, ctx context.Context) er
 // where no restart decision rides on the error.
 func guardDeliberate(s *guard.Sentinel) {
 	_ = s.Do("checkpoint", func() {})
+}
+
+// The replication link and the hot standby: WaitSynced's error is the
+// only evidence a quiesce point was NOT reached, Poll's error carries
+// the resync-needed signal, and Start/Promote errors are the difference
+// between a hot spare following the primary and nobody following it.
+func replicationDrops(sh *replication.Shipper, sb *fleet.Standby, jr *statestore.JournalReader, ctx context.Context) {
+	sh.WaitSynced(ctx) // want `error from \(tagwatch/internal/replication.Shipper\).WaitSynced is silently dropped`
+	sb.Start(ctx)      // want `error from \(tagwatch/internal/fleet.Standby\).Start is silently dropped`
+	sb.Promote(ctx)    // want `error from \(tagwatch/internal/fleet.Standby\).Promote is silently dropped`
+	jr.Poll()          // want `error from \(tagwatch/internal/statestore.JournalReader\).Poll is silently dropped`
+}
+
+func replicationHandled(sh *replication.Shipper, sb *fleet.Standby, ctx context.Context) error {
+	if err := sh.WaitSynced(ctx); err != nil {
+		return err
+	}
+	_, err := sb.Promote(ctx)
+	return err
 }

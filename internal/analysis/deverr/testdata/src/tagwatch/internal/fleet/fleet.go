@@ -9,3 +9,9 @@ import (
 type Manager struct{}
 
 func (m *Manager) Serve(ctx context.Context, lis net.Listener) error { return nil }
+
+type Standby struct{}
+
+func (sb *Standby) Start(ctx context.Context) error               { return nil }
+func (sb *Standby) Promote(ctx context.Context) (*Manager, error) { return nil, nil }
+func (sb *Standby) Stop()                                         {}

@@ -1,0 +1,13 @@
+// Fixture: minimal stand-in for the real replication package, matched by
+// the analyzer purely on import path + type name + signature.
+package replication
+
+import "context"
+
+type Shipper struct{}
+
+func (s *Shipper) WaitSynced(ctx context.Context) error { return nil }
+
+type Standby struct{}
+
+func (sb *Standby) Run(ctx context.Context) {}

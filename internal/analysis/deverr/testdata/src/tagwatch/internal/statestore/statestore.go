@@ -8,3 +8,10 @@ func (s *Store) Append(data []byte) error         { return nil }
 func (s *Store) AppendBatch(recs [][]byte) error  { return nil }
 func (s *Store) WriteSnapshot(state []byte) error { return nil }
 func (s *Store) Close() error                     { return nil }
+
+type Cursor struct{}
+
+type JournalReader struct{}
+
+func (r *JournalReader) Poll() ([][]byte, Cursor, error) { return nil, Cursor{}, nil }
+func (r *JournalReader) Close()                          {}

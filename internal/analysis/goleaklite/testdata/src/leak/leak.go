@@ -3,6 +3,7 @@ package leak
 
 import (
 	"context"
+	"net"
 	"time"
 
 	"tagwatch/internal/guard"
@@ -178,6 +179,56 @@ func (w *worker) badSentinelOnlyLoop(s *guard.Sentinel, body func()) {
 		for {
 			_ = s.Do("component", body)
 			time.Sleep(100 * time.Millisecond)
+		}
+	}()
+}
+
+// The replication ack-reader shape: a goroutine blocked in conn.Read
+// whose only exit is the read failing. The analyzer cannot see that the
+// session's deferred conn.Close IS the shutdown signal — a `return` on
+// error is not a shutdown receive (the conn may never fail), so the
+// shape is flagged and the real call sites carry the justification.
+func badConnReadLoop(conn net.Conn) {
+	go func() { // want `goroutine loops forever with no shutdown path`
+		for {
+			buf := make([]byte, 16)
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// The shipper's actual ack-reader: closing the conn on session teardown
+// unblocks the read and ends the loop, so the leak is excused in place.
+func excusedConnReadLoop(conn net.Conn) {
+	//tagwatch:allow-leak fixture: session teardown closes conn, failing the read
+	go func() {
+		for {
+			buf := make([]byte, 16)
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// The standby accept-loop shape done right: the read races the session
+// context, so cancellation (not just a dead peer) ends the loop.
+func goodConnCtxLoop(ctx context.Context, conn net.Conn, frames chan []byte) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case f, ok := <-frames:
+				if !ok {
+					return
+				}
+				if _, err := conn.Write(f); err != nil {
+					return
+				}
+			}
 		}
 	}()
 }

@@ -244,7 +244,9 @@ func TestFleetSurvivesCorruptionStorm(t *testing.T) {
 	// Teardown under load must not deadlock: Stop has its own watchdog.
 	stopped := make(chan struct{})
 	go func() {
-		m.Stop()
+		if err := m.Stop(); err != nil {
+			t.Error(err)
+		}
 		close(stopped)
 	}()
 	select {

@@ -14,8 +14,10 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"net"
 	"net/http"
 	"sync"
 	"time"
@@ -23,6 +25,7 @@ import (
 	"tagwatch/internal/core"
 	"tagwatch/internal/epc"
 	"tagwatch/internal/guard"
+	"tagwatch/internal/replication"
 	"tagwatch/internal/statestore"
 )
 
@@ -87,6 +90,35 @@ type Config struct {
 	// client that cannot drain a frame within it is disconnected instead
 	// of pinning the handler forever (default 10s).
 	SSEWriteTimeout time.Duration
+
+	// ReplicateTo lists standby addresses to stream the durable registry
+	// to (requires StateDir): the statestore journal is shipped over the
+	// armored replication link so a standby can be promoted on this
+	// node's death. Empty disables replication.
+	ReplicateTo []string
+	// ReplicationDial overrides the replication transport dial — the
+	// hook chaos tests and the failover drill wrap with a fault
+	// injector. Nil uses the default TCP dialer.
+	ReplicationDial func(ctx context.Context, addr string) (net.Conn, error)
+	// ReplicationHeartbeat spaces link heartbeats (zero keeps the
+	// replication package default, 1s).
+	ReplicationHeartbeat time.Duration
+	// ReplicationBatchBytes bounds journal bytes per shipped frame (zero
+	// keeps the replication package default, 1 MiB).
+	ReplicationBatchBytes int64
+	// ReplicationFrameTimeout bounds each replication frame I/O on both
+	// ends of the link (zero keeps the replication package default, 5s).
+	ReplicationFrameTimeout time.Duration
+	// ReplicationBackoffBase and ReplicationBackoffMax shape the
+	// shipper's reconnect backoff (zero keeps the replication package
+	// defaults, 100ms and 5s).
+	ReplicationBackoffBase time.Duration
+	ReplicationBackoffMax  time.Duration
+	// ReplicationSessionTimeout is how long a standby session survives
+	// without any primary frame before it is dropped (zero keeps the
+	// replication package default, 15s; must exceed the primary's
+	// heartbeat interval).
+	ReplicationSessionTimeout time.Duration
 
 	// MaxTags caps the merged registry: when a shard is full, observing a
 	// new tag evicts the stalest tag in that shard (with a journal
@@ -234,6 +266,9 @@ type Manager struct {
 
 	// store is the durable registry backing; nil when StateDir is unset.
 	store *statestore.Store
+	// shipper streams the store's journal to standbys; nil when
+	// ReplicateTo is empty.
+	shipper *replication.Shipper
 
 	mu      sync.Mutex
 	sups    []*supervisor
@@ -316,6 +351,20 @@ func (m *Manager) Start(ctx context.Context) error {
 			return err
 		}
 	}
+	if len(m.cfg.ReplicateTo) > 0 {
+		if m.store == nil {
+			return errors.New("fleet: ReplicateTo requires StateDir (replication ships the durable journal)")
+		}
+		m.shipper = replication.NewShipper(m.store, replication.Config{
+			Peers:         m.cfg.ReplicateTo,
+			Dial:          m.cfg.ReplicationDial,
+			Heartbeat:     m.cfg.ReplicationHeartbeat,
+			MaxBatchBytes: m.cfg.ReplicationBatchBytes,
+			FrameTimeout:  m.cfg.ReplicationFrameTimeout,
+			BackoffBase:   m.cfg.ReplicationBackoffBase,
+			BackoffMax:    m.cfg.ReplicationBackoffMax,
+		})
+	}
 	ctx, m.cancel = context.WithCancel(ctx)
 	m.started = time.Now()
 	if m.store != nil {
@@ -326,6 +375,17 @@ func (m *Manager) Start(ctx context.Context) error {
 			// must not kill the process. The sentinel has already counted
 			// and published it. //tagwatch:allow-droppederr containment only; no restart decision rides on this error
 			_ = m.sentinel.Do("checkpoint", func() { m.checkpointLoop(ctx) })
+		}()
+	}
+	if m.shipper != nil {
+		shipper := m.shipper
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			// A replication panic degrades the fleet to unreplicated, not
+			// dead: the registry and its durability are untouched.
+			//tagwatch:allow-droppederr containment only; the sentinel counted and published the panic
+			_ = m.sentinel.Do("replication", func() { shipper.Run(ctx) })
 		}()
 	}
 	for _, s := range m.sups {
@@ -370,8 +430,11 @@ func (m *Manager) runSupervised(ctx context.Context, s *supervisor) {
 
 // Stop cancels every supervisor and waits for them to exit, then — when
 // the registry is durable — writes the final flush and snapshot and
-// closes the store.
-func (m *Manager) Stop() {
+// closes the store. The returned error surfaces a failed final save: a
+// node that could not persist its last state must exit unclean, not
+// pretend the shutdown was safe (the failure is also published on the
+// bus for live observers).
+func (m *Manager) Stop() error {
 	m.mu.Lock()
 	cancel := m.cancel
 	m.mu.Unlock()
@@ -382,12 +445,69 @@ func (m *Manager) Stop() {
 	m.mu.Lock()
 	store := m.store
 	m.mu.Unlock()
+	var err error
 	if store != nil {
-		m.closeState()
+		err = m.closeState()
 		m.mu.Lock()
 		m.store = nil
+		m.shipper = nil
 		m.mu.Unlock()
 	}
+	return err
+}
+
+// Kill simulates abrupt process death for failover drills: cancel
+// everything and close the store WITHOUT the final flush and snapshot,
+// so registry changes newer than the last checkpoint are lost exactly
+// as a real crash would lose them.
+func (m *Manager) Kill() {
+	m.mu.Lock()
+	cancel := m.cancel
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	m.wg.Wait()
+	m.mu.Lock()
+	store := m.store
+	m.store = nil
+	m.shipper = nil
+	m.mu.Unlock()
+	if store != nil {
+		store.Close()
+	}
+}
+
+// SyncReplication flushes the dirty registry into the journal and waits
+// until every replication peer has acked the committed cursor — the
+// quiesce point a planned failover (and the drill) uses to make the
+// in-flight window empty. Without replication it just flushes.
+func (m *Manager) SyncReplication(ctx context.Context) error {
+	m.mu.Lock()
+	store, shipper := m.store, m.shipper
+	m.mu.Unlock()
+	if store == nil {
+		return errors.New("fleet: no durable state to sync")
+	}
+	if err := m.flushJournal(); err != nil {
+		return fmt.Errorf("fleet: sync flush: %w", err)
+	}
+	if shipper == nil {
+		return nil
+	}
+	return shipper.WaitSynced(ctx)
+}
+
+// ReplicationStatus snapshots every replication peer's state; nil when
+// replication is disabled.
+func (m *Manager) ReplicationStatus() []replication.PeerStatus {
+	m.mu.Lock()
+	shipper := m.shipper
+	m.mu.Unlock()
+	if shipper == nil {
+		return nil
+	}
+	return shipper.Status()
 }
 
 // Registry exposes the merged tag view.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tagwatch/internal/epc"
+	"tagwatch/internal/replication"
 )
 
 // Handler builds the fleet's HTTP API:
@@ -17,6 +18,7 @@ import (
 //	GET /api/tags        merged tag registry (?mobile=1, ?reader=NAME, ?limit=N)
 //	GET /api/tags/{epc}  one tag's merged state
 //	GET /api/readers     per-reader supervisor status
+//	GET /api/status      node role, registry totals, replication peers
 //	GET /api/events      fleet event stream as server-sent events
 //	GET /healthz         200 while at least one reader is up, else 503
 //	GET /metrics         Prometheus text exposition
@@ -31,6 +33,7 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /api/tags", m.handleTags)
 	mux.HandleFunc("GET /api/tags/{epc}", m.handleTag)
 	mux.HandleFunc("GET /api/readers", m.handleReaders)
+	mux.HandleFunc("GET /api/status", m.handleStatus)
 	mux.HandleFunc("GET /api/events", m.handleEvents)
 	mux.HandleFunc("GET /healthz", m.handleHealthz)
 	mux.HandleFunc("GET /metrics", m.handleMetrics)
@@ -129,6 +132,39 @@ func (m *Manager) handleReaders(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Readers []ReaderStatus `json:"readers"`
 	}{m.Readers()})
+}
+
+// handleStatus reports the node's role and replication posture in one
+// place — what an operator (or an orchestrator deciding whether to
+// fail over) reads first.
+func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
+	role := "standalone"
+	peers := m.ReplicationStatus()
+	if len(peers) > 0 {
+		role = "primary"
+	}
+	obs, handoffs := m.reg.Stats()
+	writeJSON(w, http.StatusOK, struct {
+		Role         string                   `json:"role"`
+		Healthy      bool                     `json:"healthy"`
+		UptimeSecs   int64                    `json:"uptime_secs"`
+		Readers      int                      `json:"readers"`
+		Tags         int                      `json:"tags"`
+		Observations uint64                   `json:"observations"`
+		Handoffs     uint64                   `json:"handoffs"`
+		Durable      bool                     `json:"durable"`
+		Replication  []replication.PeerStatus `json:"replication,omitempty"`
+	}{
+		Role:         role,
+		Healthy:      m.Healthy(),
+		UptimeSecs:   int64(time.Since(m.Started()).Seconds()),
+		Readers:      len(m.Readers()),
+		Tags:         m.reg.Len(),
+		Observations: obs,
+		Handoffs:     handoffs,
+		Durable:      m.cfg.StateDir != "",
+		Replication:  peers,
+	})
 }
 
 // handleEvents streams the fleet bus over SSE. Each subscriber gets its

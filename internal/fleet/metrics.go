@@ -160,6 +160,41 @@ func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "tagwatch_guard_panics_total{component=%q} %d\n", cc.Component, cc.Count)
 	}
 
+	if peers := m.ReplicationStatus(); len(peers) > 0 {
+		gauge("tagwatch_replication_peer_connected", "Whether the replication session to the peer is live.")
+		for _, p := range peers {
+			v := 0
+			if p.Connected {
+				v = 1
+			}
+			fmt.Fprintf(&b, "tagwatch_replication_peer_connected{peer=%q} %d\n", p.Addr, v)
+		}
+		gauge("tagwatch_replication_peer_lag_bytes", "Committed-minus-acked journal bytes per peer (-1 when spanning generations).")
+		for _, p := range peers {
+			fmt.Fprintf(&b, "tagwatch_replication_peer_lag_bytes{peer=%q} %d\n", p.Addr, p.LagBytes)
+		}
+		gauge("tagwatch_replication_peer_last_ack_age_ms", "Milliseconds since the peer's last ack (-1 before any).")
+		for _, p := range peers {
+			fmt.Fprintf(&b, "tagwatch_replication_peer_last_ack_age_ms{peer=%q} %d\n", p.Addr, p.LastAckAgeMS)
+		}
+		counter("tagwatch_replication_peer_records_sent_total", "Journal records shipped per peer.")
+		for _, p := range peers {
+			fmt.Fprintf(&b, "tagwatch_replication_peer_records_sent_total{peer=%q} %d\n", p.Addr, p.Records)
+		}
+		counter("tagwatch_replication_peer_snapshots_sent_total", "Snapshot re-anchors shipped per peer.")
+		for _, p := range peers {
+			fmt.Fprintf(&b, "tagwatch_replication_peer_snapshots_sent_total{peer=%q} %d\n", p.Addr, p.Snapshots)
+		}
+		counter("tagwatch_replication_peer_resyncs_total", "Times the peer's cursor was re-anchored instead of resumed.")
+		for _, p := range peers {
+			fmt.Fprintf(&b, "tagwatch_replication_peer_resyncs_total{peer=%q} %d\n", p.Addr, p.Resyncs)
+		}
+		counter("tagwatch_replication_peer_reconnects_total", "Replication sessions re-established per peer.")
+		for _, p := range peers {
+			fmt.Fprintf(&b, "tagwatch_replication_peer_reconnects_total{peer=%q} %d\n", p.Addr, p.Reconnects)
+		}
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	w.Write([]byte(b.String()))

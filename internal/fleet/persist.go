@@ -184,14 +184,21 @@ func (m *Manager) publishStateError(op string, err error) {
 
 // closeState writes the final flush + snapshot and closes the store —
 // the save-on-SIGTERM path, run by Stop after every supervisor exited.
-func (m *Manager) closeState() {
+// Failures are both published on the bus (for live observers) and
+// returned joined (so the process exit code can go unclean).
+func (m *Manager) closeState() error {
+	var errs []error
 	if err := m.flushJournal(); err != nil {
 		m.publishStateError("final flush", err)
+		errs = append(errs, fmt.Errorf("fleet: final flush: %w", err))
 	}
 	if err := m.writeSnapshot(); err != nil {
 		m.publishStateError("final snapshot", err)
+		errs = append(errs, fmt.Errorf("fleet: final snapshot: %w", err))
 	}
 	if err := m.store.Close(); err != nil {
 		m.publishStateError("close", err)
+		errs = append(errs, fmt.Errorf("fleet: close state: %w", err))
 	}
+	return errors.Join(errs...)
 }

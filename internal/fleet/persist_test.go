@@ -46,7 +46,9 @@ func TestFleetStateRestartRoundTrip(t *testing.T) {
 	m.Registry().Observe("r1", core.Reading{EPC: b, Antenna: 1}, now.Add(time.Second)) // handoff
 	m.Registry().UpdateAssessment("r1", b, true, 25)
 	want := regJSON(t, m.Registry())
-	m.Stop()
+	if err := m.Stop(); err != nil {
+		t.Fatal(err)
+	}
 
 	m2 := New(cfg)
 	if err := m2.Start(ctx); err != nil {

@@ -250,7 +250,9 @@ func TestSoakFloodSurvival(t *testing.T) {
 	cancel() // stops Serve and the manager's loops
 	wg.Wait()
 	<-serveDone
-	m.Stop() // final journal flush + snapshot
+	if err := m.Stop(); err != nil { // final journal flush + snapshot
+		t.Fatalf("final save failed: %v", err)
+	}
 
 	restored := New(Config{StateDir: cfg.StateDir})
 	rctx, rcancel := context.WithCancel(context.Background())

@@ -1,0 +1,176 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"tagwatch/internal/replication"
+)
+
+// Standby is a warm spare fleetd: it accepts a primary's replication
+// stream into the configured StateDir and can be promoted into a live
+// Manager at any moment. Until promotion it runs no supervisors, merges
+// no readings, and serves only a minimal status surface; at promotion
+// the replicated directory is restored through the exact same path a
+// restarting primary uses.
+type Standby struct {
+	cfg Config
+
+	mu       sync.Mutex
+	repl     *replication.Standby
+	cancel   context.CancelFunc
+	done     chan struct{}
+	started  time.Time
+	promoted *Manager
+}
+
+// NewStandby builds a standby that applies replication into
+// cfg.StateDir, listening for the primary on lis. The rest of cfg is
+// held for promotion: Promote starts a Manager with exactly this
+// configuration over the replicated state.
+func NewStandby(cfg Config, lis net.Listener) (*Standby, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StateDir == "" {
+		return nil, errors.New("fleet: standby requires StateDir (the replicated store is what gets promoted)")
+	}
+	repl, err := replication.NewStandby(lis, replication.StandbyConfig{
+		Dir:            cfg.StateDir,
+		Retain:         cfg.StateRetain,
+		FrameTimeout:   cfg.ReplicationFrameTimeout,
+		SessionTimeout: cfg.ReplicationSessionTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Standby{cfg: cfg, repl: repl}, nil
+}
+
+// Start begins accepting and applying the replication stream. The
+// standby runs until ctx is cancelled, Stop, or Promote.
+func (s *Standby) Start(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cancel != nil {
+		return errors.New("fleet: standby already started")
+	}
+	if s.promoted != nil {
+		return errors.New("fleet: standby already promoted")
+	}
+	ctx, s.cancel = context.WithCancel(ctx)
+	s.started = time.Now()
+	s.done = make(chan struct{})
+	go func(done chan struct{}) {
+		defer close(done)
+		s.repl.Run(ctx)
+	}(s.done)
+	return nil
+}
+
+// Stop ends replication and releases the store directory. The applied
+// state stays on disk; a later NewStandby or Promote-equivalent restart
+// picks it back up.
+func (s *Standby) Stop() {
+	s.mu.Lock()
+	cancel, done := s.cancel, s.done
+	s.cancel = nil
+	s.mu.Unlock()
+	if cancel == nil {
+		return
+	}
+	cancel()
+	<-done
+}
+
+// Promote turns the replicated directory into a live fleet: replication
+// stops, the store closes, and a Manager starts over the same StateDir
+// — restoring the registry through the identical snapshot+journal
+// recovery a restarting primary uses. The returned Manager is started;
+// the caller owns serving and stopping it. Everything the primary
+// flushed-and-shipped before dying is present; at most the in-flight
+// window (unflushed registry changes plus unacked frames) is lost.
+func (s *Standby) Promote(ctx context.Context) (*Manager, error) {
+	s.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.promoted != nil {
+		return s.promoted, nil
+	}
+	m := New(s.cfg)
+	if err := m.Start(ctx); err != nil {
+		return nil, fmt.Errorf("fleet: promote standby: %w", err)
+	}
+	s.promoted = m
+	return m, nil
+}
+
+// Status reports the replication link state.
+func (s *Standby) Status() replication.StandbyStatus {
+	return s.repl.Status()
+}
+
+// Handler serves the standby's minimal HTTP surface:
+//
+//	GET /healthz     200 while the replication link is live, else 503
+//	GET /api/status  role, link state, applied cursor, lag
+//	GET /metrics     replication gauges in Prometheus text format
+//
+// It intentionally exposes no tag data: the standby's registry does not
+// exist until promotion, and answering from half-applied state would be
+// a lie.
+func (s *Standby) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := s.repl.Status()
+		code, state := http.StatusOK, "ok"
+		if !st.Connected {
+			code, state = http.StatusServiceUnavailable, "degraded"
+		}
+		writeJSON(w, code, struct {
+			Status    string `json:"status"`
+			Role      string `json:"role"`
+			Connected bool   `json:"connected"`
+		}{state, "standby", st.Connected})
+	})
+	mux.HandleFunc("GET /api/status", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		started := s.started
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, struct {
+			Role        string                    `json:"role"`
+			UptimeSecs  int64                     `json:"uptime_secs"`
+			Replication replication.StandbyStatus `json:"replication"`
+		}{"standby", int64(time.Since(started).Seconds()), s.repl.Status()})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		st := s.repl.Status()
+		var b []byte
+		appendf := func(format string, args ...any) {
+			b = fmt.Appendf(b, format, args...)
+		}
+		connected := 0
+		if st.Connected {
+			connected = 1
+		}
+		appendf("# HELP tagwatch_standby_connected Whether a primary's replication session is live.\n# TYPE tagwatch_standby_connected gauge\n")
+		appendf("tagwatch_standby_connected %d\n", connected)
+		appendf("# HELP tagwatch_standby_lag_bytes Primary committed-minus-applied journal bytes (-1 unknown).\n# TYPE tagwatch_standby_lag_bytes gauge\n")
+		appendf("tagwatch_standby_lag_bytes %d\n", st.LagBytes)
+		appendf("# HELP tagwatch_standby_records_applied_total Journal records applied from the stream.\n# TYPE tagwatch_standby_records_applied_total counter\n")
+		appendf("tagwatch_standby_records_applied_total %d\n", st.Records)
+		appendf("# HELP tagwatch_standby_snapshots_applied_total Snapshots applied from the stream.\n# TYPE tagwatch_standby_snapshots_applied_total counter\n")
+		appendf("tagwatch_standby_snapshots_applied_total %d\n", st.Snapshots)
+		appendf("# HELP tagwatch_standby_wipes_total Local stores discarded for a full resync.\n# TYPE tagwatch_standby_wipes_total counter\n")
+		appendf("tagwatch_standby_wipes_total %d\n", st.Wipes)
+		appendf("# HELP tagwatch_standby_sessions_total Replication sessions accepted.\n# TYPE tagwatch_standby_sessions_total counter\n")
+		appendf("tagwatch_standby_sessions_total %d\n", st.Sessions)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write(b)
+	})
+	return mux
+}

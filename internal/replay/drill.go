@@ -1,0 +1,304 @@
+// Failover drill: the executable proof behind internal/replication.
+//
+// The drill replays one compiled scenario twice. The control run feeds
+// every event through a single uninterrupted fleet. The failover run
+// feeds the same events through a primary that replicates its durable
+// registry to a hot standby over a chaos-degraded link, kills the
+// primary at a seeded mid-run point (no final flush — exactly what a
+// real crash loses), promotes the standby, and finishes the run on the
+// promoted fleet. Both runs end in a registry fingerprint; they must
+// match bit for bit.
+//
+// The drill quiesces (flush + wait for every peer's ack) before the
+// kill, which makes the documented in-flight window — unflushed registry
+// changes plus unacked frames — empty by construction. That is the
+// planned-failover contract; an unplanned kill loses at most that
+// window, never acked history.
+package replay
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"path/filepath"
+	"time"
+
+	"tagwatch/internal/chaos"
+	"tagwatch/internal/fleet"
+	"tagwatch/internal/replication"
+	"tagwatch/internal/scenario"
+)
+
+// DrillConfig tunes one failover drill.
+type DrillConfig struct {
+	// Spec and Seed pick the workload, exactly as replay.Config does.
+	Spec scenario.Spec
+	Seed int64
+	// Speed paces event delivery at the usual virtual-to-wall multiple
+	// (0 = unthrottled). Pacing never changes registry state — virtual
+	// timestamps do the bookkeeping — but a paced drill keeps the
+	// replication link busy for its whole run, which is what gives the
+	// chaos injector real traffic to degrade.
+	Speed float64
+	// KillFraction is the fraction of compiled events the primary
+	// delivers before it is killed (clamped inside (0, 1); default 0.5).
+	KillFraction float64
+	// Link configures the fault injector wrapped around the replication
+	// transport. The zero value is a clean link.
+	Link chaos.Config
+	// JournalFlush and SnapshotInterval set the primary's checkpoint
+	// cadence (defaults 25ms and 2s — fast enough that the drill ships a
+	// live journal stream, not one final snapshot).
+	JournalFlush     time.Duration
+	SnapshotInterval time.Duration
+	// SyncTimeout bounds the pre-kill quiesce; with a hostile Link this
+	// is how long the shipper gets to push the backlog through (default
+	// 30s).
+	SyncTimeout time.Duration
+	// Dir is the parent for the two state directories the drill creates
+	// ("primary" and "standby"). Required.
+	Dir string
+}
+
+// DrillReport is the outcome of one drill.
+type DrillReport struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Events   int    `json:"events"`
+	// KillAt is the event index at which the primary died: events
+	// [0, KillAt) ran on the primary, [KillAt, Events) on the promoted
+	// standby.
+	KillAt int `json:"kill_at"`
+
+	ControlFingerprint  string `json:"control_fingerprint"`
+	PromotedFingerprint string `json:"promoted_fingerprint"`
+	// Match is the drill verdict: the promoted registry is
+	// indistinguishable from the never-failed one.
+	Match        bool `json:"match"`
+	ControlTags  int  `json:"control_tags"`
+	PromotedTags int  `json:"promoted_tags"`
+
+	// Chaos counts the faults the link actually suffered; a drill that
+	// claims to exercise a degraded link should assert these are nonzero.
+	Chaos chaos.Stats `json:"chaos"`
+	// Peers is the primary's view of the link just before it was killed;
+	// Standby the standby's just before promotion.
+	Peers   []replication.PeerStatus  `json:"peers"`
+	Standby replication.StandbyStatus `json:"standby"`
+}
+
+// drillFleetConfig is the fleet configuration every drill node shares.
+// Quarantine and capacity bounds are off: both are node-local state
+// that intentionally does not replicate (a promoted standby would
+// re-probation tags the primary had already admitted, and eviction
+// order depends on local arrival history), so with them on the control
+// and failover runs would diverge by design, not by bug.
+func drillFleetConfig(stateDir string) fleet.Config {
+	fc := fleet.DefaultConfig()
+	fc.QuarantineK = 0
+	fc.MaxTags = 0
+	fc.StateDir = stateDir
+	return fc
+}
+
+// feed delivers compiled events [from, to) through per-gate ingests
+// registered on m, paced at speed virtual seconds per wall second
+// (0 = unthrottled). The pace anchors on the segment's first event, so
+// a post-promotion segment resumes at full rate instead of sleeping
+// through the already-delivered prefix.
+func feed(ctx context.Context, m *fleet.Manager, compiled *scenario.Compiled, from, to int, speed float64) error {
+	ingests := make([]*fleet.Ingest, len(compiled.Spec.Gates))
+	for i, g := range compiled.Spec.Gates {
+		ingests[i] = m.NewIngest(g.Reader)
+	}
+	wallStart, virtualStart := time.Now(), compiled.Events[from].At
+	for i := from; i < to; i++ {
+		ev := &compiled.Events[i]
+		if speed > 0 {
+			target := wallStart.Add(time.Duration(float64(ev.At-virtualStart) / speed))
+			if d := time.Until(target); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return fmt.Errorf("drill: aborted at event %d: %w", i, ctx.Err())
+				}
+			}
+		} else if err := ctx.Err(); err != nil {
+			return fmt.Errorf("drill: aborted at event %d: %w", i, err)
+		}
+		deliverEvent(compiled, ingests[ev.Gate], ev)
+	}
+	return nil
+}
+
+// registryFingerprint hashes the registry's sorted snapshot — the
+// deterministic identity the drill compares across runs.
+func registryFingerprint(reg *fleet.Registry) (string, error) {
+	b, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		return "", fmt.Errorf("drill: fingerprint: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// RunFailoverDrill runs the control and failover replays and compares
+// their registry fingerprints. A non-nil error means the drill could not
+// be run to completion; a completed drill with diverged state returns
+// Match=false, not an error, so callers can report both fingerprints.
+func RunFailoverDrill(ctx context.Context, cfg DrillConfig) (*DrillReport, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("drill: Dir is required")
+	}
+	if cfg.Speed < 0 || math.IsNaN(cfg.Speed) || math.IsInf(cfg.Speed, 0) {
+		return nil, fmt.Errorf("drill: Speed must be a finite value >= 0 (0 = unthrottled), got %v", cfg.Speed)
+	}
+	if cfg.KillFraction <= 0 || cfg.KillFraction >= 1 {
+		cfg.KillFraction = 0.5
+	}
+	if cfg.JournalFlush <= 0 {
+		cfg.JournalFlush = 25 * time.Millisecond
+	}
+	if cfg.SnapshotInterval <= 0 {
+		cfg.SnapshotInterval = 2 * time.Second
+	}
+	if cfg.SyncTimeout <= 0 {
+		cfg.SyncTimeout = 30 * time.Second
+	}
+
+	compiled, err := scenario.Compile(cfg.Spec, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(compiled.Events) < 2 {
+		return nil, fmt.Errorf("drill: timeline has %d events; need at least 2 to kill mid-run", len(compiled.Events))
+	}
+	kill := int(cfg.KillFraction * float64(len(compiled.Events)))
+	if kill < 1 {
+		kill = 1
+	}
+	if kill >= len(compiled.Events) {
+		kill = len(compiled.Events) - 1
+	}
+	rep := &DrillReport{
+		Scenario: compiled.Spec.Name,
+		Seed:     cfg.Seed,
+		Events:   len(compiled.Events),
+		KillAt:   kill,
+	}
+
+	// Control: one uninterrupted, in-memory fleet over the whole
+	// timeline, always unthrottled — pacing cannot change registry state,
+	// so the control run never pays for it.
+	control := fleet.New(drillFleetConfig(""))
+	if err := control.Start(ctx); err != nil {
+		return nil, fmt.Errorf("drill: start control fleet: %w", err)
+	}
+	if err := feed(ctx, control, compiled, 0, len(compiled.Events), 0); err != nil {
+		//tagwatch:allow-droppederr in-memory fleet; the feed error is what matters
+		_ = control.Stop()
+		return nil, err
+	}
+	rep.ControlFingerprint, err = registryFingerprint(control.Registry())
+	rep.ControlTags = control.Registry().Len()
+	if serr := control.Stop(); err == nil {
+		err = serr
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Failover: standby first, so the primary has a peer to dial.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("drill: listen replication: %w", err)
+	}
+	sbcfg := drillFleetConfig(filepath.Join(cfg.Dir, "standby"))
+	sbcfg.ReplicationFrameTimeout = time.Second
+	sbcfg.ReplicationSessionTimeout = 2 * time.Second
+	sb, err := fleet.NewStandby(sbcfg, lis)
+	if err != nil {
+		lis.Close()
+		return nil, err
+	}
+	if err := sb.Start(ctx); err != nil {
+		lis.Close()
+		return nil, err
+	}
+	defer sb.Stop()
+
+	inj := chaos.New(cfg.Link)
+	pcfg := drillFleetConfig(filepath.Join(cfg.Dir, "primary"))
+	pcfg.JournalFlush = cfg.JournalFlush
+	pcfg.SnapshotInterval = cfg.SnapshotInterval
+	pcfg.ReplicateTo = []string{lis.Addr().String()}
+	// Snappy link timings: the drill's chaos kills sessions constantly,
+	// and a drill should spend its wall-clock on replication traffic, not
+	// on production-sized backoffs and read deadlines.
+	pcfg.ReplicationHeartbeat = 20 * time.Millisecond
+	pcfg.ReplicationFrameTimeout = time.Second
+	pcfg.ReplicationBackoffBase = 10 * time.Millisecond
+	pcfg.ReplicationBackoffMax = 250 * time.Millisecond
+	pcfg.ReplicationDial = func(ctx context.Context, addr string) (net.Conn, error) {
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return inj.Conn(conn), nil
+	}
+	primary := fleet.New(pcfg)
+	if err := primary.Start(ctx); err != nil {
+		return nil, fmt.Errorf("drill: start primary: %w", err)
+	}
+	if err := feed(ctx, primary, compiled, 0, kill, cfg.Speed); err != nil {
+		primary.Kill()
+		return nil, err
+	}
+
+	// Quiesce: flush the dirty registry and wait until the standby acked
+	// everything — through whatever the chaos link is doing. This is what
+	// makes the drill's expected loss exactly zero.
+	sctx, cancel := context.WithTimeout(ctx, cfg.SyncTimeout)
+	err = primary.SyncReplication(sctx)
+	cancel()
+	if err != nil {
+		primary.Kill()
+		return nil, fmt.Errorf("drill: quiesce before kill: %w", err)
+	}
+	rep.Peers = primary.ReplicationStatus()
+
+	// Kill, not Stop: no final flush, no graceful close. The standby has
+	// exactly what was shipped and acked.
+	primary.Kill()
+
+	rep.Standby = sb.Status()
+	promoted, err := sb.Promote(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := feed(ctx, promoted, compiled, kill, len(compiled.Events), cfg.Speed); err != nil {
+		//tagwatch:allow-droppederr the feed error is what matters
+		_ = promoted.Stop()
+		return nil, err
+	}
+	rep.PromotedFingerprint, err = registryFingerprint(promoted.Registry())
+	rep.PromotedTags = promoted.Registry().Len()
+	if serr := promoted.Stop(); err == nil {
+		err = serr
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	rep.Chaos = inj.Stats()
+	rep.Match = rep.ControlFingerprint == rep.PromotedFingerprint
+	return rep, nil
+}

@@ -1,0 +1,121 @@
+package replay
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"tagwatch/internal/chaos"
+)
+
+// drillLink is the degraded replication link every drill test runs over:
+// latency with jitter, truncated frames, corrupted bytes, mid-write
+// resets, and a byte-count blackhole that leaves the link half-open.
+// Probabilities are per read/write op.
+func drillLink(seed int64) chaos.Config {
+	return chaos.Config{
+		Seed:           seed,
+		Latency:        200 * time.Microsecond,
+		Jitter:         time.Millisecond,
+		TruncateProb:   0.03,
+		CorruptProb:    0.06,
+		ResetProb:      0.03,
+		BlackholeAfter: 384 << 10,
+	}
+}
+
+// TestFailoverDrill is the CI failover-drill acceptance gate: a primary
+// replicating over a hostile link is killed mid-run at a seeded point,
+// the standby is promoted, the replay finishes on the promoted fleet,
+// and the promoted registry must fingerprint identically to the
+// no-failover control run. Running the whole drill twice also pins the
+// drill itself as deterministic.
+func TestFailoverDrill(t *testing.T) {
+	runOnce := func(t *testing.T) *DrillReport {
+		t.Helper()
+		rep, err := RunFailoverDrill(context.Background(), DrillConfig{
+			Spec:         shrunkRush(t),
+			Seed:         21,
+			Speed:        100, // paced: the link stays busy for the whole run
+			KillFraction: 0.5,
+			Link:         drillLink(7),
+			Dir:          t.TempDir(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Match {
+			t.Fatalf("promoted registry diverged from control:\ncontrol  %s (%d tags)\npromoted %s (%d tags)\nreport: %+v",
+				rep.ControlFingerprint, rep.ControlTags,
+				rep.PromotedFingerprint, rep.PromotedTags, rep)
+		}
+		return rep
+	}
+
+	a := runOnce(t)
+	if a.ControlTags == 0 {
+		t.Fatal("control run saw no tags; the drill replayed nothing")
+	}
+	if a.KillAt <= 0 || a.KillAt >= a.Events {
+		t.Fatalf("kill point %d not strictly mid-run (events %d)", a.KillAt, a.Events)
+	}
+	// The standby must have followed a live stream, not just one final
+	// snapshot: journal records were applied before the kill.
+	if a.Standby.Records == 0 {
+		t.Fatalf("standby applied no journal records before the kill: %+v", a.Standby)
+	}
+	// The link must actually have been degraded — a drill that injected
+	// nothing proves nothing.
+	faults := a.Chaos.Truncations + a.Chaos.Corruptions + a.Chaos.Resets + a.Chaos.Blackholes
+	if faults == 0 {
+		t.Fatalf("chaos link injected no faults: %+v", a.Chaos)
+	}
+	if len(a.Peers) != 1 {
+		t.Fatalf("want 1 replication peer, got %+v", a.Peers)
+	}
+
+	b := runOnce(t)
+	if b.ControlFingerprint != a.ControlFingerprint {
+		t.Fatalf("drill not deterministic: control fingerprints differ\n%s\n%s",
+			a.ControlFingerprint, b.ControlFingerprint)
+	}
+	if b.PromotedFingerprint != a.PromotedFingerprint {
+		t.Fatalf("drill not deterministic: promoted fingerprints differ\n%s\n%s",
+			a.PromotedFingerprint, b.PromotedFingerprint)
+	}
+}
+
+// TestFailoverDrillCleanLink pins the invariant without chaos in the
+// way: even the in-flight window excuse is absent, so any mismatch is a
+// replication or restore bug, full stop.
+func TestFailoverDrillCleanLink(t *testing.T) {
+	rep, err := RunFailoverDrill(context.Background(), DrillConfig{
+		Spec:         shrunkRush(t),
+		Seed:         3,
+		KillFraction: 0.3,
+		Dir:          t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Match {
+		t.Fatalf("clean-link drill diverged:\ncontrol  %s (%d tags)\npromoted %s (%d tags)",
+			rep.ControlFingerprint, rep.ControlTags,
+			rep.PromotedFingerprint, rep.PromotedTags)
+	}
+	if rep.PromotedTags != rep.ControlTags {
+		t.Fatalf("tag counts differ: control %d promoted %d", rep.ControlTags, rep.PromotedTags)
+	}
+}
+
+// TestFailoverDrillRejectsBadConfig covers the guard rails.
+func TestFailoverDrillRejectsBadConfig(t *testing.T) {
+	if _, err := RunFailoverDrill(context.Background(), DrillConfig{Spec: shrunkRush(t), Seed: 1}); err == nil {
+		t.Fatal("drill without Dir must be rejected")
+	}
+	spec := shrunkRush(t)
+	spec.Duration = 0
+	if _, err := RunFailoverDrill(context.Background(), DrillConfig{Spec: spec, Seed: 1, Dir: t.TempDir()}); err == nil {
+		t.Fatal("degenerate spec must be rejected")
+	}
+}

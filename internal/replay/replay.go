@@ -24,6 +24,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"time"
 
 	"tagwatch/internal/core"
@@ -38,7 +39,8 @@ type Config struct {
 	// Seed drives every stochastic draw in the compiled timeline.
 	Seed int64
 	// Speed is the virtual-to-wall time multiple: 100 replays one virtual
-	// hour in 36 wall seconds. Zero (or negative) replays unthrottled.
+	// hour in 36 wall seconds. Zero replays unthrottled; negative or
+	// non-finite values are rejected.
 	Speed float64
 	// QuarantineK gates never-seen EPCs exactly as a production fleet
 	// would (k sightings within the virtual quarantine window before
@@ -124,6 +126,9 @@ var bucketBounds = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 500
 // returning the run report. The context aborts the replay (the partial
 // run is discarded with an error).
 func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Speed < 0 || math.IsNaN(cfg.Speed) || math.IsInf(cfg.Speed, 0) {
+		return nil, fmt.Errorf("replay: Speed must be a finite value >= 0 (0 = unthrottled), got %v", cfg.Speed)
+	}
 	compiled, err := scenario.Compile(cfg.Spec, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -146,7 +151,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	wallStart := time.Now()
-	for _, ev := range compiled.Events {
+	for i := range compiled.Events {
+		ev := &compiled.Events[i]
 		if cfg.Speed > 0 {
 			target := wallStart.Add(time.Duration(float64(ev.At) / cfg.Speed))
 			if d := time.Until(target); d > 0 {
@@ -162,40 +168,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("replay: aborted at virtual %v: %w", ev.At, ctx.Err())
 		}
 
-		in := ingests[ev.Gate]
-		for _, r := range ev.Readings {
-			in.Observe(core.Reading{
-				EPC:      compiled.Tags[r.Tag].EPC,
-				Time:     r.At,
-				Antenna:  int(r.Antenna),
-				Channel:  int(r.Channel),
-				PhaseRad: float64(r.PhaseRad),
-				RSSdBm:   float64(r.RSSdBm),
-			}, epoch.Add(r.At))
-		}
-		// Refresh assessments exactly as a supervisor does after a cycle:
-		// one verdict per distinct tag read in the window, at the shared
-		// per-tag rate Λ(present).
-		mobile := make(map[int32]bool, len(ev.Mobile))
-		for _, t := range ev.Mobile {
-			mobile[t] = true
-		}
-		irr := spec.Cost.IRR(ev.Present)
-		assessed := make(map[int32]bool, ev.Present)
-		for _, r := range ev.Readings {
-			if assessed[r.Tag] {
-				continue
-			}
-			assessed[r.Tag] = true
-			in.UpdateAssessment(compiled.Tags[r.Tag].EPC, mobile[r.Tag], irr)
-		}
-		in.PublishCycle(epoch.Add(ev.At), &fleet.CycleSummary{
-			Present:      ev.Present,
-			Mobile:       len(ev.Mobile),
-			Targets:      len(ev.Mobile),
-			PhaseIReads:  ev.Present,
-			PhaseIIReads: len(ev.Readings),
-		})
+		deliverEvent(compiled, ingests[ev.Gate], ev)
 		cycles[ev.Gate]++
 	}
 	wallEnd := time.Now()
@@ -248,6 +221,46 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		rep.Wall.EffectiveSpeed = float64(spec.Duration) / float64(el)
 	}
 	return rep, nil
+}
+
+// deliverEvent replays one compiled cycle event through its gate's
+// ingest: a registry merge per reading, then assessments refreshed
+// exactly as a supervisor does after a cycle — one verdict per distinct
+// tag read in the window, at the shared per-tag rate Λ(present) — and
+// the cycle summary on the bus. This is the single delivery path Run and
+// the failover drill share, so a drill segment is bit-identical to the
+// equivalent slice of a plain replay.
+func deliverEvent(compiled *scenario.Compiled, in *fleet.Ingest, ev *scenario.CycleEvent) {
+	for _, r := range ev.Readings {
+		in.Observe(core.Reading{
+			EPC:      compiled.Tags[r.Tag].EPC,
+			Time:     r.At,
+			Antenna:  int(r.Antenna),
+			Channel:  int(r.Channel),
+			PhaseRad: float64(r.PhaseRad),
+			RSSdBm:   float64(r.RSSdBm),
+		}, epoch.Add(r.At))
+	}
+	mobile := make(map[int32]bool, len(ev.Mobile))
+	for _, t := range ev.Mobile {
+		mobile[t] = true
+	}
+	irr := compiled.Spec.Cost.IRR(ev.Present)
+	assessed := make(map[int32]bool, ev.Present)
+	for _, r := range ev.Readings {
+		if assessed[r.Tag] {
+			continue
+		}
+		assessed[r.Tag] = true
+		in.UpdateAssessment(compiled.Tags[r.Tag].EPC, mobile[r.Tag], irr)
+	}
+	in.PublishCycle(epoch.Add(ev.At), &fleet.CycleSummary{
+		Present:      ev.Present,
+		Mobile:       len(ev.Mobile),
+		Targets:      len(ev.Mobile),
+		PhaseIReads:  ev.Present,
+		PhaseIIReads: len(ev.Readings),
+	})
 }
 
 // histogram builds the cumulative per-tag read-count distribution from

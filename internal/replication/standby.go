@@ -1,0 +1,466 @@
+package replication
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"tagwatch/internal/statestore"
+)
+
+// cursorFile is the standby's sidecar in the store directory: the
+// primary identity + cursor applied through. It is written after each
+// apply without an fsync — a stale (behind) cursor is the safe
+// direction, because the journal grammar is absolute last-wins and
+// re-applied records are idempotent. A torn write fails the checksum
+// and reads as "no cursor", which just forces a snapshot resync.
+const cursorFile = "standby-cursor.json"
+
+// cursorState is the sidecar's on-disk shape.
+type cursorState struct {
+	Primary string `json:"primary"`
+	Gen     uint64 `json:"gen"`
+	Offset  int64  `json:"offset"`
+	Sum     uint32 `json:"sum"` // crc32c over "primary|gen|offset"
+}
+
+func (c cursorState) checksum() uint32 {
+	return crc32.Checksum([]byte(fmt.Sprintf("%s|%d|%d", c.Primary, c.Gen, c.Offset)), castagnoli)
+}
+
+// StandbyConfig tunes a Standby.
+type StandbyConfig struct {
+	// Dir is the store directory replicated state lands in — the same
+	// directory a fleet.Manager restores from when the standby is
+	// promoted.
+	Dir string
+	// Retain is the snapshot retention passed to the local store
+	// (default 2).
+	Retain int
+	// FS overrides the store's filesystem (CrashFS in tests); nil uses
+	// the real one.
+	FS statestore.FS
+	// FrameTimeout bounds each frame write (acks/cursor, default 5s).
+	FrameTimeout time.Duration
+	// SessionTimeout is how long a session survives without any frame
+	// from the primary before it is dropped (default 15s; must exceed
+	// the primary's heartbeat interval).
+	SessionTimeout time.Duration
+}
+
+func (c StandbyConfig) withDefaults() StandbyConfig {
+	if c.Retain <= 0 {
+		c.Retain = 2
+	}
+	if c.FrameTimeout <= 0 {
+		c.FrameTimeout = 5 * time.Second
+	}
+	if c.SessionTimeout <= 0 {
+		c.SessionTimeout = 15 * time.Second
+	}
+	return c
+}
+
+// StandbyStatus is the standby's replication state.
+type StandbyStatus struct {
+	Primary   string            `json:"primary,omitempty"` // identity being followed
+	Connected bool              `json:"connected"`
+	Applied   statestore.Cursor `json:"applied"`           // primary cursor applied through
+	Committed statestore.Cursor `json:"primary_committed"` // primary committed per last heartbeat
+	// LagBytes is primary committed-minus-applied within one
+	// generation; -1 when unknown or spanning generations.
+	LagBytes int64 `json:"lag_bytes"`
+	// LastFrameAgeMS is milliseconds since any primary frame (-1 before
+	// the first).
+	LastFrameAgeMS int64  `json:"last_frame_age_ms"`
+	Sessions       uint64 `json:"sessions"`
+	Snapshots      uint64 `json:"snapshots_applied"`
+	Records        uint64 `json:"records_applied"`
+	Wipes          uint64 `json:"wipes"`
+	LastError      string `json:"last_error,omitempty"`
+}
+
+// Standby accepts one primary's replication stream and applies it into
+// a local statestore, keeping the store directory promotable at every
+// instant: snapshots land via the store's own atomic snapshot path and
+// records via its fsync-acked journal, so a standby killed mid-apply
+// recovers exactly like a primary would.
+type Standby struct {
+	cfg StandbyConfig
+	lis net.Listener
+
+	mu        sync.Mutex
+	store     *statestore.Store
+	primary   string
+	applied   statestore.Cursor
+	committed statestore.Cursor
+	lastFrame time.Time
+	connected bool
+	sessions  uint64
+	snaps     uint64
+	records   uint64
+	wipes     uint64
+	lastErr   string
+	// failed marks the local store unusable (apply error or poison);
+	// the next session wipes and starts over — the self-healing path.
+	failed bool
+}
+
+// NewStandby opens (or creates) the store under cfg.Dir and serves
+// replication sessions on lis. Call Run to start accepting.
+func NewStandby(lis net.Listener, cfg StandbyConfig) (*Standby, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("replication: standby requires a store directory")
+	}
+	st, err := statestore.Open(cfg.Dir, statestore.Options{Retain: cfg.Retain, FS: cfg.FS})
+	if err != nil {
+		return nil, fmt.Errorf("replication: open standby store: %w", err)
+	}
+	sb := &Standby{cfg: cfg, lis: lis, store: st}
+	if cur, ok := sb.loadCursor(); ok {
+		sb.primary = cur.Primary
+		sb.applied = statestore.Cursor{Gen: cur.Gen, Offset: cur.Offset}
+	} else {
+		// No trustworthy cursor: whatever the store holds cannot be
+		// positioned in the primary's journal, so demand a re-anchor.
+		sb.failed = sb.store.Recovery().HasSnapshot || len(sb.store.Recovery().Records) > 0
+	}
+	return sb, nil
+}
+
+// Run accepts replication sessions until ctx ends, one at a time: a
+// newly accepted connection preempts the current session (the primary
+// redialing after a half-open link must not wait for the stale session
+// to time out). Run closes the listener and the store on exit.
+func (sb *Standby) Run(ctx context.Context) {
+	// Closing the listener is how ctx cancellation unblocks Accept.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case <-ctx.Done():
+		case <-stop:
+		}
+		sb.lis.Close()
+	}()
+	var (
+		sessionCancel context.CancelFunc
+		sessionConn   net.Conn
+		sessionWG     sync.WaitGroup
+	)
+	for {
+		conn, err := sb.lis.Accept()
+		if err != nil {
+			break // listener closed (ctx) or fatal accept error
+		}
+		if sessionCancel != nil {
+			// Sever the stale session's conn too: cancellation alone would
+			// let a session blocked on a half-open (blackholed) link hold
+			// the accept slot until its read deadline fires.
+			sessionCancel()
+			sessionConn.Close()
+			sessionWG.Wait()
+		}
+		sctx, cancel := context.WithCancel(ctx)
+		sessionCancel = cancel
+		sessionConn = conn
+		sessionWG.Add(1)
+		go func() {
+			defer sessionWG.Done()
+			defer cancel()
+			if err := sb.session(sctx, conn); err != nil && sctx.Err() == nil {
+				sb.noteError(err)
+			}
+			conn.Close()
+		}()
+	}
+	if sessionCancel != nil {
+		sessionCancel()
+		sessionConn.Close()
+		sessionWG.Wait()
+	}
+	close(stop)
+	wg.Wait()
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if sb.store != nil {
+		if err := sb.store.Close(); err != nil {
+			sb.lastErr = err.Error()
+		}
+		sb.store = nil
+	}
+}
+
+// Addr reports the listener address (useful with ":0" listeners).
+func (sb *Standby) Addr() net.Addr { return sb.lis.Addr() }
+
+// Status snapshots the standby's replication state.
+func (sb *Standby) Status() StandbyStatus {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	st := StandbyStatus{
+		Primary:        sb.primary,
+		Connected:      sb.connected,
+		Applied:        sb.applied,
+		Committed:      sb.committed,
+		LagBytes:       -1,
+		LastFrameAgeMS: -1,
+		Sessions:       sb.sessions,
+		Snapshots:      sb.snaps,
+		Records:        sb.records,
+		Wipes:          sb.wipes,
+		LastError:      sb.lastErr,
+	}
+	if sb.committed.Gen == sb.applied.Gen && sb.committed.Gen != 0 {
+		st.LagBytes = sb.committed.Offset - sb.applied.Offset
+	}
+	if !sb.lastFrame.IsZero() {
+		st.LastFrameAgeMS = time.Since(sb.lastFrame).Milliseconds()
+	}
+	return st
+}
+
+// session serves one primary connection: hello/cursor negotiation,
+// then apply frames until the link, the primary, or ctx dies.
+func (sb *Standby) session(ctx context.Context, conn net.Conn) error {
+	sb.mu.Lock()
+	sb.sessions++
+	needWipe := sb.failed
+	sb.mu.Unlock()
+	if needWipe {
+		if err := sb.wipe(); err != nil {
+			return err
+		}
+	}
+
+	typ, payload, err := readFrame(conn, sb.cfg.SessionTimeout)
+	if err != nil {
+		return fmt.Errorf("replication: read hello: %w", err)
+	}
+	if typ != fHello {
+		return fmt.Errorf("replication: expected hello frame, got type %d", typ)
+	}
+	var hello helloPayload
+	if err := json.Unmarshal(payload, &hello); err != nil {
+		return fmt.Errorf("replication: decode hello: %w", err)
+	}
+	if hello.Version != protocolVersion {
+		return fmt.Errorf("replication: protocol version %d, want %d", hello.Version, protocolVersion)
+	}
+
+	sb.mu.Lock()
+	reply := cursorPayload{Primary: sb.primary, Gen: sb.applied.Gen, Offset: sb.applied.Offset}
+	// Reset when there is nothing to resume: never-anchored, or the
+	// stream belongs to a different primary instance.
+	reply.Reset = sb.primary == "" || sb.primary != hello.Primary
+	sb.primary = hello.Primary
+	sb.connected = true
+	sb.mu.Unlock()
+	defer func() {
+		sb.mu.Lock()
+		sb.connected = false
+		sb.mu.Unlock()
+	}()
+	if err := writeJSONFrame(conn, sb.cfg.FrameTimeout, fCursor, reply); err != nil {
+		return fmt.Errorf("replication: send cursor: %w", err)
+	}
+
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		typ, payload, err := readFrame(conn, sb.cfg.SessionTimeout)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("replication: read frame: %w", err)
+		}
+		sb.mu.Lock()
+		sb.lastFrame = time.Now()
+		sb.mu.Unlock()
+		if err := sb.apply(typ, payload); err != nil {
+			// The local store can no longer follow the stream (poisoned
+			// write, decode failure). Mark it for a wipe-and-resync on the
+			// next session and drop this one.
+			sb.mu.Lock()
+			sb.failed = true
+			sb.mu.Unlock()
+			return err
+		}
+		sb.mu.Lock()
+		applied := sb.applied
+		sb.mu.Unlock()
+		if err := writeFrame(conn, sb.cfg.FrameTimeout, fAck, encodeCursor(applied)); err != nil {
+			return fmt.Errorf("replication: send ack: %w", err)
+		}
+	}
+}
+
+// apply applies one primary frame to the local store.
+func (sb *Standby) apply(typ byte, payload []byte) error {
+	switch typ {
+	case fSnapshot:
+		gen, snap, err := decodeSnapshot(payload)
+		if err != nil {
+			return err
+		}
+		// The primary's snapshot becomes a local snapshot generation via
+		// the store's own atomic path; local generation numbering is
+		// independent of the primary's (the sidecar cursor is the only
+		// mapping between the two).
+		if err := sb.store.WriteSnapshot(snap); err != nil {
+			return fmt.Errorf("replication: apply snapshot: %w", err)
+		}
+		sb.mu.Lock()
+		sb.snaps++
+		sb.applied = statestore.Cursor{Gen: gen}
+		sb.mu.Unlock()
+		return sb.saveCursor()
+	case fReset:
+		from, err := decodeCursor(payload)
+		if err != nil {
+			return err
+		}
+		// The primary has no snapshot to anchor with: match its emptiness.
+		if err := sb.wipe(); err != nil {
+			return err
+		}
+		sb.mu.Lock()
+		sb.applied = from
+		sb.mu.Unlock()
+		return sb.saveCursor()
+	case fRecords:
+		end, records, err := decodeRecords(payload)
+		if err != nil {
+			return err
+		}
+		if err := sb.store.AppendBatch(records); err != nil {
+			return fmt.Errorf("replication: apply records: %w", err)
+		}
+		sb.mu.Lock()
+		sb.records += uint64(len(records))
+		sb.applied = end
+		sb.mu.Unlock()
+		return sb.saveCursor()
+	case fHeartbeat:
+		committed, err := decodeCursor(payload)
+		if err != nil {
+			return err
+		}
+		sb.mu.Lock()
+		sb.committed = committed
+		sb.mu.Unlock()
+		return nil
+	default:
+		return fmt.Errorf("replication: unexpected frame type %d from primary", typ)
+	}
+}
+
+// wipe discards the local store and starts empty: close, remove every
+// store file plus the cursor sidecar, reopen.
+func (sb *Standby) wipe() error {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if sb.store != nil {
+		// A poisoned store still closes its handles; the error is
+		// expected here and the wipe is the recovery.
+		_ = sb.store.Close() //tagwatch:allow-droppederr wiping anyway; close failure cannot matter
+		sb.store = nil
+	}
+	if err := statestore.RemoveAll(sb.cfg.Dir, sb.cfg.FS); err != nil {
+		return fmt.Errorf("replication: wipe standby store: %w", err)
+	}
+	if err := sb.removeCursorLocked(); err != nil {
+		return err
+	}
+	st, err := statestore.Open(sb.cfg.Dir, statestore.Options{Retain: sb.cfg.Retain, FS: sb.cfg.FS})
+	if err != nil {
+		return fmt.Errorf("replication: reopen standby store: %w", err)
+	}
+	sb.store = st
+	sb.applied = statestore.Cursor{}
+	sb.failed = false
+	sb.wipes++
+	return nil
+}
+
+func (sb *Standby) noteError(err error) {
+	sb.mu.Lock()
+	sb.lastErr = err.Error()
+	sb.mu.Unlock()
+}
+
+// loadCursor reads the sidecar; ok is false when it is absent, torn, or
+// fails its checksum.
+func (sb *Standby) loadCursor() (cursorState, bool) {
+	path := filepath.Join(sb.cfg.Dir, cursorFile)
+	var data []byte
+	var err error
+	if sb.cfg.FS != nil {
+		data, err = sb.cfg.FS.ReadFile(path)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return cursorState{}, false
+	}
+	var cur cursorState
+	if json.Unmarshal(data, &cur) != nil || cur.Sum != cur.checksum() || cur.Primary == "" {
+		return cursorState{}, false
+	}
+	return cur, true
+}
+
+// saveCursor writes the sidecar after an apply. Not fsynced: losing it
+// in a crash costs a resync, never correctness.
+func (sb *Standby) saveCursor() error {
+	sb.mu.Lock()
+	cur := cursorState{Primary: sb.primary, Gen: sb.applied.Gen, Offset: sb.applied.Offset}
+	sb.mu.Unlock()
+	cur.Sum = cur.checksum()
+	data, err := json.Marshal(cur)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(sb.cfg.Dir, cursorFile)
+	if sb.cfg.FS != nil {
+		f, err := sb.cfg.FS.Create(path)
+		if err != nil {
+			return fmt.Errorf("replication: save cursor: %w", err)
+		}
+		if _, err := f.Write(data); err != nil {
+			f.Close()
+			return fmt.Errorf("replication: save cursor: %w", err)
+		}
+		return f.Close()
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("replication: save cursor: %w", err)
+	}
+	return nil
+}
+
+func (sb *Standby) removeCursorLocked() error {
+	path := filepath.Join(sb.cfg.Dir, cursorFile)
+	var err error
+	if sb.cfg.FS != nil {
+		err = sb.cfg.FS.Remove(path)
+	} else {
+		err = os.Remove(path)
+	}
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("replication: remove cursor sidecar: %w", err)
+	}
+	return nil
+}

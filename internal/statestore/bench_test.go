@@ -28,3 +28,47 @@ func BenchmarkWALAppend(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkJournalStream measures the replication feed: a JournalReader
+// draining a committed journal in bounded batches, the per-connection
+// cost a shipper pays to bring a standby from a cursor to caught-up.
+func BenchmarkJournalStream(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}()
+	rec := bytes.Repeat([]byte{0xCD}, 256)
+	const count = 4096
+	start := s.Committed()
+	for i := 0; i < count; i++ {
+		if err := s.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(count * len(rec)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := s.Tail(start, TailOptions{})
+		n := 0
+		for {
+			recs, _, err := r.Poll()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(recs) == 0 {
+				break
+			}
+			n += len(recs)
+		}
+		r.Close()
+		if n != count {
+			b.Fatalf("streamed %d records, want %d", n, count)
+		}
+	}
+}

@@ -127,9 +127,18 @@ type Store struct {
 	mu           sync.Mutex
 	gen          uint64
 	wal          File
+	walOff       int64 // committed byte length of the current journal
+	hasSnap      bool  // a validating snapshot exists on disk
+	snapGen      uint64
+	firstGen     uint64 // oldest generation whose journal starts replay
 	poisoned     error
 	needSnapshot bool
 	recovery     Recovery
+
+	// watchers are commit-notification channels registered by tailing
+	// JournalReaders; each gets a non-blocking signal per commit.
+	watchers    map[uint64]chan struct{}
+	nextWatcher uint64
 }
 
 // Open opens (creating if needed) the store rooted at dir and performs
@@ -149,7 +158,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("statestore: create dir: %w", err)
 	}
-	s := &Store{dir: dir, fs: fsys, retain: retain}
+	s := &Store{dir: dir, fs: fsys, retain: retain, watchers: make(map[uint64]chan struct{})}
 
 	names, err := fsys.ReadDir(dir)
 	if err != nil {
@@ -217,6 +226,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 		records, validLen := parseJournal(data)
 		rec.Records = append(rec.Records, records...)
+		if g == s.gen {
+			s.walOff = validLen
+		}
 		if validLen < int64(len(data)) {
 			rec.TornTailBytes += int64(len(data)) - validLen
 			if g == s.gen {
@@ -234,6 +246,9 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.recovery = rec
 	s.needSnapshot = rec.ReplayStopped
+	s.hasSnap = rec.HasSnapshot
+	s.snapGen = rec.SnapshotGen
+	s.firstGen = replayFrom
 
 	wal, err := fsys.OpenAppend(s.walPath(s.gen))
 	if err != nil {
@@ -305,6 +320,8 @@ func (s *Store) AppendBatch(records [][]byte) error {
 		s.poisoned = err
 		return fmt.Errorf("statestore: journal fsync: %w", err)
 	}
+	s.walOff += int64(len(buf))
+	s.notifyLocked()
 	return nil
 }
 
@@ -350,10 +367,26 @@ func (s *Store) WriteSnapshot(payload []byte) error {
 	}
 	s.wal = wal
 	s.gen = next
+	s.walOff = 0
+	s.hasSnap = true
+	s.snapGen = next
 	s.needSnapshot = false
 
 	s.gc()
+	s.notifyLocked()
 	return nil
+}
+
+// notifyLocked signals every registered watcher that the committed
+// cursor advanced. Non-blocking by construction: each watcher channel
+// has capacity one and a pending signal coalesces.
+func (s *Store) notifyLocked() {
+	for _, ch := range s.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // writeSnapshotFile writes header+payload to name and fsyncs it.
@@ -477,8 +510,20 @@ func decodeSnapshot(data []byte) ([]byte, error) {
 // checksum mismatch ends the walk: everything from there on is the torn
 // tail of an interrupted append (or corruption) and is never surfaced.
 func parseJournal(data []byte) (records [][]byte, validLen int64) {
+	records, validLen, _ = parseJournalLimited(data, 0)
+	return records, validLen
+}
+
+// parseJournalLimited is parseJournal with a byte budget: once the
+// records collected reach maxBytes (0 = unlimited), the walk stops with
+// limited=true so a tailing reader ships bounded batches. At least one
+// record is always returned when one validates, regardless of budget.
+func parseJournalLimited(data []byte, maxBytes int64) (records [][]byte, validLen int64, limited bool) {
 	off := int64(0)
 	for int64(len(data))-off >= recHeaderLen {
+		if maxBytes > 0 && len(records) > 0 && off >= maxBytes {
+			return records, off, true
+		}
 		length := int64(binary.LittleEndian.Uint32(data[off : off+4]))
 		wantCRC := binary.LittleEndian.Uint32(data[off+4 : off+8])
 		if length == 0 || length > maxRecordLen {
@@ -494,7 +539,7 @@ func parseJournal(data []byte) (records [][]byte, validLen int64) {
 		records = append(records, append([]byte(nil), payload...))
 		off += recHeaderLen + length
 	}
-	return records, off
+	return records, off, false
 }
 
 // parseGen extracts the generation number from a "prefix-NNNNNNNNsuffix"

@@ -1,0 +1,221 @@
+package statestore
+
+// Journal tailing: the replication feed. A primary's statestore is the
+// single source of truth for everything the fleet acked durable, so
+// streaming its journal (plus the occasional snapshot) to a standby IS
+// registry-delta replication — the journal grammar is already the
+// replication format. This file adds the pieces a shipper needs without
+// touching the hot append path:
+//
+//   - Cursor: a (generation, byte offset) position in the journal chain;
+//   - Committed: the cursor one byte past the last fsync-acked record;
+//   - Tail / JournalReader: a pull-based reader that returns batches of
+//     committed records from a cursor forward, crossing generation
+//     boundaries, and reports ErrCursorGone when retention GC (or
+//     corruption) makes the requested position unreadable — the signal
+//     to re-anchor from a snapshot;
+//   - ResyncSource: the newest snapshot payload plus the cursor journal
+//     replay resumes from, i.e. everything needed to re-anchor a peer.
+//
+// Readers never block appends: they re-read journal files through the
+// store's FS and are bounded by the committed cursor, so the only
+// shared state is the cursor itself and a non-blocking notification
+// channel. A reader that falls behind retention simply resyncs — the
+// ship-behind, drop-to-snapshot-on-overflow degradation mode.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+)
+
+// Cursor addresses a position in the journal chain: byte Offset into
+// generation Gen's journal, always on a record boundary.
+type Cursor struct {
+	Gen    uint64 `json:"gen"`
+	Offset int64  `json:"offset"`
+}
+
+// Before reports whether c addresses an earlier position than o.
+func (c Cursor) Before(o Cursor) bool {
+	return c.Gen < o.Gen || (c.Gen == o.Gen && c.Offset < o.Offset)
+}
+
+// ErrCursorGone reports that a tail position is no longer readable:
+// retention GC collected the generation, the position is ahead of the
+// committed cursor (a diverged peer), or the bytes there no longer
+// parse. The only recovery is re-anchoring from ResyncSource.
+var ErrCursorGone = errors.New("statestore: cursor position no longer available; re-anchor from a snapshot")
+
+// Committed returns the cursor one byte past the last record whose
+// durability was acked. Everything before it survives a crash and is
+// safe to replicate.
+func (s *Store) Committed() Cursor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Cursor{Gen: s.gen, Offset: s.walOff}
+}
+
+// ResyncSource returns the re-anchor point for a peer that cannot
+// resume from its cursor: the newest validating snapshot payload (when
+// one exists) and the cursor journal replay starts from. A peer applies
+// the snapshot (or, with hasSnapshot false, starts empty) and then
+// tails from the returned cursor.
+func (s *Store) ResyncSource() (snapshot []byte, hasSnapshot bool, from Cursor, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.hasSnap {
+		return nil, false, Cursor{Gen: s.firstGen}, nil
+	}
+	payload, err := s.readSnapshot(s.snapGen)
+	if err != nil {
+		return nil, false, Cursor{}, fmt.Errorf("statestore: read resync snapshot gen %d: %w", s.snapGen, err)
+	}
+	return payload, true, Cursor{Gen: s.snapGen}, nil
+}
+
+// TailOptions tunes a JournalReader.
+type TailOptions struct {
+	// MaxBatchBytes bounds the record payload bytes one Poll returns
+	// (default 1 MiB) so a reader catching up after a long disconnect
+	// ships bounded frames instead of one giant one.
+	MaxBatchBytes int64
+}
+
+// Tail registers a reader that follows the journal from the given
+// cursor. The reader is NOT safe for concurrent use (one shipper
+// goroutine owns it); Close unregisters its commit notifications.
+func (s *Store) Tail(from Cursor, opts TailOptions) *JournalReader {
+	max := opts.MaxBatchBytes
+	if max <= 0 {
+		max = 1 << 20
+	}
+	r := &JournalReader{s: s, cur: from, max: max, notify: make(chan struct{}, 1)}
+	s.mu.Lock()
+	r.id = s.nextWatcher
+	s.nextWatcher++
+	s.watchers[r.id] = r.notify
+	s.mu.Unlock()
+	return r
+}
+
+// JournalReader reads committed journal records from a cursor forward,
+// crossing generation boundaries as snapshots roll the journal over.
+type JournalReader struct {
+	s      *Store
+	id     uint64
+	notify chan struct{}
+	cur    Cursor
+	max    int64
+}
+
+// Cursor reports the reader's current position (the next byte it will
+// read).
+func (r *JournalReader) Cursor() Cursor { return r.cur }
+
+// Notify returns the reader's commit-notification channel: one
+// (coalesced) signal per committed append or snapshot. Select on it
+// alongside heartbeat timers; a signal means Poll may have new records.
+func (r *JournalReader) Notify() <-chan struct{} { return r.notify }
+
+// Close unregisters the reader's notifications. The reader cannot be
+// used afterwards.
+func (r *JournalReader) Close() {
+	r.s.mu.Lock()
+	delete(r.s.watchers, r.id)
+	r.s.mu.Unlock()
+}
+
+// Poll returns the next batch of committed records at the cursor, the
+// cursor after them, and advances the reader. An empty batch with a nil
+// error means the reader is caught up with Committed. ErrCursorGone
+// means the position is unreadable (GC'd, corrupt, or ahead of the
+// committed cursor) and the consumer must re-anchor via ResyncSource.
+func (r *JournalReader) Poll() ([][]byte, Cursor, error) {
+	for {
+		committed := r.s.Committed()
+		if committed.Before(r.cur) {
+			return nil, r.cur, fmt.Errorf("%w (cursor %+v ahead of committed %+v)", ErrCursorGone, r.cur, committed)
+		}
+		if r.cur == committed {
+			return nil, r.cur, nil // caught up
+		}
+		data, err := r.s.fs.ReadFile(r.s.walPath(r.cur.Gen))
+		if err != nil {
+			// The generation's journal is gone — retention GC collected it
+			// while this reader was behind.
+			return nil, r.cur, fmt.Errorf("%w (journal gen %d unreadable: %v)", ErrCursorGone, r.cur.Gen, err)
+		}
+		bound := int64(len(data))
+		final := r.cur.Gen < committed.Gen
+		if !final && bound > committed.Offset {
+			// Never surface bytes past the committed cursor: they may be
+			// written but not yet fsync-acked.
+			bound = committed.Offset
+		}
+		if r.cur.Offset > bound {
+			return nil, r.cur, fmt.Errorf("%w (offset %d past journal end %d in gen %d)", ErrCursorGone, r.cur.Offset, bound, r.cur.Gen)
+		}
+		records, validLen, limited := parseJournalLimited(data[r.cur.Offset:bound], r.max)
+		end := r.cur.Offset + validLen
+		if !limited && end < bound {
+			// Parse stopped below the committed bound for a reason other
+			// than the batch budget: the bytes there are corrupt, and
+			// recovery would discard them too.
+			return nil, r.cur, fmt.Errorf("%w (unparsable journal bytes at gen %d offset %d)", ErrCursorGone, r.cur.Gen, end)
+		}
+		next := Cursor{Gen: r.cur.Gen, Offset: end}
+		if final && end == bound {
+			// Finalized generation fully drained: continue in the next one.
+			next = Cursor{Gen: r.cur.Gen + 1}
+		}
+		r.cur = next
+		if len(records) == 0 {
+			continue // an empty finalized journal; look at the next gen
+		}
+		return records, next, nil
+	}
+}
+
+// Next blocks until Poll returns records or an error, or ctx ends.
+func (r *JournalReader) Next(ctx context.Context) ([][]byte, Cursor, error) {
+	for {
+		records, next, err := r.Poll()
+		if err != nil || len(records) > 0 {
+			return records, next, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, r.cur, ctx.Err()
+		case <-r.notify:
+		}
+	}
+}
+
+// RemoveAll deletes every store file in dir (snapshots, journals, and
+// leftover tmp files), leaving the directory usable for a fresh Open.
+// This is the standby's hard re-anchor path: a peer whose history can
+// no longer be reconciled starts over from the primary's stream. A nil
+// fsys uses the real filesystem.
+func RemoveAll(dir string, fsys FS) error {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("statestore: wipe dir: %w", err)
+	}
+	var errs []error
+	for _, name := range names {
+		_, isSnap := parseGen(name, "snap-", snapSuffix)
+		_, isWal := parseGen(name, "wal-", walSuffix)
+		if isSnap || isWal || strings.HasSuffix(name, tmpSuffix) {
+			if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

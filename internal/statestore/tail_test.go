@@ -1,0 +1,339 @@
+package statestore
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drain polls the reader until it reports caught-up, collecting records.
+func drain(t *testing.T, r *JournalReader) [][]byte {
+	t.Helper()
+	var out [][]byte
+	for {
+		recs, _, err := r.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			return out
+		}
+		out = append(out, recs...)
+	}
+}
+
+func TestTailFollowsAppends(t *testing.T) {
+	st := openT(t, t.TempDir(), Options{})
+	defer func() {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	_, has, from, err := st.ResyncSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if has {
+		t.Fatal("fresh store claims a snapshot")
+	}
+	r := st.Tail(from, TailOptions{})
+	defer r.Close()
+
+	if recs := drain(t, r); len(recs) != 0 {
+		t.Fatalf("fresh tail returned %d records", len(recs))
+	}
+	mustAppend(t, st, "a", "b", "c")
+	got := drain(t, r)
+	if len(got) != 3 || string(got[0]) != "a" || string(got[2]) != "c" {
+		t.Fatalf("tail after append = %q", got)
+	}
+	if cur := r.Cursor(); cur != st.Committed() {
+		t.Fatalf("caught-up cursor %+v != committed %+v", cur, st.Committed())
+	}
+
+	// A commit signals the notification channel; Next returns the batch.
+	mustAppend(t, st, "d")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	recs, _, err := r.Next(ctx)
+	if err != nil || len(recs) != 1 || string(recs[0]) != "d" {
+		t.Fatalf("Next = %q, %v", recs, err)
+	}
+}
+
+func TestTailCrossesGenerations(t *testing.T) {
+	st := openT(t, t.TempDir(), Options{})
+	defer func() {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	r := st.Tail(st.Committed(), TailOptions{})
+	defer r.Close()
+
+	mustAppend(t, st, "a", "b")
+	if err := st.WriteSnapshot([]byte("snap1")); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, st, "c")
+	if err := st.WriteSnapshot([]byte("snap2")); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, st, "d", "e")
+
+	got := drain(t, r)
+	want := []string{"a", "b", "c", "d", "e"}
+	if len(got) != len(want) {
+		t.Fatalf("tail across gens = %q, want %q", got, want)
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTailBatchBudget(t *testing.T) {
+	st := openT(t, t.TempDir(), Options{})
+	defer func() {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	r := st.Tail(st.Committed(), TailOptions{MaxBatchBytes: 1})
+	defer r.Close()
+	mustAppend(t, st, "aaaa", "bbbb", "cccc")
+
+	// A one-byte budget still makes progress: each Poll returns exactly
+	// one record (at least one is always returned when one validates).
+	for _, want := range []string{"aaaa", "bbbb", "cccc"} {
+		recs, _, err := r.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || string(recs[0]) != want {
+			t.Fatalf("budgeted Poll = %q, want [%q]", recs, want)
+		}
+	}
+	if recs := drain(t, r); len(recs) != 0 {
+		t.Fatalf("expected caught-up, got %q", recs)
+	}
+}
+
+func TestTailCursorGoneAfterGC(t *testing.T) {
+	st := openT(t, t.TempDir(), Options{Retain: 1})
+	defer func() {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	r := st.Tail(st.Committed(), TailOptions{})
+	defer r.Close()
+
+	// Roll generations past retention without the reader keeping up.
+	for i := 0; i < 4; i++ {
+		mustAppend(t, st, fmt.Sprintf("r%d", i))
+		if err := st.WriteSnapshot([]byte(fmt.Sprintf("s%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, err := r.Poll()
+	if !errors.Is(err, ErrCursorGone) {
+		t.Fatalf("Poll after GC = %v, want ErrCursorGone", err)
+	}
+
+	// Re-anchor: the resync source hands back the newest snapshot and the
+	// cursor journal replay resumes from.
+	snap, has, from, err := st.ResyncSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !has || string(snap) != "s3" {
+		t.Fatalf("resync snapshot = %q (has=%v), want s3", snap, has)
+	}
+	r2 := st.Tail(from, TailOptions{})
+	defer r2.Close()
+	mustAppend(t, st, "after")
+	got := drain(t, r2)
+	if len(got) != 1 || string(got[0]) != "after" {
+		t.Fatalf("post-resync tail = %q, want [after]", got)
+	}
+}
+
+func TestTailAheadOfCommittedIsGone(t *testing.T) {
+	st := openT(t, t.TempDir(), Options{})
+	defer func() {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	r := st.Tail(Cursor{Gen: st.Committed().Gen, Offset: 1 << 20}, TailOptions{})
+	defer r.Close()
+	if _, _, err := r.Poll(); !errors.Is(err, ErrCursorGone) {
+		t.Fatalf("Poll ahead of committed = %v, want ErrCursorGone", err)
+	}
+}
+
+// TestTailWhileAppending is the recovery-matrix "tail while appending"
+// row: a JournalReader follows a store that is concurrently appending
+// and rolling generations (with retention GC collecting old ones),
+// under -race. The reader maintains a last-wins key/value replica —
+// exactly what a replication standby does — re-anchoring from the
+// resync source whenever it falls past retention, and must converge to
+// the writer's final state.
+func TestTailWhileAppending(t *testing.T) {
+	st := openT(t, t.TempDir(), Options{Retain: 1})
+	defer func() {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	const (
+		writes = 2000
+		keys   = 50
+	)
+	type kv struct {
+		K string `json:"k"`
+		V int    `json:"v"`
+	}
+
+	// Writer: last-wins updates over a small key space, snapshotting
+	// (and thereby GC-ing) every 100 appends so the reader races both
+	// the append path and the generation roll.
+	model := make(map[string]int)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writes; i++ {
+			rec := kv{K: fmt.Sprintf("k%02d", i%keys), V: i}
+			model[rec.K] = rec.V
+			b, err := json.Marshal(rec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := st.Append(b); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%100 == 99 {
+				snap, err := json.Marshal(model)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := st.WriteSnapshot(snap); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Reader: anchor from the resync source, then follow, re-anchoring
+	// on ErrCursorGone. applyFrom restarts the replica from a snapshot.
+	replica := make(map[string]int)
+	var resyncs int
+	anchor := func() *JournalReader {
+		snap, has, from, err := st.ResyncSource()
+		if err != nil {
+			t.Fatal(err)
+		}
+		replica = make(map[string]int)
+		if has {
+			if err := json.Unmarshal(snap, &replica); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return st.Tail(from, TailOptions{MaxBatchBytes: 4 << 10})
+	}
+	apply := func(recs [][]byte) {
+		for _, b := range recs {
+			var rec kv
+			if err := json.Unmarshal(b, &rec); err != nil {
+				t.Fatal(err)
+			}
+			replica[rec.K] = rec.V
+		}
+	}
+
+	r := anchor()
+	writerDone := make(chan struct{})
+	go func() { wg.Wait(); close(writerDone) }()
+	deadline := time.After(30 * time.Second)
+	done := false
+	for !done {
+		recs, _, err := r.Poll()
+		switch {
+		case errors.Is(err, ErrCursorGone):
+			resyncs++
+			r.Close()
+			r = anchor()
+			continue
+		case err != nil:
+			t.Fatal(err)
+		}
+		apply(recs)
+		if len(recs) > 0 {
+			continue
+		}
+		// Caught up right now — but only final once the writer finished.
+		select {
+		case <-writerDone:
+			if r.Cursor() == st.Committed() {
+				done = true
+			}
+		case <-deadline:
+			t.Fatal("reader did not converge in 30s")
+		case <-r.Notify():
+		case <-time.After(time.Millisecond):
+		}
+	}
+	r.Close()
+
+	if t.Failed() {
+		return
+	}
+	if len(replica) != len(model) {
+		t.Fatalf("replica has %d keys, model %d (resyncs=%d)", len(replica), len(model), resyncs)
+	}
+	for k, v := range model {
+		if replica[k] != v {
+			t.Fatalf("replica[%s]=%d, want %d (resyncs=%d)", k, replica[k], v, resyncs)
+		}
+	}
+	t.Logf("converged after %d writes with %d resyncs", writes, resyncs)
+}
+
+func TestRemoveAllWipesStoreFiles(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, Options{})
+	mustAppend(t, st, "a")
+	if err := st.WriteSnapshot([]byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, st, "b")
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := RemoveAll(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	st = openT(t, dir, Options{})
+	defer func() {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	rec := st.Recovery()
+	if rec.HasSnapshot || len(rec.Records) != 0 {
+		t.Fatalf("store not empty after RemoveAll: %+v", rec)
+	}
+}
