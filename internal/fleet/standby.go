@@ -26,6 +26,7 @@ type Standby struct {
 	cancel   context.CancelFunc
 	done     chan struct{}
 	started  time.Time
+	stopped  bool
 	promoted *Manager
 }
 
@@ -51,15 +52,20 @@ func NewStandby(cfg Config, lis net.Listener) (*Standby, error) {
 }
 
 // Start begins accepting and applying the replication stream. The
-// standby runs until ctx is cancelled, Stop, or Promote.
+// standby runs until ctx is cancelled, Stop, or Promote. A Standby is
+// single-shot: Stop releases the listener and store, so a Start after
+// Stop is an error rather than a silently dead replication loop.
 func (s *Standby) Start(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.cancel != nil {
-		return errors.New("fleet: standby already started")
-	}
 	if s.promoted != nil {
 		return errors.New("fleet: standby already promoted")
+	}
+	if s.stopped {
+		return errors.New("fleet: standby already stopped (the replication listener and store are released; build a new standby)")
+	}
+	if s.cancel != nil || s.done != nil {
+		return errors.New("fleet: standby already started")
 	}
 	ctx, s.cancel = context.WithCancel(ctx)
 	s.started = time.Now()
@@ -71,19 +77,29 @@ func (s *Standby) Start(ctx context.Context) error {
 	return nil
 }
 
-// Stop ends replication and releases the store directory. The applied
-// state stays on disk; a later NewStandby or Promote-equivalent restart
-// picks it back up.
+// Stop ends replication and releases the store directory — whether or
+// not Start ever ran. The applied state stays on disk; a later
+// NewStandby (or Promote on this one) picks it back up. Stop is
+// terminal: this Standby cannot Start again afterwards.
 func (s *Standby) Stop() {
 	s.mu.Lock()
 	cancel, done := s.cancel, s.done
 	s.cancel = nil
+	alreadyStopped := s.stopped
+	s.stopped = true
 	s.mu.Unlock()
-	if cancel == nil {
+	if cancel != nil {
+		cancel()
+		<-done
 		return
 	}
-	cancel()
-	<-done
+	if !alreadyStopped && done == nil {
+		// Never started: Run never ran, so nothing has released the
+		// listener and store NewStandby opened. Do it here — otherwise
+		// a Promote without a prior Start would open a second store
+		// over the same StateDir while this one still holds it.
+		_ = s.repl.Close() //tagwatch:allow-droppederr no session ever wrote through this store; the close error cannot affect promoted state
+	}
 }
 
 // Promote turns the replicated directory into a live fleet: replication

@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"context"
+	"net"
+	"testing"
+)
+
+func testStandby(t *testing.T) *Standby {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.QuarantineK = 0
+	cfg.MaxTags = 0
+	cfg.StateDir = t.TempDir()
+	sb, err := NewStandby(cfg, lis)
+	if err != nil {
+		lis.Close()
+		t.Fatal(err)
+	}
+	return sb
+}
+
+// TestStandbyPromoteWithoutStart: Promote on a standby that never
+// started must first release the replication store NewStandby opened —
+// otherwise the promoted Manager opens a second store over the same
+// StateDir while the standby's handle still owns it.
+func TestStandbyPromoteWithoutStart(t *testing.T) {
+	sb := testStandby(t)
+	m, err := sb.Promote(context.Background())
+	if err != nil {
+		t.Fatalf("promote without start: %v", err)
+	}
+	if err := m.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Start(context.Background()); err == nil {
+		t.Fatal("Start after Promote reported success over a released store")
+	}
+}
+
+// TestStandbyStartAfterStopErrors: a Standby is single-shot. Before the
+// fix, Start after Stop re-ran the replication loop over the closed
+// listener and store — Accept failed instantly, the loop exited, and
+// the node silently stopped replicating while Start returned nil.
+func TestStandbyStartAfterStopErrors(t *testing.T) {
+	sb := testStandby(t)
+	ctx := context.Background()
+	if err := sb.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sb.Stop()
+	if err := sb.Start(ctx); err == nil {
+		t.Fatal("Start after Stop reported success while replication was dead")
+	}
+	sb.Stop() // terminal state: repeat Stops stay safe
+
+	// Stop before any Start is equally terminal.
+	sb2 := testStandby(t)
+	sb2.Stop()
+	if err := sb2.Start(ctx); err == nil {
+		t.Fatal("Start after a never-started Stop reported success")
+	}
+}

@@ -9,9 +9,11 @@
 //
 //   - the primary dials (standbys listen), retrying with exponential
 //     backoff + jitter;
-//   - every frame carries a crc32c over its payload and is read/written
-//     under a per-frame deadline, so corruption and stalls surface as
-//     session errors instead of hangs or misparses;
+//   - every frame carries a crc32c over its payload plus a crc32c over
+//     the header itself (type + length), and is read/written under a
+//     per-frame deadline, so corruption and stalls surface as session
+//     errors instead of hangs, misparses, or garbage-length
+//     allocations;
 //   - sessions open with a cursor negotiation: the standby reports the
 //     primary's (generation, offset) it has applied through, and the
 //     primary resumes the journal tail there — or re-anchors with a
@@ -44,7 +46,12 @@ import (
 const protocolVersion = 1
 
 // Frame types. Every frame is type(1) | payloadLen(u32 LE) |
-// crc32c(payload)(u32 LE) | payload.
+// crc32c(payload)(u32 LE) | crc32c(header)(u32 LE) | payload, where the
+// header checksum covers the first 9 bytes. Checksumming the header
+// means a corrupted length field is rejected before it is believed —
+// without it, a single flipped length byte under the cap would trigger
+// an up-to-maxFramePayload allocation per corrupt frame before the
+// payload CRC could tear the session down.
 const (
 	fHello     = byte(1) // primary→standby: JSON helloPayload
 	fCursor    = byte(2) // standby→primary: JSON cursorPayload
@@ -56,7 +63,10 @@ const (
 )
 
 const (
-	frameHeaderLen = 9
+	frameHeaderLen = 13
+	// frameHeaderCRCOff is where the header's own crc32c lives; it
+	// covers the bytes before it (type + length + payload CRC).
+	frameHeaderCRCOff = 9
 	// maxFramePayload bounds one frame. Snapshots dominate; the
 	// statestore itself refuses records past 256 MiB, so a 1 GiB frame
 	// cap rejects garbage lengths without constraining real payloads.
@@ -102,6 +112,7 @@ func writeFrame(conn net.Conn, deadline time.Duration, typ byte, payload []byte)
 	hdr[0] = typ
 	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[5:9], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[frameHeaderCRCOff:], crc32.Checksum(hdr[:frameHeaderCRCOff], castagnoli))
 	// One write per frame: interleaving-safe if a future caller ever
 	// shares the conn, and one fewer syscall on the hot path.
 	_, err := conn.Write(append(hdr, payload...))
@@ -119,6 +130,12 @@ func readFrame(conn net.Conn, deadline time.Duration) (typ byte, payload []byte,
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 		return 0, nil, err
+	}
+	// Validate the header before believing its length field: the header
+	// CRC is what keeps a corrupted length from provoking a huge
+	// allocation that only the payload CRC would catch.
+	if crc32.Checksum(hdr[:frameHeaderCRCOff], castagnoli) != binary.LittleEndian.Uint32(hdr[frameHeaderCRCOff:]) {
+		return 0, nil, fmt.Errorf("%w (header checksum mismatch)", errFrameCorrupt)
 	}
 	length := binary.LittleEndian.Uint32(hdr[1:5])
 	wantCRC := binary.LittleEndian.Uint32(hdr[5:9])

@@ -1,0 +1,58 @@
+package replication
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestFrameRoundTrip pins the wire layout end to end.
+func TestFrameRoundTrip(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	payload := []byte("the journal is the replication format")
+	errc := make(chan error, 1)
+	go func() { errc <- writeFrame(server, time.Second, fRecords, payload) }()
+	typ, got, err := readFrame(client, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if typ != fRecords || string(got) != string(payload) {
+		t.Fatalf("round trip gave type %d payload %q", typ, got)
+	}
+}
+
+// TestFrameRejectsCorruptHeader is the regression test for the
+// unprotected length field: a header whose length byte flipped in
+// flight must fail the header checksum — before the fix the corrupted
+// length was believed, buying an up-to-1 GiB allocation per corrupt
+// frame that only the payload CRC would eventually catch.
+func TestFrameRejectsCorruptHeader(t *testing.T) {
+	payload := []byte("hb")
+	hdr := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
+	hdr[0] = fHeartbeat
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[frameHeaderCRCOff:], crc32.Checksum(hdr[:frameHeaderCRCOff], castagnoli))
+	// Flip a high length byte after the checksums were taken: the frame
+	// now claims a ~512 MiB payload.
+	hdr[4] ^= 0x20
+
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		_, _ = server.Write(append(hdr, payload...)) // reader side is under test
+	}()
+	_, _, err := readFrame(client, time.Second)
+	if !errors.Is(err, errFrameCorrupt) {
+		t.Fatalf("corrupt header gave %v, want errFrameCorrupt", err)
+	}
+}

@@ -212,6 +212,40 @@ func TestShipSnapshotAndRecords(t *testing.T) {
 	}
 }
 
+// TestLagKnownInGenerationZero is the regression test for the lag
+// gauge's "unknown" sentinel: generation 0 is a legitimate generation
+// for a young primary that has never snapshotted, so once heartbeats
+// flow the standby must report a real (>= 0) lag, not -1.
+func TestLagKnownInGenerationZero(t *testing.T) {
+	primaryDir, standbyDir := t.TempDir(), t.TempDir()
+	st, err := statestore.Open(primaryDir, statestore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	model := make(map[string]int)
+	appendKVs(t, st, model, 0, 10) // no snapshot: the primary stays in generation 0
+
+	h := startHarness(t, st, standbyDir, nil)
+	waitSynced(t, h.shipper)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if status := h.standby.Status(); status.LagBytes >= 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lag stayed unknown in generation 0 with heartbeats flowing: %+v", h.standby.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	h.stop()
+	sameState(t, foldDir(t, standbyDir), model)
+}
+
 func TestResumeAfterPrimaryRestart(t *testing.T) {
 	primaryDir, standbyDir := t.TempDir(), t.TempDir()
 	st, err := statestore.Open(primaryDir, statestore.Options{})
@@ -291,6 +325,158 @@ func TestChaosLinkConverges(t *testing.T) {
 	if s := inj.Stats(); s.Corruptions+s.Resets+s.Truncations == 0 {
 		t.Fatalf("chaos injected nothing: %+v", s)
 	}
+}
+
+// rawSession hand-rolls the primary side of the wire protocol against a
+// live standby, for tests that need sessions to die at precise points
+// the real Shipper never produces.
+type rawSession struct {
+	t    *testing.T
+	conn net.Conn
+}
+
+func dialStandby(t *testing.T, addr string) *rawSession {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rawSession{t: t, conn: conn}
+}
+
+// hello sends the hello frame for identity id and returns the standby's
+// cursor reply.
+func (r *rawSession) hello(id string) cursorPayload {
+	r.t.Helper()
+	if err := writeJSONFrame(r.conn, 2*time.Second, fHello, helloPayload{Version: protocolVersion, Primary: id}); err != nil {
+		r.t.Fatal(err)
+	}
+	typ, payload, err := readFrame(r.conn, 2*time.Second)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	if typ != fCursor {
+		r.t.Fatalf("expected cursor frame, got type %d", typ)
+	}
+	var cur cursorPayload
+	if err := json.Unmarshal(payload, &cur); err != nil {
+		r.t.Fatal(err)
+	}
+	return cur
+}
+
+func (r *rawSession) send(typ byte, payload []byte) {
+	r.t.Helper()
+	if err := writeFrame(r.conn, 2*time.Second, typ, payload); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+// ack reads the standby's next ack frame and returns the applied cursor.
+func (r *rawSession) ack() statestore.Cursor {
+	r.t.Helper()
+	typ, payload, err := readFrame(r.conn, 2*time.Second)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	if typ != fAck {
+		r.t.Fatalf("expected ack frame, got type %d", typ)
+	}
+	c, err := decodeCursor(payload)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return c
+}
+
+func (r *rawSession) close() { r.conn.Close() }
+
+// TestReanchorAdoptionDeferred is the regression test for the
+// half-re-anchor hole: a standby holding primary A's cursor negotiates
+// a Reset with primary B, and the session dies before B's anchor frame
+// arrives. The standby must keep answering with A's identity — so B's
+// next hello re-negotiates the Reset instead of resuming A's cursor
+// against B's journal — and A itself must still be able to resume.
+func TestReanchorAdoptionDeferred(t *testing.T) {
+	dir := t.TempDir()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := NewStandby(lis, StandbyConfig{Dir: dir, FrameTimeout: 2 * time.Second, SessionTimeout: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); sb.Run(ctx) }()
+	defer func() { cancel(); <-done }()
+	addr := lis.Addr().String()
+
+	// Session 1: primary A anchors with a snapshot and ships a record.
+	rec, err := json.Marshal(kv{K: "k00", V: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aCursor := statestore.Cursor{Gen: 3, Offset: int64(len(rec)) + 8}
+	s1 := dialStandby(t, addr)
+	if cur := s1.hello("primary-A"); !cur.Reset {
+		t.Fatalf("fresh standby replied Reset=false: %+v", cur)
+	}
+	s1.send(fSnapshot, encodeSnapshot(3, []byte(`{"k17":9}`)))
+	if got := s1.ack(); got.Gen != 3 {
+		t.Fatalf("snapshot acked at %+v, want gen 3", got)
+	}
+	s1.send(fRecords, encodeRecords(aCursor, [][]byte{rec}))
+	if got := s1.ack(); got != aCursor {
+		t.Fatalf("records acked at %+v, want %+v", got, aCursor)
+	}
+	s1.close()
+
+	// Session 2: primary B is told to Reset, then dies before anchoring.
+	s2 := dialStandby(t, addr)
+	if cur := s2.hello("primary-B"); !cur.Reset || cur.Primary != "primary-A" {
+		t.Fatalf("new primary negotiation replied %+v, want Reset with primary-A's identity", cur)
+	}
+	s2.close()
+
+	// Session 3: B again. Before the pending-adoption fix the standby had
+	// already adopted B's identity in session 2, replied Reset=false, and
+	// handed B primary A's cursor to resume — silent divergence.
+	s3 := dialStandby(t, addr)
+	if cur := s3.hello("primary-B"); !cur.Reset {
+		t.Fatalf("half-re-anchored standby resumed the old primary's cursor for the new primary: %+v", cur)
+	}
+	// Records inside the pending window are a protocol violation: the
+	// session must die without touching the store.
+	s3.send(fRecords, encodeRecords(statestore.Cursor{Gen: 9, Offset: 1}, [][]byte{rec}))
+	if _, _, err := readFrame(s3.conn, 2*time.Second); err == nil {
+		t.Fatal("standby acked records sent before the re-anchor")
+	}
+	s3.close()
+
+	// Session 4: A returns. Its history is untouched, so it resumes.
+	s4 := dialStandby(t, addr)
+	if cur := s4.hello("primary-A"); cur.Reset || cur.Gen != aCursor.Gen || cur.Offset != aCursor.Offset {
+		t.Fatalf("original primary cannot resume its own cursor: %+v (want %+v)", cur, aCursor)
+	}
+	s4.close()
+
+	// Session 5: B finally anchors; only now is its identity adopted.
+	s5 := dialStandby(t, addr)
+	if cur := s5.hello("primary-B"); !cur.Reset {
+		t.Fatalf("expected Reset for primary-B, got %+v", cur)
+	}
+	s5.send(fSnapshot, encodeSnapshot(1, []byte(`{"k01":2}`)))
+	if got := s5.ack(); got.Gen != 1 {
+		t.Fatalf("snapshot acked at %+v, want gen 1", got)
+	}
+	s5.close()
+	s6 := dialStandby(t, addr)
+	if cur := s6.hello("primary-B"); cur.Reset || cur.Primary != "primary-B" || cur.Gen != 1 {
+		t.Fatalf("anchored primary-B cannot resume: %+v", cur)
+	}
+	s6.close()
 }
 
 // TestStandbyCrashSweep drives the standby's apply path through a crash

@@ -96,11 +96,24 @@ type Standby struct {
 	cfg StandbyConfig
 	lis net.Listener
 
-	mu        sync.Mutex
-	store     *statestore.Store
+	mu    sync.Mutex
+	store *statestore.Store
+	// primary is the identity whose journal the local store's content
+	// (and the applied cursor) actually belongs to. When a session's
+	// hello names a different primary, the new identity parks in pending
+	// until an anchor frame (snapshot or reset) applies — adopting it at
+	// negotiation time would let a session that dies pre-anchor leave
+	// the new identity paired with the OLD primary's cursor, and the
+	// next session would then resume that cursor against the new
+	// primary's journal: silent divergence.
 	primary   string
+	pending   string
 	applied   statestore.Cursor
 	committed statestore.Cursor
+	// hbSeen records that at least one heartbeat carried committed —
+	// generation numbers start at 0, so "committed.Gen != 0" cannot
+	// stand in for "a heartbeat arrived".
+	hbSeen    bool
 	lastFrame time.Time
 	connected bool
 	sessions  uint64
@@ -221,8 +234,12 @@ func (sb *Standby) Status() StandbyStatus {
 		Wipes:          sb.wipes,
 		LastError:      sb.lastErr,
 	}
-	if sb.committed.Gen == sb.applied.Gen && sb.committed.Gen != 0 {
-		st.LagBytes = sb.committed.Offset - sb.applied.Offset
+	if sb.hbSeen && sb.committed.Gen == sb.applied.Gen {
+		// committed is only as fresh as the last heartbeat, so records
+		// applied since then can push applied past it. Being ahead of
+		// the last known frontier is zero lag, not negative lag — and
+		// never the -1 "unknown" sentinel.
+		st.LagBytes = max(0, sb.committed.Offset-sb.applied.Offset)
 	}
 	if !sb.lastFrame.IsZero() {
 		st.LastFrameAgeMS = time.Since(sb.lastFrame).Milliseconds()
@@ -263,7 +280,22 @@ func (sb *Standby) session(ctx context.Context, conn net.Conn) error {
 	// Reset when there is nothing to resume: never-anchored, or the
 	// stream belongs to a different primary instance.
 	reply.Reset = sb.primary == "" || sb.primary != hello.Primary
-	sb.primary = hello.Primary
+	if reply.Reset {
+		// Park the new identity until an anchor frame applies; until
+		// then every reply keeps naming the old identity, so a session
+		// that dies pre-anchor re-negotiates a Reset instead of letting
+		// the next hello resume the old primary's cursor against the
+		// new primary's journal. The on-disk sidecar is invalidated now
+		// for the same reason: a crash in the re-anchor window must
+		// read as "no cursor" on restart, never as the stale one.
+		sb.pending = hello.Primary
+		if err := sb.removeCursorLocked(); err != nil {
+			sb.mu.Unlock()
+			return err
+		}
+	} else {
+		sb.pending = ""
+	}
 	sb.connected = true
 	sb.mu.Unlock()
 	defer func() {
@@ -288,7 +320,16 @@ func (sb *Standby) session(ctx context.Context, conn net.Conn) error {
 		}
 		sb.mu.Lock()
 		sb.lastFrame = time.Now()
+		pending := sb.pending
 		sb.mu.Unlock()
+		if typ == fRecords && pending != "" {
+			// A Reset reply obliges the primary to anchor before it
+			// streams; records applied on top of the old identity's
+			// state would be exactly the divergence the pending window
+			// exists to prevent. A protocol violation, not a store
+			// failure: drop the session, keep the store resumable.
+			return fmt.Errorf("replication: records frame from %q before its re-anchor", pending)
+		}
 		if err := sb.apply(typ, payload); err != nil {
 			// The local store can no longer follow the stream (poisoned
 			// write, decode failure). Mark it for a wipe-and-resync on the
@@ -325,6 +366,7 @@ func (sb *Standby) apply(typ byte, payload []byte) error {
 		sb.mu.Lock()
 		sb.snaps++
 		sb.applied = statestore.Cursor{Gen: gen}
+		sb.adoptPendingLocked()
 		sb.mu.Unlock()
 		return sb.saveCursor()
 	case fReset:
@@ -338,6 +380,7 @@ func (sb *Standby) apply(typ byte, payload []byte) error {
 		}
 		sb.mu.Lock()
 		sb.applied = from
+		sb.adoptPendingLocked()
 		sb.mu.Unlock()
 		return sb.saveCursor()
 	case fRecords:
@@ -360,11 +403,47 @@ func (sb *Standby) apply(typ byte, payload []byte) error {
 		}
 		sb.mu.Lock()
 		sb.committed = committed
+		sb.hbSeen = true
 		sb.mu.Unlock()
 		return nil
 	default:
 		return fmt.Errorf("replication: unexpected frame type %d from primary", typ)
 	}
+}
+
+// adoptPendingLocked commits a parked identity switch once an anchor
+// frame has applied: only now does the store's content belong to the
+// new primary's journal, so only now may the cursor. Heartbeat state
+// from the old primary is meaningless against the new journal and is
+// dropped with it.
+func (sb *Standby) adoptPendingLocked() {
+	if sb.pending == "" {
+		return
+	}
+	sb.primary = sb.pending
+	sb.pending = ""
+	sb.committed = statestore.Cursor{}
+	sb.hbSeen = false
+}
+
+// Close releases the listener and the store without serving any
+// sessions — the teardown path for a Standby that was constructed but
+// never Run (Run itself closes both on exit). Idempotent, and a no-op
+// for whatever Run already released.
+func (sb *Standby) Close() error {
+	_ = sb.lis.Close() //tagwatch:allow-droppederr second close after Run (or a repeat Close) is the expected path
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if sb.store == nil {
+		return nil
+	}
+	err := sb.store.Close()
+	sb.store = nil
+	if err != nil {
+		sb.lastErr = err.Error()
+		return fmt.Errorf("replication: close standby store: %w", err)
+	}
+	return nil
 }
 
 // wipe discards the local store and starts empty: close, remove every
