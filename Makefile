@@ -26,10 +26,14 @@ lint: lint-offline
 	$(GOVULNCHECK) ./...
 
 # Everything in lint that works with no network: go vet + tagwatchvet.
+# The count check mirrors CI: a silently unregistered analyzer fails
+# here, not months later when its invariant regresses unnoticed.
 lint-offline:
 	go build ./...
 	go vet ./...
-	go run ./cmd/tagwatchvet ./...
+	@n=$$(go run ./cmd/tagwatchvet -list | wc -l); \
+	test "$$n" -eq 7 || { echo "tagwatchvet registers $$n analyzers, want 7"; exit 1; }
+	go run ./cmd/tagwatchvet ./internal/... ./cmd/...
 
 test:
 	go test ./...

@@ -2,7 +2,9 @@
 // over the custom analyzers in internal/analysis that encode what the
 // compiler cannot see — seed-replayability of the simulators, shutdown
 // paths for every background goroutine, a leak-free timer discipline,
-// an unbroken error pipeline, and no blocking work under a mutex.
+// an unbroken error pipeline, no blocking work under a mutex, capped
+// wire-length allocations, fsync-ordered rename commits, and
+// deadline-armed socket I/O.
 //
 // Run it standalone:
 //
@@ -24,10 +26,13 @@ import (
 	"os"
 
 	"tagwatch/internal/analysis"
+	"tagwatch/internal/analysis/conndeadline"
 	"tagwatch/internal/analysis/deverr"
+	"tagwatch/internal/analysis/fsyncorder"
 	"tagwatch/internal/analysis/goleaklite"
 	"tagwatch/internal/analysis/locksend"
 	"tagwatch/internal/analysis/simclock"
+	"tagwatch/internal/analysis/wirebound"
 )
 
 func main() {
@@ -36,5 +41,8 @@ func main() {
 		goleaklite.Analyzer,
 		deverr.Analyzer,
 		locksend.Analyzer,
+		wirebound.Analyzer,
+		fsyncorder.Analyzer,
+		conndeadline.Analyzer,
 	}))
 }

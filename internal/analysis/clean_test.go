@@ -5,10 +5,13 @@ import (
 	"testing"
 
 	"tagwatch/internal/analysis"
+	"tagwatch/internal/analysis/conndeadline"
 	"tagwatch/internal/analysis/deverr"
+	"tagwatch/internal/analysis/fsyncorder"
 	"tagwatch/internal/analysis/goleaklite"
 	"tagwatch/internal/analysis/locksend"
 	"tagwatch/internal/analysis/simclock"
+	"tagwatch/internal/analysis/wirebound"
 )
 
 // TestTreeIsClean runs the whole tagwatchvet suite over the whole
@@ -36,6 +39,9 @@ func TestTreeIsClean(t *testing.T) {
 		goleaklite.Analyzer,
 		deverr.Analyzer,
 		locksend.Analyzer,
+		wirebound.Analyzer,
+		fsyncorder.Analyzer,
+		conndeadline.Analyzer,
 	})
 	if err != nil {
 		t.Fatalf("analyzing module: %v", err)

@@ -1,0 +1,258 @@
+// Package conndeadline enforces the PR 7 frame-I/O discipline in the
+// packages that do socket I/O on hostile or flaky links
+// (internal/replication, internal/llrp, internal/fleet): every
+// blocking Read/Write on a net.Conn must be dominated by a
+// SetDeadline/SetReadDeadline/SetWriteDeadline call on the same conn
+// in the same function, so a stalled peer surfaces as a timeout error
+// instead of a wedged goroutine. The established frame-I/O helpers
+// (replication writeFrame/readFrame, llrp send loops) arm their own
+// deadlines internally, so callers that stick to the helpers are clean
+// by construction.
+//
+// The dominating arm must be unconditional: `if d > 0 {
+// conn.SetWriteDeadline(...) }` followed by a write does not satisfy
+// the checker, because the zero-configuration path writes with
+// whatever deadline a previous operation left armed. Arm with a
+// possibly-zero time.Time instead — net.Conn defines the zero value
+// as "no deadline", which also clears stale ones.
+//
+// Matching is per conn expression (rendered textually, so `c.conn`
+// matches `c.conn`), per direction: SetDeadline arms both directions,
+// SetReadDeadline arms Read/io.ReadFull/io.Copy-source,
+// SetWriteDeadline arms Write/io.Copy-destination. Blocking reads that
+// are *meant* to wait forever (an accept-style message pump whose
+// shutdown path closes the conn) are annotated
+// //tagwatch:allow-conndeadline <why blocking is the contract>.
+package conndeadline
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tagwatch/internal/analysis"
+	"tagwatch/internal/analysis/flow"
+)
+
+// Analyzer flags undeadlined blocking conn I/O in the wire packages.
+var Analyzer = &analysis.Analyzer{
+	Name:      "conndeadline",
+	Directive: "allow-conndeadline",
+	Doc: `flag blocking net.Conn reads/writes not dominated by a deadline arm
+
+In internal/replication, internal/llrp, and internal/fleet a blocking
+Read or Write on a net.Conn must be dominated by an unconditional
+SetDeadline/SetReadDeadline/SetWriteDeadline on the same conn in the
+same function; otherwise a stalled peer wedges the goroutine forever.
+Annotate deliberate wait-forever pumps with
+//tagwatch:allow-conndeadline.`,
+	Run: run,
+}
+
+// scopePrefixes are the packages whose socket I/O faces hostile or
+// flaky links and must be deadline-armed.
+var scopePrefixes = []string{
+	"tagwatch/internal/replication",
+	"tagwatch/internal/llrp",
+	"tagwatch/internal/fleet",
+}
+
+const (
+	dirRead = 1 << iota
+	dirWrite
+)
+
+// arm is one deadline-setting call: which conn, which directions.
+type arm struct {
+	key  string
+	dirs int
+	node ast.Node
+}
+
+// blocker is one blocking I/O operation on a conn.
+type blocker struct {
+	key  string
+	dirs int
+	node ast.Node
+	desc string
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	inScope := false
+	for _, p := range scopePrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+		case *ast.FuncLit:
+			body = n.Body
+		default:
+			return true
+		}
+		if body != nil {
+			checkBody(pass, body)
+		}
+		return true
+	})
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var arms []arm
+	var blockers []blocker
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its own visit
+		case *ast.CallExpr:
+			collect(pass, n, &arms, &blockers)
+		}
+		return true
+	})
+	if len(blockers) == 0 {
+		return
+	}
+	info := flow.New(body)
+	for _, b := range blockers {
+		armed := false
+		for _, a := range arms {
+			if a.key == b.key && a.dirs&b.dirs == b.dirs && flow.Dominates(info, a.node, b.node) {
+				armed = true
+				break
+			}
+		}
+		if !armed {
+			pass.Reportf(b.node.Pos(), "%s on %s is not dominated by a deadline arm on the same conn in this function; a stalled peer wedges this goroutine (arm an unconditional Set%sDeadline, use the frame-I/O helpers, or annotate a deliberate wait-forever pump)",
+				b.desc, b.key, dirName(b.dirs))
+		}
+	}
+}
+
+func dirName(dirs int) string {
+	switch dirs {
+	case dirRead:
+		return "Read"
+	case dirWrite:
+		return "Write"
+	}
+	return ""
+}
+
+// collect classifies one call as a deadline arm, a blocking conn op,
+// or neither.
+func collect(pass *analysis.Pass, call *ast.CallExpr, arms *[]arm, blockers *[]blocker) {
+	sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+
+	// Deadline arms: Set*Deadline methods on anything conn-shaped —
+	// matching by name+signature covers net.Conn itself and wrappers
+	// (e.g. a chaos conn) that implement the interface.
+	if sel != nil {
+		switch fn.Name() {
+		case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && sig.Params().Len() == 1 {
+				dirs := dirRead | dirWrite
+				if fn.Name() == "SetReadDeadline" {
+					dirs = dirRead
+				} else if fn.Name() == "SetWriteDeadline" {
+					dirs = dirWrite
+				}
+				*arms = append(*arms, arm{key: exprKey(sel.X), dirs: dirs, node: call})
+				return
+			}
+		}
+	}
+
+	// Direct conn method I/O: Read/Write defined in package net.
+	if sel != nil && (fn.Name() == "Read" || fn.Name() == "Write") {
+		if pkgPath, _ := analysis.ReceiverNamed(fn); pkgPath == "net" {
+			dirs := dirRead
+			if fn.Name() == "Write" {
+				dirs = dirWrite
+			}
+			*blockers = append(*blockers, blocker{
+				key: exprKey(sel.X), dirs: dirs, node: call,
+				desc: "blocking " + fn.Name(),
+			})
+			return
+		}
+	}
+
+	// io helpers that block on a conn argument.
+	if fn.Pkg() == nil || fn.Pkg().Path() != "io" {
+		return
+	}
+	reads := func(argIdx int) {
+		if argIdx < len(call.Args) && netTyped(pass, call.Args[argIdx]) {
+			*blockers = append(*blockers, blocker{
+				key: exprKey(call.Args[argIdx]), dirs: dirRead, node: call,
+				desc: "blocking io." + fn.Name() + " read",
+			})
+		}
+	}
+	writes := func(argIdx int) {
+		if argIdx < len(call.Args) && netTyped(pass, call.Args[argIdx]) {
+			*blockers = append(*blockers, blocker{
+				key: exprKey(call.Args[argIdx]), dirs: dirWrite, node: call,
+				desc: "blocking io." + fn.Name() + " write",
+			})
+		}
+	}
+	switch fn.Name() {
+	case "ReadFull", "ReadAtLeast", "ReadAll":
+		reads(0)
+	case "Copy", "CopyN", "CopyBuffer":
+		writes(0)
+		switch fn.Name() {
+		case "Copy":
+			reads(1)
+		case "CopyBuffer", "CopyN":
+			reads(1)
+		}
+	case "WriteString":
+		writes(0)
+	}
+}
+
+// netTyped reports whether the expression's static type is declared in
+// package net (net.Conn, *net.TCPConn, …).
+func netTyped(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net"
+}
+
+// exprKey renders an expression to text so `c.conn` in two statements
+// compares equal (same convention as locksend).
+func exprKey(e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, token.NewFileSet(), e)
+	return buf.String()
+}

@@ -1,0 +1,20 @@
+package conndeadline_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tagwatch/internal/analysis/analysistest"
+	"tagwatch/internal/analysis/conndeadline"
+)
+
+func TestConnDeadline(t *testing.T) {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixture impersonates tagwatch/internal/replication to land in
+	// scope; connfree holds identical shapes out of scope and must stay
+	// silent.
+	analysistest.Run(t, testdata, conndeadline.Analyzer, "tagwatch/internal/replication", "connfree")
+}

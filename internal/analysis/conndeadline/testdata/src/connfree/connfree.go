@@ -1,0 +1,12 @@
+// Fixture: the same undeadlined shapes as the replication fixture, but
+// in a package outside conndeadline's scope — nothing is reported.
+// Packages that only talk to loopback test helpers or local pipes are
+// not forced into deadline discipline.
+package connfree
+
+import "net"
+
+func bare(conn net.Conn, b []byte) error {
+	_, err := conn.Read(b)
+	return err
+}

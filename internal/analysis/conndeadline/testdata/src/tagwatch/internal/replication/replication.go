@@ -1,0 +1,101 @@
+// Fixture: blocking conn I/O with and without deadline arms. The
+// package path impersonates tagwatch/internal/replication, which puts
+// it in conndeadline's scope.
+package replication
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+func writeArmed(conn net.Conn, b []byte) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := conn.Write(b)
+	return err
+}
+
+func writeBare(conn net.Conn, b []byte) error {
+	_, err := conn.Write(b) // want `blocking Write on conn`
+	return err
+}
+
+func readArmedBoth(conn net.Conn, b []byte) error {
+	if err := conn.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := conn.Read(b)
+	return err
+}
+
+// Wrong direction: a write deadline does not arm a read.
+func readWrongDirection(conn net.Conn, b []byte) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := conn.Read(b) // want `blocking Read on conn`
+	return err
+}
+
+// Wrong conn: arming a does not cover b.
+func wrongConn(a, b net.Conn, buf []byte) error {
+	if err := a.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := b.Read(buf) // want `blocking Read on b`
+	return err
+}
+
+// Conditional arming does not dominate: the zero-config path reads
+// with whatever deadline a previous operation left armed.
+func conditionalArm(conn net.Conn, d time.Duration, b []byte) error {
+	if d > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(d)); err != nil {
+			return err
+		}
+	}
+	_, err := conn.Read(b) // want `blocking Read on conn`
+	return err
+}
+
+// The fixed shape: arm unconditionally with a possibly-zero time.
+func unconditionalArm(conn net.Conn, d time.Duration, b []byte) error {
+	var dl time.Time
+	if d > 0 {
+		dl = time.Now().Add(d)
+	}
+	if err := conn.SetReadDeadline(dl); err != nil {
+		return err
+	}
+	_, err := conn.Read(b)
+	return err
+}
+
+// io helpers block exactly like direct conn methods.
+func ioHelpers(conn net.Conn, b []byte) error {
+	if _, err := io.ReadFull(conn, b); err != nil { // want `blocking io.ReadFull read on conn`
+		return err
+	}
+	_, err := io.Copy(io.Discard, conn) // want `blocking io.Copy read on conn`
+	return err
+}
+
+// An arm in a different function does not count: the invariant is
+// same-function so a reader can audit one screen of code.
+func armedElsewhere(conn net.Conn, b []byte) error {
+	arm(conn)
+	_, err := conn.Read(b) // want `blocking Read on conn`
+	return err
+}
+
+func arm(conn net.Conn) {
+	_ = conn.SetDeadline(time.Time{})
+}
+
+// A deliberate wait-forever pump carries a justification.
+func pump(conn net.Conn, b []byte) error {
+	_, err := conn.Read(b) //tagwatch:allow-conndeadline fixture: wait-forever pump severed by Close
+	return err
+}

@@ -1,0 +1,468 @@
+// Package flow provides the lightweight intra-function control- and
+// data-flow helpers shared by the generation-2 tagwatch analyzers
+// (wirebound, conndeadline): a structural dominance test over one
+// function body, and a taint fixpoint that tracks which variables
+// derive from untrusted source expressions.
+//
+// Both are deliberately syntactic approximations, tuned to be sound in
+// the direction an invariant checker wants. Dominance claims "A runs
+// before B on every path" only when the syntax guarantees it
+// (preceding sibling in the same statement list, or the
+// always-evaluated init/condition region of an enclosing statement);
+// it never claims dominance across goto labels, function literals, or
+// loop post-statements, so a missing claim produces at worst a false
+// positive that the //tagwatch:allow-* escape hatch can silence — never
+// a silently unguarded path.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// stmtRec positions one statement inside its function body: which
+// statement encloses it, which of the parent's statement lists it sits
+// in, and at what index.
+type stmtRec struct {
+	stmt   ast.Stmt
+	parent ast.Stmt // nil for the top level of the body
+	listID int      // distinguishes then/else/case lists of one parent
+	index  int
+	// lift marks init-position statements (if/for/switch init, type
+	// switch assign) that are always evaluated when their parent
+	// statement executes, so for dominance they count as the parent.
+	lift bool
+}
+
+// Info holds the dominance structure of one function body. Build one
+// per *ast.FuncDecl / *ast.FuncLit body with New; nested function
+// literals are excluded (they run at some other time) and need their
+// own Info.
+type Info struct {
+	recs   []stmtRec
+	byStmt map[ast.Stmt]int // stmt -> index into recs
+	// funcLits spans every nested function literal: a node inside one
+	// belongs to that literal's own Info, not this one, so position
+	// lookups inside these spans resolve to no statement.
+	funcLits []span
+}
+
+type span struct{ pos, end token.Pos }
+
+// New builds the dominance structure for one function body.
+func New(body *ast.BlockStmt) *Info {
+	in := &Info{byStmt: make(map[ast.Stmt]int)}
+	if body != nil {
+		in.addList(body.List, nil, 0)
+		ast.Inspect(body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				in.funcLits = append(in.funcLits, span{fl.Body.Pos(), fl.Body.End()})
+				return false
+			}
+			return true
+		})
+	}
+	return in
+}
+
+func (in *Info) add(s ast.Stmt, parent ast.Stmt, listID, index int, lift bool) {
+	in.byStmt[s] = len(in.recs)
+	in.recs = append(in.recs, stmtRec{stmt: s, parent: parent, listID: listID, index: index, lift: lift})
+}
+
+// List IDs within one parent statement. Negative IDs mark positions
+// that are not sibling lists (init/post slots hold a single statement).
+const (
+	listBody = iota // primary body list (then-branch, loop body, …)
+	listElse
+	listInit = -1 // always-evaluated init/assign slot
+	listPost = -2 // for-loop post statement: not always evaluated first
+)
+
+// addList records every statement in stmts and recurses into nested
+// statement lists, skipping function literal bodies.
+func (in *Info) addList(stmts []ast.Stmt, parent ast.Stmt, listID int) {
+	for i, s := range stmts {
+		in.addStmt(s, parent, listID, i, false)
+	}
+}
+
+func (in *Info) addStmt(s ast.Stmt, parent ast.Stmt, listID, index int, lift bool) {
+	in.add(s, parent, listID, index, lift)
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		in.addList(s.List, s, listBody)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			in.addStmt(s.Init, s, listInit, 0, true)
+		}
+		in.addList(s.Body.List, s, listBody)
+		if s.Else != nil {
+			in.addStmt(s.Else, s, listElse, 0, false)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			in.addStmt(s.Init, s, listInit, 0, true)
+		}
+		if s.Post != nil {
+			in.addStmt(s.Post, s, listPost, 0, false)
+		}
+		in.addList(s.Body.List, s, listBody)
+	case *ast.RangeStmt:
+		in.addList(s.Body.List, s, listBody)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			in.addStmt(s.Init, s, listInit, 0, true)
+		}
+		for i, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				in.add(cc, s, listBody, i, false)
+				in.addList(cc.Body, cc, listBody)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			in.addStmt(s.Init, s, listInit, 0, true)
+		}
+		// The type-switch assign (`switch v := x.(type)`) is always
+		// evaluated, like an init.
+		if s.Assign != nil {
+			in.addStmt(s.Assign, s, listInit, 1, true)
+		}
+		for i, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				in.add(cc, s, listBody, i, false)
+				in.addList(cc.Body, cc, listBody)
+			}
+		}
+	case *ast.SelectStmt:
+		for i, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				in.add(cc, s, listBody, i, false)
+				if cc.Comm != nil {
+					in.addStmt(cc.Comm, cc, listInit, 0, false)
+				}
+				in.addList(cc.Body, cc, listBody)
+			}
+		}
+	case *ast.LabeledStmt:
+		in.addStmt(s.Stmt, s, listBody, 0, false)
+	}
+}
+
+// smallest returns the record of the innermost recorded statement whose
+// span contains pos, or -1. A node inside a nested function literal
+// resolves to no statement — the literal runs at some other time, so
+// dominance involving its contents is never claimed.
+func (in *Info) smallest(pos token.Pos) int {
+	for _, fl := range in.funcLits {
+		if fl.pos <= pos && pos < fl.end {
+			return -1
+		}
+	}
+	best := -1
+	var bestSpan token.Pos
+	for i := range in.recs {
+		s := in.recs[i].stmt
+		if s.Pos() <= pos && pos < s.End() {
+			span := s.End() - s.Pos()
+			if best == -1 || span < bestSpan {
+				best, bestSpan = i, span
+			}
+		}
+	}
+	return best
+}
+
+// effective lifts an init-position statement to the parent it is an
+// always-evaluated part of: a guard in `if n := f(); n > cap {` counts
+// as the whole if statement for dominance over what follows.
+func (in *Info) effective(i int) int {
+	for in.recs[i].lift {
+		p, ok := in.byStmt[in.recs[i].parent]
+		if !ok {
+			break
+		}
+		i = p
+	}
+	return i
+}
+
+// ancestorChain returns the indices of rec i and its enclosing
+// statements, innermost first.
+func (in *Info) ancestorChain(i int) []int {
+	var chain []int
+	for {
+		chain = append(chain, i)
+		p, ok := in.byStmt[in.recs[i].parent]
+		if !ok {
+			return chain
+		}
+		i = p
+	}
+}
+
+// Dominates reports whether node a is executed before node b on every
+// path through the function body that reaches b. It is true when a's
+// innermost enclosing statement (after lifting init positions) either
+// encloses b outright — a sits in an always-evaluated region such as an
+// if condition or range expression — or is a preceding sibling of b or
+// one of b's enclosing statements in the same statement list. Nodes
+// inside function literals never dominate and are never dominated.
+func Dominates(in *Info, a, b ast.Node) bool {
+	rawA, rawB := in.smallest(a.Pos()), in.smallest(b.Pos())
+	if rawA < 0 || rawB < 0 {
+		return false
+	}
+	if rawA == rawB {
+		// Same innermost statement: no ordering claimed between
+		// sub-expressions of one statement.
+		return false
+	}
+	ia := in.effective(rawA)
+	sa := in.recs[ia]
+	if sa.stmt.Pos() <= b.Pos() && b.Pos() < sa.stmt.End() {
+		// a's effective statement encloses b. Because rawA is the
+		// *smallest* statement containing a, this only happens when a
+		// sits in an always-evaluated region of that statement: a lifted
+		// init slot, or a non-statement slot (if/for condition, switch
+		// tag, range expression, case-clause expression) — all evaluated
+		// before any of the statement's bodies run.
+		return true
+	}
+	for _, ic := range in.ancestorChain(rawB) {
+		sb := in.recs[ic]
+		if sb.parent == sa.parent && sb.listID == sa.listID && sa.listID >= 0 && sa.index < sb.index {
+			return true
+		}
+	}
+	return false
+}
+
+// Taint maps a tainted object to its root set: the objects its value
+// was derived from (always including itself). A guard proven against
+// any object in a sink variable's root set sanctions the sink.
+type Taint map[types.Object]map[types.Object]bool
+
+// Tainted reports whether the object is tainted.
+func (t Taint) Tainted(o types.Object) bool { return o != nil && t[o] != nil }
+
+// ExprTainted reports the tainted objects mentioned by e (not
+// descending into function literals), plus whether e contains a source
+// call directly.
+func (t Taint) ExprTainted(info *types.Info, e ast.Expr, isSource func(*ast.CallExpr) bool) (objs []types.Object, direct bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isSource != nil && isSource(n) {
+				direct = true
+			}
+		case *ast.Ident:
+			if o := info.Uses[n]; t.Tainted(o) {
+				objs = append(objs, o)
+			}
+		}
+		return true
+	})
+	return objs, direct
+}
+
+// ComputeTaint runs a fixpoint over the assignments in body: an object
+// becomes tainted when it is assigned (wholly or as one of several
+// results) from an expression containing a source call or an
+// already-tainted object. Root sets accumulate so that
+// `n := int(length)` keeps `length` in n's roots — a cap check on
+// either variable then sanctions a sink using n. Function literals are
+// skipped; taint does not flow through them.
+func ComputeTaint(info *types.Info, body *ast.BlockStmt, isSource func(*ast.CallExpr) bool) Taint {
+	t := Taint{}
+	if body == nil {
+		return t
+	}
+	// assign records that each object in lhs now derives from rhs.
+	assign := func(lhs []types.Object, rhs ast.Expr) (changed bool) {
+		objs, direct := t.ExprTainted(info, rhs, isSource)
+		if !direct && len(objs) == 0 {
+			return false
+		}
+		for _, o := range lhs {
+			if o == nil {
+				continue
+			}
+			roots := t[o]
+			if roots == nil {
+				roots = map[types.Object]bool{o: true}
+				t[o] = roots
+				changed = true
+			}
+			for _, src := range objs {
+				for r := range t[src] {
+					if !roots[r] {
+						roots[r] = true
+						changed = true
+					}
+				}
+			}
+		}
+		return changed
+	}
+	lhsObjs := func(exprs []ast.Expr) []types.Object {
+		out := make([]types.Object, len(exprs))
+		for i, e := range exprs {
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+				if o := info.Defs[id]; o != nil {
+					out[i] = o
+				} else {
+					out[i] = info.Uses[id]
+				}
+			}
+		}
+		return out
+	}
+	for pass := 0; pass < 32; pass++ {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.AssignStmt:
+				lhs := lhsObjs(n.Lhs)
+				if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+					// Multi-value: every LHS derives from the one RHS.
+					if assign(lhs, n.Rhs[0]) {
+						changed = true
+					}
+				} else {
+					for i, r := range n.Rhs {
+						if i < len(lhs) && assign(lhs[i:i+1], r) {
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				lhs := make([]types.Object, len(n.Names))
+				for i, id := range n.Names {
+					lhs[i] = info.Defs[id]
+				}
+				if len(n.Values) == 1 && len(n.Names) > 1 {
+					if assign(lhs, n.Values[0]) {
+						changed = true
+					}
+				} else {
+					for i, v := range n.Values {
+						if i < len(lhs) && assign(lhs[i:i+1], v) {
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			return t
+		}
+	}
+	return t
+}
+
+// MentionsNamedConst reports whether e mentions at least one declared
+// named constant (a *types.Const with a defining package). Untyped
+// literals and expressions like `64 << 20` do not qualify: the point of
+// the wirebound invariant is that the cap has a name the next reader
+// (and the next analyzer run) can find.
+func MentionsNamedConst(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if c, ok := info.Uses[id].(*types.Const); ok && c.Pkg() != nil {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// GuardedBy reports whether sink is dominated by an upper-bound
+// comparison in cmps that tests one of the sink variable's root
+// objects against an expression mentioning a named constant. Direction
+// matters, because dominance alone cannot tell a cap from a floor
+// (`length < headerSize` dominates the very allocation it does not
+// bound): when the sink lies *outside* the comparison's statement the
+// comparison is presumed a fail-fast guard and the tainted value must
+// sit on the large side (`length > cap`); when the sink lies *inside*
+// it the comparison is presumed a pass-gate and the tainted value must
+// sit on the small side (`length <= cap`). cmps is the pre-collected
+// set of comparisons in the same function body that in describes.
+func GuardedBy(in *Info, info *types.Info, t Taint, sinkRoots map[types.Object]bool, cmps []*ast.BinaryExpr, sink ast.Node) bool {
+	for _, cmp := range cmps {
+		var varSide, capSide ast.Expr
+		for _, pair := range [2][2]ast.Expr{{cmp.X, cmp.Y}, {cmp.Y, cmp.X}} {
+			if id, ok := ast.Unparen(pair[0]).(*ast.Ident); ok {
+				if o := info.Uses[id]; o != nil && sinkRoots[o] {
+					varSide, capSide = pair[0], pair[1]
+					break
+				}
+			}
+		}
+		if varSide == nil || !MentionsNamedConst(info, capSide) {
+			continue
+		}
+		if !Dominates(in, cmp, sink) {
+			continue
+		}
+		taintedIsUpper := false
+		switch cmp.Op {
+		case token.GTR, token.GEQ:
+			taintedIsUpper = varSide == cmp.X // tainted > cap
+		case token.LSS, token.LEQ:
+			taintedIsUpper = varSide == cmp.Y // cap < tainted
+		}
+		if in.encloses(cmp, sink) {
+			// Pass-gate: `if tainted <= cap { make(...) }`.
+			if !taintedIsUpper {
+				return true
+			}
+		} else if taintedIsUpper {
+			// Fail-fast: `if tainted > cap { return }; make(...)`.
+			return true
+		}
+	}
+	return false
+}
+
+// encloses reports whether a's effective enclosing statement spans b —
+// i.e. b sits inside the statement whose condition/init a is part of.
+func (in *Info) encloses(a, b ast.Node) bool {
+	ia := in.smallest(a.Pos())
+	if ia < 0 {
+		return false
+	}
+	s := in.recs[in.effective(ia)].stmt
+	return s.Pos() <= b.Pos() && b.Pos() < s.End()
+}
+
+// Comparisons collects the relational comparisons (<, <=, >, >=) in
+// body, excluding those inside function literals.
+func Comparisons(body *ast.BlockStmt) []*ast.BinaryExpr {
+	var out []*ast.BinaryExpr
+	if body == nil {
+		return out
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				out = append(out, n)
+			}
+		}
+		return true
+	})
+	return out
+}

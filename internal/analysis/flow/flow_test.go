@@ -1,0 +1,298 @@
+package flow_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"tagwatch/internal/analysis/flow"
+)
+
+// parseFunc type-checks one synthetic file and returns the body of the
+// function named "f" plus the shared types info. The preamble declares
+// the markers the snippets use: a() (the candidate dominator, returns
+// bool so it can sit in conditions), b() (the dominated candidate),
+// src() (the taint source), and assorted helpers.
+func parseFunc(t *testing.T, body string) (*types.Info, *ast.BlockStmt) {
+	t.Helper()
+	src := `package p
+
+func a() bool { return true }
+func b() bool { return true }
+func src() int { return 0 }
+func src2() (int, int) { return 0, 0 }
+func use(...any) {}
+
+const cap = 10
+
+func f(c bool, xs []int, ch chan int) {
+` + body + `
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v\n%s", err, src)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return info, fd.Body
+		}
+	}
+	t.Fatal("no function f")
+	return nil, nil
+}
+
+// findCall returns the first call to the named function in body,
+// searching function literals too (tests need to locate a() inside
+// one to prove it does not dominate).
+func findCall(t *testing.T, body *ast.BlockStmt, name string) *ast.CallExpr {
+	t.Helper()
+	var out *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				out = call
+				return false
+			}
+		}
+		return true
+	})
+	if out == nil {
+		t.Fatalf("no call to %s", name)
+	}
+	return out
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"preceding sibling", `a(); b()`, true},
+		{"following sibling", `b(); a()`, false},
+		{"condition dominates body", `if a() { b() }`, true},
+		{"init dominates body", `if x := a(); x { b() }`, true},
+		{"init dominates later sibling", `if x := a(); x { use() }
+			b()`, true},
+		{"branch does not dominate after", `if c { a() }
+			b()`, false},
+		{"then does not dominate else", `if c { a() } else { b() }`, false},
+		{"sibling of ancestor dominates nested", `a()
+			if c { for range xs { b() } }`, true},
+		{"loop body does not dominate after", `for range xs { a() }
+			b()`, false},
+		{"loop condition dominates body", `for a() { b() }`, true},
+		{"for post does not dominate body", `for i := 0; c; a() { use(i); b() }`, false},
+		{"range expr dominates body", `for range append(xs, boolToInt(a())) { b() }`, true},
+		{"switch tag dominates case body", `switch a() { case true: b() }`, true},
+		{"case body does not dominate sibling case", `switch c {
+			case true:
+				a()
+			case false:
+				b()
+			}`, false},
+		{"func lit does not dominate", `_ = func() { a() }
+			b()`, false},
+		{"outer does not dominate into func lit", `a()
+			_ = func() { b() }`, false},
+		{"same statement claims nothing", `use(a(), b())`, false},
+		{"select comm does not dominate body", `select {
+			case <-ch:
+				a()
+				b()
+			}`, true}, // within one comm body the sibling rule still applies
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := tc.body
+			if strings.Contains(body, "boolToInt") {
+				body = "boolToInt := func(bool) int { return 0 }\n" + body
+			}
+			_, fn := parseFunc(t, body)
+			in := flow.New(fn)
+			ca, cb := findCall(t, fn, "a"), findCall(t, fn, "b")
+			if got := flow.Dominates(in, ca, cb); got != tc.want {
+				t.Errorf("Dominates = %v, want %v\nbody:\n%s", got, tc.want, tc.body)
+			}
+		})
+	}
+}
+
+// taintSource matches calls to the fixture's src/src2 helpers.
+func taintSource(info *types.Info) func(*ast.CallExpr) bool {
+	return func(call *ast.CallExpr) bool {
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		fn, _ := info.Uses[id].(*types.Func)
+		return fn != nil && (fn.Name() == "src" || fn.Name() == "src2")
+	}
+}
+
+// objByName finds the named object among the taint map's keys, or in
+// the function scope.
+func taintedNames(t flow.Taint) map[string]bool {
+	out := make(map[string]bool)
+	for o := range t {
+		out[o.Name()] = true
+	}
+	return out
+}
+
+func TestComputeTaint(t *testing.T) {
+	cases := []struct {
+		name    string
+		body    string
+		tainted []string
+		clean   []string
+	}{
+		{"direct", `n := src(); use(n)`, []string{"n"}, nil},
+		{"derived arithmetic", `n := src(); m := n + 1; use(m)`, []string{"n", "m"}, nil},
+		{"derived conversion", `n := src(); m := int64(n); use(m)`, []string{"n", "m"}, nil},
+		{"untainted", `n := 3; use(n)`, nil, []string{"n"}},
+		{"multi-value", `n, m := src2(); use(n, m)`, []string{"n", "m"}, nil},
+		{"var decl", `var n = src(); use(n)`, []string{"n"}, nil},
+		{"reassignment", `n := 3; n = src(); use(n)`, []string{"n"}, nil},
+		{"compound assign", `n := 3; n += src(); use(n)`, []string{"n"}, nil},
+		{"func lit is a barrier", `g := func() int { return src() }
+			n := g()
+			use(n)`, nil, []string{"n", "g"}},
+		{"taint does not flow backward", `m := 3; n := src(); use(n, m)`, []string{"n"}, []string{"m"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			info, fn := parseFunc(t, tc.body)
+			taint := flow.ComputeTaint(info, fn, taintSource(info))
+			names := taintedNames(taint)
+			for _, want := range tc.tainted {
+				if !names[want] {
+					t.Errorf("%s not tainted; tainted set %v", want, names)
+				}
+			}
+			for _, want := range tc.clean {
+				if names[want] {
+					t.Errorf("%s tainted, want clean; tainted set %v", want, names)
+				}
+			}
+		})
+	}
+}
+
+func TestRootsTransfer(t *testing.T) {
+	// n derives from length, so length stays in n's root set and a
+	// guard on either sanctions a sink sized by n.
+	info, fn := parseFunc(t, `length := src()
+		n := length * 2
+		use(n)`)
+	taint := flow.ComputeTaint(info, fn, taintSource(info))
+	var nObj, lengthObj types.Object
+	for o := range taint {
+		switch o.Name() {
+		case "n":
+			nObj = o
+		case "length":
+			lengthObj = o
+		}
+	}
+	if nObj == nil || lengthObj == nil {
+		t.Fatalf("expected both n and length tainted, got %v", taintedNames(taint))
+	}
+	if !taint[nObj][lengthObj] {
+		t.Errorf("length missing from n's root set %v", taint[nObj])
+	}
+	if taint[lengthObj][nObj] {
+		t.Errorf("roots are derivation-directed; n must not be in length's root set")
+	}
+}
+
+func TestGuardedBy(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"fail-fast named cap", `n := src()
+			if n > cap { return }
+			use(make([]byte, n))`, true},
+		{"fail-fast flipped operands", `n := src()
+			if cap < n { return }
+			use(make([]byte, n))`, true},
+		{"pass-gate named cap", `n := src()
+			if n <= cap { use(make([]byte, n)) }`, true},
+		{"floor is not a cap", `n := src()
+			if n < cap { return }
+			use(make([]byte, n))`, false},
+		{"pass-gate wrong direction", `n := src()
+			if n >= cap { use(make([]byte, n)) }`, false},
+		{"literal cap has no name", `n := src()
+			if n > 10 { return }
+			use(make([]byte, n))`, false},
+		{"guard after sink", `n := src()
+			use(make([]byte, n))
+			if n > cap { return }`, false},
+		{"guard on sibling branch", `n := src()
+			if c { if n > cap { return } } else { use(make([]byte, n)) }`, false},
+		{"guard transfers to derived", `length := src()
+			if length > cap { return }
+			n := int64(length)
+			use(make([]byte, n))`, true},
+		{"guard on derived does not cover root", `length := src()
+			n := int64(length)
+			if n > cap { return }
+			use(make([]byte, length))`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			info, fn := parseFunc(t, tc.body)
+			taint := flow.ComputeTaint(info, fn, taintSource(info))
+			in := flow.New(fn)
+			cmps := flow.Comparisons(fn)
+			sink := findCall(t, fn, "make")
+			objs, _ := taint.ExprTainted(info, sink.Args[1], taintSource(info))
+			if len(objs) == 0 {
+				t.Fatal("sink size not tainted; fixture broken")
+			}
+			got := flow.GuardedBy(in, info, taint, taint[objs[0]], cmps, sink)
+			if got != tc.want {
+				t.Errorf("GuardedBy = %v, want %v\nbody:\n%s", got, tc.want, tc.body)
+			}
+		})
+	}
+}
+
+func TestMentionsNamedConst(t *testing.T) {
+	info, fn := parseFunc(t, `use(cap, 64<<20, cap*2)`)
+	call := findCall(t, fn, "use")
+	cases := []struct {
+		arg  int
+		want bool
+	}{
+		{0, true},  // bare named constant
+		{1, false}, // literal expression, constant value but no name
+		{2, true},  // expression mentioning a named constant
+	}
+	for _, tc := range cases {
+		if got := flow.MentionsNamedConst(info, call.Args[tc.arg]); got != tc.want {
+			t.Errorf("arg %d: MentionsNamedConst = %v, want %v", tc.arg, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package fsyncorder enforces the PR 4 durability discipline around
+// rename-commit: the tmp+fsync+rename+dir-fsync sequence that makes a
+// snapshot or journal publish crash-safe. Three rules, per function:
+//
+//  1. An os.Rename (or FS.Rename) of a file this function created
+//     (Create/OpenFile/OpenAppend on the same name expression) must be
+//     dominated by a File.Sync — renaming an unsynced file publishes
+//     whatever subset of pages the kernel flushed, i.e. a torn file
+//     with a valid name.
+//  2. A rename that commits durable state must be followed by a
+//     directory fsync (a SyncDir-shaped call later in the same
+//     function) — without it the rename itself can vanish on power
+//     loss even though both files' contents were synced.
+//  3. A dropped Sync/SyncDir error (bare call statement, defer, go, or
+//     assignment to blank) is flagged unconditionally: fsync failure
+//     is the one error class where "ignore and hope" silently
+//     un-does the durability the call was for (the fsyncgate lesson —
+//     after a failed fsync the kernel may have dropped the dirty
+//     pages, so retrying or ignoring both lose data).
+//
+// Single-statement delegation wrappers (e.g. OSFS.Rename forwarding to
+// os.Rename) are exempt from rule 2: they *are* the rename, and barrier
+// discipline belongs to their callers. Interposers with more logic
+// (fault injectors) annotate //tagwatch:allow-fsyncorder <why>.
+package fsyncorder
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"tagwatch/internal/analysis"
+	"tagwatch/internal/analysis/flow"
+)
+
+// Analyzer flags rename-commit sequences that skip an fsync barrier.
+var Analyzer = &analysis.Analyzer{
+	Name:      "fsyncorder",
+	Directive: "allow-fsyncorder",
+	Doc: `flag rename-commits missing File.Sync before or directory fsync after
+
+Durable publish is tmp + File.Sync + rename + dir fsync (DESIGN.md
+§12). A rename of an unsynced file publishes a torn file; a rename
+with no directory fsync can vanish on power loss; a dropped Sync()
+error silently un-does durability. Annotate deliberate exceptions with
+//tagwatch:allow-fsyncorder.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+		case *ast.FuncLit:
+			body = n.Body
+		default:
+			return true
+		}
+		if body != nil {
+			checkBody(pass, body)
+		}
+		return true
+	})
+	return nil
+}
+
+// calleeNamed reports whether the call resolves to a function or
+// method with the given name and parameter count.
+func calleeNamed(pass *analysis.Pass, call *ast.CallExpr, name string, params int) bool {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Params().Len() == params
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	type rename struct {
+		call   *ast.CallExpr
+		oldKey string
+	}
+	var renames []rename
+	creates := map[string]bool{} // exprKey of names this function opened for writing
+	var syncs, dirSyncs []ast.Node
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its own visit
+		case *ast.CallExpr:
+			switch {
+			case calleeNamed(pass, n, "Rename", 2) && len(n.Args) == 2:
+				renames = append(renames, rename{call: n, oldKey: exprKey(n.Args[0])})
+			case (calleeNamed(pass, n, "Create", 1) || calleeNamed(pass, n, "OpenAppend", 1) || calleeNamed(pass, n, "OpenFile", 3)) && len(n.Args) >= 1:
+				creates[exprKey(n.Args[0])] = true
+			case calleeNamed(pass, n, "Sync", 0):
+				syncs = append(syncs, n)
+			case calleeNamed(pass, n, "SyncDir", 1):
+				dirSyncs = append(dirSyncs, n)
+			}
+		}
+		return true
+	})
+
+	// Rule 3: dropped Sync/SyncDir errors, regardless of renames.
+	checkDroppedSync(pass, body)
+
+	if len(renames) == 0 {
+		return
+	}
+	// Single-statement delegation wrappers are the rename; barrier
+	// discipline belongs to their callers.
+	if len(body.List) == 1 {
+		return
+	}
+	info := flow.New(body)
+	for _, r := range renames {
+		if creates[r.oldKey] {
+			synced := false
+			for _, s := range syncs {
+				if flow.Dominates(info, s, r.call) {
+					synced = true
+					break
+				}
+			}
+			if !synced {
+				pass.Reportf(r.call.Pos(), "rename of %s, written in this function, is not preceded by File.Sync; a crash can publish a torn file under the final name", r.oldKey)
+			}
+		}
+		followed := false
+		for _, d := range dirSyncs {
+			if d.Pos() > r.call.End() {
+				followed = true
+				break
+			}
+		}
+		if !followed {
+			pass.Reportf(r.call.Pos(), "rename commits durable state but no directory fsync follows in this function; on power loss the rename itself can be rolled back")
+		}
+	}
+}
+
+// checkDroppedSync flags statements that discard the error of a
+// Sync/SyncDir call: bare expression statements, defer, go, and
+// assignment to blank identifiers only.
+func checkDroppedSync(pass *analysis.Pass, body *ast.BlockStmt) {
+	isSyncCall := func(e ast.Expr) (*ast.CallExpr, bool) {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return nil, false
+		}
+		if calleeNamed(pass, call, "Sync", 0) || calleeNamed(pass, call, "SyncDir", 1) {
+			fn := analysis.Callee(pass.TypesInfo, call)
+			return call, analysis.ReturnsError(fn)
+		}
+		return nil, false
+	}
+	report := func(call *ast.CallExpr) {
+		pass.Reportf(call.Pos(), "%s error discarded; after a failed fsync the data may be gone — propagate or fail the operation", exprKey(call.Fun))
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ExprStmt:
+			if call, ok := isSyncCall(n.X); ok {
+				report(call)
+			}
+		case *ast.DeferStmt:
+			if call, ok := isSyncCall(n.Call); ok {
+				report(call)
+			}
+		case *ast.GoStmt:
+			if call, ok := isSyncCall(n.Call); ok {
+				report(call)
+			}
+		case *ast.AssignStmt:
+			allBlank := len(n.Lhs) > 0
+			for _, l := range n.Lhs {
+				if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+					allBlank = false
+				}
+			}
+			if allBlank && len(n.Rhs) == 1 {
+				if call, ok := isSyncCall(n.Rhs[0]); ok {
+					report(call)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprKey renders an expression to text for stable comparison (same
+// convention as locksend).
+func exprKey(e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, token.NewFileSet(), e)
+	return buf.String()
+}

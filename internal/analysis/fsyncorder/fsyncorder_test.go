@@ -1,0 +1,20 @@
+package fsyncorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tagwatch/internal/analysis/analysistest"
+	"tagwatch/internal/analysis/fsyncorder"
+)
+
+func TestFsyncOrder(t *testing.T) {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// durab holds the violations (torn-file rename, missing directory
+	// barrier, dropped Sync errors) plus the wrapper exemption and the
+	// suppression case; durabclean must produce no diagnostics.
+	analysistest.Run(t, testdata, fsyncorder.Analyzer, "durab", "durabclean")
+}

@@ -1,0 +1,85 @@
+// Fixture: rename-commit durability ordering — File.Sync before the
+// rename, a directory fsync after it, and no dropped Sync errors.
+package durab
+
+import "os"
+
+// The torn-file bug: the tmp file is written and renamed into place
+// without ever being synced, and the rename has no directory barrier.
+func renameUnsynced(dir string) error {
+	f, err := os.Create(dir + "/state.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	return os.Rename(dir+"/state.tmp", dir+"/state") // want `not preceded by File.Sync` `no directory fsync`
+}
+
+// The correct commit sequence: create, write, sync, close, rename,
+// directory fsync.
+func renameSynced(dir string) error {
+	f, err := os.Create(dir + "/state.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(dir+"/state.tmp", dir+"/state"); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// Renaming a file this function did not write needs no File.Sync here,
+// but the commit still needs its directory barrier.
+func renameForeign(dir string) error {
+	err := os.Rename(dir+"/a", dir+"/b") // want `no directory fsync`
+	return err
+}
+
+// Dropped fsync errors, in every discarding shape.
+func droppedSync(f *os.File) {
+	f.Sync()       // want `f.Sync error discarded`
+	_ = f.Sync()   // want `f.Sync error discarded`
+	defer f.Sync() // want `f.Sync error discarded`
+}
+
+// SyncDir fsyncs a directory; its own error must not be dropped either.
+func droppedSyncDir(dir string) {
+	SyncDir(dir) // want `SyncDir error discarded`
+}
+
+// A single-statement delegation wrapper is the rename; barrier
+// discipline belongs to its callers.
+type FS struct{}
+
+func (FS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// An interposer with more logic carries a justification.
+func interpose(fs FS, dir string) error {
+	err := fs.Rename(dir+"/a", dir+"/b") //tagwatch:allow-fsyncorder fixture: interposer, the caller owns the barrier
+	return err
+}
+
+// SyncDir opens and fsyncs the directory, propagating the error.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,37 @@
+// Fixture: a clean package — the full tmp+sync+rename+dir-fsync
+// sequence, with every fsync error checked.
+package durabclean
+
+import "os"
+
+func Commit(dir string, payload []byte) error {
+	tmp, final := dir+"/state.tmp", dir+"/state"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}
+
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

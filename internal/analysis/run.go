@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -99,6 +100,7 @@ func Main(stdout, stderr io.Writer, args []string, analyzers []*Analyzer) int {
 	fs := flag.NewFlagSet("tagwatchvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list registered analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (machine-readable; for CI annotation)")
 	enabled := make(map[string]*bool, len(analyzers))
 	for _, a := range analyzers {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
@@ -147,14 +149,50 @@ func Main(stdout, stderr io.Writer, args []string, analyzers []*Analyzer) int {
 		fmt.Fprintln(stderr, "tagwatchvet:", err)
 		return 1
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	if *jsonOut {
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "tagwatchvet:", err)
+			return 1
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "tagwatchvet: %d finding(s)\n", len(findings))
 		return 2
 	}
 	return 0
+}
+
+// jsonFinding is the -json wire shape, one object per finding. Field
+// names are stable: the GitHub Actions problem matcher and any other
+// tooling key off them.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits findings as one JSON array (an empty slice encodes
+// as [], so consumers always get valid JSON).
+func writeJSON(w io.Writer, findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func firstLine(s string) string {

@@ -32,6 +32,8 @@ var RestrictedPrefixes = []string{
 	"tagwatch/internal/gen2",
 	"tagwatch/internal/motion",
 	"tagwatch/internal/reader",
+	"tagwatch/internal/replay",
+	"tagwatch/internal/replication",
 	"tagwatch/internal/rf",
 	"tagwatch/internal/scenario",
 	"tagwatch/internal/scene",

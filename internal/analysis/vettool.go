@@ -53,7 +53,7 @@ func vetToolMain(stdout, stderr io.Writer, args []string, analyzers []*Analyzer)
 			// The reported string doubles as a cache key; bump the version
 			// when analyzer semantics change so stale verdicts are not
 			// replayed from the vet cache.
-			fmt.Fprintln(stdout, "tagwatchvet version v1 (tagwatch invariant suite)")
+			fmt.Fprintln(stdout, "tagwatchvet version v2 (tagwatch invariant suite)")
 			return 0, true
 		}
 	}

@@ -1,0 +1,107 @@
+// Fixture: allocations sized by decoded wire lengths, with and without
+// named-constant caps. readFrameUnguarded re-introduces the PR 7 bug
+// shape — a frame-header length believed straight into make() — and
+// must be caught.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+)
+
+const maxFrame = 1 << 20
+const minFrame = 4
+
+// The PR 7 bug, reintroduced: a length decoded from a frame header
+// sizes the payload allocation with no cap of any kind.
+func readFrameUnguarded(conn net.Conn) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	payload := make([]byte, length) // want `allocation sized by length`
+	_, err := io.ReadFull(conn, payload)
+	return payload, err
+}
+
+// The fix shape: fail-fast against a named constant before allocating.
+func readFrameGuarded(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	if length > maxFrame {
+		return nil, io.ErrUnexpectedEOF
+	}
+	payload := make([]byte, length)
+	_, err := io.ReadFull(r, payload)
+	return payload, err
+}
+
+// A floor check against a named constant is not a cap: the allocation
+// is still unbounded above.
+func floorOnly(b []byte) []byte {
+	length := binary.BigEndian.Uint32(b)
+	if length < minFrame {
+		return nil
+	}
+	return make([]byte, length) // want `allocation sized by length`
+}
+
+// A literal cap has no name; the invariant wants greppable constants
+// shared between encoder and decoder.
+func literalCap(b []byte) []byte {
+	length := binary.BigEndian.Uint32(b)
+	if length > 1<<20 {
+		return nil
+	}
+	return make([]byte, length) // want `allocation sized by length`
+}
+
+// The guard transfers from a variable to values derived from it.
+func derived(b []byte) []byte {
+	length := binary.BigEndian.Uint32(b)
+	if length > maxFrame {
+		return nil
+	}
+	n := int(length)
+	return make([]byte, n)
+}
+
+// Pass-gate shape: the allocation sits inside the bounding branch.
+func passGate(b []byte) []byte {
+	n := int(binary.LittleEndian.Uint16(b))
+	if n <= maxFrame {
+		return make([]byte, n)
+	}
+	return nil
+}
+
+// An allocation sized directly from a decode call can never be
+// guarded — there is no variable to compare.
+func direct(b []byte) []byte {
+	return make([]byte, binary.BigEndian.Uint16(b)) // want `allocation sized directly`
+}
+
+// bytes.Repeat is a sink too.
+func repeatUnguarded(b []byte) []byte {
+	n := int(binary.BigEndian.Uint32(b))
+	return bytes.Repeat([]byte{0}, n) // want `allocation sized by n`
+}
+
+// The capacity argument counts: a corrupt count buys the slice header
+// even if the elements are appended lazily.
+func capArg(b []byte) [][]byte {
+	count := binary.LittleEndian.Uint32(b)
+	return make([][]byte, 0, count) // want `allocation sized by count`
+}
+
+// Deliberately unbounded, with a justification.
+func suppressed(b []byte) []byte {
+	n := binary.BigEndian.Uint32(b)
+	return make([]byte, n) //tagwatch:allow-wirebound fixture: size comes from a trusted local file
+}

@@ -1,0 +1,29 @@
+// Fixture: a clean package — wire-derived allocations are capped by a
+// named constant, and local sizes are not wire-tainted at all.
+package wireclean
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+const maxPayload = 1 << 16
+
+func read(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxPayload {
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+func local() []byte {
+	n := 128
+	return make([]byte, n)
+}

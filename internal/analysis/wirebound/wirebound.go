@@ -1,0 +1,136 @@
+// Package wirebound flags allocations sized by untrusted wire input
+// that are not bounded by a named constant cap — the bug class PR 7's
+// review caught by hand: a corrupted length field in a replication
+// frame header bought an attacker an up-to-1 GiB allocation before the
+// payload checksum could reject the frame.
+//
+// The invariant: any `make` or `bytes.Repeat` whose length/capacity is
+// tainted by a decoded length — a value derived from
+// binary.{Big,Little}Endian.Uint16/32/64 or binary.ReadUvarint/ReadVarint,
+// which is how every frame/WAL/LLRP header in this tree decodes sizes —
+// must be dominated by an upper-bound comparison of that value (or a
+// variable it derives from) against an expression mentioning a *named*
+// constant — either fail-fast (`if length > cap { return }` before the
+// allocation) or pass-gate (`if length <= cap { make(...) }`). A
+// literal cap like `64 << 20` does not satisfy the checker on purpose:
+// named caps (maxFramePayload, maxRecordLen, maxFrameLen) are
+// greppable, documented, and shared between encoder and decoder. A
+// floor check (`length < headerSize`) does not sanction the
+// allocation; only the bounding direction counts.
+//
+// Taint propagates through assignments, conversions, and arithmetic
+// within one function (see internal/analysis/flow); guards transfer
+// from a variable to values derived from it, so checking `length`
+// sanctions `make([]byte, int(length))`. An allocation sized directly
+// from a decode call with no intermediate variable is always flagged —
+// there is nothing to compare, so bind it first.
+//
+// A deliberately unbounded allocation (e.g. trusted local input) is
+// annotated //tagwatch:allow-wirebound <why the size is trusted>.
+package wirebound
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tagwatch/internal/analysis"
+	"tagwatch/internal/analysis/flow"
+)
+
+// Analyzer flags wire-length-tainted allocations without a named cap.
+var Analyzer = &analysis.Analyzer{
+	Name:      "wirebound",
+	Directive: "allow-wirebound",
+	Doc: `flag allocations sized by decoded wire lengths with no named-constant cap
+
+A length field decoded from a socket, WAL, or frame header is attacker
+input; make()ing a buffer from it without a dominating comparison
+against a named constant cap is a one-frame denial of service (the
+PR 7 1 GiB-allocation bug). Guard with a named cap, or annotate a
+trusted size with //tagwatch:allow-wirebound.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+		case *ast.FuncLit:
+			body = n.Body
+		default:
+			return true
+		}
+		if body != nil {
+			checkBody(pass, body)
+		}
+		return true
+	})
+	return nil
+}
+
+// isSource matches the decode calls that introduce wire-derived sizes:
+// the fixed-width big/little endian readers and the varint readers.
+func isSource(pass *analysis.Pass) func(*ast.CallExpr) bool {
+	return func(call *ast.CallExpr) bool {
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+			return false
+		}
+		switch fn.Name() {
+		case "Uint16", "Uint32", "Uint64", "ReadUvarint", "ReadVarint":
+			return true
+		}
+		return false
+	}
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	src := isSource(pass)
+	taint := flow.ComputeTaint(pass.TypesInfo, body, src)
+	info := flow.New(body)
+	cmps := flow.Comparisons(body)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its own checkBody visit
+		case *ast.CallExpr:
+			for _, size := range sizeArgs(pass, n) {
+				checkSize(pass, taint, info, cmps, src, n, size)
+			}
+		}
+		return true
+	})
+}
+
+// sizeArgs returns the size-carrying arguments of an allocation call:
+// the length and capacity of make, the count of bytes.Repeat. Other
+// calls have none.
+func sizeArgs(pass *analysis.Pass, call *ast.CallExpr) []ast.Expr {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) >= 2 {
+			return call.Args[1:]
+		}
+	}
+	if fn := analysis.Callee(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "bytes" && fn.Name() == "Repeat" && len(call.Args) == 2 {
+		return call.Args[1:2]
+	}
+	return nil
+}
+
+func checkSize(pass *analysis.Pass, taint flow.Taint, info *flow.Info, cmps []*ast.BinaryExpr, src func(*ast.CallExpr) bool, call *ast.CallExpr, size ast.Expr) {
+	objs, direct := taint.ExprTainted(pass.TypesInfo, size, src)
+	if direct {
+		pass.Reportf(call.Pos(), "allocation sized directly from a decoded wire length; bind the length to a variable and compare it against a named constant cap first")
+		return
+	}
+	for _, o := range objs {
+		if !flow.GuardedBy(info, pass.TypesInfo, taint, taint[o], cmps, call) {
+			pass.Reportf(call.Pos(), "allocation sized by %s, which derives from a decoded wire length, is not dominated by a comparison against a named constant cap (one corrupt frame can buy an arbitrary allocation)", o.Name())
+			return // one report per sink is enough
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package wirebound_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tagwatch/internal/analysis/analysistest"
+	"tagwatch/internal/analysis/wirebound"
+)
+
+func TestWirebound(t *testing.T) {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wire holds the violations (including the PR 7 unguarded
+	// frame-length allocation, reintroduced on purpose) plus the
+	// suppression case; wireclean must produce no diagnostics.
+	analysistest.Run(t, testdata, wirebound.Analyzer, "wire", "wireclean")
+}

@@ -220,7 +220,7 @@ func (c *Conn) readLoop() {
 			return
 		}
 		length := int(binary.BigEndian.Uint32(hdr[2:]))
-		if length < headerSize || length > 64<<20 {
+		if length < headerSize || length > maxFrameLen {
 			c.setErr(fmt.Errorf("llrp: insane frame length %d", length))
 			return
 		}
@@ -297,9 +297,15 @@ func (c *Conn) send(m Message) error {
 		return c.readError()
 	default:
 	}
+	// Arm the deadline unconditionally: the zero time means "no
+	// deadline" and clears whatever a previous operation left armed, so
+	// the no-timeout configuration can never inherit a stale deadline.
+	var dl time.Time
 	if d := time.Duration(c.opTimeout.Load()); d > 0 {
-		c.conn.SetWriteDeadline(time.Now().Add(d))
-		defer c.conn.SetWriteDeadline(time.Time{})
+		dl = time.Now().Add(d)
+	}
+	if err := c.conn.SetWriteDeadline(dl); err != nil {
+		return err
 	}
 	// Holding writeMu across the socket write is the point of this
 	// mutex — frames must not interleave — and the block is bounded by

@@ -41,6 +41,12 @@ const protocolVersion = 1
 // headerSize is the LLRP message header length in bytes.
 const headerSize = 10
 
+// maxFrameLen caps one LLRP frame. The spec puts no ceiling on message
+// length, but a decoded length field is attacker input the moment the
+// peer is hostile or the link corrupts: every frame reader in this
+// package checks against this cap before allocating.
+const maxFrameLen = 64 << 20
+
 // Message is one framed LLRP message: a typed header plus the raw encoded
 // body. Typed accessors decode the body on demand (lazy, in the gopacket
 // style), and constructors encode typed payloads.

@@ -250,16 +250,19 @@ func (s *Server) serve(nc net.Conn) {
 
 	hdr := make([]byte, headerSize)
 	for {
-		if _, err := io.ReadFull(nc, hdr); err != nil {
+		// The emulated reader waits for the next client message for as
+		// long as the client stays connected — that is the LLRP contract.
+		// Stop() and client disconnect both close nc, which unblocks.
+		if _, err := io.ReadFull(nc, hdr); err != nil { //tagwatch:allow-conndeadline wait-forever message pump; Stop/close severs nc
 			return
 		}
 		length := int(binary.BigEndian.Uint32(hdr[2:]))
-		if length < headerSize || length > 64<<20 {
+		if length < headerSize || length > maxFrameLen {
 			return
 		}
 		frame := make([]byte, length)
 		copy(frame, hdr)
-		if _, err := io.ReadFull(nc, frame[headerSize:]); err != nil {
+		if _, err := io.ReadFull(nc, frame[headerSize:]); err != nil { //tagwatch:allow-conndeadline wait-forever message pump; Stop/close severs nc
 			return
 		}
 		msg, _, err := DecodeFrame(frame)

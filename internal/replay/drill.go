@@ -116,21 +116,10 @@ func feed(ctx context.Context, m *fleet.Manager, compiled *scenario.Compiled, fr
 	for i, g := range compiled.Spec.Gates {
 		ingests[i] = m.NewIngest(g.Reader)
 	}
-	wallStart, virtualStart := time.Now(), compiled.Events[from].At
+	pace := newPacer(speed, compiled.Events[from].At)
 	for i := from; i < to; i++ {
 		ev := &compiled.Events[i]
-		if speed > 0 {
-			target := wallStart.Add(time.Duration(float64(ev.At-virtualStart) / speed))
-			if d := time.Until(target); d > 0 {
-				t := time.NewTimer(d)
-				select {
-				case <-t.C:
-				case <-ctx.Done():
-					t.Stop()
-					return fmt.Errorf("drill: aborted at event %d: %w", i, ctx.Err())
-				}
-			}
-		} else if err := ctx.Err(); err != nil {
+		if err := pace.wait(ctx, ev.At); err != nil {
 			return fmt.Errorf("drill: aborted at event %d: %w", i, err)
 		}
 		deliverEvent(compiled, ingests[ev.Gate], ev)

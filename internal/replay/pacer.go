@@ -1,0 +1,57 @@
+package replay
+
+import (
+	"context"
+	"time"
+)
+
+// pacer schedules wall-clock delivery of virtual-timestamped events:
+// it anchors a wall start to a virtual start and sleeps until each
+// event's wall target. Speed is virtual seconds per wall second; zero
+// means unthrottled (wait never sleeps and only reports context
+// state). Run and the failover drill share this so a drill segment is
+// paced bit-identically to the equivalent slice of a plain replay.
+//
+// The pacer is the sanctioned wall-clock consumer in this package:
+// everything that shapes the report fingerprint runs on virtual
+// timestamps, and the pacer only decides *when* those deterministic
+// events hit the wall (the Wall report section, which is excluded from
+// the fingerprint, is the other consumer).
+type pacer struct {
+	speed        float64
+	wallStart    time.Time
+	virtualStart time.Duration
+}
+
+// newPacer anchors a pace of speed virtual seconds per wall second at
+// the virtual offset of the first event to deliver, so a mid-timeline
+// segment resumes at full rate instead of sleeping through the
+// already-delivered prefix.
+func newPacer(speed float64, virtualStart time.Duration) *pacer {
+	return &pacer{
+		speed:        speed,
+		wallStart:    time.Now(), //tagwatch:allow-wallclock wall pacing anchor; never feeds the deterministic report sections
+		virtualStart: virtualStart,
+	}
+}
+
+// wait blocks until the wall target for virtual offset at, or until
+// the context dies; it returns ctx.Err(), nil while the context lives.
+func (p *pacer) wait(ctx context.Context, at time.Duration) error {
+	if p.speed <= 0 {
+		return ctx.Err()
+	}
+	target := p.wallStart.Add(time.Duration(float64(at-p.virtualStart) / p.speed))
+	d := time.Until(target) //tagwatch:allow-wallclock wall pacing of virtual events
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d) //tagwatch:allow-wallclock wall pacing of virtual events
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -150,28 +150,17 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		ingests[i] = m.NewIngest(g.Reader)
 	}
 
-	wallStart := time.Now()
+	pace := newPacer(cfg.Speed, 0)
+	wallStart := pace.wallStart
 	for i := range compiled.Events {
 		ev := &compiled.Events[i]
-		if cfg.Speed > 0 {
-			target := wallStart.Add(time.Duration(float64(ev.At) / cfg.Speed))
-			if d := time.Until(target); d > 0 {
-				t := time.NewTimer(d)
-				select {
-				case <-t.C:
-				case <-ctx.Done():
-					t.Stop()
-					return nil, fmt.Errorf("replay: aborted at virtual %v: %w", ev.At, ctx.Err())
-				}
-			}
-		} else if ctx.Err() != nil {
-			return nil, fmt.Errorf("replay: aborted at virtual %v: %w", ev.At, ctx.Err())
+		if err := pace.wait(ctx, ev.At); err != nil {
+			return nil, fmt.Errorf("replay: aborted at virtual %v: %w", ev.At, err)
 		}
-
 		deliverEvent(compiled, ingests[ev.Gate], ev)
 		cycles[ev.Gate]++
 	}
-	wallEnd := time.Now()
+	wallEnd := time.Now() //tagwatch:allow-wallclock Wall report section is excluded from the fingerprint
 
 	rep := &Report{
 		Scenario:         spec.Name,

@@ -71,6 +71,11 @@ const (
 	// statestore itself refuses records past 256 MiB, so a 1 GiB frame
 	// cap rejects garbage lengths without constraining real payloads.
 	maxFramePayload = 1 << 30
+	// maxRecordsPerFrame bounds the record count a records frame may
+	// declare: each record costs at least its 4-byte length prefix, so
+	// a frame under maxFramePayload cannot legitimately carry more. A
+	// corrupt count is rejected here instead of sizing an allocation.
+	maxRecordsPerFrame = maxFramePayload / 4
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -103,10 +108,14 @@ func writeFrame(conn net.Conn, deadline time.Duration, typ byte, payload []byte)
 	if len(payload) > maxFramePayload {
 		return fmt.Errorf("replication: frame payload %d bytes exceeds cap", len(payload))
 	}
+	// Arm unconditionally: the zero time means "no deadline", which also
+	// clears a stale deadline a previous frame left armed.
+	var dl time.Time
 	if deadline > 0 {
-		if err := conn.SetWriteDeadline(time.Now().Add(deadline)); err != nil {
-			return err
-		}
+		dl = time.Now().Add(deadline) //tagwatch:allow-wallclock socket deadlines anchor to the wall clock by contract
+	}
+	if err := conn.SetWriteDeadline(dl); err != nil {
+		return err
 	}
 	hdr := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
 	hdr[0] = typ
@@ -122,10 +131,14 @@ func writeFrame(conn net.Conn, deadline time.Duration, typ byte, payload []byte)
 // readFrame reads one frame under the deadline, verifying the checksum.
 // A zero deadline disables it.
 func readFrame(conn net.Conn, deadline time.Duration) (typ byte, payload []byte, err error) {
+	// Arm unconditionally, mirroring writeFrame: zero clears any stale
+	// deadline instead of silently inheriting it.
+	var dl time.Time
 	if deadline > 0 {
-		if err := conn.SetReadDeadline(time.Now().Add(deadline)); err != nil {
-			return 0, nil, err
-		}
+		dl = time.Now().Add(deadline) //tagwatch:allow-wallclock socket deadlines anchor to the wall clock by contract
+	}
+	if err := conn.SetReadDeadline(dl); err != nil {
+		return 0, nil, err
 	}
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
@@ -211,6 +224,14 @@ func decodeRecords(b []byte) (end statestore.Cursor, records [][]byte, err error
 	}
 	count := binary.LittleEndian.Uint32(b[16:20])
 	b = b[20:]
+	// Believe the count only after bounding it twice: by the protocol
+	// cap, and by what the payload could physically hold (4 bytes of
+	// length prefix per record) — otherwise a corrupt count buys an
+	// up-to-32 GiB slice-header allocation before the loop below would
+	// notice the payload is short.
+	if count > maxRecordsPerFrame || int64(count) > int64(len(b))/4 {
+		return end, nil, fmt.Errorf("%w (record count %d for %d payload bytes)", errFrameCorrupt, count, len(b))
+	}
 	records = make([][]byte, 0, count)
 	for i := uint32(0); i < count; i++ {
 		if len(b) < 4 {

@@ -161,7 +161,7 @@ func (s *Shipper) Run(ctx context.Context) {
 // Status snapshots every peer's replication state.
 func (s *Shipper) Status() []PeerStatus {
 	committed := s.store.Committed()
-	now := time.Now()
+	now := time.Now() //tagwatch:allow-wallclock replication lag is a wall-clock observable, not sim state
 	out := make([]PeerStatus, 0, len(s.peers))
 	for _, p := range s.peers {
 		p.mu.Lock()
@@ -209,7 +209,7 @@ func (s *Shipper) Synced() bool {
 // WaitSynced blocks until Synced or ctx ends — the quiesce point a
 // planned failover (or the drill) uses to empty the in-flight window.
 func (s *Shipper) WaitSynced(ctx context.Context) error {
-	tick := time.NewTicker(5 * time.Millisecond)
+	tick := time.NewTicker(5 * time.Millisecond) //tagwatch:allow-wallclock quiesce poll over a real TCP link
 	defer tick.Stop()
 	for {
 		if s.Synced() {
@@ -257,7 +257,7 @@ func (s *Shipper) runPeer(ctx context.Context, p *peer) {
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(delay):
+		case <-time.After(delay): //tagwatch:allow-wallclock redial backoff paces a real socket (jitter is already seeded)
 		}
 	}
 }
@@ -341,7 +341,7 @@ func (s *Shipper) session(ctx context.Context, p *peer, conn net.Conn) error {
 	}()
 	defer conn.Close() // ensure the ack goroutine unblocks on any exit path
 
-	heartbeat := time.NewTicker(s.cfg.Heartbeat)
+	heartbeat := time.NewTicker(s.cfg.Heartbeat) //tagwatch:allow-wallclock liveness heartbeat over a real TCP link
 	defer heartbeat.Stop()
 	for {
 		// Drain everything committed, in bounded frames.
@@ -442,7 +442,7 @@ func (p *peer) advanceSent(c statestore.Cursor) {
 	p.sent = c
 	// Resuming means the standby already applied through the cursor.
 	p.acked = c
-	p.lastAck = time.Now()
+	p.lastAck = time.Now() //tagwatch:allow-wallclock ack age is a wall-clock observable, not sim state
 	p.mu.Unlock()
 }
 
@@ -469,6 +469,6 @@ func (p *peer) ackedThrough(c statestore.Cursor) {
 	if p.acked.Before(c) {
 		p.acked = c
 	}
-	p.lastAck = time.Now()
+	p.lastAck = time.Now() //tagwatch:allow-wallclock ack age is a wall-clock observable, not sim state
 	p.mu.Unlock()
 }

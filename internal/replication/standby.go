@@ -242,7 +242,7 @@ func (sb *Standby) Status() StandbyStatus {
 		st.LagBytes = max(0, sb.committed.Offset-sb.applied.Offset)
 	}
 	if !sb.lastFrame.IsZero() {
-		st.LastFrameAgeMS = time.Since(sb.lastFrame).Milliseconds()
+		st.LastFrameAgeMS = time.Since(sb.lastFrame).Milliseconds() //tagwatch:allow-wallclock replication lag is a wall-clock observable, not sim state
 	}
 	return st
 }
@@ -319,7 +319,7 @@ func (sb *Standby) session(ctx context.Context, conn net.Conn) error {
 			return fmt.Errorf("replication: read frame: %w", err)
 		}
 		sb.mu.Lock()
-		sb.lastFrame = time.Now()
+		sb.lastFrame = time.Now() //tagwatch:allow-wallclock frame age is a wall-clock observable, not sim state
 		pending := sb.pending
 		sb.mu.Unlock()
 		if typ == fRecords && pending != "" {

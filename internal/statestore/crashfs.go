@@ -174,11 +174,11 @@ func (c *CrashFS) Rename(oldname, newname string) error {
 	}
 	if c.step() {
 		if c.rng.Intn(2) == 1 {
-			_ = c.inner.Rename(oldname, newname)
+			_ = c.inner.Rename(oldname, newname) //tagwatch:allow-fsyncorder fault-injection interposer: barrier discipline belongs to the caller under test
 		}
 		return ErrCrashed
 	}
-	return c.inner.Rename(oldname, newname)
+	return c.inner.Rename(oldname, newname) //tagwatch:allow-fsyncorder fault-injection interposer: barrier discipline belongs to the caller under test
 }
 
 // Remove implements FS.
