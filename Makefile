@@ -9,7 +9,7 @@
 STATICCHECK = go run honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK = go run golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: all build check lint lint-offline test race chaos crash soak fuzz-smoke bench replay-smoke failover-drill vettool clean
+.PHONY: all build check lint lint-offline test race chaos crash soak fuzz-smoke bench replay-smoke failover-drill gauntlet gauntlet-smoke vettool clean
 
 all: build
 
@@ -103,6 +103,28 @@ replay-smoke:
 # invocation already proves the drill deterministic; under -race.
 failover-drill:
 	go test -race -count=1 -run 'TestFailoverDrill' -v ./internal/replay/
+
+# The fault gauntlet: the declarative campaign orchestrator runs the
+# built-in smoke matrix — every fault kind (clean durable baseline,
+# chaos/partitioned/flapping replication links through the failover
+# drill, ENOSPC and EIO under the statestore, skewed reader clocks,
+# stalled SSE consumers) against shrunk scenario packs, judged by the
+# invariant oracles. Exit code 4 = at least one oracle failed.
+gauntlet:
+	go run ./cmd/gauntlet -campaign smoke -report /tmp/tagwatch-gauntlet.json
+	@cat /tmp/tagwatch-gauntlet.json
+
+# The gauntlet determinism gate, mirroring replay-smoke: the same
+# campaign and seed twice under the race detector must agree on the
+# verdict fingerprint (wall timings and fault counters are the only
+# permitted differences), and both runs must pass every oracle.
+gauntlet-smoke:
+	go run -race ./cmd/gauntlet -campaign smoke -seed 1 -quiet -report /tmp/tagwatch-gauntlet-a.json
+	go run -race ./cmd/gauntlet -campaign smoke -seed 1 -quiet -report /tmp/tagwatch-gauntlet-b.json
+	@fa=$$(grep -o '"fingerprint": "[0-9a-f]*"' /tmp/tagwatch-gauntlet-a.json); \
+	fb=$$(grep -o '"fingerprint": "[0-9a-f]*"' /tmp/tagwatch-gauntlet-b.json); \
+	test -n "$$fa" && test "$$fa" = "$$fb" || { echo "gauntlet-smoke: fingerprint mismatch: $$fa vs $$fb"; exit 1; }; \
+	echo "gauntlet-smoke: deterministic ($$fa)"
 
 # Builds the vet-protocol binary so `go vet -vettool=bin/tagwatchvet`
 # integrates the suite with go vet's package driver and build cache.

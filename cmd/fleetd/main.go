@@ -21,6 +21,15 @@
 //	fleetd -readers ... -state-dir /var/lib/tagwatch -replicate-to standby:5091
 //	fleetd -standby -state-dir /var/lib/tagwatch-standby -listen-replication :5091 \
 //	       -readers ... -promote-on-signal     # SIGUSR1 promotes to a live fleet
+//
+// Exit codes — init systems and drills branch on these, so every
+// distinct failure class gets its own:
+//
+//	0  clean shutdown, final registry state saved
+//	1  runtime failure (could not start, listen, or serve)
+//	2  usage or configuration error (bad flags, unreadable -config)
+//	3  served fine but the final save failed: the durable directory is
+//	   behind the live state this node answered with (exited unclean)
 package main
 
 import (
@@ -101,7 +110,8 @@ func run() int {
 	if *config != "" {
 		loaded, err := core.LoadConfigFile(*config)
 		if err != nil {
-			log.Fatalf("config: %v", err)
+			log.Printf("config: %v", err)
+			return 2
 		}
 		cfg.Tagwatch = loaded
 	}
@@ -182,15 +192,15 @@ func run() int {
 	return finishFleet(m)
 }
 
-// finishFleet stops a live Manager and turns a failed final save into a
-// nonzero exit: a node that could not flush its last registry state must
-// die visibly unclean so operators (and init systems) know the durable
-// directory is behind the live state it served.
+// finishFleet stops a live Manager and turns a failed final save into
+// exit code 3 — distinct from runtime failures (1) so operators (and
+// init systems, and the gauntlet) can tell "never served" apart from
+// "served fine but the durable directory is now behind the live state".
 func finishFleet(m *fleet.Manager) int {
 	exit := 0
 	if err := m.Stop(); err != nil {
 		log.Printf("fleetd: final save failed: %v (exiting unclean)", err)
-		exit = 1
+		exit = 3
 	}
 	obs, handoffs := m.Registry().Stats()
 	fmt.Printf("fleetd: %d tags, %d observations, %d handoffs\n", m.Registry().Len(), obs, handoffs)

@@ -1,0 +1,127 @@
+// Command gauntlet runs a declarative fault campaign against the full
+// stack: each case replays one scenario workload through real fleet
+// machinery while one fault script runs — chaos-degraded or partitioned
+// replication links, flap storms, a disk that fills or starts failing
+// mid-run, skewed reader clocks, stalled event-stream consumers — and a
+// set of invariant oracles judges the outcome against a no-fault
+// control run. The verdict is a JSON report whose deterministic portion
+// hashes to a stable fingerprint: two runs of the same campaign and
+// seed must agree on it.
+//
+// Usage:
+//
+//	gauntlet -campaign smoke
+//	gauntlet -campaign smoke -seed 7 -report verdict.json
+//	gauntlet -list
+//
+// Exit codes:
+//
+//	0  campaign ran and every oracle passed
+//	1  campaign could not run to a verdict (setup failure, cancelled)
+//	2  usage error (unknown flag or campaign, bad seed)
+//	3  campaign ran but the report could not be written
+//	4  campaign ran and at least one oracle failed
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"tagwatch/internal/gauntlet"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		campaign = flag.String("campaign", "", "built-in campaign to run (required; see -list)")
+		list     = flag.Bool("list", false, "list built-in campaigns and exit")
+		seed     = flag.Int64("seed", 1, "campaign seed; offsets every case seed")
+		out      = flag.String("report", "", "write the JSON verdict report to this file (default stdout)")
+		dir      = flag.String("dir", "", "scratch root for case state directories (default a temp dir, removed on exit)")
+		quiet    = flag.Bool("quiet", false, "suppress per-case progress lines")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range gauntlet.Names() {
+			c, err := gauntlet.Lookup(name)
+			if err != nil {
+				log.Printf("gauntlet: %v", err)
+				return 1
+			}
+			fmt.Printf("%-12s %2d cases  %s\n", c.Name, len(c.Cases), c.Description)
+		}
+		return 0
+	}
+	if *campaign == "" {
+		fmt.Fprintln(os.Stderr, "gauntlet: -campaign is required (try -list)")
+		return 2
+	}
+	c, err := gauntlet.Lookup(*campaign)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gauntlet:", err)
+		return 2
+	}
+
+	scratch := *dir
+	if scratch == "" {
+		tmp, err := os.MkdirTemp("", "gauntlet-*")
+		if err != nil {
+			log.Printf("gauntlet: scratch dir: %v", err)
+			return 1
+		}
+		defer os.RemoveAll(tmp)
+		scratch = tmp
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	logf("gauntlet: campaign %q, %d cases, seed %d", c.Name, len(c.Cases), *seed)
+	rep, err := gauntlet.NewRunner(c, scratch, *seed, logf).Run(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gauntlet:", err)
+		return 1
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gauntlet:", err)
+		return 1
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(b); err != nil {
+			fmt.Fprintln(os.Stderr, "gauntlet:", err)
+			return 3
+		}
+	} else if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "gauntlet:", err)
+		return 3
+	}
+
+	verdict := "PASS"
+	if !rep.AllPassed {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(os.Stderr, "gauntlet: %s — %d/%d cases passed in %dms, fingerprint %.12s…\n",
+		verdict, rep.Passed, len(rep.Cases), rep.Wall.ElapsedMS, rep.Fingerprint)
+	if !rep.AllPassed {
+		return 4
+	}
+	return 0
+}

@@ -12,6 +12,13 @@
 //	replayd -scenario retail-rush -speed 100
 //	replayd -scenario trackpoint -speed 0 -report run.json
 //	replayd -list
+//
+// Exit codes:
+//
+//	0  replay completed and the report was emitted
+//	1  replay failed (compile error, feed aborted, interrupted)
+//	2  usage error (missing/unknown -scenario, bad -speed)
+//	3  replay completed but the report could not be written
 package main
 
 import (
@@ -59,7 +66,7 @@ func main() {
 	spec, err := scenario.Lookup(*scen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "replayd:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 	if *hours > 0 {
 		spec.Duration = time.Duration(*hours * float64(time.Hour))
@@ -94,11 +101,11 @@ func main() {
 	if *out == "" {
 		if _, err := os.Stdout.Write(b); err != nil {
 			fmt.Fprintln(os.Stderr, "replayd:", err)
-			os.Exit(1)
+			os.Exit(3)
 		}
 	} else if err := os.WriteFile(*out, b, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "replayd:", err)
-		os.Exit(1)
+		os.Exit(3)
 	}
 	fmt.Fprintf(os.Stderr,
 		"replayd: done in %dms (%.0fx effective): %d tags seen, %d observations, %d handoffs, fingerprint %.12s…\n",

@@ -69,6 +69,12 @@ var watched = map[string]map[string]bool{
 	"tagwatch/internal/guard": {
 		"Sentinel": true, "Admission": true,
 	},
+	// The fault-campaign orchestrator: Runner.Run's error is the
+	// difference between "the campaign reached a verdict" and "no verdict
+	// exists" — dropping it leaves a fault campaign silently unjudged.
+	"tagwatch/internal/gauntlet": {
+		"Runner": true,
+	},
 }
 
 // exemptMethods are error-returning methods whose drop is conventional.

@@ -8,6 +8,7 @@ import (
 
 	"tagwatch/internal/core"
 	"tagwatch/internal/fleet"
+	"tagwatch/internal/gauntlet"
 	"tagwatch/internal/guard"
 	"tagwatch/internal/llrp"
 	"tagwatch/internal/replication"
@@ -122,4 +123,17 @@ func replicationHandled(sh *replication.Shipper, sb *fleet.Standby, ctx context.
 	}
 	_, err := sb.Promote(ctx)
 	return err
+}
+
+// The fault-campaign orchestrator: a dropped Run error is a campaign
+// that silently never reached a verdict.
+func gauntletDrops(r *gauntlet.Runner, ctx context.Context) {
+	r.Run(ctx) // want `error from \(tagwatch/internal/gauntlet.Runner\).Run is silently dropped`
+}
+
+func gauntletHandled(r *gauntlet.Runner, ctx context.Context) error {
+	if _, err := r.Run(ctx); err != nil {
+		return err
+	}
+	return nil
 }

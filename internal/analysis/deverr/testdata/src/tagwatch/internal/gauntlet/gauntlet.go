@@ -1,0 +1,11 @@
+// Fixture: minimal stand-in for the real gauntlet package, matched by
+// the analyzer purely on import path + type name + signature.
+package gauntlet
+
+import "context"
+
+type Report struct{}
+
+type Runner struct{}
+
+func (r *Runner) Run(ctx context.Context) (*Report, error) { return nil, nil }

@@ -233,4 +233,42 @@ func goodConnCtxLoop(ctx context.Context, conn net.Conn, frames chan []byte) {
 	}()
 }
 
+// The gauntlet's healthz-prober shape: a polling goroutine that reports
+// its tally over a buffered channel when the case tears down. The
+// ticker is stopped and the loop exits on ctx — both hygiene rules
+// satisfied.
+func goodProberLoop(ctx context.Context, probe func() bool) chan int {
+	out := make(chan int, 1)
+	go func() {
+		n := 0
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				out <- n
+				return
+			case <-t.C:
+				if probe() {
+					n++
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// The same prober without the shutdown receive: the campaign ends but
+// the prober spins forever and its verdict never arrives.
+func badProberLoop(probe func() bool) {
+	go func() { // want `goroutine loops forever with no shutdown path`
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			<-t.C
+			_ = probe()
+		}
+	}()
+}
+
 func process(int) {}

@@ -17,6 +17,7 @@
 package chaos
 
 import (
+	"hash/fnv"
 	"math/rand"
 	"net"
 	"sync"
@@ -61,6 +62,36 @@ type Config struct {
 	// RefuseProb makes the listener accept and then immediately close a
 	// connection — a reader that answers the SYN and slams the door.
 	RefuseProb float64
+
+	// PartitionDir selects an asymmetric partition: once tripped, the
+	// named direction goes silently dead while the socket stays open.
+	// "rx" parks reads forever (inbound bytes never arrive, outbound
+	// still flow — the peer keeps believing the link works); "tx"
+	// silently discards writes (outbound bytes vanish, inbound still
+	// arrive); "both" is a full half-open link, equivalent to the
+	// blackhole but tripped by PartitionAfter. Empty disables the
+	// partition. Unlike the blackhole, a partition never heals.
+	PartitionDir string
+	// PartitionAfter trips the partition once this many bytes (both
+	// directions combined) have crossed the connection. Zero with
+	// PartitionDir set trips from the very first operation.
+	PartitionAfter int64
+
+	// FlapBytes severs the connection each time this many bytes (both
+	// directions combined) have crossed it. Every reconnect starts a
+	// fresh budget, so against a retrying peer a nonzero value is a
+	// deterministic flap storm: connect, make a little progress, die,
+	// repeat — the fault that exercises resume/re-anchor negotiation
+	// hardest.
+	FlapBytes int64
+
+	// SkewMax is the observation clock-skew magnitude. The conn wrapper
+	// ignores it — skew is not a transport fault — but it rides in the
+	// Config so one fault spec describes a whole scripted scenario:
+	// consumers (the gauntlet's ingest path) draw a deterministic
+	// per-source offset in [-SkewMax, +SkewMax] via Injector.Skew and
+	// add it to every observation timestamp from that source.
+	SkewMax time.Duration
 }
 
 // Stats counts the faults actually injected, for tests asserting that a
@@ -72,6 +103,8 @@ type Stats struct {
 	Resets      uint64
 	Blackholes  uint64
 	Refusals    uint64
+	Partitions  uint64
+	Flaps       uint64
 	Conns       uint64
 }
 
@@ -92,6 +125,8 @@ type Injector struct {
 	resets      atomic.Uint64
 	blackholes  atomic.Uint64
 	refusals    atomic.Uint64
+	partitions  atomic.Uint64
+	flaps       atomic.Uint64
 	conns       atomic.Uint64
 }
 
@@ -109,8 +144,26 @@ func (inj *Injector) Stats() Stats {
 		Resets:      inj.resets.Load(),
 		Blackholes:  inj.blackholes.Load(),
 		Refusals:    inj.refusals.Load(),
+		Partitions:  inj.partitions.Load(),
+		Flaps:       inj.flaps.Load(),
 		Conns:       inj.conns.Load(),
 	}
+}
+
+// Skew derives the deterministic clock-skew offset for the named source,
+// uniform in [-SkewMax, +SkewMax]. The offset depends only on the master
+// seed and the key — never on the per-connection decision streams — so
+// attaching skewed sources to a scenario cannot perturb the fault
+// sequence an existing spec replays. Zero SkewMax always returns zero.
+func (inj *Injector) Skew(key string) time.Duration {
+	max := inj.cfg.SkewMax
+	if max <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	rng := rand.New(rand.NewSource(inj.cfg.Seed ^ int64(h.Sum64())))
+	return time.Duration(rng.Int63n(2*int64(max)+1)) - max
 }
 
 // SetBlackhole force-trips (or clears) the blackhole on every current
@@ -178,8 +231,10 @@ type faultConn struct {
 	wmu  sync.Mutex
 	wrng *rand.Rand
 
-	bytes   atomic.Int64 // both directions, for BlackholeAfter
+	bytes   atomic.Int64 // both directions, for BlackholeAfter/PartitionAfter/FlapBytes
 	tripped atomic.Bool  // per-conn blackhole latch
+	parted  atomic.Bool  // per-conn partition latch: never heals
+	flapped atomic.Bool  // per-conn flap latch: one sever per connection
 
 	closed chan struct{}
 	once   sync.Once
@@ -209,6 +264,36 @@ func (c *faultConn) blackholed() bool {
 	return false
 }
 
+// partitioned reports whether the asymmetric partition has tripped on
+// this connection, latching (and counting) the trip exactly once.
+func (c *faultConn) partitioned(dir string) bool {
+	d := c.inj.cfg.PartitionDir
+	if d == "" || (d != dir && d != "both") {
+		return false
+	}
+	if !c.parted.Load() {
+		if c.bytes.Load() < c.inj.cfg.PartitionAfter {
+			return false
+		}
+		if c.parted.CompareAndSwap(false, true) {
+			c.inj.partitions.Add(1)
+		}
+	}
+	return true
+}
+
+// flapCheck severs the connection once the per-connection byte budget is
+// spent. The sever happens after the triggering operation delivers, so
+// the peer sees progress-then-death — the signature of a flapping link.
+func (c *faultConn) flapCheck() {
+	if fb := c.inj.cfg.FlapBytes; fb > 0 && c.bytes.Load() >= fb {
+		if c.flapped.CompareAndSwap(false, true) {
+			c.inj.flaps.Add(1)
+			c.Close()
+		}
+	}
+}
+
 // block parks the calling operation until the connection closes, then
 // reports the usual closed-socket error by touching the dead conn.
 func (c *faultConn) block() (int, error) {
@@ -220,6 +305,23 @@ func (c *faultConn) block() (int, error) {
 		err = net.ErrClosed
 	}
 	return 0, err
+}
+
+// drainBlocked models a dead inbound direction on a live socket: bytes
+// the peer delivers are read off the kernel buffer and discarded (so
+// the peer's writes keep succeeding and flow control never pushes
+// back), while the socket's own lifecycle errors — read-deadline
+// expiry, teardown — surface unchanged. That last part matters: a
+// session guarding its reads with SetReadDeadline must still time out
+// and die, which is exactly how a real asymmetric partition is
+// detected.
+func (c *faultConn) drainBlocked() (int, error) {
+	var b [512]byte
+	for {
+		if _, err := c.Conn.Read(b[:]); err != nil {
+			return 0, err
+		}
+	}
 }
 
 // awaitBlackhole parks a read while the connection is half-open. Unlike a
@@ -247,6 +349,13 @@ func (c *faultConn) awaitBlackhole() bool {
 }
 
 func (c *faultConn) Read(p []byte) (int, error) {
+	if c.partitioned("rx") {
+		// Inbound direction is dead and stays dead: whatever the peer
+		// delivers is swallowed until the socket times out or is torn
+		// down. Outbound writes continue to flow, so the peer's view of
+		// the link stays asymmetrically healthy.
+		return c.drainBlocked()
+	}
 	if c.blackholed() {
 		c.inj.stalls.Add(1)
 		if !c.awaitBlackhole() {
@@ -279,6 +388,7 @@ func (c *faultConn) Read(p []byte) (int, error) {
 	n, err := c.Conn.Read(p)
 	if n > 0 {
 		c.bytes.Add(int64(n))
+		c.flapCheck()
 		// A read that raced the blackhole trip point still delivers; the
 		// next operation sees the half-open link.
 		c.rmu.Lock()
@@ -306,6 +416,11 @@ func (c *faultConn) Read(p []byte) (int, error) {
 }
 
 func (c *faultConn) Write(p []byte) (int, error) {
+	if c.partitioned("tx") {
+		// Accept and discard: outbound bytes vanish while inbound reads
+		// keep succeeding — the partition's other asymmetric half.
+		return len(p), nil
+	}
 	if c.blackholed() {
 		// Accept and discard: the peer believes the write succeeded.
 		return len(p), nil
@@ -321,6 +436,7 @@ func (c *faultConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
 	if n > 0 {
 		c.bytes.Add(int64(n))
+		c.flapCheck()
 	}
 	return n, err
 }

@@ -13,8 +13,10 @@ import (
 //	seed=42,latency=5ms,jitter=2ms,corrupt=0.01,reset=0.02,blackhole-after=65536,refuse=0.2
 //
 // Keys: seed, latency, jitter, stall, truncate, corrupt, reset,
-// blackhole-after (bytes), refuse. Unknown keys error rather than
-// silently injecting nothing. An empty spec returns the zero Config.
+// blackhole-after (bytes), refuse, partition (rx|tx|both),
+// partition-after (bytes), flap (bytes), skew (duration). Unknown keys
+// error rather than silently injecting nothing. An empty spec returns
+// the zero Config. Spec is the inverse: ParseSpec(cfg.Spec()) == cfg.
 func ParseSpec(spec string) (Config, error) {
 	var cfg Config
 	spec = strings.TrimSpace(spec)
@@ -51,6 +53,19 @@ func ParseSpec(spec string) (Config, error) {
 			cfg.BlackholeAfter, err = strconv.ParseInt(val, 10, 64)
 		case "refuse":
 			cfg.RefuseProb, err = parseProb(val)
+		case "partition":
+			switch val {
+			case "rx", "tx", "both":
+				cfg.PartitionDir = val
+			default:
+				err = fmt.Errorf("direction %q not rx, tx, or both", val)
+			}
+		case "partition-after":
+			cfg.PartitionAfter, err = strconv.ParseInt(val, 10, 64)
+		case "flap":
+			cfg.FlapBytes, err = strconv.ParseInt(val, 10, 64)
+		case "skew":
+			cfg.SkewMax, err = time.ParseDuration(val)
 		default:
 			return Config{}, fmt.Errorf("chaos: unknown fault %q", key)
 		}
@@ -59,6 +74,51 @@ func ParseSpec(spec string) (Config, error) {
 		}
 	}
 	return cfg, nil
+}
+
+// Spec renders the config back into the canonical flag syntax: fixed
+// key order, zero-valued fields omitted, so ParseSpec(cfg.Spec()) == cfg
+// and equal configs render identical strings. The empty string is the
+// zero Config — the gauntlet report embeds these strings, so this
+// canonical form is part of what the verdict fingerprint covers.
+func (c Config) Spec() string {
+	var parts []string
+	add := func(key, val string) { parts = append(parts, key+"="+val) }
+	prob := func(key string, p float64) {
+		if p != 0 {
+			add(key, strconv.FormatFloat(p, 'g', -1, 64))
+		}
+	}
+	if c.Seed != 0 {
+		add("seed", strconv.FormatInt(c.Seed, 10))
+	}
+	if c.Latency != 0 {
+		add("latency", c.Latency.String())
+	}
+	if c.Jitter != 0 {
+		add("jitter", c.Jitter.String())
+	}
+	prob("stall", c.StallProb)
+	prob("truncate", c.TruncateProb)
+	prob("corrupt", c.CorruptProb)
+	prob("reset", c.ResetProb)
+	if c.BlackholeAfter != 0 {
+		add("blackhole-after", strconv.FormatInt(c.BlackholeAfter, 10))
+	}
+	prob("refuse", c.RefuseProb)
+	if c.PartitionDir != "" {
+		add("partition", c.PartitionDir)
+	}
+	if c.PartitionAfter != 0 {
+		add("partition-after", strconv.FormatInt(c.PartitionAfter, 10))
+	}
+	if c.FlapBytes != 0 {
+		add("flap", strconv.FormatInt(c.FlapBytes, 10))
+	}
+	if c.SkewMax != 0 {
+		add("skew", c.SkewMax.String())
+	}
+	return strings.Join(parts, ",")
 }
 
 func parseProb(s string) (float64, error) {

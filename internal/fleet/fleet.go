@@ -86,6 +86,10 @@ type Config struct {
 	JournalFlush time.Duration
 	// StateRetain is how many snapshot generations to keep (default 2).
 	StateRetain int
+	// StateFS overrides the filesystem the durable store runs on; nil
+	// uses the real one. The gauntlet injects a statestore.FaultFS here
+	// to model full disks and failing media at runtime.
+	StateFS statestore.FS
 	// SSEWriteTimeout bounds each write to an /api/events client; a
 	// client that cannot drain a frame within it is disconnected instead
 	// of pinning the handler forever (default 10s).

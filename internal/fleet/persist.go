@@ -38,7 +38,7 @@ type fleetRecord struct {
 // Called by Start before any supervisor runs, so restored state is in
 // place before the first observation merges.
 func (m *Manager) openState() error {
-	st, err := statestore.Open(m.cfg.StateDir, statestore.Options{Retain: m.cfg.StateRetain})
+	st, err := statestore.Open(m.cfg.StateDir, statestore.Options{Retain: m.cfg.StateRetain, FS: m.cfg.StateFS})
 	if err != nil {
 		return fmt.Errorf("fleet: open state dir: %w", err)
 	}

@@ -1,0 +1,126 @@
+package gauntlet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tagwatch/internal/chaos"
+	"tagwatch/internal/statestore"
+)
+
+// drillLink is the classic degraded-link profile the replay drill and
+// its tests use: lossy enough to hurt, not so lossy the quiesce can't
+// eventually push the backlog through.
+func drillLink(seed int64) chaos.Config {
+	return chaos.Config{
+		Seed:           seed,
+		Latency:        200 * time.Microsecond,
+		Jitter:         time.Millisecond,
+		TruncateProb:   0.03,
+		CorruptProb:    0.06,
+		ResetProb:      0.03,
+		BlackholeAfter: 384 << 10,
+	}
+}
+
+// smokeCampaign is the built-in matrix `make gauntlet` and the CI
+// gauntlet-smoke job run: every fault kind at least once, five scenario
+// packs shrunk to a few virtual minutes each, nine oracle families in
+// play. Small enough to finish in well under a minute unthrottled;
+// varied enough that breaking any of the robustness layers underneath
+// (store poisoning, WAL shipping, resume re-anchor, SSE shedding) trips
+// at least one oracle.
+func smokeCampaign() Campaign {
+	return Campaign{
+		Name:        "smoke",
+		Description: "every fault kind once over shrunk scenario packs; the CI determinism gate",
+		Cases: []Case{
+			{
+				Name: "baseline-clean", Scenario: "trackpoint",
+				Duration: 3 * time.Minute, Population: 120, TransitTime: 20 * time.Second,
+				Seed:  101,
+				Fault: Fault{Kind: FaultNone},
+			},
+			{
+				Name: "link-chaos-rush", Scenario: "retail-rush",
+				Duration: 3 * time.Minute, Population: 150, TransitTime: 20 * time.Second,
+				Seed: 202, Speed: 400,
+				Fault: Fault{Kind: FaultLinkChaos, Link: drillLink(7)},
+			},
+			{
+				Name: "partition-rx-crossdock", Scenario: "warehouse-crossdock",
+				Duration: 3 * time.Minute, Population: 140, TransitTime: 25 * time.Second,
+				Seed: 303, Speed: 400,
+				Fault: Fault{Kind: FaultLinkPartition,
+					Link: chaos.Config{Seed: 11, PartitionDir: "rx", PartitionAfter: 8 << 10}},
+			},
+			{
+				Name: "partition-tx-rush", Scenario: "retail-rush",
+				Duration: 3 * time.Minute, Population: 130, TransitTime: 20 * time.Second,
+				Seed: 404, Speed: 400,
+				Fault: Fault{Kind: FaultLinkPartition,
+					Link: chaos.Config{Seed: 13, PartitionDir: "tx", PartitionAfter: 8 << 10}},
+			},
+			{
+				Name: "flap-storm-baggage", Scenario: "airport-baggage",
+				Duration: 3 * time.Minute, Population: 160, TransitTime: 30 * time.Second,
+				Seed: 505, Speed: 400,
+				Fault: Fault{Kind: FaultLinkFlap,
+					Link: chaos.Config{Seed: 17, FlapBytes: 48 << 10}},
+			},
+			{
+				Name: "enospc-hospital", Scenario: "hospital-assets",
+				Duration: 4 * time.Minute, Population: 120, TransitTime: 40 * time.Second,
+				Seed: 606,
+				Fault: Fault{Kind: FaultFSENOSPC,
+					FS: statestore.FaultConfig{Seed: 19, WriteErrProb: 0.5, ShortWriteProb: 1}},
+			},
+			{
+				Name: "eio-trackpoint", Scenario: "trackpoint",
+				Duration: 3 * time.Minute, Population: 120, TransitTime: 20 * time.Second,
+				Seed: 707,
+				Fault: Fault{Kind: FaultFSEIO,
+					FS: statestore.FaultConfig{Seed: 23, SyncErrProb: 1, DirSyncErrProb: 0.5}},
+			},
+			{
+				Name: "skew-crossdock", Scenario: "warehouse-crossdock",
+				Duration: 3 * time.Minute, Population: 140, TransitTime: 25 * time.Second,
+				Seed: 808,
+				Fault: Fault{Kind: FaultClockSkew,
+					Link: chaos.Config{Seed: 29, SkewMax: 90 * time.Second}},
+			},
+			{
+				Name: "stalled-sse-rush", Scenario: "retail-rush",
+				Duration: 2 * time.Minute, Population: 120, TransitTime: 20 * time.Second,
+				Seed: 909, Speed: 200,
+				Fault: Fault{Kind: FaultSlowSSE, SSEClients: 6},
+			},
+		},
+	}
+}
+
+// builtins maps campaign names to constructors, so each Lookup hands
+// out a fresh value the caller may mutate.
+var builtins = map[string]func() Campaign{
+	"smoke": smokeCampaign,
+}
+
+// Lookup returns the named built-in campaign.
+func Lookup(name string) (Campaign, error) {
+	mk, ok := builtins[name]
+	if !ok {
+		return Campaign{}, fmt.Errorf("gauntlet: unknown campaign %q (have %v)", name, Names())
+	}
+	return mk(), nil
+}
+
+// Names lists the built-in campaigns, sorted.
+func Names() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

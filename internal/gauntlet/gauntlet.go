@@ -1,0 +1,150 @@
+// Package gauntlet is the declarative fault-campaign orchestrator: the
+// layer that turns the repo's scattered robustness artifacts — chaos-
+// injected links, replay through a real fleet, statestore durability,
+// replication failover — into named, rerunnable campaigns with a
+// verdict.
+//
+// A Campaign is a matrix of cases; each Case is one scenario workload
+// crossed with one fault script and judged by invariant oracles. Every
+// case runs seed-deterministically and carries its own differential
+// control: the same compiled timeline through an unfaulted in-memory
+// fleet. The oracles assert what the layers underneath promise —
+// registry state identical to the control, stores poisoned honestly and
+// recoverable on reopen, replication re-anchoring instead of diverging,
+// /healthz answering within an SLO, goroutine and heap counts bounded
+// after teardown.
+//
+// The outcome is a Report whose deterministic portion (case names,
+// fault scripts, fingerprints, oracle verdicts) hashes to a stable
+// fingerprint: two runs of the same campaign and seed must agree on it,
+// which is what the CI gauntlet-smoke job asserts. Wall timings, fault
+// counters, and failure detail ride along for humans but stay outside
+// the hash.
+//
+// cmd/gauntlet and `make gauntlet` drive the built-in campaigns; tests
+// compose ad-hoc ones.
+package gauntlet
+
+import (
+	"fmt"
+	"time"
+
+	"tagwatch/internal/chaos"
+	"tagwatch/internal/statestore"
+)
+
+// Fault kinds a Case can select. Each kind scripts a different path
+// through the stack; the Fault's other fields parameterize it.
+const (
+	// FaultNone runs the workload through a durable fleet with no fault
+	// at all — the oracle here is that durability itself does not
+	// perturb registry state.
+	FaultNone = "none"
+	// FaultLinkChaos degrades the replication link with the classic
+	// injector faults (latency, truncation, corruption, resets,
+	// blackhole) during a kill-and-promote failover drill.
+	FaultLinkChaos = "link-chaos"
+	// FaultLinkPartition runs the drill over an asymmetric partition:
+	// Link.PartitionDir picks which direction goes silently dead.
+	FaultLinkPartition = "link-partition"
+	// FaultLinkFlap runs the drill over a flap storm: the link dies
+	// every Link.FlapBytes, forcing resume/re-anchor negotiation over
+	// and over.
+	FaultLinkFlap = "link-flap"
+	// FaultFSENOSPC fills the disk under the primary's statestore
+	// mid-run (FS.WriteErrProb / FS.ShortWriteProb).
+	FaultFSENOSPC = "fs-enospc"
+	// FaultFSEIO fails the statestore's durability barriers mid-run
+	// (FS.SyncErrProb / FS.DirSyncErrProb).
+	FaultFSEIO = "fs-eio"
+	// FaultClockSkew feeds the workload through readers whose clocks
+	// disagree by per-gate offsets drawn from Link.SkewMax.
+	FaultClockSkew = "clock-skew"
+	// FaultSlowSSE attaches stalled /api/events consumers to the fleet
+	// while the workload runs; the pipeline and /healthz must not care.
+	FaultSlowSSE = "slow-sse"
+)
+
+// Fault is one fault script, interpreted per Kind.
+type Fault struct {
+	Kind string `json:"kind"`
+	// Link parameterizes the chaos injector for the link-* kinds, the
+	// skew draw for clock-skew (SkewMax plus Seed).
+	Link chaos.Config `json:"-"`
+	// FS parameterizes the filesystem injector for the fs-* kinds.
+	FS statestore.FaultConfig `json:"-"`
+	// SSEClients is how many stalled event-stream consumers slow-sse
+	// attaches (default 4).
+	SSEClients int `json:"sse_clients,omitempty"`
+	// KillFraction positions the drill's kill point for the link-*
+	// kinds (default 0.5).
+	KillFraction float64 `json:"kill_fraction,omitempty"`
+}
+
+// Spec renders the fault script canonically for the report — the same
+// role chaos.Config.Spec plays for the -chaos flag, covering whichever
+// injector the kind uses.
+func (f Fault) Spec() string {
+	s := f.Kind
+	if ls := f.Link.Spec(); ls != "" {
+		s += " link{" + ls + "}"
+	}
+	if f.FS.Seed != 0 || f.FS.WriteErrProb > 0 || f.FS.ShortWriteProb > 0 || f.FS.SyncErrProb > 0 || f.FS.DirSyncErrProb > 0 {
+		s += fmt.Sprintf(" fs{seed=%d,write=%g,short=%g,sync=%g,dirsync=%g}",
+			f.FS.Seed, f.FS.WriteErrProb, f.FS.ShortWriteProb, f.FS.SyncErrProb, f.FS.DirSyncErrProb)
+	}
+	if f.SSEClients > 0 {
+		s += fmt.Sprintf(" sse{clients=%d}", f.SSEClients)
+	}
+	return s
+}
+
+// Case is one scenario × fault combination.
+type Case struct {
+	// Name labels the case in the report; unique within a campaign.
+	Name string `json:"name"`
+	// Scenario is a scenario-factory pack name (scenario.Lookup).
+	Scenario string `json:"scenario"`
+	// Duration, Population, and TransitTime shrink the pack to gauntlet
+	// scale when nonzero — campaigns run many cases, so each one is a
+	// few virtual minutes, not the pack's full shift.
+	Duration    time.Duration `json:"duration_ns,omitempty"`
+	Population  int           `json:"population,omitempty"`
+	TransitTime time.Duration `json:"transit_time_ns,omitempty"`
+	// Seed drives the compiled timeline and every injector draw.
+	Seed int64 `json:"seed"`
+	// Speed paces delivery (virtual seconds per wall second; 0 =
+	// unthrottled). Link cases want pacing so the chaos injector sees
+	// live traffic; in-memory cases run unthrottled.
+	Speed float64 `json:"speed"`
+	// Fault is the script this case runs under.
+	Fault Fault `json:"fault"`
+}
+
+// Campaign is a named list of cases run as one unit.
+type Campaign struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Cases       []Case `json:"-"`
+}
+
+// Runner executes one campaign. The zero value is not usable: construct
+// with NewRunner.
+type Runner struct {
+	campaign Campaign
+	dir      string
+	seed     int64
+	logf     func(format string, args ...any)
+}
+
+// NewRunner prepares a campaign run. dir is the scratch root for the
+// state directories the cases create (required). seed offsets every
+// case seed, so one campaign definition yields fresh-but-reproducible
+// workloads per seed. logf, when non-nil, receives one progress line
+// per case.
+func NewRunner(c Campaign, dir string, seed int64, logf func(format string, args ...any)) *Runner {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Runner{campaign: c, dir: dir, seed: seed, logf: logf}
+}

@@ -1,0 +1,220 @@
+package gauntlet
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"tagwatch/internal/chaos"
+	"tagwatch/internal/fleet"
+	"tagwatch/internal/statestore"
+)
+
+// miniCampaign is a cheap in-process matrix: no failover drills (those
+// get their own wall-clock budget in the CI gauntlet-smoke job), but
+// still three fault kinds and six oracle families.
+func miniCampaign() Campaign {
+	return Campaign{
+		Name:        "mini",
+		Description: "test-sized campaign",
+		Cases: []Case{
+			{
+				Name: "clean", Scenario: "trackpoint",
+				Duration: 90 * time.Second, Population: 60, TransitTime: 15 * time.Second,
+				Seed:  1,
+				Fault: Fault{Kind: FaultNone},
+			},
+			{
+				Name: "enospc", Scenario: "trackpoint",
+				Duration: 90 * time.Second, Population: 60, TransitTime: 15 * time.Second,
+				Seed: 2,
+				Fault: Fault{Kind: FaultFSENOSPC,
+					FS: statestore.FaultConfig{Seed: 5, WriteErrProb: 0.5, ShortWriteProb: 1}},
+			},
+			{
+				Name: "skew", Scenario: "warehouse-crossdock",
+				Duration: 90 * time.Second, Population: 60, TransitTime: 15 * time.Second,
+				Seed: 3,
+				Fault: Fault{Kind: FaultClockSkew,
+					Link: chaos.Config{Seed: 7, SkewMax: time.Minute}},
+			},
+		},
+	}
+}
+
+func runCampaign(t *testing.T, c Campaign, seed int64) *Report {
+	t.Helper()
+	r := NewRunner(c, t.TempDir(), seed, t.Logf)
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("campaign %q did not run: %v", c.Name, err)
+	}
+	return rep
+}
+
+// TestMiniCampaignPassesAndReproduces is the heart of the gauntlet
+// contract: the same campaign and seed must pass every oracle twice
+// over and hash to the same verdict fingerprint both times.
+func TestMiniCampaignPassesAndReproduces(t *testing.T) {
+	first := runCampaign(t, miniCampaign(), 42)
+	if !first.AllPassed {
+		for _, c := range first.Cases {
+			for _, o := range c.Oracles {
+				t.Logf("%s/%s passed=%v %s", c.Name, o.Name, o.Passed, o.Detail)
+			}
+			if c.Error != "" {
+				t.Logf("%s error: %s", c.Name, c.Error)
+			}
+		}
+		t.Fatalf("mini campaign failed: %d/%d cases passed", first.Passed, len(first.Cases))
+	}
+	if first.Fingerprint == "" {
+		t.Fatal("report has no fingerprint")
+	}
+
+	second := runCampaign(t, miniCampaign(), 42)
+	if second.Fingerprint != first.Fingerprint {
+		t.Fatalf("same campaign, same seed, different fingerprints:\n  %s\n  %s",
+			first.Fingerprint, second.Fingerprint)
+	}
+
+	reseeded := runCampaign(t, miniCampaign(), 43)
+	if reseeded.Fingerprint == first.Fingerprint {
+		t.Fatal("different seed produced an identical fingerprint; seed is not reaching the cases")
+	}
+	if !reseeded.AllPassed {
+		t.Fatalf("reseeded campaign failed: %d/%d cases passed", reseeded.Passed, len(reseeded.Cases))
+	}
+}
+
+// TestOraclesRejectDivergence: each comparison oracle must actually
+// fail on the divergence it claims to detect — an oracle that cannot
+// fail proves nothing.
+func TestOraclesRejectDivergence(t *testing.T) {
+	if o := matchOracle("abc", "abd"); o.Passed {
+		t.Error("matchOracle passed on different fingerprints")
+	}
+	if o := matchOracle("", ""); o.Passed {
+		t.Error("matchOracle passed on empty fingerprints")
+	}
+	if o := matchOracle("abc", "abc"); !o.Passed {
+		t.Error("matchOracle failed on equal fingerprints")
+	}
+
+	a := []fleet.TagState{{EPC: "e1", Reads: 3}, {EPC: "e2", Reads: 5}}
+	if o := tagSetOracle(a, a); !o.Passed {
+		t.Errorf("tagSetOracle failed on identical sets: %s", o.Detail)
+	}
+	missing := []fleet.TagState{{EPC: "e1", Reads: 3}}
+	if o := tagSetOracle(a, missing); o.Passed {
+		t.Error("tagSetOracle passed with a missing tag")
+	}
+	miscount := []fleet.TagState{{EPC: "e1", Reads: 3}, {EPC: "e2", Reads: 6}}
+	if o := tagSetOracle(a, miscount); o.Passed {
+		t.Error("tagSetOracle passed with a diverged read count")
+	}
+	invented := []fleet.TagState{{EPC: "e1", Reads: 3}, {EPC: "e3", Reads: 5}}
+	if o := tagSetOracle(a, invented); o.Passed {
+		t.Error("tagSetOracle passed with an invented tag")
+	}
+
+	if o := subsetOracle(a, a[:1]); !o.Passed {
+		t.Errorf("subsetOracle failed on a genuine subset: %s", o.Detail)
+	}
+	if o := subsetOracle(a, invented); o.Passed {
+		t.Error("subsetOracle passed with an invented tag")
+	}
+	if o := subsetOracle(a, nil); o.Passed {
+		t.Error("subsetOracle passed on empty recovery")
+	}
+}
+
+// TestSmokeCampaignShape: the built-in smoke campaign must satisfy the
+// gauntlet's own acceptance floor — enough cases, enough distinct
+// oracle-relevant fault kinds, every scenario resolvable, names unique.
+func TestSmokeCampaignShape(t *testing.T) {
+	c, err := Lookup("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Cases) < 8 {
+		t.Fatalf("smoke campaign has %d cases; the acceptance floor is 8", len(c.Cases))
+	}
+	kinds := map[string]bool{}
+	names := map[string]bool{}
+	for _, cs := range c.Cases {
+		if names[cs.Name] {
+			t.Errorf("duplicate case name %q", cs.Name)
+		}
+		names[cs.Name] = true
+		kinds[cs.Fault.Kind] = true
+		if _, err := caseSpec(cs); err != nil {
+			t.Errorf("case %q: %v", cs.Name, err)
+		}
+		if cs.Fault.Spec() == "" {
+			t.Errorf("case %q renders an empty fault spec", cs.Name)
+		}
+	}
+	for _, k := range []string{FaultNone, FaultLinkChaos, FaultLinkPartition, FaultLinkFlap,
+		FaultFSENOSPC, FaultFSEIO, FaultClockSkew, FaultSlowSSE} {
+		if !kinds[k] {
+			t.Errorf("smoke campaign never exercises fault kind %q", k)
+		}
+	}
+
+	if _, err := Lookup("no-such-campaign"); err == nil {
+		t.Error("Lookup accepted an unknown campaign")
+	}
+	if got := Names(); len(got) == 0 || got[0] != "smoke" {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+// TestFaultSpecRendersEveryInjector: the fingerprinted fault script must
+// mention whichever injector the fault parameterizes, so silently
+// editing a campaign definition changes the verdict fingerprint.
+func TestFaultSpecRendersEveryInjector(t *testing.T) {
+	f := Fault{
+		Kind:       FaultLinkFlap,
+		Link:       chaos.Config{Seed: 3, FlapBytes: 1024},
+		FS:         statestore.FaultConfig{Seed: 9, SyncErrProb: 1},
+		SSEClients: 2,
+	}
+	s := f.Spec()
+	for _, want := range []string{"link-flap", "link{", "flap=1024", "fs{", "sync=1", "sse{clients=2}"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fault.Spec() = %q; missing %q", s, want)
+		}
+	}
+	if got := (Fault{Kind: FaultNone}).Spec(); got != "none" {
+		t.Errorf("clean fault spec = %q, want %q", got, "none")
+	}
+}
+
+// TestRunnerRefusesBadSetups: campaign-level misconfiguration is an
+// error, not a report.
+func TestRunnerRefusesBadSetups(t *testing.T) {
+	if _, err := NewRunner(miniCampaign(), "", 1, nil).Run(context.Background()); err == nil {
+		t.Error("Run accepted an empty scratch dir")
+	}
+	if _, err := NewRunner(Campaign{Name: "hollow"}, t.TempDir(), 1, nil).Run(context.Background()); err == nil {
+		t.Error("Run accepted a campaign with no cases")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewRunner(miniCampaign(), t.TempDir(), 1, nil).Run(ctx); err == nil {
+		t.Error("Run ignored a cancelled context")
+	}
+
+	// A case with an unknown fault kind fails its case, not the run.
+	c := Campaign{Name: "bad-kind", Cases: []Case{{
+		Name: "mystery", Scenario: "trackpoint",
+		Duration: 90 * time.Second, Population: 40, TransitTime: 15 * time.Second,
+		Fault: Fault{Kind: "gremlins"},
+	}}}
+	rep := runCampaign(t, c, 1)
+	if rep.AllPassed || rep.Cases[0].Error == "" {
+		t.Errorf("unknown fault kind should fail the case: %+v", rep.Cases[0])
+	}
+}

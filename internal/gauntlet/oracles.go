@@ -1,0 +1,151 @@
+package gauntlet
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"tagwatch/internal/fleet"
+)
+
+// Oracle names. Each is a distinct invariant family; a campaign's
+// verdict is the conjunction of every oracle row it emits.
+const (
+	// OracleRegistryMatch: the faulted (or promoted) registry fingerprint
+	// equals the no-fault control's — byte-identical tag state.
+	OracleRegistryMatch = "registry-match"
+	// OracleTagSetMatch: the faulted run observed exactly the control's
+	// tag set with the same per-tag read counts (used where timestamps
+	// legitimately differ, e.g. clock skew).
+	OracleTagSetMatch = "tag-set-match"
+	// OracleStoreRecoverable: reopening the faulted state directory on a
+	// healthy filesystem recovers a clean, non-poisoned store whose tags
+	// are a subset of the control's — no invented state, no refusal.
+	OracleStoreRecoverable = "store-recoverable"
+	// OracleDurabilityHonest: when the disk misbehaved, the durability
+	// paths said so — the explicit sync and the final save returned
+	// errors instead of acking lost data.
+	OracleDurabilityHonest = "durability-honest"
+	// OracleHealthzSLO: every /healthz probe during the faulted run
+	// answered 200 within the SLO.
+	OracleHealthzSLO = "healthz-slo"
+	// OracleReplicationReanchored: the standby survived session deaths by
+	// re-negotiating (≥ 2 sessions) and still converged — re-anchor, not
+	// divergence.
+	OracleReplicationReanchored = "replication-reanchored"
+	// OracleFaultExercised: the injected fault actually fired — a
+	// campaign that passes without injecting anything proves nothing.
+	OracleFaultExercised = "fault-exercised"
+	// OracleGoroutinesBounded / OracleHeapBounded: after teardown the
+	// process returned to its resource baseline (plus slack) — no leaked
+	// goroutines, no unbounded heap.
+	OracleGoroutinesBounded = "goroutines-bounded"
+	OracleHeapBounded       = "heap-bounded"
+)
+
+// healthzSLO is how long a /healthz probe may take before the oracle
+// fails. Deliberately generous: the oracle is part of the deterministic
+// fingerprint, so it must hold on a loaded CI machine, not just a quiet
+// laptop.
+const healthzSLO = 2 * time.Second
+
+// resource slack above the pre-case baseline that still counts as
+// bounded. Goroutine slack covers the runtime's own pool variance; heap
+// slack covers GC timing across identically-sized runs.
+const (
+	goroutineSlack = 32
+	heapSlackBytes = 128 << 20
+)
+
+// oracle builds one verdict row.
+func oracle(name string, passed bool, format string, args ...any) OracleResult {
+	return OracleResult{Name: name, Passed: passed, Detail: fmt.Sprintf(format, args...)}
+}
+
+// matchOracle compares the differential fingerprint pair.
+func matchOracle(control, faulted string) OracleResult {
+	return oracle(OracleRegistryMatch, control != "" && control == faulted,
+		"control %.12s vs faulted %.12s", control, faulted)
+}
+
+// tagSetOracle compares per-EPC read counts between two registry
+// snapshots — identity of what was observed, ignoring when.
+func tagSetOracle(control, faulted []fleet.TagState) OracleResult {
+	if len(control) != len(faulted) {
+		return oracle(OracleTagSetMatch, false, "%d control tags vs %d faulted", len(control), len(faulted))
+	}
+	reads := make(map[string]uint64, len(control))
+	for _, st := range control {
+		reads[st.EPC] = st.Reads
+	}
+	for _, st := range faulted {
+		want, ok := reads[st.EPC]
+		if !ok {
+			return oracle(OracleTagSetMatch, false, "faulted run invented tag %s", st.EPC)
+		}
+		if st.Reads != want {
+			return oracle(OracleTagSetMatch, false, "tag %s read %d times, control %d", st.EPC, st.Reads, want)
+		}
+	}
+	return oracle(OracleTagSetMatch, true, "%d tags, identical read counts", len(control))
+}
+
+// subsetOracle checks the recovered registry against the control set:
+// everything recovered must be a tag the control run saw (no invented
+// state), and recovery must not come back empty when the fault struck
+// after a durable anchor.
+func subsetOracle(control, recovered []fleet.TagState) OracleResult {
+	seen := make(map[string]bool, len(control))
+	for _, st := range control {
+		seen[st.EPC] = true
+	}
+	for _, st := range recovered {
+		if !seen[st.EPC] {
+			return oracle(OracleStoreRecoverable, false, "recovered tag %s the control never saw", st.EPC)
+		}
+	}
+	if len(recovered) == 0 {
+		return oracle(OracleStoreRecoverable, false, "recovery came back empty despite a durable anchor")
+	}
+	return oracle(OracleStoreRecoverable, true, "%d of %d control tags recovered, none invented",
+		len(recovered), len(control))
+}
+
+// resourceBaseline snapshots the process before a case so the bounded
+// oracles have something to compare against.
+type resourceBaseline struct {
+	goroutines int
+	heap       uint64
+}
+
+func takeBaseline() resourceBaseline {
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	return resourceBaseline{goroutines: runtime.NumGoroutine(), heap: ms.HeapAlloc}
+}
+
+// boundedOracles polls the process back toward the baseline after a
+// case tears down. Goroutines get a settle window (Stop is synchronous
+// but the runtime reaps asynchronously); heap is measured after a
+// forced GC. Returns the two oracle rows plus the final measurements.
+func boundedOracles(base resourceBaseline) (gor, heap OracleResult, finalG int, finalHeap uint64) {
+	limit := base.goroutines + goroutineSlack
+	deadline := time.Now().Add(5 * time.Second)
+	finalG = runtime.NumGoroutine()
+	for finalG > limit && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		finalG = runtime.NumGoroutine()
+	}
+	gor = oracle(OracleGoroutinesBounded, finalG <= limit,
+		"%d goroutines after teardown, baseline %d (+%d slack)", finalG, base.goroutines, goroutineSlack)
+
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	finalHeap = ms.HeapAlloc
+	heap = oracle(OracleHeapBounded, finalHeap <= base.heap+heapSlackBytes,
+		"%d MiB heap after teardown, baseline %d MiB (+%d MiB slack)",
+		finalHeap>>20, base.heap>>20, heapSlackBytes>>20)
+	return gor, heap, finalG, finalHeap
+}

@@ -1,0 +1,124 @@
+package gauntlet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"tagwatch/internal/chaos"
+	"tagwatch/internal/replication"
+	"tagwatch/internal/statestore"
+)
+
+// OracleResult is one invariant's verdict on one case.
+type OracleResult struct {
+	// Name identifies the invariant (e.g. "registry-match",
+	// "store-recoverable"); Passed is the verdict. Both are part of the
+	// report fingerprint.
+	Name   string `json:"name"`
+	Passed bool   `json:"passed"`
+	// Detail says why, for humans; excluded from the fingerprint (it
+	// may quote wall timings or counters).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Measurements are the non-deterministic observations of a case: real
+// fault counts, resource levels, probe latencies. Reported for humans
+// and assertions-by-oracle, excluded from the fingerprint (several
+// depend on wall-clock interleaving).
+type Measurements struct {
+	Chaos           chaos.Stats               `json:"chaos"`
+	FS              statestore.FaultStats     `json:"fs"`
+	Standby         replication.StandbyStatus `json:"standby"`
+	Goroutines      int                       `json:"goroutines,omitempty"`
+	HeapBytes       uint64                    `json:"heap_bytes,omitempty"`
+	WorstHealthzMS  int64                     `json:"worst_healthz_ms,omitempty"`
+	HealthzProbes   int                       `json:"healthz_probes,omitempty"`
+	RecoveredTags   int                       `json:"recovered_tags,omitempty"`
+	SkewMaxAppliedS float64                   `json:"skew_max_applied_s,omitempty"`
+}
+
+// CaseResult is one case's outcome.
+type CaseResult struct {
+	Name     string `json:"name"`
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	// FaultSpec is the canonical fault-script rendering — fingerprinted,
+	// so a silently changed campaign definition changes the verdict
+	// fingerprint too.
+	FaultSpec string `json:"fault_spec"`
+
+	// ControlFingerprint and FaultedFingerprint are the differential
+	// pair: the registry identity of the unfaulted control run and of
+	// the run under fault (for the drill kinds, of the promoted
+	// standby).
+	ControlFingerprint string `json:"control_fingerprint"`
+	FaultedFingerprint string `json:"faulted_fingerprint"`
+
+	Oracles []OracleResult `json:"oracles"`
+	Passed  bool           `json:"passed"`
+
+	// Error is set when the case could not run to a verdict at all; the
+	// case counts as failed. Excluded from the fingerprint (error text
+	// often embeds addresses or timing).
+	Error string `json:"error,omitempty"`
+
+	Measure Measurements `json:"measurements"`
+}
+
+// Wall is the non-deterministic timing section, excluded from the
+// fingerprint.
+type Wall struct {
+	Start     time.Time `json:"start"`
+	End       time.Time `json:"end"`
+	ElapsedMS int64     `json:"elapsed_ms"`
+}
+
+// Report is the campaign verdict cmd/gauntlet emits as JSON.
+type Report struct {
+	Campaign    string `json:"campaign"`
+	Description string `json:"description"`
+	Seed        int64  `json:"seed"`
+
+	Cases  []CaseResult `json:"cases"`
+	Passed int          `json:"passed"`
+	Failed int          `json:"failed"`
+	// AllPassed is the campaign verdict: every case ran and every
+	// oracle held.
+	AllPassed bool `json:"all_passed"`
+
+	// Fingerprint hashes the deterministic portion of the report; two
+	// runs of the same campaign and seed must agree on it.
+	Fingerprint string `json:"fingerprint"`
+	Wall        Wall   `json:"wall"`
+}
+
+// fingerprint hashes the deterministic portion: the JSON encoding with
+// Fingerprint, Wall, every case's Error and Measurements, and every
+// oracle's Detail zeroed. Everything that remains — case identity,
+// fault scripts, control/faulted fingerprints, oracle verdicts — must
+// reproduce run to run.
+func (r *Report) fingerprint() (string, error) {
+	cp := *r
+	cp.Fingerprint = ""
+	cp.Wall = Wall{}
+	cp.Cases = make([]CaseResult, len(r.Cases))
+	for i, c := range r.Cases {
+		c.Error = ""
+		c.Measure = Measurements{}
+		c.Oracles = make([]OracleResult, len(r.Cases[i].Oracles))
+		for j, o := range r.Cases[i].Oracles {
+			o.Detail = ""
+			c.Oracles[j] = o
+		}
+		cp.Cases[i] = c
+	}
+	b, err := json.Marshal(cp)
+	if err != nil {
+		return "", fmt.Errorf("gauntlet: fingerprint: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,522 @@
+package gauntlet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"time"
+
+	"tagwatch/internal/chaos"
+	"tagwatch/internal/fleet"
+	"tagwatch/internal/replay"
+	"tagwatch/internal/scenario"
+	"tagwatch/internal/statestore"
+)
+
+// caseFleetConfig is the fleet configuration every gauntlet node uses.
+// Like the failover drill, quarantine and capacity bounds are off: both
+// are node-local state that intentionally does not replicate or
+// persist, so differential runs would diverge by design, not by bug.
+func caseFleetConfig(stateDir string) fleet.Config {
+	fc := fleet.DefaultConfig()
+	fc.QuarantineK = 0
+	fc.MaxTags = 0
+	fc.StateDir = stateDir
+	return fc
+}
+
+// Run executes every case in the campaign and returns the verdict
+// report. A non-nil error means the campaign could not run at all
+// (bad configuration, cancelled context); a campaign whose oracles
+// failed returns AllPassed=false, not an error, so callers can emit the
+// full differential evidence.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	if r.dir == "" {
+		return nil, errors.New("gauntlet: scratch dir is required")
+	}
+	if len(r.campaign.Cases) == 0 {
+		return nil, fmt.Errorf("gauntlet: campaign %q has no cases", r.campaign.Name)
+	}
+	rep := &Report{
+		Campaign:    r.campaign.Name,
+		Description: r.campaign.Description,
+		Seed:        r.seed,
+	}
+	start := time.Now()
+	for i, c := range r.campaign.Cases {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("gauntlet: aborted before case %q: %w", c.Name, err)
+		}
+		res := r.runCase(ctx, i, c)
+		if res.Passed {
+			rep.Passed++
+		} else {
+			rep.Failed++
+		}
+		verdict := "PASS"
+		if !res.Passed {
+			verdict = "FAIL"
+		}
+		r.logf("gauntlet: [%d/%d] %-28s %-40s %s", i+1, len(r.campaign.Cases), c.Name, res.FaultSpec, verdict)
+		rep.Cases = append(rep.Cases, res)
+	}
+	rep.AllPassed = rep.Failed == 0
+	fp, err := rep.fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	rep.Fingerprint = fp
+	end := time.Now()
+	rep.Wall = Wall{Start: start, End: end, ElapsedMS: end.Sub(start).Milliseconds()}
+	return rep, nil
+}
+
+// caseSpec resolves the case's scenario pack and applies its shrink
+// overrides.
+func caseSpec(c Case) (scenario.Spec, error) {
+	spec, err := scenario.Lookup(c.Scenario)
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	if c.Duration > 0 {
+		spec.Duration = c.Duration
+	}
+	if c.Population > 0 {
+		spec.Population = c.Population
+	}
+	if c.TransitTime > 0 {
+		spec.TransitTime = c.TransitTime
+	}
+	if err := spec.Validate(); err != nil {
+		return scenario.Spec{}, fmt.Errorf("case %q: shrunk spec invalid: %w", c.Name, err)
+	}
+	return spec, nil
+}
+
+// runCase executes one case end to end: fault script, oracles, resource
+// bounds. Failures to even run land in res.Error; oracle verdicts land
+// in res.Oracles. Either way the case reports rather than aborting the
+// campaign.
+func (r *Runner) runCase(ctx context.Context, idx int, c Case) CaseResult {
+	seed := r.seed + c.Seed
+	res := CaseResult{Name: c.Name, Scenario: c.Scenario, Seed: seed, FaultSpec: c.Fault.Spec()}
+	base := takeBaseline()
+
+	spec, err := caseSpec(c)
+	if err == nil {
+		caseDir := filepath.Join(r.dir, fmt.Sprintf("case-%02d", idx))
+		switch c.Fault.Kind {
+		case FaultNone:
+			err = r.runNone(ctx, &res, spec, seed, caseDir)
+		case FaultLinkChaos, FaultLinkPartition, FaultLinkFlap:
+			err = r.runDrill(ctx, &res, spec, seed, c, caseDir)
+		case FaultFSENOSPC, FaultFSEIO:
+			err = r.runFS(ctx, &res, spec, seed, c, caseDir)
+		case FaultClockSkew:
+			err = r.runSkew(ctx, &res, spec, seed, c)
+		case FaultSlowSSE:
+			err = r.runSSE(ctx, &res, spec, seed, c)
+		default:
+			err = fmt.Errorf("case %q: unknown fault kind %q", c.Name, c.Fault.Kind)
+		}
+	}
+	if err != nil {
+		res.Error = err.Error()
+	}
+
+	gor, heap, g, h := boundedOracles(base)
+	res.Oracles = append(res.Oracles, gor, heap)
+	res.Measure.Goroutines = g
+	res.Measure.HeapBytes = h
+
+	res.Passed = res.Error == ""
+	for _, o := range res.Oracles {
+		if !o.Passed {
+			res.Passed = false
+		}
+	}
+	return res
+}
+
+// runControl feeds the whole timeline through an unfaulted in-memory
+// fleet — the differential baseline every case compares against.
+func runControl(ctx context.Context, compiled *scenario.Compiled) (string, []fleet.TagState, error) {
+	m := fleet.New(caseFleetConfig(""))
+	if err := m.Start(ctx); err != nil {
+		return "", nil, fmt.Errorf("gauntlet: start control fleet: %w", err)
+	}
+	if err := replay.Feed(ctx, m, compiled, 0, len(compiled.Events), 0); err != nil {
+		//tagwatch:allow-droppederr in-memory fleet; the feed error is what matters
+		_ = m.Stop()
+		return "", nil, err
+	}
+	fp, err := replay.RegistryFingerprint(m.Registry())
+	snap := m.Registry().Snapshot()
+	if serr := m.Stop(); err == nil {
+		err = serr
+	}
+	if err != nil {
+		return "", nil, err
+	}
+	return fp, snap, nil
+}
+
+// runNone is the no-fault durable case: the same timeline through a
+// fleet with a real state directory must produce registry state
+// identical to the in-memory control, and a reopen must restore exactly
+// that state. This is the campaign's own control-of-controls — if it
+// fails, the harness, not the system, is broken.
+func (r *Runner) runNone(ctx context.Context, res *CaseResult, spec scenario.Spec, seed int64, dir string) error {
+	compiled, err := scenario.Compile(spec, seed)
+	if err != nil {
+		return err
+	}
+	controlFP, controlSnap, err := runControl(ctx, compiled)
+	if err != nil {
+		return err
+	}
+	res.ControlFingerprint = controlFP
+
+	fc := caseFleetConfig(filepath.Join(dir, "state"))
+	fc.JournalFlush = 50 * time.Millisecond
+	fc.SnapshotInterval = time.Second
+	m := fleet.New(fc)
+	if err := m.Start(ctx); err != nil {
+		return err
+	}
+	if err := replay.Feed(ctx, m, compiled, 0, len(compiled.Events), 0); err != nil {
+		//tagwatch:allow-droppederr the feed error is what matters
+		_ = m.Stop()
+		return err
+	}
+	res.FaultedFingerprint, err = replay.RegistryFingerprint(m.Registry())
+	if serr := m.Stop(); err == nil {
+		err = serr
+	}
+	if err != nil {
+		return err
+	}
+	res.Oracles = append(res.Oracles, matchOracle(res.ControlFingerprint, res.FaultedFingerprint))
+
+	// Reopen the state directory: the final save must restore the same
+	// tag set with the same read counts.
+	m2 := fleet.New(caseFleetConfig(filepath.Join(dir, "state")))
+	if err := m2.Start(ctx); err != nil {
+		return fmt.Errorf("reopen saved state: %w", err)
+	}
+	recovered := m2.Registry().Snapshot()
+	res.Measure.RecoveredTags = len(recovered)
+	if err := m2.Stop(); err != nil {
+		return err
+	}
+	set := tagSetOracle(controlSnap, recovered)
+	set.Name = OracleStoreRecoverable
+	res.Oracles = append(res.Oracles, set)
+	return nil
+}
+
+// runDrill routes the link-* kinds through the failover drill: the
+// replication transport carries the configured fault while the primary
+// is killed mid-run and the standby promoted.
+func (r *Runner) runDrill(ctx context.Context, res *CaseResult, spec scenario.Spec, seed int64, c Case, dir string) error {
+	drep, err := replay.RunFailoverDrill(ctx, replay.DrillConfig{
+		Spec:         spec,
+		Seed:         seed,
+		Speed:        c.Speed,
+		KillFraction: c.Fault.KillFraction,
+		Link:         c.Fault.Link,
+		Dir:          dir,
+	})
+	if err != nil {
+		return err
+	}
+	res.ControlFingerprint = drep.ControlFingerprint
+	res.FaultedFingerprint = drep.PromotedFingerprint
+	res.Measure.Chaos = drep.Chaos
+	res.Measure.Standby = drep.Standby
+
+	res.Oracles = append(res.Oracles, matchOracle(drep.ControlFingerprint, drep.PromotedFingerprint))
+
+	var fired uint64
+	var what string
+	switch c.Fault.Kind {
+	case FaultLinkPartition:
+		fired, what = drep.Chaos.Partitions, "partitions"
+	case FaultLinkFlap:
+		fired, what = drep.Chaos.Flaps, "flaps"
+	default:
+		fired = drep.Chaos.Truncations + drep.Chaos.Corruptions + drep.Chaos.Resets +
+			drep.Chaos.Stalls + drep.Chaos.Blackholes + drep.Chaos.Refusals
+		what = "link faults"
+	}
+	res.Oracles = append(res.Oracles,
+		oracle(OracleFaultExercised, fired > 0, "%d %s injected over %d conns", fired, what, drep.Chaos.Conns),
+		oracle(OracleReplicationReanchored,
+			drep.Standby.Sessions >= 2 && drep.Standby.Records > 0,
+			"%d sessions, %d records, %d resync wipes", drep.Standby.Sessions, drep.Standby.Records, drep.Standby.Wipes))
+	return nil
+}
+
+// runFS scripts a disk that goes bad mid-run: boot clean, feed half the
+// timeline, anchor it durably, then arm the filesystem injector and
+// finish the run on a failing disk. The in-memory pipeline must not
+// notice; the durability paths must refuse honestly; a reopen on a
+// healthy disk must recover the anchored state.
+func (r *Runner) runFS(ctx context.Context, res *CaseResult, spec scenario.Spec, seed int64, c Case, dir string) error {
+	compiled, err := scenario.Compile(spec, seed)
+	if err != nil {
+		return err
+	}
+	controlFP, controlSnap, err := runControl(ctx, compiled)
+	if err != nil {
+		return err
+	}
+	res.ControlFingerprint = controlFP
+
+	ffs := statestore.NewFaultFS(nil, c.Fault.FS)
+	ffs.Arm(false)
+	stateDir := filepath.Join(dir, "state")
+	fc := caseFleetConfig(stateDir)
+	fc.StateFS = ffs
+	// The poisoning points are scripted (the explicit sync below and the
+	// final save), not raced against a background checkpoint cadence.
+	fc.JournalFlush = time.Hour
+	fc.SnapshotInterval = time.Hour
+	m := fleet.New(fc)
+	if err := m.Start(ctx); err != nil {
+		return err
+	}
+	half := len(compiled.Events) / 2
+	if err := replay.Feed(ctx, m, compiled, 0, half, 0); err != nil {
+		m.Kill()
+		return err
+	}
+	if err := m.SyncReplication(ctx); err != nil {
+		m.Kill()
+		return fmt.Errorf("durable anchor before fault: %w", err)
+	}
+
+	ffs.Arm(true)
+	if err := replay.Feed(ctx, m, compiled, half, len(compiled.Events), 0); err != nil {
+		m.Kill()
+		return err
+	}
+	res.FaultedFingerprint, err = replay.RegistryFingerprint(m.Registry())
+	if err != nil {
+		m.Kill()
+		return err
+	}
+	syncErr := m.SyncReplication(ctx)
+	stopErr := m.Stop()
+	res.Measure.FS = ffs.Stats()
+
+	res.Oracles = append(res.Oracles,
+		matchOracle(res.ControlFingerprint, res.FaultedFingerprint),
+		oracle(OracleDurabilityHonest, syncErr != nil && stopErr != nil,
+			"sync said %v; final save said %v", syncErr, stopErr),
+		oracle(OracleFaultExercised,
+			res.Measure.FS.WriteFaults+res.Measure.FS.ShortWrites+res.Measure.FS.SyncFaults > 0,
+			"fs faults: %+v", res.Measure.FS))
+
+	// Recovery on a healthy filesystem: the anchored prefix comes back,
+	// nothing invented, store not poisoned.
+	m2 := fleet.New(caseFleetConfig(stateDir))
+	if err := m2.Start(ctx); err != nil {
+		res.Oracles = append(res.Oracles,
+			oracle(OracleStoreRecoverable, false, "reopen failed: %v", err))
+		return nil
+	}
+	recovered := m2.Registry().Snapshot()
+	res.Measure.RecoveredTags = len(recovered)
+	if err := m2.Stop(); err != nil {
+		res.Oracles = append(res.Oracles,
+			oracle(OracleStoreRecoverable, false, "reopened store could not save: %v", err))
+		return nil
+	}
+	res.Oracles = append(res.Oracles, subsetOracle(controlSnap, recovered))
+	return nil
+}
+
+// runSkew feeds the timeline through readers whose clocks disagree by
+// deterministic per-gate offsets. The set of tags observed — and how
+// often — must not change; only timestamps may.
+func (r *Runner) runSkew(ctx context.Context, res *CaseResult, spec scenario.Spec, seed int64, c Case) error {
+	compiled, err := scenario.Compile(spec, seed)
+	if err != nil {
+		return err
+	}
+	controlFP, controlSnap, err := runControl(ctx, compiled)
+	if err != nil {
+		return err
+	}
+	res.ControlFingerprint = controlFP
+
+	inj := chaos.New(c.Fault.Link)
+	skews := make([]time.Duration, len(spec.Gates))
+	var maxAbs time.Duration
+	for i, g := range spec.Gates {
+		skews[i] = inj.Skew(g.Reader)
+		if d := skews[i]; d > maxAbs {
+			maxAbs = d
+		} else if -d > maxAbs {
+			maxAbs = -d
+		}
+	}
+	res.Measure.SkewMaxAppliedS = maxAbs.Seconds()
+
+	m := fleet.New(caseFleetConfig(""))
+	if err := m.Start(ctx); err != nil {
+		return err
+	}
+	if err := replay.FeedSkewed(ctx, m, compiled, 0, len(compiled.Events), 0, skews); err != nil {
+		//tagwatch:allow-droppederr the feed error is what matters
+		_ = m.Stop()
+		return err
+	}
+	res.FaultedFingerprint, err = replay.RegistryFingerprint(m.Registry())
+	faulted := m.Registry().Snapshot()
+	if serr := m.Stop(); err == nil {
+		err = serr
+	}
+	if err != nil {
+		return err
+	}
+	res.Oracles = append(res.Oracles,
+		tagSetOracle(controlSnap, faulted),
+		oracle(OracleFaultExercised, maxAbs > 0, "largest per-gate offset %v", maxAbs))
+	return nil
+}
+
+// probeOutcome is what the healthz prober saw during a faulted run.
+type probeOutcome struct {
+	probes   int
+	failures int
+	worst    time.Duration
+}
+
+// probeHealthz polls /healthz until ctx is cancelled. Each probe gets
+// the full SLO as its client timeout; anything slower (or any non-200)
+// counts as a failure.
+func probeHealthz(ctx context.Context, addr string) <-chan probeOutcome {
+	out := make(chan probeOutcome, 1)
+	go func() {
+		var po probeOutcome
+		client := &http.Client{Timeout: healthzSLO}
+		url := "http://" + addr + "/healthz"
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				out <- po
+				return
+			case <-tick.C:
+				start := time.Now()
+				resp, err := client.Get(url)
+				took := time.Since(start)
+				po.probes++
+				if took > po.worst {
+					po.worst = took
+				}
+				if err != nil || resp.StatusCode != http.StatusOK {
+					po.failures++
+				}
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// runSSE attaches stalled event-stream consumers to a live fleet API
+// while the workload runs. The consumers must be shed by the per-write
+// deadlines, not pin the pipeline: registry state must match the
+// control and /healthz must keep answering within the SLO throughout.
+func (r *Runner) runSSE(ctx context.Context, res *CaseResult, spec scenario.Spec, seed int64, c Case) error {
+	compiled, err := scenario.Compile(spec, seed)
+	if err != nil {
+		return err
+	}
+	controlFP, _, err := runControl(ctx, compiled)
+	if err != nil {
+		return err
+	}
+	res.ControlFingerprint = controlFP
+
+	fc := caseFleetConfig("")
+	fc.MaxSSEClients = 8
+	fc.SSEWriteTimeout = 250 * time.Millisecond
+	m := fleet.New(fc)
+	if err := m.Start(ctx); err != nil {
+		return err
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		//tagwatch:allow-droppederr the listen error is what matters
+		_ = m.Stop()
+		return err
+	}
+	sctx, scancel := context.WithCancel(ctx)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- m.Serve(sctx, lis) }()
+	addr := lis.Addr().String()
+
+	clients := c.Fault.SSEClients
+	if clients <= 0 {
+		clients = 4
+	}
+	var conns []net.Conn
+	for i := 0; i < clients; i++ {
+		nc, derr := net.Dial("tcp", addr)
+		if derr != nil {
+			continue
+		}
+		// A subscriber that never reads: the request goes out, then the
+		// client side goes silent while the server's frames pile up.
+		fmt.Fprintf(nc, "GET /api/events HTTP/1.1\r\nHost: gauntlet\r\nAccept: text/event-stream\r\n\r\n")
+		conns = append(conns, nc)
+	}
+
+	pctx, pcancel := context.WithCancel(ctx)
+	probed := probeHealthz(pctx, addr)
+
+	err = replay.Feed(ctx, m, compiled, 0, len(compiled.Events), c.Speed)
+	pcancel()
+	po := <-probed
+	for _, nc := range conns {
+		nc.Close()
+	}
+	if err != nil {
+		scancel()
+		<-serveDone
+		//tagwatch:allow-droppederr the feed error is what matters
+		_ = m.Stop()
+		return err
+	}
+	res.FaultedFingerprint, err = replay.RegistryFingerprint(m.Registry())
+	scancel()
+	if serr := <-serveDone; serr != nil && err == nil {
+		err = serr
+	}
+	if serr := m.Stop(); serr != nil && err == nil {
+		err = serr
+	}
+	if err != nil {
+		return err
+	}
+
+	res.Measure.HealthzProbes = po.probes
+	res.Measure.WorstHealthzMS = po.worst.Milliseconds()
+	res.Oracles = append(res.Oracles,
+		matchOracle(res.ControlFingerprint, res.FaultedFingerprint),
+		oracle(OracleHealthzSLO, po.probes > 0 && po.failures == 0 && po.worst <= healthzSLO,
+			"%d probes, %d failures, worst %v (SLO %v)", po.probes, po.failures, po.worst, healthzSLO),
+		oracle(OracleFaultExercised, len(conns) == clients && clients > 0,
+			"%d stalled event-stream consumers attached", len(conns)))
+	return nil
+}

@@ -18,9 +18,6 @@ package replay
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -106,38 +103,6 @@ func drillFleetConfig(stateDir string) fleet.Config {
 	return fc
 }
 
-// feed delivers compiled events [from, to) through per-gate ingests
-// registered on m, paced at speed virtual seconds per wall second
-// (0 = unthrottled). The pace anchors on the segment's first event, so
-// a post-promotion segment resumes at full rate instead of sleeping
-// through the already-delivered prefix.
-func feed(ctx context.Context, m *fleet.Manager, compiled *scenario.Compiled, from, to int, speed float64) error {
-	ingests := make([]*fleet.Ingest, len(compiled.Spec.Gates))
-	for i, g := range compiled.Spec.Gates {
-		ingests[i] = m.NewIngest(g.Reader)
-	}
-	pace := newPacer(speed, compiled.Events[from].At)
-	for i := from; i < to; i++ {
-		ev := &compiled.Events[i]
-		if err := pace.wait(ctx, ev.At); err != nil {
-			return fmt.Errorf("drill: aborted at event %d: %w", i, err)
-		}
-		deliverEvent(compiled, ingests[ev.Gate], ev)
-	}
-	return nil
-}
-
-// registryFingerprint hashes the registry's sorted snapshot — the
-// deterministic identity the drill compares across runs.
-func registryFingerprint(reg *fleet.Registry) (string, error) {
-	b, err := json.Marshal(reg.Snapshot())
-	if err != nil {
-		return "", fmt.Errorf("drill: fingerprint: %w", err)
-	}
-	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:]), nil
-}
-
 // RunFailoverDrill runs the control and failover replays and compares
 // their registry fingerprints. A non-nil error means the drill could not
 // be run to completion; a completed drill with diverged state returns
@@ -190,12 +155,12 @@ func RunFailoverDrill(ctx context.Context, cfg DrillConfig) (*DrillReport, error
 	if err := control.Start(ctx); err != nil {
 		return nil, fmt.Errorf("drill: start control fleet: %w", err)
 	}
-	if err := feed(ctx, control, compiled, 0, len(compiled.Events), 0); err != nil {
+	if err := Feed(ctx, control, compiled, 0, len(compiled.Events), 0); err != nil {
 		//tagwatch:allow-droppederr in-memory fleet; the feed error is what matters
 		_ = control.Stop()
 		return nil, err
 	}
-	rep.ControlFingerprint, err = registryFingerprint(control.Registry())
+	rep.ControlFingerprint, err = RegistryFingerprint(control.Registry())
 	rep.ControlTags = control.Registry().Len()
 	if serr := control.Stop(); err == nil {
 		err = serr
@@ -247,7 +212,7 @@ func RunFailoverDrill(ctx context.Context, cfg DrillConfig) (*DrillReport, error
 	if err := primary.Start(ctx); err != nil {
 		return nil, fmt.Errorf("drill: start primary: %w", err)
 	}
-	if err := feed(ctx, primary, compiled, 0, kill, cfg.Speed); err != nil {
+	if err := Feed(ctx, primary, compiled, 0, kill, cfg.Speed); err != nil {
 		primary.Kill()
 		return nil, err
 	}
@@ -273,12 +238,12 @@ func RunFailoverDrill(ctx context.Context, cfg DrillConfig) (*DrillReport, error
 	if err != nil {
 		return nil, err
 	}
-	if err := feed(ctx, promoted, compiled, kill, len(compiled.Events), cfg.Speed); err != nil {
+	if err := Feed(ctx, promoted, compiled, kill, len(compiled.Events), cfg.Speed); err != nil {
 		//tagwatch:allow-droppederr the feed error is what matters
 		_ = promoted.Stop()
 		return nil, err
 	}
-	rep.PromotedFingerprint, err = registryFingerprint(promoted.Registry())
+	rep.PromotedFingerprint, err = RegistryFingerprint(promoted.Registry())
 	rep.PromotedTags = promoted.Registry().Len()
 	if serr := promoted.Stop(); err == nil {
 		err = serr

@@ -1,0 +1,65 @@
+package replay
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"tagwatch/internal/fleet"
+	"tagwatch/internal/scenario"
+)
+
+// Feed delivers compiled events [from, to) through per-gate ingests
+// registered on m, paced at speed virtual seconds per wall second
+// (0 = unthrottled). The pace anchors on the segment's first event, so
+// a resumed segment (a promoted standby mid-drill, a gauntlet case
+// continuing past a fault) runs at full rate instead of sleeping
+// through the already-delivered prefix. Delivery is the same path Run
+// uses, so a fed segment is bit-identical to the equivalent slice of a
+// plain replay.
+func Feed(ctx context.Context, m *fleet.Manager, compiled *scenario.Compiled, from, to int, speed float64) error {
+	return FeedSkewed(ctx, m, compiled, from, to, speed, nil)
+}
+
+// FeedSkewed is Feed with per-gate observation clock skew: skew[i] is
+// added to every timestamp gate i stamps on its observations — readers
+// whose clocks disagree by a fixed offset — without moving any event's
+// place in the delivery order. A nil or short slice means zero skew for
+// the uncovered gates. Registry timestamps shift accordingly; the set
+// of tags observed does not, which is exactly the invariant the
+// gauntlet's skew oracle checks.
+func FeedSkewed(ctx context.Context, m *fleet.Manager, compiled *scenario.Compiled, from, to int, speed float64, skew []time.Duration) error {
+	ingests := make([]*fleet.Ingest, len(compiled.Spec.Gates))
+	for i, g := range compiled.Spec.Gates {
+		ingests[i] = m.NewIngest(g.Reader)
+	}
+	pace := newPacer(speed, compiled.Events[from].At)
+	for i := from; i < to; i++ {
+		ev := &compiled.Events[i]
+		if err := pace.wait(ctx, ev.At); err != nil {
+			return fmt.Errorf("replay: feed aborted at event %d: %w", i, err)
+		}
+		var off time.Duration
+		if int(ev.Gate) < len(skew) {
+			off = skew[ev.Gate]
+		}
+		deliverEvent(compiled, ingests[ev.Gate], ev, off)
+	}
+	return nil
+}
+
+// RegistryFingerprint hashes the registry's sorted snapshot — the
+// deterministic identity the drill and the gauntlet compare across
+// runs: two registries with the same fingerprint hold byte-identical
+// tag state.
+func RegistryFingerprint(reg *fleet.Registry) (string, error) {
+	b, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		return "", fmt.Errorf("replay: registry fingerprint: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -157,7 +157,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		if err := pace.wait(ctx, ev.At); err != nil {
 			return nil, fmt.Errorf("replay: aborted at virtual %v: %w", ev.At, err)
 		}
-		deliverEvent(compiled, ingests[ev.Gate], ev)
+		deliverEvent(compiled, ingests[ev.Gate], ev, 0)
 		cycles[ev.Gate]++
 	}
 	wallEnd := time.Now() //tagwatch:allow-wallclock Wall report section is excluded from the fingerprint
@@ -216,10 +216,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 // ingest: a registry merge per reading, then assessments refreshed
 // exactly as a supervisor does after a cycle — one verdict per distinct
 // tag read in the window, at the shared per-tag rate Λ(present) — and
-// the cycle summary on the bus. This is the single delivery path Run and
-// the failover drill share, so a drill segment is bit-identical to the
-// equivalent slice of a plain replay.
-func deliverEvent(compiled *scenario.Compiled, in *fleet.Ingest, ev *scenario.CycleEvent) {
+// the cycle summary on the bus. This is the single delivery path Run,
+// the failover drill, and the gauntlet share, so a drill segment is
+// bit-identical to the equivalent slice of a plain replay. skew offsets
+// the observation timestamps this gate stamps — a reader whose clock is
+// off by a fixed amount — without moving the event's place in the
+// timeline.
+func deliverEvent(compiled *scenario.Compiled, in *fleet.Ingest, ev *scenario.CycleEvent, skew time.Duration) {
 	for _, r := range ev.Readings {
 		in.Observe(core.Reading{
 			EPC:      compiled.Tags[r.Tag].EPC,
@@ -228,7 +231,7 @@ func deliverEvent(compiled *scenario.Compiled, in *fleet.Ingest, ev *scenario.Cy
 			Channel:  int(r.Channel),
 			PhaseRad: float64(r.PhaseRad),
 			RSSdBm:   float64(r.RSSdBm),
-		}, epoch.Add(r.At))
+		}, epoch.Add(r.At+skew))
 	}
 	mobile := make(map[int32]bool, len(ev.Mobile))
 	for _, t := range ev.Mobile {
@@ -243,7 +246,7 @@ func deliverEvent(compiled *scenario.Compiled, in *fleet.Ingest, ev *scenario.Cy
 		assessed[r.Tag] = true
 		in.UpdateAssessment(compiled.Tags[r.Tag].EPC, mobile[r.Tag], irr)
 	}
-	in.PublishCycle(epoch.Add(ev.At), &fleet.CycleSummary{
+	in.PublishCycle(epoch.Add(ev.At+skew), &fleet.CycleSummary{
 		Present:      ev.Present,
 		Mobile:       len(ev.Mobile),
 		Targets:      len(ev.Mobile),

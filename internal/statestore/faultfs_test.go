@@ -1,0 +1,203 @@
+package statestore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// faultStore opens a store whose filesystem is a disarmed FaultFS over
+// the real one, so the test can boot clean and spring faults at a
+// chosen point in the workload.
+func faultStore(t *testing.T, dir string, cfg FaultConfig) (*Store, *FaultFS) {
+	t.Helper()
+	ffs := NewFaultFS(OSFS{}, cfg)
+	ffs.Arm(false)
+	st, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, ffs
+}
+
+// reopenClean reopens the directory on the honest filesystem — the
+// recovery half of every fault case: whatever was acked durable before
+// the fault must come back.
+func reopenClean(t *testing.T, dir string) (*Store, Recovery) {
+	t.Helper()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after fault: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st, st.Recovery()
+}
+
+// ENOSPC mid-WAL-append: the write fails outright, the store poisons
+// per the contract, and a clean reopen recovers exactly the acked
+// records.
+func TestFaultFSENOSPCMidWALAppend(t *testing.T) {
+	dir := t.TempDir()
+	st, ffs := faultStore(t, dir, FaultConfig{Seed: 1, WriteErrProb: 1})
+
+	const acked = 5
+	for i := 0; i < acked; i++ {
+		if err := st.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatalf("clean append %d: %v", i, err)
+		}
+	}
+
+	ffs.Arm(true)
+	err := st.Append([]byte("lost"))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("append on a full disk: %v, want ErrNoSpace", err)
+	}
+	// Poisoned: the journal tail is unknown, so further mutation must
+	// refuse rather than write past a possible tear.
+	if err := st.Append([]byte("after")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after poisoning: %v, want ErrPoisoned", err)
+	}
+	if err := st.WriteSnapshot([]byte("snap")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("snapshot after poisoning: %v, want ErrPoisoned", err)
+	}
+	if s := ffs.Stats(); s.WriteFaults == 0 {
+		t.Fatalf("fault never fired: %+v", s)
+	}
+	st.Close()
+
+	st2, rec := reopenClean(t, dir)
+	if len(rec.Records) != acked {
+		t.Fatalf("recovered %d records, want %d acked", len(rec.Records), acked)
+	}
+	for i, r := range rec.Records {
+		if want := fmt.Sprintf("rec-%d", i); string(r) != want {
+			t.Fatalf("record %d = %q, want %q", i, r, want)
+		}
+	}
+	if rec.ReplayStopped {
+		t.Fatal("replay stopped; a clean-boundary ENOSPC must not strand the chain")
+	}
+	if err := st2.Append([]byte("recovered")); err != nil {
+		t.Fatalf("store not usable after recovery: %v", err)
+	}
+}
+
+// EIO mid-snapshot: the checkpoint's own fsync fails, the store
+// poisons, and recovery falls back to the previous generation with no
+// acked record lost.
+func TestFaultFSEIOMidSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st, ffs := faultStore(t, dir, FaultConfig{Seed: 2, SyncErrProb: 1})
+
+	if err := st.WriteSnapshot([]byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	const acked = 4
+	for i := 0; i < acked; i++ {
+		if err := st.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ffs.Arm(true)
+	err := st.WriteSnapshot([]byte("next"))
+	if !errors.Is(err, ErrIOFault) {
+		t.Fatalf("snapshot on failing media: %v, want ErrIOFault", err)
+	}
+	if err := st.Append([]byte("after")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after poisoning: %v, want ErrPoisoned", err)
+	}
+	if s := ffs.Stats(); s.SyncFaults == 0 {
+		t.Fatalf("fault never fired: %+v", s)
+	}
+	st.Close()
+
+	_, rec := reopenClean(t, dir)
+	if !rec.HasSnapshot || string(rec.Snapshot) != "base" {
+		t.Fatalf("recovered snapshot %q (has=%v), want the previous generation's %q",
+			rec.Snapshot, rec.HasSnapshot, "base")
+	}
+	if len(rec.Records) != acked {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), acked)
+	}
+	if rec.CorruptSnapshots != 0 {
+		t.Fatalf("%d corrupt snapshots surfaced; the interrupted tmp must be invisible", rec.CorruptSnapshots)
+	}
+}
+
+// Short write mid-append: a prefix of the frame lands, the store
+// poisons, and recovery truncates the torn tail back to the last acked
+// boundary.
+func TestFaultFSShortWriteTornTail(t *testing.T) {
+	dir := t.TempDir()
+	st, ffs := faultStore(t, dir, FaultConfig{Seed: 3, ShortWriteProb: 1})
+
+	const acked = 3
+	for i := 0; i < acked; i++ {
+		if err := st.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ffs.Arm(true)
+	err := st.Append([]byte("torn-record-payload"))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("short write: %v, want ErrNoSpace", err)
+	}
+	if s := ffs.Stats(); s.ShortWrites == 0 {
+		t.Fatalf("fault never fired: %+v", s)
+	}
+	st.Close()
+
+	st2, rec := reopenClean(t, dir)
+	if len(rec.Records) != acked {
+		t.Fatalf("recovered %d records, want %d acked", len(rec.Records), acked)
+	}
+	if rec.TornTailBytes == 0 {
+		t.Fatal("no torn tail reported; the short write must leave one")
+	}
+	if rec.ReplayStopped {
+		t.Fatal("a tail tear on the newest journal must not stop replay")
+	}
+	// The truncated store extends a clean boundary: append, reopen,
+	// everything is there.
+	if err := st2.Append([]byte("rec-3")); err != nil {
+		t.Fatalf("append after torn-tail recovery: %v", err)
+	}
+	st2.Close()
+	_, rec2 := reopenClean(t, dir)
+	if len(rec2.Records) != acked+1 || string(rec2.Records[acked]) != "rec-3" {
+		t.Fatalf("second recovery: %d records, want %d", len(rec2.Records), acked+1)
+	}
+}
+
+// EIO at the directory sync after a snapshot rename: poisoned, but the
+// snapshot file itself was fsynced before the rename, so recovery finds
+// the new generation intact.
+func TestFaultFSDirSyncFault(t *testing.T) {
+	dir := t.TempDir()
+	st, ffs := faultStore(t, dir, FaultConfig{Seed: 4, DirSyncErrProb: 1})
+
+	if err := st.WriteSnapshot([]byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Arm(true)
+	err := st.WriteSnapshot([]byte("next"))
+	if !errors.Is(err, ErrIOFault) {
+		t.Fatalf("snapshot with failing dir sync: %v, want ErrIOFault", err)
+	}
+	if err := st.Append([]byte("after")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after poisoning: %v, want ErrPoisoned", err)
+	}
+	st.Close()
+
+	_, rec := reopenClean(t, dir)
+	if !rec.HasSnapshot {
+		t.Fatal("no snapshot recovered")
+	}
+	// Either generation is a consistent full checkpoint; what must never
+	// happen is a blend or a loss of both.
+	if got := string(rec.Snapshot); got != "next" && got != "base" {
+		t.Fatalf("recovered snapshot %q, want a whole checkpoint", got)
+	}
+}
