@@ -9,7 +9,7 @@
 STATICCHECK = go run honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK = go run golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: all build check lint lint-offline test race chaos crash soak fuzz-smoke bench replay-smoke failover-drill gauntlet gauntlet-smoke vettool clean
+.PHONY: all build check lint lint-offline test race chaos crash soak fuzz-smoke bench replay-smoke failover-drill gauntlet gauntlet-smoke edge-smoke vettool clean
 
 all: build
 
@@ -72,12 +72,13 @@ fuzz-smoke:
 
 # The perf-trajectory rig: the core data-plane benchmarks (wire codec,
 # schedule solver, motion model, EPC ops, WAL append, registry merge,
-# scenario compile) rendered as BENCH_core.json. The file is checked in
+# scenario compile, event-bus fan-out and ring replay) rendered as
+# BENCH_core.json. The file is checked in
 # per PR and uploaded as a CI artifact, so ns/op / B/op / allocs/op form
 # a reviewable trajectory across the repo's history. Absolute numbers
 # vary by machine; the allocation counts should not.
 BENCH_PKGS = ./internal/llrp ./internal/schedule ./internal/motion ./internal/epc ./internal/statestore ./internal/fleet ./internal/scenario
-BENCH_SEL  = 'ROAccessReport|Select40Tags|Select400Tags|NewIndexTable|ObserveStationary|ObserveMoving|Peek|CRC16|MatchBits|WALAppend|JournalStream|RegistryObserve|CompileTimeline'
+BENCH_SEL  = 'ROAccessReport|Select40Tags|Select400Tags|NewIndexTable|ObserveStationary|ObserveMoving|Peek|CRC16|MatchBits|WALAppend|JournalStream|RegistryObserve|CompileTimeline|BusPublishFanout|RingReplay'
 bench:
 	go test -run '^$$' -bench $(BENCH_SEL) -benchmem -benchtime=0.2s $(BENCH_PKGS) | go run ./cmd/benchjson > BENCH_core.json
 	@cat BENCH_core.json
@@ -108,7 +109,8 @@ failover-drill:
 # built-in smoke matrix — every fault kind (clean durable baseline,
 # chaos/partitioned/flapping replication links through the failover
 # drill, ENOSPC and EIO under the statestore, skewed reader clocks,
-# stalled SSE consumers) against shrunk scenario packs, judged by the
+# stalled SSE consumers, a flapping edge fan-out link) against shrunk
+# scenario packs, judged by the
 # invariant oracles. Exit code 4 = at least one oracle failed.
 gauntlet:
 	go run ./cmd/gauntlet -campaign smoke -report /tmp/tagwatch-gauntlet.json
@@ -125,6 +127,15 @@ gauntlet-smoke:
 	fb=$$(grep -o '"fingerprint": "[0-9a-f]*"' /tmp/tagwatch-gauntlet-b.json); \
 	test -n "$$fa" && test "$$fa" = "$$fb" || { echo "gauntlet-smoke: fingerprint mismatch: $$fa vs $$fb"; exit 1; }; \
 	echo "gauntlet-smoke: deterministic ($$fa)"
+
+# The fan-out survival gate: real processes — readersim feeding a
+# fleetd primary, an edged mirror following it over resumable SSE. The
+# primary is SIGKILLed mid-stream and restarted (fresh bus identity,
+# empty registry). edged must keep answering /healthz throughout,
+# re-anchor with exactly ONE additional reset, report zero contiguity
+# violations, and re-converge to the reborn primary's EPC set.
+edge-smoke:
+	sh scripts/edge-smoke.sh
 
 # Builds the vet-protocol binary so `go vet -vettool=bin/tagwatchvet`
 # integrates the suite with go vet's package driver and build cache.

@@ -1,0 +1,114 @@
+// Command edged runs the read-optimized fan-out tier: it follows one
+// fleetd primary over a resumable SSE subscription, mirrors the merged
+// tag registry locally, and re-serves /api/tags + /api/events (with the
+// same cursor/gap/reset semantics) to downstream clients — so read load
+// scales on edges instead of on the node that talks to the readers.
+//
+// Usage:
+//
+//	edged -upstream primary:8080 -http :8081
+//
+// Then:
+//
+//	curl localhost:8081/api/tags          # mirror + X-Tagwatch-Staleness-Ms
+//	curl -N localhost:8081/api/events     # resumable downstream stream
+//	curl localhost:8081/api/status        # link cursor + loss accounting
+//	curl localhost:8081/healthz           # 200 "ok" or "degraded", never dead
+//
+// When the upstream dies, edged keeps serving the mirror and reports
+// itself degraded; when the upstream comes back — same process or a
+// promoted standby with a new identity — the client re-anchors
+// (replaying the missed window when possible, taking an explicit reset
+// otherwise) and the mirror re-converges.
+//
+// Exit codes — aligned with fleetd/replayd/gauntlet so init systems and
+// drills can branch:
+//
+//	0  clean shutdown
+//	1  runtime failure (could not listen or serve)
+//	2  usage or configuration error (bad flags)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tagwatch/internal/edge"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		upstream    = flag.String("upstream", "", "fleetd primary HTTP address (host:port), required")
+		httpAddr    = flag.String("http", ":8081", "downstream HTTP listen address")
+		readTimeout = flag.Duration("read-timeout", 45*time.Second, "per-frame upstream read deadline; must exceed the upstream SSE heartbeat")
+		backoffBase = flag.Duration("backoff-base", 100*time.Millisecond, "initial upstream reconnect backoff")
+		backoffMax  = flag.Duration("backoff-max", 5*time.Second, "upstream reconnect backoff ceiling")
+		staleAfter  = flag.Duration("stale-after", 30*time.Second, "mirror age past which /healthz reports degraded")
+		maxSSE      = flag.Int("max-sse", 1024, "concurrent downstream /api/events subscribers before new streams get 503")
+		ringCap     = flag.Int("ring", 4096, "downstream replay ring depth (events recoverable via Last-Event-ID)")
+		quiet       = flag.Bool("quiet", false, "suppress link lifecycle logging")
+	)
+	flag.Parse()
+
+	if *upstream == "" {
+		log.Print("edged: -upstream is required (e.g. -upstream primary:8080)")
+		return 2
+	}
+	if *readTimeout <= 0 || *backoffBase <= 0 || *ringCap <= 0 {
+		log.Print("edged: -read-timeout, -backoff-base, and -ring must be positive")
+		return 2
+	}
+
+	cfg := edge.Config{
+		Upstream:      *upstream,
+		ReadTimeout:   *readTimeout,
+		BackoffBase:   *backoffBase,
+		BackoffMax:    *backoffMax,
+		StaleAfter:    *staleAfter,
+		MaxSSEClients: *maxSSE,
+		EventRingCap:  *ringCap,
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	client := edge.NewClient(cfg)
+	go func() {
+		// Run only returns at ctx cancellation; a dead upstream is a
+		// degraded condition the edge outlives, not an exit.
+		_ = client.Run(ctx)
+	}()
+
+	lis, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		log.Printf("listen %s: %v", *httpAddr, err)
+		return 1
+	}
+	fmt.Printf("edged: following %s, HTTP on %s\n", *upstream, lis.Addr())
+
+	srv := edge.NewServer(client)
+	if err := srv.Serve(ctx, lis); err != nil && err != http.ErrServerClosed {
+		log.Printf("http: %v", err)
+		return 1
+	}
+
+	st := client.Status()
+	fmt.Printf("edged: %d tags mirrored, %d sessions, %d resets, %d gaps (%d healed, %d reset)\n",
+		st.Tags, st.Sessions, st.Resets, st.Gaps, st.GapsHealed, st.GapsReset)
+	return 0
+}

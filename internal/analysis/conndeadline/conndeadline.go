@@ -1,6 +1,7 @@
 // Package conndeadline enforces the PR 7 frame-I/O discipline in the
 // packages that do socket I/O on hostile or flaky links
-// (internal/replication, internal/llrp, internal/fleet): every
+// (internal/replication, internal/llrp, internal/fleet, and the edge
+// tier's upstream SSE link in internal/edge): every
 // blocking Read/Write on a net.Conn must be dominated by a
 // SetDeadline/SetReadDeadline/SetWriteDeadline call on the same conn
 // in the same function, so a stalled peer surfaces as a timeout error
@@ -43,7 +44,8 @@ var Analyzer = &analysis.Analyzer{
 	Directive: "allow-conndeadline",
 	Doc: `flag blocking net.Conn reads/writes not dominated by a deadline arm
 
-In internal/replication, internal/llrp, and internal/fleet a blocking
+In internal/replication, internal/llrp, internal/fleet, and
+internal/edge a blocking
 Read or Write on a net.Conn must be dominated by an unconditional
 SetDeadline/SetReadDeadline/SetWriteDeadline on the same conn in the
 same function; otherwise a stalled peer wedges the goroutine forever.
@@ -58,6 +60,7 @@ var scopePrefixes = []string{
 	"tagwatch/internal/replication",
 	"tagwatch/internal/llrp",
 	"tagwatch/internal/fleet",
+	"tagwatch/internal/edge",
 }
 
 const (

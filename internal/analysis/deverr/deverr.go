@@ -75,6 +75,13 @@ var watched = map[string]map[string]bool{
 	"tagwatch/internal/gauntlet": {
 		"Runner": true,
 	},
+	// The fan-out tier: Client.Run only returns at context cancellation
+	// (its error is the shutdown cause) and Server.Serve's error is the
+	// downstream API dying — dropping either leaves an edge that looks
+	// alive but serves nothing.
+	"tagwatch/internal/edge": {
+		"Client": true, "Server": true,
+	},
 }
 
 // exemptMethods are error-returning methods whose drop is conventional.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tagwatch/internal/core"
+	"tagwatch/internal/edge"
 	"tagwatch/internal/fleet"
 	"tagwatch/internal/gauntlet"
 	"tagwatch/internal/guard"
@@ -136,4 +137,21 @@ func gauntletHandled(r *gauntlet.Runner, ctx context.Context) error {
 		return err
 	}
 	return nil
+}
+
+// The edge fan-out tier: Client.Run's return is the shutdown cause and
+// Server.Serve's error is the downstream API dying.
+func edgeDrops(c *edge.Client, s *edge.Server, ctx context.Context, lis net.Listener) {
+	go c.Run(ctx)     // want `error from \(tagwatch/internal/edge.Client\).Run is silently dropped`
+	s.Serve(ctx, lis) // want `error from \(tagwatch/internal/edge.Server\).Serve is silently dropped`
+}
+
+// The run-forever follower pattern stays legal when the drop is the
+// reviewed blank assignment.
+func edgeDeliberate(c *edge.Client, ctx context.Context) {
+	go func() { _ = c.Run(ctx) }()
+}
+
+func edgeHandled(s *edge.Server, ctx context.Context, lis net.Listener) error {
+	return s.Serve(ctx, lis)
 }

@@ -1,0 +1,16 @@
+// Fixture: minimal stand-in for the real edge package, matched by the
+// analyzer purely on import path + type name + signature.
+package edge
+
+import (
+	"context"
+	"net"
+)
+
+type Client struct{}
+
+func (c *Client) Run(ctx context.Context) error { return nil }
+
+type Server struct{}
+
+func (s *Server) Serve(ctx context.Context, lis net.Listener) error { return nil }

@@ -271,4 +271,63 @@ func badProberLoop(probe func() bool) {
 	}()
 }
 
+// The edge client's reconnect-loop shape done right: every lap checks
+// ctx before dialing and the backoff wait races cancellation, so the
+// follower dies with its context instead of redialing a dead upstream
+// forever.
+func goodEdgeReconnectLoop(ctx context.Context, session func(context.Context) error) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			if err := session(ctx); err == nil {
+				continue
+			}
+			select {
+			case <-time.After(100 * time.Millisecond):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// The same follower with a bare sleep backoff: nothing ever ends the
+// loop — the edge process "stops" but its link goroutine keeps dialing.
+func badEdgeReconnectLoop(session func() error) {
+	go func() { // want `goroutine loops forever with no shutdown path`
+		for {
+			_ = session()
+			time.Sleep(100 * time.Millisecond)
+		}
+	}()
+}
+
+// The SSE streamer's heartbeat shape: ticker stopped on the way out,
+// loop ended by the request context.
+func goodHeartbeatLoop(ctx context.Context, sendKeepalive func() bool) {
+	t := time.NewTicker(15 * time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if !sendKeepalive() {
+				return
+			}
+		}
+	}
+}
+
+// A heartbeat ticker armed per-connection but never stopped leaks one
+// timer per client for the life of the process.
+func badHeartbeatTicker(send func() bool) {
+	t := time.NewTicker(15 * time.Second) // want `time.NewTicker is never stopped`
+	for send() {
+		<-t.C
+	}
+}
+
 func process(int) {}

@@ -35,3 +35,55 @@ func BenchmarkRegistryObserve(b *testing.B) {
 		reg.Observe(reader, readings[i%len(readings)], at.Add(time.Duration(i)))
 	}
 }
+
+// BenchmarkBusPublishFanout measures the sequenced bus's per-publish
+// cost with live subscribers: sequence stamp, ring journal write, and
+// non-blocking fan-out to 8 consumers — the hot path every registry
+// mutation now rides. Subscribers drain concurrently so deliveries
+// mostly succeed instead of degenerating into the shed path.
+func BenchmarkBusPublishFanout(b *testing.B) {
+	bus := NewBus()
+	const fanout = 8
+	stop := make(chan struct{})
+	for i := 0; i < fanout; i++ {
+		sub := bus.Subscribe(1024)
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				case <-sub.C():
+				}
+			}
+		}()
+	}
+	ev := Event{Type: EventTag, Reader: "bench", EPC: "30f4ab12cd0045e100000001"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(ev)
+	}
+	b.StopTimer()
+	close(stop)
+}
+
+// BenchmarkRingReplay measures the cursor-resume path: a reconnecting
+// SSE client replaying a 512-event hole out of a warm ring — the cost
+// of healing one announced gap without a reset.
+func BenchmarkRingReplay(b *testing.B) {
+	bus := NewBus()
+	bus.SetRingCap(DefaultRingCap)
+	ev := Event{Type: EventTag, Reader: "bench", EPC: "30f4ab12cd0045e100000001"}
+	for i := 0; i < DefaultRingCap+512; i++ {
+		bus.Publish(ev)
+	}
+	after := bus.LastSeq() - 512
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evs, ok := bus.ReplayFrom(after)
+		if !ok || len(evs) != 512 {
+			b.Fatalf("replay: ok=%v len=%d", ok, len(evs))
+		}
+	}
+}

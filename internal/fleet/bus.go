@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -26,6 +28,31 @@ const (
 	// component will be restarted under its budget, "tripped" when the
 	// budget is spent and the component is dead for good.
 	EventPanic EventType = "panic"
+	// EventTag carries a full image of one tag's merged state, published
+	// on every registry mutation (observation, assessment refresh).
+	// Because images are absolute, applying them in sequence order — or
+	// re-applying one already reflected in a snapshot — converges a
+	// mirror to exactly the registry's state; this is the delta stream
+	// the edge tier consumes.
+	EventTag EventType = "tag"
+	// EventTagDrop reports a tag removed from the registry (capacity
+	// eviction or prune). Mirrors delete the EPC.
+	EventTagDrop EventType = "tag_drop"
+	// EventGap is synthetic, per-subscriber, and never enters the ring:
+	// it tells ONE shed subscriber exactly which sequence range
+	// [GapFrom, GapTo] it lost to a full buffer, instead of dropping
+	// silently. Its Seq is GapTo, so a cursor that applies the gap lands
+	// just past the hole. A consumer that cares about completeness
+	// reconnects with its last contiguous cursor: the ring usually still
+	// covers the hole (the subscriber's buffer overflowed, not the
+	// ring), so the replay heals it; otherwise the server resets.
+	EventGap EventType = "gap"
+	// EventReset is the SSE-layer full-state anchor: a registry snapshot
+	// plus the cursor it corresponds to (see ResetPayload). It is
+	// synthesised per-connection by the streamer — never published on
+	// the bus — when a client has no cursor, presents one from another
+	// primary identity, or has fallen off the ring.
+	EventReset EventType = "reset"
 )
 
 // Event is one fleet occurrence, shaped for direct JSON/SSE serialisation.
@@ -33,6 +60,12 @@ type Event struct {
 	Type   EventType `json:"type"`
 	Reader string    `json:"reader,omitempty"`
 	At     time.Time `json:"at"`
+
+	// Seq is the bus's monotonically increasing sequence number, stamped
+	// by Publish. It is the SSE cursor: deliveries to one subscriber are
+	// strictly increasing in Seq, and any hole is announced by a gap
+	// event covering it.
+	Seq uint64 `json:"seq,omitempty"`
 
 	// reader_state fields.
 	State   string `json:"state,omitempty"`
@@ -46,6 +79,14 @@ type Event struct {
 
 	// cycle payload.
 	Cycle *CycleSummary `json:"cycle,omitempty"`
+
+	// tag payload: the full merged image after the mutation. tag_drop
+	// reuses EPC above.
+	Tag *TagState `json:"tag,omitempty"`
+
+	// gap payload: the inclusive sequence range this subscriber lost.
+	GapFrom uint64 `json:"gap_from,omitempty"`
+	GapTo   uint64 `json:"gap_to,omitempty"`
 }
 
 // CycleSummary is the per-cycle digest published on the bus.
@@ -63,10 +104,24 @@ type CycleSummary struct {
 	Err string `json:"err,omitempty"`
 }
 
+// DefaultRingCap is the journal depth a bus retains when the owner does
+// not configure one: enough to ride out a reconnect plus a burst, small
+// enough that a bus costs a few MiB at worst.
+const DefaultRingCap = 4096
+
 // Bus fans events out to subscribers over per-subscriber buffered
-// channels. Publish never blocks: a subscriber whose buffer is full loses
-// the event and its drop counter increments, so one slow consumer cannot
-// stall ingest.
+// channels. Publish never blocks: a subscriber whose buffer is full
+// loses events, but never silently — the first delivery that fits again
+// is preceded by a synthetic gap event naming the exact missed range.
+//
+// Every published event is stamped with a monotonically increasing
+// sequence number and retained in a fixed-cap ring journal, so a
+// consumer that lost events (shed buffer, dropped connection) can
+// replay the hole from ReplayFrom as long as its cursor is still
+// covered. The bus identity distinguishes sequence spaces across
+// process restarts and failovers: a cursor minted against one identity
+// is meaningless against another, and the SSE layer answers it with a
+// reset instead of resuming into the wrong stream.
 type Bus struct {
 	mu     sync.Mutex
 	nextID int
@@ -76,8 +131,20 @@ type Bus struct {
 	// ignores the limit — the bound exists for untrusted SSE clients.
 	limit int
 
+	// identity names this bus's sequence space (fresh per process).
+	identity string
+	// lastSeq is the newest stamped sequence number. ring is a circular
+	// journal of the most recent events: the oldest retained event (seq
+	// lastSeq-len(ring)+1) lives at ring[ringStart], ascending modulo
+	// len(ring).
+	lastSeq   uint64
+	ring      []Event
+	ringStart int
+	ringCap   int
+
 	published atomic.Uint64
 	dropped   atomic.Uint64
+	gaps      atomic.Uint64
 	rejected  atomic.Uint64
 }
 
@@ -87,12 +154,58 @@ type Subscriber struct {
 	id      int
 	ch      chan Event
 	dropped atomic.Uint64
+	gapsOut atomic.Uint64
 	closed  bool
+
+	// gapFrom/gapTo (guarded by bus.mu) accumulate the range lost since
+	// the last successful delivery; zero gapFrom means no pending gap.
+	gapFrom uint64
+	gapTo   uint64
 }
 
-// NewBus builds an empty event bus.
+// NewBus builds an empty event bus with a fresh identity and the
+// default ring depth.
 func NewBus() *Bus {
-	return &Bus{subs: make(map[int]*Subscriber)}
+	var b [8]byte
+	identity := "bus"
+	if _, err := rand.Read(b[:]); err == nil {
+		identity = hex.EncodeToString(b[:])
+	}
+	return &Bus{
+		subs:     make(map[int]*Subscriber),
+		identity: identity,
+		ringCap:  DefaultRingCap,
+	}
+}
+
+// Identity names this bus's sequence space. Cursors embed it; a cursor
+// minted against a different identity (an earlier process, a demoted
+// primary) must be answered with a reset, never a resume.
+func (b *Bus) Identity() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.identity
+}
+
+// setIdentity overrides the identity (tests impersonating an old
+// primary). Not for production use.
+func (b *Bus) setIdentity(id string) {
+	b.mu.Lock()
+	b.identity = id
+	b.mu.Unlock()
+}
+
+// SetRingCap resizes the replay ring (minimum 1). Call before serving;
+// resizing discards retained events.
+func (b *Bus) SetRingCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	b.mu.Lock()
+	b.ringCap = n
+	b.ring = nil
+	b.ringStart = 0
+	b.mu.Unlock()
 }
 
 // SetSubscriberLimit caps how many subscribers TrySubscribe will admit
@@ -137,19 +250,98 @@ func (b *Bus) TrySubscribe(buffer int) (*Subscriber, bool) {
 	return s, true
 }
 
-// Publish delivers an event to every subscriber without blocking.
+// Publish stamps the event with the next sequence number, journals it
+// in the ring, and delivers it to every subscriber without blocking. A
+// subscriber whose buffer is full starts (or extends) a pending gap;
+// the next delivery that fits is preceded by a synthetic gap event
+// carrying the exact missed range, so loss is always announced.
 func (b *Bus) Publish(ev Event) {
 	b.published.Add(1)
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.lastSeq++
+	ev.Seq = b.lastSeq
+	if b.ringCap > 0 {
+		if len(b.ring) < b.ringCap {
+			b.ring = append(b.ring, ev)
+		} else {
+			b.ring[b.ringStart] = ev
+			b.ringStart = (b.ringStart + 1) % len(b.ring)
+		}
+	}
 	for _, s := range b.subs {
+		if s.gapFrom != 0 {
+			gap := Event{
+				Type: EventGap, At: ev.At,
+				Seq: s.gapTo, GapFrom: s.gapFrom, GapTo: s.gapTo,
+			}
+			select {
+			case s.ch <- gap:
+				s.gapFrom, s.gapTo = 0, 0
+				s.gapsOut.Add(1)
+				b.gaps.Add(1)
+			default:
+				// Still wedged: this event joins the hole.
+				s.gapTo = ev.Seq
+				s.dropped.Add(1)
+				b.dropped.Add(1)
+				continue
+			}
+		}
 		select {
 		case s.ch <- ev:
 		default:
+			s.gapFrom, s.gapTo = ev.Seq, ev.Seq
 			s.dropped.Add(1)
 			b.dropped.Add(1)
 		}
 	}
+}
+
+// LastSeq reports the newest stamped sequence number (0 before any
+// publish).
+func (b *Bus) LastSeq() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastSeq
+}
+
+// Coverage reports the ring's retained window: the oldest and newest
+// sequence numbers replayable right now (both 0 when nothing has been
+// published). A cursor c resumes cleanly iff c+1 >= oldest.
+func (b *Bus) Coverage() (oldest, newest uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.lastSeq == 0 || len(b.ring) == 0 {
+		return 0, b.lastSeq
+	}
+	return b.lastSeq - uint64(len(b.ring)) + 1, b.lastSeq
+}
+
+// ReplayFrom copies every retained event with Seq > after, in sequence
+// order. ok is false when the cursor has fallen off the ring — some
+// event in (after, lastSeq] is no longer retained — in which case the
+// caller must re-anchor (reset) instead of pretending the stream is
+// contiguous. after >= lastSeq returns (nil, true): nothing to replay.
+func (b *Bus) ReplayFrom(after uint64) (evs []Event, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if after >= b.lastSeq {
+		return nil, true
+	}
+	if len(b.ring) == 0 {
+		return nil, false
+	}
+	oldest := b.lastSeq - uint64(len(b.ring)) + 1
+	if after+1 < oldest {
+		return nil, false
+	}
+	evs = make([]Event, 0, b.lastSeq-after)
+	for seq := after + 1; seq <= b.lastSeq; seq++ {
+		idx := (b.ringStart + int(seq-oldest)) % len(b.ring)
+		evs = append(evs, b.ring[idx])
+	}
+	return evs, true
 }
 
 // Stats reports lifetime publish/drop counts and the live subscriber count.
@@ -160,22 +352,27 @@ func (b *Bus) Stats() (published, dropped uint64, subscribers int) {
 	return b.published.Load(), b.dropped.Load(), n
 }
 
+// Gaps reports how many synthetic gap events the bus has delivered
+// across all subscribers — each one an announced loss interval.
+func (b *Bus) Gaps() uint64 { return b.gaps.Load() }
+
 // Rejected reports how many TrySubscribe calls the limit turned away.
 func (b *Bus) Rejected() uint64 { return b.rejected.Load() }
 
-// SubscriberDrops is one live subscriber's drop count for /metrics.
+// SubscriberDrops is one live subscriber's loss accounting for /metrics.
 type SubscriberDrops struct {
 	ID      int
 	Dropped uint64
+	Gaps    uint64
 }
 
-// Drops snapshots the per-subscriber drop counters, sorted by subscriber
-// ID for deterministic metrics output.
+// Drops snapshots the per-subscriber drop and gap counters, sorted by
+// subscriber ID for deterministic metrics output.
 func (b *Bus) Drops() []SubscriberDrops {
 	b.mu.Lock()
 	out := make([]SubscriberDrops, 0, len(b.subs))
 	for _, s := range b.subs {
-		out = append(out, SubscriberDrops{ID: s.id, Dropped: s.dropped.Load()})
+		out = append(out, SubscriberDrops{ID: s.id, Dropped: s.dropped.Load(), Gaps: s.gapsOut.Load()})
 	}
 	b.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -188,6 +385,41 @@ func (s *Subscriber) C() <-chan Event { return s.ch }
 // Dropped reports how many events this subscriber has lost to a full
 // buffer.
 func (s *Subscriber) Dropped() uint64 { return s.dropped.Load() }
+
+// Gaps reports how many gap events have been delivered to this
+// subscriber — every one a loss interval it was told about.
+func (s *Subscriber) Gaps() uint64 { return s.gapsOut.Load() }
+
+// FlushGap delivers this subscriber's pending gap announcement now, if
+// there is one and the buffer has room. Publish flushes pending gaps
+// before the next delivery, but when the hole sits at the very tail of
+// a burst there IS no next delivery — without a flush the loss would
+// stay unannounced until the next event, which may be arbitrarily far
+// away. Streamers call this on heartbeat ticks, bounding the
+// announcement delay to one heartbeat. Ordering stays correct: every
+// event already buffered precedes the hole, and any concurrent Publish
+// serialises behind bus.mu.
+func (s *Subscriber) FlushGap() bool {
+	b := s.bus
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s.closed || s.gapFrom == 0 {
+		return false
+	}
+	gap := Event{
+		Type: EventGap, At: time.Now(),
+		Seq: s.gapTo, GapFrom: s.gapFrom, GapTo: s.gapTo,
+	}
+	select {
+	case s.ch <- gap:
+		s.gapFrom, s.gapTo = 0, 0
+		s.gapsOut.Add(1)
+		b.gaps.Add(1)
+		return true
+	default:
+		return false
+	}
+}
 
 // Close unregisters the subscriber and closes its channel. Safe to call
 // once per subscriber; pending buffered events are still readable.

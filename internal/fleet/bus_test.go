@@ -68,6 +68,159 @@ func TestBusSlowSubscriberDropsWithoutBlocking(t *testing.T) {
 	}
 }
 
+// TestBusSequencesAndJournal: every publish stamps a strictly
+// increasing Seq, the ring retains the newest events, and ReplayFrom
+// reports honestly whether a cursor is still covered.
+func TestBusSequencesAndJournal(t *testing.T) {
+	b := NewBus()
+	b.SetRingCap(4)
+	if oldest, newest := b.Coverage(); oldest != 0 || newest != 0 {
+		t.Fatalf("empty coverage = (%d,%d), want (0,0)", oldest, newest)
+	}
+	for i := 1; i <= 10; i++ {
+		b.Publish(Event{Type: EventCycle, At: time.Unix(int64(i), 0)})
+	}
+	if got := b.LastSeq(); got != 10 {
+		t.Fatalf("LastSeq = %d, want 10", got)
+	}
+	oldest, newest := b.Coverage()
+	if oldest != 7 || newest != 10 {
+		t.Fatalf("coverage = (%d,%d), want (7,10)", oldest, newest)
+	}
+
+	evs, ok := b.ReplayFrom(6)
+	if !ok || len(evs) != 4 {
+		t.Fatalf("ReplayFrom(6): ok=%v len=%d, want covered with 4 events", ok, len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("replayed[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+	if _, ok := b.ReplayFrom(5); ok {
+		t.Fatal("ReplayFrom(5) claimed coverage for a seq the ring no longer holds")
+	}
+	if evs, ok := b.ReplayFrom(10); !ok || evs != nil {
+		t.Fatalf("ReplayFrom(10) = (%v, %v), want up-to-date (nil, true)", evs, ok)
+	}
+	if evs, ok := b.ReplayFrom(99); !ok || evs != nil {
+		t.Fatalf("ReplayFrom(future) = (%v, %v), want (nil, true)", evs, ok)
+	}
+}
+
+// TestBusGapCarriesExactRange: shedding a slow subscriber must produce
+// a synthetic gap event naming exactly the missed [from, to] range as
+// soon as the buffer has room again — loss is announced, never silent.
+func TestBusGapCarriesExactRange(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(4)
+	defer sub.Close()
+
+	for i := 1; i <= 4; i++ { // seqs 1..4 fill the buffer
+		b.Publish(Event{Type: EventCycle})
+	}
+	for i := 5; i <= 7; i++ { // seqs 5..7 shed: the hole
+		b.Publish(Event{Type: EventCycle})
+	}
+	// Drain room, then the next publish must deliver gap(5,7) first.
+	<-sub.C()
+	<-sub.C()
+	b.Publish(Event{Type: EventCycle}) // seq 8
+
+	want := []struct {
+		typ  EventType
+		seq  uint64
+		from uint64
+		to   uint64
+	}{
+		{EventCycle, 3, 0, 0},
+		{EventCycle, 4, 0, 0},
+		{EventGap, 7, 5, 7},
+		{EventCycle, 8, 0, 0},
+	}
+	for i, w := range want {
+		select {
+		case ev := <-sub.C():
+			if ev.Type != w.typ || ev.Seq != w.seq || ev.GapFrom != w.from || ev.GapTo != w.to {
+				t.Fatalf("event %d = {%s seq=%d gap=%d-%d}, want {%s seq=%d gap=%d-%d}",
+					i, ev.Type, ev.Seq, ev.GapFrom, ev.GapTo, w.typ, w.seq, w.from, w.to)
+			}
+		default:
+			t.Fatalf("missing event %d (%s seq=%d)", i, w.typ, w.seq)
+		}
+	}
+	if sub.Gaps() != 1 || b.Gaps() != 1 {
+		t.Fatalf("gap counters: sub=%d bus=%d, want 1/1", sub.Gaps(), b.Gaps())
+	}
+	if sub.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", sub.Dropped())
+	}
+}
+
+// TestBusGapExtendsWhileWedged: a subscriber that stays wedged keeps
+// extending ONE pending gap instead of stacking many, and an event that
+// cannot fit even behind its gap frame opens a fresh hole — announced
+// on the next delivery, so no loss interval is ever swallowed.
+func TestBusGapExtendsWhileWedged(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(1)
+	defer sub.Close()
+
+	b.Publish(Event{Type: EventCycle}) // seq 1 fills the buffer
+	for i := 2; i <= 9; i++ {          // seqs 2..9 all shed into one hole
+		b.Publish(Event{Type: EventCycle})
+	}
+	<-sub.C()                          // drain seq 1
+	b.Publish(Event{Type: EventCycle}) // seq 10: gap(2,9) delivered, ev 10 re-shed
+
+	ev := <-sub.C()
+	if ev.Type != EventGap || ev.GapFrom != 2 || ev.GapTo != 9 || ev.Seq != 9 {
+		t.Fatalf("gap = %+v, want gap 2-9 at seq 9", ev)
+	}
+	// Event 10 could not fit behind the gap frame (buffer of 1), so it
+	// must have opened a fresh pending hole, announced on the next
+	// publish once there is room.
+	b.Publish(Event{Type: EventCycle}) // seq 11: gap(10,10) delivered, ev 11 re-shed
+	ev = <-sub.C()
+	if ev.Type != EventGap || ev.GapFrom != 10 || ev.GapTo != 10 || ev.Seq != 10 {
+		t.Fatalf("second gap = %+v, want gap 10-10", ev)
+	}
+	if sub.Gaps() != 2 {
+		t.Fatalf("gap frames delivered = %d, want 2", sub.Gaps())
+	}
+}
+
+// TestBusFlushGapAnnouncesTailLoss: when the hole sits at the very end
+// of a burst there is no later publish to carry the gap announcement —
+// FlushGap (called by streamers on heartbeat ticks) must surface it.
+func TestBusFlushGapAnnouncesTailLoss(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(2)
+	defer sub.Close()
+
+	for i := 1; i <= 5; i++ { // seqs 1-2 buffered, 3-5 shed: tail hole
+		b.Publish(Event{Type: EventCycle})
+	}
+	if sub.FlushGap() {
+		t.Fatal("FlushGap succeeded with a full buffer; the gap would arrive out of order")
+	}
+	<-sub.C() // drain seq 1
+	if !sub.FlushGap() {
+		t.Fatal("FlushGap failed with buffer room and a pending hole")
+	}
+	<-sub.C() // seq 2
+	ev := <-sub.C()
+	if ev.Type != EventGap || ev.GapFrom != 3 || ev.GapTo != 5 || ev.Seq != 5 {
+		t.Fatalf("flushed gap = %+v, want gap 3-5 at seq 5", ev)
+	}
+	if sub.FlushGap() {
+		t.Fatal("FlushGap re-announced an already-flushed gap")
+	}
+	if sub.Gaps() != 1 || b.Gaps() != 1 {
+		t.Fatalf("gap counters: sub=%d bus=%d, want 1/1", sub.Gaps(), b.Gaps())
+	}
+}
+
 func TestBusCloseIsIdempotentAndPublishSafe(t *testing.T) {
 	b := NewBus()
 	s := b.Subscribe(1)

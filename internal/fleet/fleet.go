@@ -94,6 +94,14 @@ type Config struct {
 	// client that cannot drain a frame within it is disconnected instead
 	// of pinning the handler forever (default 10s).
 	SSEWriteTimeout time.Duration
+	// SSEHeartbeat spaces keepalive comment frames on an idle /api/events
+	// stream so intermediaries don't sever quiet connections (default
+	// 15s).
+	SSEHeartbeat time.Duration
+	// EventRingCap sizes the bus's replay ring — how many recent events a
+	// reconnecting client can recover through Last-Event-ID before it is
+	// answered with a reset instead (default 4096).
+	EventRingCap int
 
 	// ReplicateTo lists standby addresses to stream the durable registry
 	// to (requires StateDir): the statestore journal is shipped over the
@@ -183,6 +191,8 @@ func DefaultConfig() Config {
 		JournalFlush:     2 * time.Second,
 		StateRetain:      2,
 		SSEWriteTimeout:  10 * time.Second,
+		SSEHeartbeat:     15 * time.Second,
+		EventRingCap:     DefaultRingCap,
 
 		QuarantineWindow: 10 * time.Second,
 		QuarantineCap:    65536,
@@ -227,6 +237,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SSEWriteTimeout <= 0 {
 		c.SSEWriteTimeout = d.SSEWriteTimeout
+	}
+	if c.SSEHeartbeat <= 0 {
+		c.SSEHeartbeat = d.SSEHeartbeat
+	}
+	if c.EventRingCap <= 0 {
+		c.EventRingCap = d.EventRingCap
 	}
 	if c.QuarantineWindow <= 0 {
 		c.QuarantineWindow = d.QuarantineWindow
@@ -291,6 +307,18 @@ func New(cfg Config) *Manager {
 		bus: NewBus(),
 	}
 	m.bus.SetSubscriberLimit(cfg.MaxSSEClients)
+	m.bus.SetRingCap(cfg.EventRingCap)
+	// Every registry mutation becomes a bus event (full image / drop),
+	// published under the owning shard lock: the delta stream the edge
+	// tier mirrors. Publish never blocks, so holding the lock is safe.
+	m.reg.Notify(
+		func(st TagState) {
+			m.bus.Publish(Event{Type: EventTag, Reader: st.Reader, At: st.LastSeen, EPC: st.EPC, Tag: &st})
+		},
+		func(epcStr string) {
+			m.bus.Publish(Event{Type: EventTagDrop, At: time.Now(), EPC: epcStr})
+		},
+	)
 	var quar *guard.Quarantine[epc.EPC]
 	if cfg.QuarantineK > 1 {
 		quar = guard.NewQuarantine[epc.EPC](cfg.QuarantineK, cfg.QuarantineWindow, cfg.QuarantineCap)

@@ -3,7 +3,6 @@ package fleet
 import (
 	"context"
 	"encoding/json"
-	"fmt"
 	"net"
 	"net/http"
 	"strconv"
@@ -153,6 +152,7 @@ func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Observations uint64                   `json:"observations"`
 		Handoffs     uint64                   `json:"handoffs"`
 		Durable      bool                     `json:"durable"`
+		Events       EventsStatus             `json:"events"`
 		Replication  []replication.PeerStatus `json:"replication,omitempty"`
 	}{
 		Role:         role,
@@ -163,84 +163,64 @@ func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Observations: obs,
 		Handoffs:     handoffs,
 		Durable:      m.cfg.StateDir != "",
+		Events:       m.EventsStatus(),
 		Replication:  peers,
 	})
 }
 
-// handleEvents streams the fleet bus over SSE. Each subscriber gets its
-// own buffered channel; if this client cannot keep up, events drop here
-// rather than backing pressure into the cycle loops, and the drop total
-// rides along on every frame.
-//
-// Every write runs under a deadline: a stalled client (TCP window gone
-// to zero, a phone in a tunnel) would otherwise block Fprintf forever
-// and pin this handler goroutine — with the subscriber still registered
-// — for the life of the process. A write that misses the deadline (or
-// fails for any reason) disconnects the client; SSE clients reconnect.
+// EventsStatus is the delivery layer's observability block: how lossy
+// this deployment is, measured instead of inferred.
+type EventsStatus struct {
+	// Identity names the bus's sequence space (cursors embed it).
+	Identity string `json:"identity"`
+	// LastSeq is the newest published sequence; OldestRetained is the
+	// ring's replay floor — a cursor at or past OldestRetained-1 resumes,
+	// anything older resets.
+	LastSeq        uint64 `json:"last_seq"`
+	OldestRetained uint64 `json:"oldest_retained"`
+	// Published/Dropped/Gaps/Rejected are lifetime bus totals; Gaps
+	// counts synthetic gap frames delivered (announced loss intervals).
+	Published   uint64 `json:"published"`
+	Dropped     uint64 `json:"dropped"`
+	Gaps        uint64 `json:"gaps"`
+	Rejected    uint64 `json:"rejected"`
+	Subscribers int    `json:"subscribers"`
+	// PerSubscriber breaks drops and gaps down by live subscriber.
+	PerSubscriber []SubscriberDrops `json:"per_subscriber,omitempty"`
+}
+
+// EventsStatus snapshots the bus's loss accounting for /api/status.
+func (m *Manager) EventsStatus() EventsStatus {
+	published, dropped, subscribers := m.bus.Stats()
+	oldest, newest := m.bus.Coverage()
+	return EventsStatus{
+		Identity:       m.bus.Identity(),
+		LastSeq:        newest,
+		OldestRetained: oldest,
+		Published:      published,
+		Dropped:        dropped,
+		Gaps:           m.bus.Gaps(),
+		Rejected:       m.bus.Rejected(),
+		Subscribers:    subscribers,
+		PerSubscriber:  m.bus.Drops(),
+	}
+}
+
+// handleEvents streams the fleet bus over SSE through the shared
+// EventStreamer: every frame carries a resumable cursor, reconnects
+// replay from the bus ring or receive an explicit reset, shed loss
+// arrives as gap frames, and an idle stream carries keepalives. SSE
+// streams bypass the concurrency limit (they are long-lived by design),
+// so the subscriber cap is what bounds them.
 func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
-	if _, ok := w.(http.Flusher); !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
-		return
+	es := &EventStreamer{
+		Bus:          m.bus,
+		Snapshot:     m.reg.Snapshot,
+		WriteTimeout: m.cfg.SSEWriteTimeout,
+		Heartbeat:    m.cfg.SSEHeartbeat,
+		Buffer:       m.cfg.EventBuffer,
 	}
-	rc := http.NewResponseController(w)
-	// send writes one frame under the deadline and reports whether the
-	// client is still worth keeping. SetWriteDeadline may be unsupported
-	// by an exotic wrapped writer — then the write proceeds unbounded,
-	// which is the old behaviour, not a new failure.
-	send := func(format string, args ...any) bool {
-		_ = rc.SetWriteDeadline(time.Now().Add(m.cfg.SSEWriteTimeout))
-		if _, err := fmt.Fprintf(w, format, args...); err != nil {
-			return false
-		}
-		if err := rc.Flush(); err != nil {
-			return false
-		}
-		return true
-	}
-
-	// SSE streams bypass the concurrency limit (they are long-lived by
-	// design), so the subscriber cap is what bounds them.
-	sub, ok := m.bus.TrySubscribe(m.cfg.EventBuffer)
-	if !ok {
-		w.Header().Set("Retry-After", "5")
-		http.Error(w, "subscriber limit reached", http.StatusServiceUnavailable)
-		return
-	}
-	defer sub.Close()
-
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("Connection", "keep-alive")
-	w.WriteHeader(http.StatusOK)
-	if !send(": tagwatch fleet event stream\n\n") {
-		return
-	}
-
-	heartbeat := time.NewTicker(15 * time.Second)
-	defer heartbeat.Stop()
-	var id uint64
-	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case <-heartbeat.C:
-			if !send(": heartbeat dropped=%d\n\n", sub.Dropped()) {
-				return
-			}
-		case ev, ok := <-sub.C():
-			if !ok {
-				return
-			}
-			data, err := json.Marshal(ev)
-			if err != nil {
-				continue
-			}
-			id++
-			if !send("id: %d\nevent: %s\ndata: %s\n\n", id, ev.Type, data) {
-				return
-			}
-		}
-	}
+	es.ServeHTTP(w, r)
 }
 
 func (m *Manager) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -162,32 +162,53 @@ func TestHTTPEventsSSE(t *testing.T) {
 			lines <- strings.TrimRight(line, "\n")
 		}
 	}()
-	var event, data string
-	for event == "" || data == "" {
+	// The stream must open with an explicit reset frame (the full-state
+	// anchor a cursorless client needs), then carry the live event.
+	var events []string
+	var datas []string
+	var id, event string
+	for len(events) < 2 {
 		select {
 		case line, ok := <-lines:
 			if !ok {
-				t.Fatal("stream ended before event arrived")
+				t.Fatal("stream ended before events arrived")
+			}
+			if strings.HasPrefix(line, "id: ") {
+				id = strings.TrimPrefix(line, "id: ")
 			}
 			if strings.HasPrefix(line, "event: ") {
 				event = strings.TrimPrefix(line, "event: ")
 			}
 			if strings.HasPrefix(line, "data: ") {
-				data = strings.TrimPrefix(line, "data: ")
+				events = append(events, event)
+				datas = append(datas, strings.TrimPrefix(line, "data: "))
 			}
 		case <-deadline:
 			t.Fatal("no SSE event within deadline")
 		}
 	}
-	if event != string(EventReaderState) {
-		t.Fatalf("event type %q", event)
+	if events[0] != string(EventReset) {
+		t.Fatalf("first frame %q, want reset", events[0])
+	}
+	var reset ResetPayload
+	if err := json.Unmarshal([]byte(datas[0]), &reset); err != nil {
+		t.Fatalf("reset data %q: %v", datas[0], err)
+	}
+	if reset.Identity != m.Bus().Identity() {
+		t.Fatalf("reset identity %q, want %q", reset.Identity, m.Bus().Identity())
+	}
+	if events[1] != string(EventReaderState) {
+		t.Fatalf("event type %q", events[1])
 	}
 	var ev Event
-	if err := json.Unmarshal([]byte(data), &ev); err != nil {
-		t.Fatalf("data %q: %v", data, err)
+	if err := json.Unmarshal([]byte(datas[1]), &ev); err != nil {
+		t.Fatalf("data %q: %v", datas[1], err)
 	}
 	if ev.Reader != "r9" || ev.State != "up" {
 		t.Fatalf("event payload: %+v", ev)
+	}
+	if wantID := FormatCursor(m.Bus().Identity(), ev.Seq); id != wantID {
+		t.Fatalf("last id %q, want %q", id, wantID)
 	}
 }
 

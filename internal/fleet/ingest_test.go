@@ -34,13 +34,25 @@ func TestIngestFeedsRegistryAndBus(t *testing.T) {
 	if !moved || ho.From != "entry" || ho.To != "exit" {
 		t.Fatalf("expected entry->exit handoff, got %+v moved=%v", ho, moved)
 	}
-	select {
-	case ev := <-sub.C():
-		if ev.Type != EventHandoff || ev.From != "entry" || ev.To != "exit" {
-			t.Fatalf("bus event = %+v", ev)
+	// Every Observe also publishes a tag image (the edge tier's delta
+	// stream); skim those to reach the handoff event.
+	nextNonTag := func() (Event, bool) {
+		for {
+			select {
+			case ev := <-sub.C():
+				if ev.Type == EventTag || ev.Type == EventTagDrop {
+					continue
+				}
+				return ev, true
+			default:
+				return Event{}, false
+			}
 		}
-	default:
+	}
+	if ev, ok := nextNonTag(); !ok {
 		t.Fatal("handoff not published on the bus")
+	} else if ev.Type != EventHandoff || ev.From != "entry" || ev.To != "exit" {
+		t.Fatalf("bus event = %+v", ev)
 	}
 
 	exit.UpdateAssessment(r.EPC, true, 12.5)
@@ -55,13 +67,10 @@ func TestIngestFeedsRegistryAndBus(t *testing.T) {
 	}
 
 	exit.PublishCycle(at.Add(2*time.Second), &CycleSummary{Present: 1})
-	select {
-	case ev := <-sub.C():
-		if ev.Type != EventCycle || ev.Reader != "exit" || ev.Cycle.Present != 1 {
-			t.Fatalf("cycle event = %+v", ev)
-		}
-	default:
+	if ev, ok := nextNonTag(); !ok {
 		t.Fatal("cycle summary not published")
+	} else if ev.Type != EventCycle || ev.Reader != "exit" || ev.Cycle.Present != 1 {
+		t.Fatalf("cycle event = %+v", ev)
 	}
 }
 

@@ -134,9 +134,27 @@ func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "tagwatch_fleet_bus_rejected_total %d\n", m.bus.Rejected())
 	gauge("tagwatch_fleet_bus_subscribers", "Live bus subscribers.")
 	fmt.Fprintf(&b, "tagwatch_fleet_bus_subscribers %d\n", subscribers)
+	counter("tagwatch_fleet_bus_gaps_total", "Synthetic gap events delivered across all subscribers (announced loss intervals).")
+	fmt.Fprintf(&b, "tagwatch_fleet_bus_gaps_total %d\n", m.bus.Gaps())
+	gauge("tagwatch_fleet_bus_last_seq", "Newest published bus sequence number.")
+	oldest, newest := m.bus.Coverage()
+	fmt.Fprintf(&b, "tagwatch_fleet_bus_last_seq %d\n", newest)
+	gauge("tagwatch_fleet_bus_ring_oldest_seq", "Oldest sequence still replayable from the ring (the resume floor).")
+	fmt.Fprintf(&b, "tagwatch_fleet_bus_ring_oldest_seq %d\n", oldest)
+	gauge("tagwatch_fleet_bus_ring_window", "Events currently retained for replay.")
+	window := uint64(0)
+	if newest >= oldest && oldest > 0 {
+		window = newest - oldest + 1
+	}
+	fmt.Fprintf(&b, "tagwatch_fleet_bus_ring_window %d\n", window)
 	counter("tagwatch_fleet_bus_subscriber_dropped_total", "Events dropped per live subscriber.")
-	for _, sd := range m.bus.Drops() {
+	drops := m.bus.Drops()
+	for _, sd := range drops {
 		fmt.Fprintf(&b, "tagwatch_fleet_bus_subscriber_dropped_total{subscriber=\"%d\"} %d\n", sd.ID, sd.Dropped)
+	}
+	counter("tagwatch_fleet_bus_subscriber_gaps_total", "Gap events delivered per live subscriber.")
+	for _, sd := range drops {
+		fmt.Fprintf(&b, "tagwatch_fleet_bus_subscriber_gaps_total{subscriber=\"%d\"} %d\n", sd.ID, sd.Gaps)
 	}
 
 	ast := m.admission.Stats()

@@ -76,10 +76,30 @@ type Registry struct {
 	maxPerShard int
 	quar        *guard.Quarantine[epc.EPC]
 
+	// onTag/onDrop, when set, are invoked under the owning shard's lock
+	// after every mutation (full image) and removal (EPC). Holding the
+	// lock across the call is deliberate: a consumer that later snapshots
+	// the registry is guaranteed the snapshot already reflects any image
+	// it has seen published, which is what lets the SSE layer anchor a
+	// reset cursor without racing in-flight deltas. Callbacks must never
+	// block (the bus's select-default publish qualifies).
+	onTag  func(TagState)
+	onDrop func(epcStr string)
+
 	observations atomic.Uint64
 	handoffs     atomic.Uint64
 	evicted      atomic.Uint64
 	quarantined  atomic.Uint64
+}
+
+// Notify registers change callbacks: onTag receives a full copied image
+// after every merge/assessment, onDrop the EPC of every eviction or
+// prune. Restore/Drop (recovery paths) are exempt — they reconstruct
+// state that was already announced in a previous life. Call before the
+// first Observe; not safe to change mid-flight.
+func (g *Registry) Notify(onTag func(TagState), onDrop func(string)) {
+	g.onTag = onTag
+	g.onDrop = onDrop
 }
 
 // NewRegistry builds an empty registry.
@@ -159,6 +179,9 @@ func (g *Registry) Observe(reader string, r core.Reading, at time.Time) (Handoff
 	st.Reads++
 	st.Readers[reader]++
 	sh.dirty[r.EPC] = true
+	if g.onTag != nil {
+		g.onTag(copyState(st))
+	}
 	sh.mu.Unlock()
 
 	g.observations.Add(1)
@@ -193,6 +216,9 @@ func (g *Registry) evictStalestLocked(sh *regShard) {
 	delete(sh.dirty, victim)
 	sh.dropped[victim] = true
 	g.evicted.Add(1)
+	if g.onDrop != nil {
+		g.onDrop(victimEPC)
+	}
 }
 
 // UpdateAssessment records a reader's per-cycle verdict for a tag: the
@@ -206,6 +232,9 @@ func (g *Registry) UpdateAssessment(reader string, code epc.EPC, mobile bool, ir
 		e.state.Mobile = mobile
 		e.state.IRR = irr
 		sh.dirty[code] = true
+		if g.onTag != nil {
+			g.onTag(copyState(&e.state))
+		}
 	}
 	sh.mu.Unlock()
 }
@@ -259,10 +288,14 @@ func (g *Registry) Prune(cutoff time.Time) int {
 		sh.mu.Lock()
 		for code, e := range sh.tags {
 			if e.state.LastSeen.Before(cutoff) {
+				epcStr := e.state.EPC
 				delete(sh.tags, code)
 				delete(sh.dirty, code)
 				sh.dropped[code] = true
 				n++
+				if g.onDrop != nil {
+					g.onDrop(epcStr)
+				}
 			}
 		}
 		sh.mu.Unlock()

@@ -26,7 +26,7 @@ func drillLink(seed int64) chaos.Config {
 
 // smokeCampaign is the built-in matrix `make gauntlet` and the CI
 // gauntlet-smoke job run: every fault kind at least once, five scenario
-// packs shrunk to a few virtual minutes each, nine oracle families in
+// packs shrunk to a few virtual minutes each, ten oracle families in
 // play. Small enough to finish in well under a minute unthrottled;
 // varied enough that breaking any of the robustness layers underneath
 // (store poisoning, WAL shipping, resume re-anchor, SSE shedding) trips
@@ -95,6 +95,13 @@ func smokeCampaign() Campaign {
 				Duration: 2 * time.Minute, Population: 120, TransitTime: 20 * time.Second,
 				Seed: 909, Speed: 200,
 				Fault: Fault{Kind: FaultSlowSSE, SSEClients: 6},
+			},
+			{
+				Name: "edge-flap-rush", Scenario: "retail-rush",
+				Duration: 2 * time.Minute, Population: 120, TransitTime: 20 * time.Second,
+				Seed: 1010, Speed: 400,
+				Fault: Fault{Kind: FaultEdgeFlap,
+					Link: chaos.Config{Seed: 31, FlapBytes: 128 << 10}},
 			},
 		},
 	}

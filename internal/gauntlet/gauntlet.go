@@ -63,6 +63,12 @@ const (
 	// FaultSlowSSE attaches stalled /api/events consumers to the fleet
 	// while the workload runs; the pipeline and /healthz must not care.
 	FaultSlowSSE = "slow-sse"
+	// FaultEdgeFlap routes the workload's event stream through the edge
+	// fan-out tier over a chaos link that severs the TCP session every
+	// Link.FlapBytes: the edge mirror must still converge to the
+	// control's registry fingerprint, with every loss interval covered
+	// by an announced gap or an explicit reset — never a silent hole.
+	FaultEdgeFlap = "edge-flap"
 )
 
 // Fault is one fault script, interpreted per Kind.

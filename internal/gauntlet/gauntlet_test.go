@@ -13,7 +13,8 @@ import (
 
 // miniCampaign is a cheap in-process matrix: no failover drills (those
 // get their own wall-clock budget in the CI gauntlet-smoke job), but
-// still three fault kinds and six oracle families.
+// still four fault kinds and seven oracle families — including the
+// edge fan-out tier over a flapping link.
 func miniCampaign() Campaign {
 	return Campaign{
 		Name:        "mini",
@@ -38,6 +39,13 @@ func miniCampaign() Campaign {
 				Seed: 3,
 				Fault: Fault{Kind: FaultClockSkew,
 					Link: chaos.Config{Seed: 7, SkewMax: time.Minute}},
+			},
+			{
+				Name: "edge-flap", Scenario: "trackpoint",
+				Duration: 90 * time.Second, Population: 60, TransitTime: 15 * time.Second,
+				Seed: 4, Speed: 300,
+				Fault: Fault{Kind: FaultEdgeFlap,
+					Link: chaos.Config{Seed: 9, FlapBytes: 48 << 10}},
 			},
 		},
 	}
@@ -157,7 +165,7 @@ func TestSmokeCampaignShape(t *testing.T) {
 		}
 	}
 	for _, k := range []string{FaultNone, FaultLinkChaos, FaultLinkPartition, FaultLinkFlap,
-		FaultFSENOSPC, FaultFSEIO, FaultClockSkew, FaultSlowSSE} {
+		FaultFSENOSPC, FaultFSEIO, FaultClockSkew, FaultSlowSSE, FaultEdgeFlap} {
 		if !kinds[k] {
 			t.Errorf("smoke campaign never exercises fault kind %q", k)
 		}

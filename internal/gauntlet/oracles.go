@@ -36,6 +36,11 @@ const (
 	// OracleFaultExercised: the injected fault actually fired — a
 	// campaign that passes without injecting anything proves nothing.
 	OracleFaultExercised = "fault-exercised"
+	// OracleLossAccounted: the edge link's bounded-loss promise held —
+	// zero unannounced sequence holes (contiguity violations), and every
+	// announced gap resolved as either a ring-replay heal or an explicit
+	// reset, so the gap ledger balances.
+	OracleLossAccounted = "loss-accounted"
 	// OracleGoroutinesBounded / OracleHeapBounded: after teardown the
 	// process returned to its resource baseline (plus slack) — no leaked
 	// goroutines, no unbounded heap.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tagwatch/internal/chaos"
+	"tagwatch/internal/edge"
 	"tagwatch/internal/replication"
 	"tagwatch/internal/statestore"
 )
@@ -32,6 +33,7 @@ type Measurements struct {
 	Chaos           chaos.Stats               `json:"chaos"`
 	FS              statestore.FaultStats     `json:"fs"`
 	Standby         replication.StandbyStatus `json:"standby"`
+	Edge            edge.ClientStatus         `json:"edge"`
 	Goroutines      int                       `json:"goroutines,omitempty"`
 	HeapBytes       uint64                    `json:"heap_bytes,omitempty"`
 	WorstHealthzMS  int64                     `json:"worst_healthz_ms,omitempty"`

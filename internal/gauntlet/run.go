@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tagwatch/internal/chaos"
+	"tagwatch/internal/edge"
 	"tagwatch/internal/fleet"
 	"tagwatch/internal/replay"
 	"tagwatch/internal/scenario"
@@ -119,6 +120,8 @@ func (r *Runner) runCase(ctx context.Context, idx int, c Case) CaseResult {
 			err = r.runSkew(ctx, &res, spec, seed, c)
 		case FaultSlowSSE:
 			err = r.runSSE(ctx, &res, spec, seed, c)
+		case FaultEdgeFlap:
+			err = r.runEdge(ctx, &res, spec, seed, c)
 		default:
 			err = fmt.Errorf("case %q: unknown fault kind %q", c.Name, c.Fault.Kind)
 		}
@@ -387,6 +390,119 @@ func (r *Runner) runSkew(ctx context.Context, res *CaseResult, spec scenario.Spe
 	res.Oracles = append(res.Oracles,
 		tagSetOracle(controlSnap, faulted),
 		oracle(OracleFaultExercised, maxAbs > 0, "largest per-gate offset %v", maxAbs))
+	return nil
+}
+
+// runEdge routes the workload's event stream through the fan-out tier
+// over a flapping link: the fleet serves /api/events through a chaos
+// listener that severs the TCP session every Link.FlapBytes while an
+// edge client mirrors the registry on the far side. The mirror must
+// converge to the control's registry fingerprint, every loss interval
+// must be covered by an announced gap or an explicit reset (zero
+// unannounced holes), and the flap must actually have fired.
+func (r *Runner) runEdge(ctx context.Context, res *CaseResult, spec scenario.Spec, seed int64, c Case) error {
+	compiled, err := scenario.Compile(spec, seed)
+	if err != nil {
+		return err
+	}
+	controlFP, _, err := runControl(ctx, compiled)
+	if err != nil {
+		return err
+	}
+	res.ControlFingerprint = controlFP
+
+	fc := caseFleetConfig("")
+	// Fast heartbeats bound tail-gap announcement delay; a ring deeper
+	// than the whole timeline keeps every flap resumable via replay, so
+	// the only reset the client should ever need is its initial anchor.
+	fc.SSEHeartbeat = 100 * time.Millisecond
+	fc.SSEWriteTimeout = 2 * time.Second
+	fc.EventRingCap = 1 << 17
+	m := fleet.New(fc)
+	if err := m.Start(ctx); err != nil {
+		return err
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		//tagwatch:allow-droppederr the listen error is what matters
+		_ = m.Stop()
+		return err
+	}
+	link := c.Fault.Link
+	if link.Seed == 0 {
+		link.Seed = seed
+	}
+	inj := chaos.New(link)
+	sctx, scancel := context.WithCancel(ctx)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- m.Serve(sctx, inj.Listener(lis)) }()
+
+	client := edge.NewClient(edge.Config{
+		Upstream:    lis.Addr().String(),
+		ReadTimeout: 2 * time.Second,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  100 * time.Millisecond,
+		Seed:        seed,
+	})
+	cctx, ccancel := context.WithCancel(ctx)
+	clientDone := make(chan struct{})
+	go func() { defer close(clientDone); _ = client.Run(cctx) }()
+
+	// Let the client anchor on the still-empty registry first, so the
+	// entire event volume crosses the flapping link instead of racing
+	// the feed for its initial snapshot.
+	anchorBy := time.Now().Add(5 * time.Second)
+	for time.Now().Before(anchorBy) && client.Status().Resets == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	err = replay.Feed(ctx, m, compiled, 0, len(compiled.Events), c.Speed)
+	if err == nil {
+		// Quiesce: the link keeps flapping, but every reconnect resumes
+		// at the cursor — wait for the mirror to walk all the way up to
+		// the bus head.
+		target := m.Bus().LastSeq()
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			ident, cur := client.Cursor()
+			if ident == m.Bus().Identity() && cur >= target {
+				break
+			}
+			if err = ctx.Err(); err != nil {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	st := client.Status()
+	mirrorFP, fpErr := replay.SnapshotFingerprint(client.Snapshot())
+	ccancel()
+	<-clientDone
+	scancel()
+	if serr := <-serveDone; serr != nil && err == nil {
+		err = serr
+	}
+	if serr := m.Stop(); serr != nil && err == nil {
+		err = serr
+	}
+	if err != nil {
+		return err
+	}
+	if fpErr != nil {
+		return fpErr
+	}
+	res.FaultedFingerprint = mirrorFP
+	res.Measure.Chaos = inj.Stats()
+	res.Measure.Edge = st
+
+	res.Oracles = append(res.Oracles,
+		matchOracle(res.ControlFingerprint, res.FaultedFingerprint),
+		oracle(OracleLossAccounted,
+			st.ContiguityViolations == 0 && st.Gaps == st.GapsHealed+st.GapsReset,
+			"%d gaps (%d healed, %d reset), %d resets, %d unannounced holes over %d sessions",
+			st.Gaps, st.GapsHealed, st.GapsReset, st.Resets, st.ContiguityViolations, st.Sessions),
+		oracle(OracleFaultExercised, inj.Stats().Flaps > 0,
+			"%d flaps over %d conns", inj.Stats().Flaps, inj.Stats().Conns))
 	return nil
 }
 

@@ -56,9 +56,17 @@ func FeedSkewed(ctx context.Context, m *fleet.Manager, compiled *scenario.Compil
 // runs: two registries with the same fingerprint hold byte-identical
 // tag state.
 func RegistryFingerprint(reg *fleet.Registry) (string, error) {
-	b, err := json.Marshal(reg.Snapshot())
+	return SnapshotFingerprint(reg.Snapshot())
+}
+
+// SnapshotFingerprint hashes any sorted tag snapshot with the identical
+// encoding RegistryFingerprint uses, so a mirror built from the event
+// stream (the edge tier) can be compared byte-for-byte against the
+// registry it follows.
+func SnapshotFingerprint(tags []fleet.TagState) (string, error) {
+	b, err := json.Marshal(tags)
 	if err != nil {
-		return "", fmt.Errorf("replay: registry fingerprint: %w", err)
+		return "", fmt.Errorf("replay: snapshot fingerprint: %w", err)
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:]), nil

@@ -1,0 +1,131 @@
+#!/bin/sh
+# edge-smoke: the fan-out survival drill against real processes.
+#
+# Topology: readersim (LLRP emulator) <- fleetd (primary) <- edged
+# (fan-out mirror). The drill waits for the edge mirror to anchor and
+# converge on the primary's EPC set, then SIGKILLs fleetd mid-stream
+# and restarts it — a fresh process with a fresh bus identity and an
+# empty registry that re-fills from the same simulated field.
+#
+# Pass criteria:
+#   - edged's /healthz answers throughout (degraded is fine, dead is not)
+#   - the link re-anchors with EXACTLY ONE additional reset (a fresh
+#     identity must cost one reset, not a reset storm)
+#   - contiguity_violations stays 0 (no silent loss, ever)
+#   - the mirror's EPC set re-converges to the reborn primary's
+set -eu
+
+cd "$(dirname "$0")/.."
+
+LLRP=127.0.0.1:15084
+FLEET=127.0.0.1:18080
+EDGE=127.0.0.1:18081
+BIN=bin/edge-smoke
+LOG=/tmp/tagwatch-edge-smoke
+mkdir -p "$BIN" "$LOG"
+
+go build -o "$BIN/readersim" ./cmd/readersim
+go build -o "$BIN/fleetd" ./cmd/fleetd
+go build -o "$BIN/edged" ./cmd/edged
+
+SIM_PID=""
+FLEET_PID=""
+EDGE_PID=""
+cleanup() {
+	kill $SIM_PID $FLEET_PID $EDGE_PID 2>/dev/null || true
+	wait 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "edge-smoke: FAIL: $1" >&2
+	echo "--- edged status ---" >&2
+	curl -fsS "http://$EDGE/api/status" >&2 2>/dev/null || true
+	echo "--- edged log tail ---" >&2
+	tail -20 "$LOG/edged.log" >&2 2>/dev/null || true
+	echo "--- fleetd log tail ---" >&2
+	tail -20 "$LOG/fleetd.log" >&2 2>/dev/null || true
+	exit 1
+}
+
+# link_num FIELD: one numeric field out of edged's indented status JSON
+# (every field sits on its own line, so grep -o is enough — same
+# convention as replay-smoke's fingerprint check).
+link_num() {
+	curl -fsS "http://$EDGE/api/status" 2>/dev/null |
+		grep -o "\"$1\": [0-9]*" | head -1 | awk '{print $2}'
+}
+
+link_connected() {
+	curl -fsS "http://$EDGE/api/status" 2>/dev/null |
+		grep -q '"connected": true'
+}
+
+epc_set() {
+	curl -fsS "http://$1/api/tags" 2>/dev/null |
+		grep -o '"epc": "[0-9a-fA-F]*"' | sort -u
+}
+
+start_fleetd() {
+	"$BIN/fleetd" -readers "$LLRP" -http "$FLEET" -dwell 300ms -quiet \
+		>>"$LOG/fleetd.log" 2>&1 &
+	FLEET_PID=$!
+}
+
+# converged: edge mirror non-empty and EPC-set-equal to the primary.
+converged() {
+	up=$(epc_set "$FLEET")
+	down=$(epc_set "$EDGE")
+	test -n "$up" && test "$up" = "$down"
+}
+
+: >"$LOG/fleetd.log"
+"$BIN/readersim" -listen "$LLRP" -tags 24 -movers 2 -seed 7 -timescale 0.2 \
+	>"$LOG/readersim.log" 2>&1 &
+SIM_PID=$!
+start_fleetd
+"$BIN/edged" -upstream "$FLEET" -http "$EDGE" \
+	-backoff-base 50ms -backoff-max 500ms -quiet \
+	>"$LOG/edged.log" 2>&1 &
+EDGE_PID=$!
+
+# Phase 1: the edge anchors and mirrors the live field.
+i=0
+until link_connected && converged; do
+	i=$((i + 1))
+	test "$i" -le 120 || fail "edge never converged on the first primary"
+	sleep 1
+done
+R0=$(link_num resets)
+test -n "$R0" || fail "no resets counter in /api/status"
+echo "edge-smoke: converged on primary ($(epc_set "$EDGE" | wc -l) EPCs, $R0 reset(s))"
+
+# Phase 2: kill the primary mid-stream. The edge must keep answering
+# (degraded, not dead) while the upstream is gone.
+kill -9 "$FLEET_PID" 2>/dev/null || true
+wait "$FLEET_PID" 2>/dev/null || true
+sleep 2
+curl -fsS "http://$EDGE/healthz" >/dev/null || fail "healthz died with the upstream"
+! link_connected || fail "link still claims connected after the primary was killed"
+echo "edge-smoke: primary killed, edge degraded but serving"
+
+# Phase 3: a reborn primary — same address, fresh identity, empty
+# registry re-filling from the same field. The edge must re-anchor with
+# exactly one additional reset and re-converge.
+start_fleetd
+i=0
+until link_connected && converged; do
+	i=$((i + 1))
+	test "$i" -le 120 || fail "edge never re-converged on the reborn primary"
+	sleep 1
+done
+
+R1=$(link_num resets)
+CV=$(link_num contiguity_violations)
+IDC=$(link_num identity_changes)
+test -n "$R1" && test -n "$CV" && test -n "$IDC" || fail "status counters missing after re-convergence"
+test "$R1" -eq "$((R0 + 1))" || fail "want exactly one additional reset, got $R0 -> $R1"
+test "$CV" -eq 0 || fail "contiguity_violations = $CV (silent loss)"
+test "$IDC" -ge 1 || fail "identity change never detected across the restart"
+curl -fsS "http://$EDGE/healthz" | grep -q ok || fail "healthz not ok after re-convergence"
+echo "edge-smoke: PASS (resets $R0 -> $R1, identity_changes $IDC, contiguity_violations 0, $(epc_set "$EDGE" | wc -l) EPCs re-converged)"
